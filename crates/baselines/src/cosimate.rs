@@ -1,0 +1,153 @@
+//! CoSimMate — all-pairs repeated squaring (Yu & McCann 2015).
+//!
+//! Writes the CoSimRank series `S = Σ_k c^k (Qᵀ)^k Q^k` and doubles it:
+//! `S_{j+1} = S_j + c^{2^j}·T_jᵀ·S_j·T_j`, `T_{j+1} = T_j²` with
+//! `T_0 = Q` kept **dense** — which is what buys the exponentially fewer
+//! iterations and costs the `O(n²)` memory / `O(n³ log log(1/ε))` time of
+//! Table 1.
+
+use csrplus_core::config::linear_iterations;
+use csrplus_core::{CoSimRankEngine, CoSimRankError};
+use csrplus_graph::TransitionMatrix;
+use csrplus_linalg::DenseMatrix;
+use csrplus_memtrack::{model as memmodel, MemoryBudget};
+
+/// Configuration for [`CoSimMate`].
+#[derive(Debug, Clone, Copy)]
+pub struct CoSimMateConfig {
+    /// Damping factor `c`.
+    pub damping: f64,
+    /// Desired accuracy ε (drives the squaring count
+    /// `⌈log₂ K_linear⌉`).
+    pub epsilon: f64,
+    /// Memory budget for the three dense `n×n` matrices.
+    pub budget: MemoryBudget,
+}
+
+impl Default for CoSimMateConfig {
+    fn default() -> Self {
+        CoSimMateConfig { damping: 0.6, epsilon: 1e-5, budget: MemoryBudget::default() }
+    }
+}
+
+/// The CoSimMate baseline engine.
+#[derive(Debug, Clone)]
+pub struct CoSimMate {
+    config: CoSimMateConfig,
+    transition: Option<TransitionMatrix>,
+}
+
+impl CoSimMate {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: CoSimMateConfig) -> Self {
+        CoSimMate { config, transition: None }
+    }
+
+    /// Number of squaring steps needed for the configured accuracy.
+    pub fn squaring_steps(&self) -> usize {
+        let k = linear_iterations(self.config.damping, self.config.epsilon);
+        (usize::BITS - k.leading_zeros()) as usize // ceil(log2(k)) + 1-ish
+    }
+
+    /// Dense all-pairs repeated squaring.
+    pub fn all_pairs(&self) -> Result<DenseMatrix, CoSimRankError> {
+        let t = self.transition.as_ref().ok_or(CoSimRankError::NotPrecomputed)?;
+        let n = t.n();
+        self.config.budget.check_all(&[
+            ("S iterate (n×n)", memmodel::dense(n, n)),
+            ("T = Q^(2^k) dense (n×n)", memmodel::dense(n, n)),
+            ("scratch (n×n)", memmodel::dense(n, n)),
+        ])?;
+        let c = self.config.damping;
+        let mut s = DenseMatrix::identity(n);
+        let mut tq = t.q().to_dense();
+        let mut factor = c;
+        for _ in 0..self.squaring_steps() {
+            // S ← S + factor · TᵀST
+            let st = s.matmul(&tq)?; // S·T
+            let tst = tq.matmul_transpose_a(&st)?; // Tᵀ·S·T
+            s.add_scaled(factor, &tst)?;
+            // T ← T², factor ← factor².
+            tq = tq.matmul(&tq)?;
+            factor *= factor;
+        }
+        Ok(s)
+    }
+}
+
+impl CoSimRankEngine for CoSimMate {
+    fn name(&self) -> &'static str {
+        "CoSimMate"
+    }
+
+    fn precompute(&mut self, t: &TransitionMatrix) -> Result<(), CoSimRankError> {
+        self.transition = Some(t.clone());
+        Ok(())
+    }
+
+    fn multi_source(&self, queries: &[usize]) -> Result<DenseMatrix, CoSimRankError> {
+        let t = self.transition.as_ref().ok_or(CoSimRankError::NotPrecomputed)?;
+        let n = t.n();
+        for &q in queries {
+            if q >= n {
+                return Err(CoSimRankError::QueryOutOfBounds { node: q, n });
+            }
+        }
+        Ok(self.all_pairs()?.select_cols(queries))
+    }
+
+    fn memoised_bytes(&self) -> usize {
+        self.transition.as_ref().map_or(0, TransitionMatrix::heap_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csrplus_core::exact;
+    use csrplus_graph::generators::figure1_graph;
+
+    fn engine() -> CoSimMate {
+        let mut e = CoSimMate::new(CoSimMateConfig { epsilon: 1e-10, ..Default::default() });
+        e.precompute(&TransitionMatrix::from_graph(&figure1_graph())).unwrap();
+        e
+    }
+
+    #[test]
+    fn matches_exact_all_pairs() {
+        let e = engine();
+        let t = TransitionMatrix::from_graph(&figure1_graph());
+        let s = e.all_pairs().unwrap();
+        let ex = exact::all_pairs_iterative(&t, 0.6, 1e-12);
+        assert!(s.approx_eq(&ex, 1e-8), "diff {}", s.max_abs_diff(&ex));
+    }
+
+    #[test]
+    fn squaring_needs_few_steps() {
+        let e = engine();
+        // K_linear(0.6, 1e-10) ≈ 47 → ~6 squarings, far below 47.
+        assert!(e.squaring_steps() <= 8, "{}", e.squaring_steps());
+        assert!(e.squaring_steps() >= 5);
+    }
+
+    #[test]
+    fn multi_source_selects_columns() {
+        let e = engine();
+        let s = e.multi_source(&[3, 1]).unwrap();
+        let all = e.all_pairs().unwrap();
+        for i in 0..6 {
+            assert_eq!(s.get(i, 0), all.get(i, 3));
+            assert_eq!(s.get(i, 1), all.get(i, 1));
+        }
+    }
+
+    #[test]
+    fn budget_crash() {
+        let mut e = CoSimMate::new(CoSimMateConfig {
+            budget: MemoryBudget::new(128),
+            ..Default::default()
+        });
+        e.precompute(&TransitionMatrix::from_graph(&figure1_graph())).unwrap();
+        assert!(e.multi_source(&[0]).unwrap_err().is_memory_crash());
+    }
+}

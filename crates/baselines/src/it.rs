@@ -1,0 +1,150 @@
+//! CSR-IT — Rothe & Schütze's iterative CoSimRank, run all-pairs.
+//!
+//! The method iterates the defining equation densely,
+//! `S ← c·Qᵀ·S·Q + Iₙ`, for `k` iterations (the paper pins `k = r` for a
+//! fair comparison).  Properties reproduced from the evaluation:
+//! * query time is essentially independent of `|Q|` (all `n²` pairs are
+//!   computed regardless — Figure 5);
+//! * memory is `O(n²)`, so it "memory-crashes" on medium graphs
+//!   (Figures 6/8/9 on WT and beyond).
+
+use csrplus_core::{CoSimRankEngine, CoSimRankError};
+use csrplus_graph::TransitionMatrix;
+use csrplus_linalg::DenseMatrix;
+use csrplus_memtrack::{model as memmodel, MemoryBudget};
+
+/// Configuration for [`CsrIt`].
+#[derive(Debug, Clone, Copy)]
+pub struct CsrItConfig {
+    /// Damping factor `c`.
+    pub damping: f64,
+    /// Number of fixed-point iterations (paper default: `k = r = 5`).
+    pub iterations: usize,
+    /// Memory budget for the dense `n×n` iterates.
+    pub budget: MemoryBudget,
+}
+
+impl Default for CsrItConfig {
+    fn default() -> Self {
+        CsrItConfig { damping: 0.6, iterations: 5, budget: MemoryBudget::default() }
+    }
+}
+
+/// The CSR-IT baseline engine.
+#[derive(Debug, Clone)]
+pub struct CsrIt {
+    config: CsrItConfig,
+    /// The graph is kept; all work happens at query time (no
+    /// preprocessing phase, matching the original algorithm).
+    transition: Option<TransitionMatrix>,
+}
+
+impl CsrIt {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: CsrItConfig) -> Self {
+        CsrIt { config, transition: None }
+    }
+
+    /// Runs the dense all-pairs iteration (exposed for tests/diagnostics).
+    pub fn all_pairs(&self) -> Result<DenseMatrix, CoSimRankError> {
+        let t = self.transition.as_ref().ok_or(CoSimRankError::NotPrecomputed)?;
+        let n = t.n();
+        self.config.budget.check_all(&[
+            ("S iterate (n×n)", memmodel::dense(n, n)),
+            ("scratch iterate (n×n)", memmodel::dense(n, n)),
+        ])?;
+        let mut s = DenseMatrix::identity(n);
+        for _ in 0..self.config.iterations {
+            // S is symmetric throughout, so S·Q = (Qᵀ·S)ᵀ.
+            let qts = t.qt().matmul_dense(&s);
+            let sq = qts.transpose();
+            let mut next = t.qt().matmul_dense(&sq);
+            next.scale_in_place(self.config.damping);
+            next.add_diag(1.0)?;
+            s = next;
+        }
+        Ok(s)
+    }
+}
+
+impl CoSimRankEngine for CsrIt {
+    fn name(&self) -> &'static str {
+        "CSR-IT"
+    }
+
+    fn precompute(&mut self, t: &TransitionMatrix) -> Result<(), CoSimRankError> {
+        // No preprocessing: just retain the transition matrix.
+        self.transition = Some(t.clone());
+        Ok(())
+    }
+
+    fn multi_source(&self, queries: &[usize]) -> Result<DenseMatrix, CoSimRankError> {
+        let t = self.transition.as_ref().ok_or(CoSimRankError::NotPrecomputed)?;
+        let n = t.n();
+        for &q in queries {
+            if q >= n {
+                return Err(CoSimRankError::QueryOutOfBounds { node: q, n });
+            }
+        }
+        let s = self.all_pairs()?;
+        Ok(s.select_cols(queries))
+    }
+
+    fn memoised_bytes(&self) -> usize {
+        self.transition.as_ref().map_or(0, TransitionMatrix::heap_bytes)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index loops mirror the matrix math
+mod tests {
+    use super::*;
+    use csrplus_core::exact;
+    use csrplus_graph::generators::figure1_graph;
+
+    fn engine(iterations: usize) -> CsrIt {
+        let mut e = CsrIt::new(CsrItConfig { iterations, ..Default::default() });
+        e.precompute(&TransitionMatrix::from_graph(&figure1_graph())).unwrap();
+        e
+    }
+
+    #[test]
+    fn converges_to_exact() {
+        let e = engine(60);
+        let t = TransitionMatrix::from_graph(&figure1_graph());
+        let s = e.multi_source(&[1, 3]).unwrap();
+        let ex = exact::multi_source(&t, &[1, 3], 0.6, 1e-14);
+        assert!(s.approx_eq(&ex, 1e-10), "diff {}", s.max_abs_diff(&ex));
+    }
+
+    #[test]
+    fn truncation_matches_recursion() {
+        // k dense iterations == the per-query recursion truncated at k.
+        let e = engine(4);
+        let t = TransitionMatrix::from_graph(&figure1_graph());
+        let s = e.multi_source(&[2]).unwrap();
+        let col = exact::single_source_k(&t, 2, 0.6, 4);
+        for i in 0..6 {
+            assert!((s.get(i, 0) - col[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn memory_crash_on_tiny_budget() {
+        let mut e = CsrIt::new(CsrItConfig { budget: MemoryBudget::new(64), ..Default::default() });
+        e.precompute(&TransitionMatrix::from_graph(&figure1_graph())).unwrap();
+        let err = e.multi_source(&[0]).unwrap_err();
+        assert!(err.is_memory_crash());
+    }
+
+    #[test]
+    fn lifecycle_errors() {
+        let e = CsrIt::new(CsrItConfig::default());
+        assert!(matches!(e.multi_source(&[0]), Err(CoSimRankError::NotPrecomputed)));
+        let e = engine(2);
+        assert!(matches!(
+            e.multi_source(&[7]),
+            Err(CoSimRankError::QueryOutOfBounds { node: 7, n: 6 })
+        ));
+    }
+}

@@ -1,0 +1,38 @@
+//! # csrplus-baselines
+//!
+//! Every comparator algorithm of the CSR+ paper's evaluation (§4.1):
+//!
+//! * [`ni::CsrNi`] — **CSR-NI**, Li et al.'s low-rank SVD method with the
+//!   *actual* graph tensor (Kronecker) products of Eqs. (6a)/(6b) — the
+//!   `O(r⁴n²)` time / `O(r²n²)` memory cost CSR+ eliminates.  Two
+//!   execution modes: `Materialized` (memory-faithful, budget-guarded)
+//!   and `Streamed` (time-faithful with bounded memory, so the time
+//!   figures can be measured where materialisation would not fit).
+//! * [`it::CsrIt`] — **CSR-IT**, Rothe & Schütze's iterative method run
+//!   all-pairs (`S ← c·QᵀSQ + I`, dense `n×n` iterates): query time is
+//!   independent of `|Q|` but memory is `O(n²)`.
+//! * [`rls::CsrRls`] — **CSR-RLS**, Kusumoto et al.'s linearised
+//!   recursion applied per query (`2K` sparse matvecs each): `O(n)` live
+//!   memory but repeated work across queries.
+//! * [`cosimate::CoSimMate`] — all-pairs repeated squaring (Yu & McCann):
+//!   exponentially fewer iterations, `O(n²)` memory, `O(n³)` work.
+//! * [`rp::RpCoSim`] — Gaussian random-projection estimator (Yang 2020),
+//!   included as an extension baseline.
+//!
+//! All engines implement [`csrplus_core::CoSimRankEngine`] and share the
+//! memory-budget "crash" semantics of the harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cosimate;
+pub mod it;
+pub mod ni;
+pub mod rls;
+pub mod rp;
+
+pub use cosimate::{CoSimMate, CoSimMateConfig};
+pub use it::{CsrIt, CsrItConfig};
+pub use ni::{CsrNi, CsrNiConfig, NiMode};
+pub use rls::{CsrRls, CsrRlsConfig};
+pub use rp::{RpCoSim, RpCoSimConfig};

@@ -1,0 +1,410 @@
+//! CSR-NI — Li et al.'s low-rank method with real tensor products.
+//!
+//! This is the faithful implementation of Eqs. (6a)/(6b):
+//!
+//! ```text
+//! vec(S) = vec(Iₙ) + c·(U⊗U)·Λ·(V⊗V)ᵀ·vec(Iₙ)          (6a)
+//! Λ      = ((Σ⊗Σ)⁻¹ − c·(V⊗V)ᵀ(U⊗U))⁻¹                  (6b)
+//! ```
+//!
+//! with the SVD convention `Q = VΣUᵀ` (see `csrplus-core::model` — the
+//! paper's `U` is the right singular block).  The defining property of
+//! this baseline is that the Kronecker blocks are *actually processed
+//! row-by-row* — `O(r⁴n²)` multiply-adds in preprocessing and `O(r²n|Q|)`
+//! in the query phase — rather than collapsed via the mixed-product
+//! identity.  That is the cost CSR+'s Theorems 3.1–3.5 remove, and both
+//! engines return bitwise-comparable similarities.
+//!
+//! Two modes:
+//! * [`NiMode::Materialized`] — allocates `U⊗U` and `V⊗V` (`n²×r²` each),
+//!   exactly like a MATLAB `kron` call; guarded by the memory budget and
+//!   expected to "crash" beyond small graphs, as in Figures 6–9.
+//! * [`NiMode::Streamed`] — generates Kronecker rows on the fly
+//!   ([`csrplus_linalg::kron::KronPair`]); identical floating-point work,
+//!   `O(r⁴)` live memory.  Used to measure NI's *time* on graphs where
+//!   materialisation cannot fit (Figures 2, 4, 5).
+
+use csrplus_core::{CoSimRankEngine, CoSimRankError};
+use csrplus_graph::TransitionMatrix;
+use csrplus_linalg::kron::KronPair;
+use csrplus_linalg::lu::Lu;
+use csrplus_linalg::randomized::{randomized_svd, RandomizedSvdConfig};
+use csrplus_linalg::{vector, DenseMatrix};
+use csrplus_memtrack::{model as memmodel, MemoryBudget};
+
+/// Execution mode for the Kronecker products.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NiMode {
+    /// Materialise `U⊗U` and `V⊗V` (`n²×r²`) — memory-faithful.
+    Materialized,
+    /// Stream Kronecker rows — time-faithful, bounded memory.
+    Streamed,
+}
+
+/// Configuration for [`CsrNi`].
+#[derive(Debug, Clone, Copy)]
+pub struct CsrNiConfig {
+    /// Damping factor `c`.
+    pub damping: f64,
+    /// Target rank `r`.
+    pub rank: usize,
+    /// SVD oversampling.
+    pub oversample: usize,
+    /// SVD power iterations.
+    pub power_iterations: usize,
+    /// SVD seed (keep equal to CSR+'s to compare outputs exactly).
+    pub seed: u64,
+    /// Kronecker execution mode.
+    pub mode: NiMode,
+    /// Memory budget; exceeding it is the paper's "memory crash".
+    pub budget: MemoryBudget,
+}
+
+impl Default for CsrNiConfig {
+    fn default() -> Self {
+        CsrNiConfig {
+            damping: 0.6,
+            rank: 5,
+            oversample: 8,
+            power_iterations: 2,
+            seed: 0xC0_51_31,
+            mode: NiMode::Materialized,
+            budget: MemoryBudget::default(),
+        }
+    }
+}
+
+impl CsrNiConfig {
+    fn svd_config(&self) -> RandomizedSvdConfig {
+        RandomizedSvdConfig {
+            rank: self.rank,
+            oversample: self.oversample,
+            power_iterations: self.power_iterations,
+            seed: self.seed,
+        }
+    }
+}
+
+/// Memoised state after NI preprocessing.
+#[derive(Debug, Clone)]
+struct NiState {
+    n: usize,
+    /// Effective rank after dropping zero singular values.
+    r: usize,
+    /// Paper's `U` (right singular block of `Q`), `n×r`.
+    u: DenseMatrix,
+    /// Paper's `V` (left singular block of `Q`), `n×r`.
+    v: DenseMatrix,
+    /// `Λ`, `r²×r²`.
+    lambda: DenseMatrix,
+    /// Materialised `U⊗U` when in [`NiMode::Materialized`].
+    uu: Option<DenseMatrix>,
+    /// Materialised `V⊗V` when in [`NiMode::Materialized`].
+    vv: Option<DenseMatrix>,
+}
+
+/// The CSR-NI baseline engine.
+#[derive(Debug, Clone)]
+pub struct CsrNi {
+    config: CsrNiConfig,
+    state: Option<NiState>,
+}
+
+impl CsrNi {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: CsrNiConfig) -> Self {
+        CsrNi { config, state: None }
+    }
+
+    /// The `Λ` matrix (diagnostics; requires precompute).
+    pub fn lambda(&self) -> Option<&DenseMatrix> {
+        self.state.as_ref().map(|s| &s.lambda)
+    }
+
+    fn state(&self) -> Result<&NiState, CoSimRankError> {
+        self.state.as_ref().ok_or(CoSimRankError::NotPrecomputed)
+    }
+}
+
+impl CoSimRankEngine for CsrNi {
+    fn name(&self) -> &'static str {
+        "CSR-NI"
+    }
+
+    fn precompute(&mut self, t: &TransitionMatrix) -> Result<(), CoSimRankError> {
+        let n = t.n();
+        if self.config.rank == 0 || self.config.rank > n {
+            return Err(CoSimRankError::InvalidConfig {
+                message: format!("rank {} not in 1..={n}", self.config.rank),
+            });
+        }
+        // Same factorisation (and seed) as CSR+, swapped to the paper's
+        // convention Q = VΣUᵀ.
+        let svd = randomized_svd(t, &self.config.svd_config())?;
+        let (mut u, mut v, mut sigma) = (svd.v, svd.u, svd.sigma);
+        // (Σ⊗Σ)⁻¹ requires strictly positive σ: drop the numerical nulls.
+        let smax = sigma.iter().cloned().fold(0.0f64, f64::max);
+        let r = sigma.iter().filter(|&&s| s > smax * 1e-12).count().max(1);
+        if r < sigma.len() {
+            sigma.truncate(r);
+            let keep: Vec<usize> = (0..r).collect();
+            u = u.select_cols(&keep);
+            v = v.select_cols(&keep);
+        }
+        let r2 = r * r;
+
+        // Budget check before any Kronecker block is formed.
+        match self.config.mode {
+            NiMode::Materialized => {
+                self.config.budget.check_all(&[
+                    ("U⊗U (n²×r²)", memmodel::dense(n * n, r2)),
+                    ("V⊗V (n²×r²)", memmodel::dense(n * n, r2)),
+                    ("Λ (r²×r²)", memmodel::dense(r2, r2)),
+                ])?;
+            }
+            NiMode::Streamed => {
+                self.config.budget.check_all(&[
+                    ("Λ accumulator (r²×r²)", 3 * memmodel::dense(r2, r2)),
+                    ("Kronecker row buffers", 2 * r2 * memmodel::F64),
+                ])?;
+            }
+        }
+
+        // M = (V⊗V)ᵀ(U⊗U), the O(r⁴n²) tensor product of Eq. (6b),
+        // computed the way Li et al. compute it: over all n² Kronecker rows.
+        let c = self.config.damping;
+        let (m, uu, vv) = match self.config.mode {
+            NiMode::Materialized => {
+                let uu = csrplus_linalg::kron::kron(&u, &u);
+                let vv = csrplus_linalg::kron::kron(&v, &v);
+                let m = vv.matmul_transpose_a(&uu)?;
+                (m, Some(uu), Some(vv))
+            }
+            NiMode::Streamed => {
+                let pu = KronPair::new(&u, &u);
+                let pv = KronPair::new(&v, &v);
+                let mut m = DenseMatrix::zeros(r2, r2);
+                let mut urow = vec![0.0; r2];
+                let mut vrow = vec![0.0; r2];
+                for i in 0..n * n {
+                    pu.row_into(i, &mut urow);
+                    pv.row_into(i, &mut vrow);
+                    // rank-1 accumulation: M += vrowᵀ · urow
+                    for (a, &va) in vrow.iter().enumerate() {
+                        if va != 0.0 {
+                            vector::axpy(va, &urow, m.row_mut(a));
+                        }
+                    }
+                }
+                (m, None, None)
+            }
+        };
+
+        // Λ = ((Σ⊗Σ)⁻¹ − c·M)⁻¹  (Eq. 6b), by LU inversion in r² space.
+        let mut inner = m;
+        inner.scale_in_place(-c);
+        for j1 in 0..r {
+            for j2 in 0..r {
+                let k = j1 * r + j2;
+                let d = inner.get(k, k) + 1.0 / (sigma[j1] * sigma[j2]);
+                inner.set(k, k, d);
+            }
+        }
+        let lambda = Lu::factor(&inner)?.inverse()?;
+
+        self.state = Some(NiState { n, r, u, v, lambda, uu, vv });
+        Ok(())
+    }
+
+    fn multi_source(&self, queries: &[usize]) -> Result<DenseMatrix, CoSimRankError> {
+        let st = self.state()?;
+        let (n, r) = (st.n, st.r);
+        let r2 = r * r;
+        for &q in queries {
+            if q >= n {
+                return Err(CoSimRankError::QueryOutOfBounds { node: q, n });
+            }
+        }
+        self.config.budget.check("NI query result (n×|Q|)", memmodel::dense(n, queries.len()))?;
+        let c = self.config.damping;
+
+        // y = (V⊗V)ᵀ vec(Iₙ): only the n diagonal rows a·n+a contribute.
+        let mut y = vec![0.0; r2];
+        match &st.vv {
+            Some(vv) => {
+                for a in 0..n {
+                    vector::axpy(1.0, vv.row(a * n + a), &mut y);
+                }
+            }
+            None => {
+                let pv = KronPair::new(&st.v, &st.v);
+                let mut row = vec![0.0; r2];
+                for a in 0..n {
+                    pv.row_into(a * n + a, &mut row);
+                    vector::axpy(1.0, &row, &mut y);
+                }
+            }
+        }
+
+        // w = Λ·y  (r² × r² dense mat-vec).
+        let w = st.lambda.matvec(&y);
+
+        // vec(S)[q·n + x] = δ_{xq} + c · (u_q ⊗ u_x) · w, gathered for the
+        // requested query columns only.
+        let mut s = DenseMatrix::zeros(n, queries.len());
+        match &st.uu {
+            Some(uu) => {
+                for (j, &q) in queries.iter().enumerate() {
+                    for x in 0..n {
+                        let val = c * vector::dot(uu.row(q * n + x), &w);
+                        s.set(x, j, val);
+                    }
+                }
+            }
+            None => {
+                let pu = KronPair::new(&st.u, &st.u);
+                let mut row = vec![0.0; r2];
+                for (j, &q) in queries.iter().enumerate() {
+                    for x in 0..n {
+                        pu.row_into(q * n + x, &mut row);
+                        s.set(x, j, c * vector::dot(&row, &w));
+                    }
+                }
+            }
+        }
+        for (j, &q) in queries.iter().enumerate() {
+            let v = s.get(q, j) + 1.0;
+            s.set(q, j, v);
+        }
+        Ok(s)
+    }
+
+    fn memoised_bytes(&self) -> usize {
+        self.state.as_ref().map_or(0, |st| {
+            st.u.heap_bytes()
+                + st.v.heap_bytes()
+                + st.lambda.heap_bytes()
+                + st.uu.as_ref().map_or(0, DenseMatrix::heap_bytes)
+                + st.vv.as_ref().map_or(0, DenseMatrix::heap_bytes)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csrplus_core::{CsrPlusConfig, CsrPlusModel};
+    use csrplus_graph::generators::{classic::cycle, figure1_graph};
+
+    fn fig1() -> TransitionMatrix {
+        TransitionMatrix::from_graph(&figure1_graph())
+    }
+
+    fn ni(mode: NiMode, rank: usize) -> CsrNi {
+        CsrNi::new(CsrNiConfig { rank, mode, ..Default::default() })
+    }
+
+    #[test]
+    fn materialized_matches_csrplus_exactly() {
+        // Theorems 3.1–3.5 are lossless: same SVD in, same similarities out.
+        let t = fig1();
+        let mut e = ni(NiMode::Materialized, 3);
+        e.precompute(&t).unwrap();
+        let s_ni = e.multi_source(&[1, 3]).unwrap();
+        let cfg = CsrPlusConfig { rank: 3, epsilon: 1e-12, ..Default::default() };
+        let m = CsrPlusModel::precompute(&t, &cfg).unwrap();
+        let s_plus = m.multi_source(&[1, 3]).unwrap();
+        assert!(s_ni.approx_eq(&s_plus, 1e-8), "NI vs CSR+ diff {}", s_ni.max_abs_diff(&s_plus));
+    }
+
+    #[test]
+    fn streamed_matches_materialized() {
+        let t = fig1();
+        let mut a = ni(NiMode::Materialized, 3);
+        let mut b = ni(NiMode::Streamed, 3);
+        a.precompute(&t).unwrap();
+        b.precompute(&t).unwrap();
+        let qs = [0usize, 2, 4];
+        let sa = a.multi_source(&qs).unwrap();
+        let sb = b.multi_source(&qs).unwrap();
+        assert!(sa.approx_eq(&sb, 1e-10), "diff {}", sa.max_abs_diff(&sb));
+    }
+
+    #[test]
+    fn memory_budget_crashes_materialized() {
+        let t = fig1();
+        let mut e = CsrNi::new(CsrNiConfig {
+            rank: 3,
+            mode: NiMode::Materialized,
+            budget: MemoryBudget::new(1024),
+            ..Default::default()
+        });
+        let err = e.precompute(&t).unwrap_err();
+        assert!(err.is_memory_crash(), "got {err}");
+    }
+
+    #[test]
+    fn streamed_survives_tight_budget() {
+        let t = fig1();
+        let mut e = CsrNi::new(CsrNiConfig {
+            rank: 3,
+            mode: NiMode::Streamed,
+            budget: MemoryBudget::new(1 << 20),
+            ..Default::default()
+        });
+        e.precompute(&t).unwrap();
+        assert!(e.multi_source(&[1]).is_ok());
+    }
+
+    #[test]
+    fn rank_deficiency_handled() {
+        // Figure-1's Q has rank 4; request rank 5 and NI must truncate the
+        // zero σ rather than divide by it.
+        let t = fig1();
+        let mut e = ni(NiMode::Materialized, 5);
+        e.precompute(&t).unwrap();
+        let s = e.multi_source(&[1]).unwrap();
+        assert!(s.get(1, 0) > 1.0);
+        assert!(s.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn query_before_precompute_errors() {
+        let e = ni(NiMode::Streamed, 3);
+        assert!(matches!(e.multi_source(&[0]), Err(CoSimRankError::NotPrecomputed)));
+    }
+
+    #[test]
+    fn query_out_of_bounds() {
+        let t = fig1();
+        let mut e = ni(NiMode::Streamed, 3);
+        e.precompute(&t).unwrap();
+        assert!(matches!(
+            e.multi_source(&[9]),
+            Err(CoSimRankError::QueryOutOfBounds { node: 9, n: 6 })
+        ));
+    }
+
+    #[test]
+    fn full_rank_cycle_is_exact() {
+        // On a cycle Q is orthogonal (a permutation): full-rank SVD makes
+        // NI exact; diagonal must be 1/(1−c).
+        let t = TransitionMatrix::from_graph(&cycle(5));
+        let mut e = ni(NiMode::Materialized, 5);
+        e.precompute(&t).unwrap();
+        let s = e.multi_source(&[0, 1, 2, 3, 4]).unwrap();
+        for i in 0..5 {
+            assert!((s.get(i, i) - 2.5).abs() < 1e-6, "S[{i},{i}]={}", s.get(i, i));
+        }
+    }
+
+    #[test]
+    fn memoised_bytes_reflect_mode() {
+        let t = fig1();
+        let mut mat = ni(NiMode::Materialized, 3);
+        let mut st = ni(NiMode::Streamed, 3);
+        mat.precompute(&t).unwrap();
+        st.precompute(&t).unwrap();
+        assert!(mat.memoised_bytes() > st.memoised_bytes());
+    }
+}

@@ -1,0 +1,136 @@
+//! CSR-RLS — Kusumoto et al.'s linearised recursion, applied per query.
+//!
+//! Each query column is computed independently by the `2K`-matvec
+//! recursion `S_K·e_q = e_q + c·Qᵀ(S_{K-1}·(Q·e_q))` (`K = r` by the
+//! paper's fairness setting).  Properties reproduced from the evaluation:
+//! * `O(n)` live memory per query (plus the `n×|Q|` result) — survives on
+//!   graphs where CSR-IT and CSR-NI crash;
+//! * time grows *linearly with `|Q|`* because the propagation work is
+//!   repeated from scratch for every query — the duplicate computation of
+//!   Example 1.1 that CSR+'s shared preprocessing removes (Figure 5).
+
+use csrplus_core::{exact, CoSimRankEngine, CoSimRankError};
+use csrplus_graph::TransitionMatrix;
+use csrplus_linalg::DenseMatrix;
+use csrplus_memtrack::{model as memmodel, MemoryBudget};
+
+/// Configuration for [`CsrRls`].
+#[derive(Debug, Clone, Copy)]
+pub struct CsrRlsConfig {
+    /// Damping factor `c`.
+    pub damping: f64,
+    /// Recursion depth `K` (paper default: `K = r = 5`).
+    pub iterations: usize,
+    /// Memory budget for the result block.
+    pub budget: MemoryBudget,
+}
+
+impl Default for CsrRlsConfig {
+    fn default() -> Self {
+        CsrRlsConfig { damping: 0.6, iterations: 5, budget: MemoryBudget::default() }
+    }
+}
+
+/// The CSR-RLS baseline engine.
+#[derive(Debug, Clone)]
+pub struct CsrRls {
+    config: CsrRlsConfig,
+    transition: Option<TransitionMatrix>,
+}
+
+impl CsrRls {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: CsrRlsConfig) -> Self {
+        CsrRls { config, transition: None }
+    }
+}
+
+impl CoSimRankEngine for CsrRls {
+    fn name(&self) -> &'static str {
+        "CSR-RLS"
+    }
+
+    fn precompute(&mut self, t: &TransitionMatrix) -> Result<(), CoSimRankError> {
+        // Purely online algorithm: retain the graph, nothing else.
+        self.transition = Some(t.clone());
+        Ok(())
+    }
+
+    fn multi_source(&self, queries: &[usize]) -> Result<DenseMatrix, CoSimRankError> {
+        let t = self.transition.as_ref().ok_or(CoSimRankError::NotPrecomputed)?;
+        let n = t.n();
+        for &q in queries {
+            if q >= n {
+                return Err(CoSimRankError::QueryOutOfBounds { node: q, n });
+            }
+        }
+        self.config.budget.check("RLS result (n×|Q|)", memmodel::dense(n, queries.len()))?;
+        let mut out = DenseMatrix::zeros(n, queries.len());
+        for (j, &q) in queries.iter().enumerate() {
+            // Repeated work per query — deliberately not shared.
+            let col = exact::single_source_k(t, q, self.config.damping, self.config.iterations);
+            out.set_col(j, &col);
+        }
+        Ok(out)
+    }
+
+    fn memoised_bytes(&self) -> usize {
+        self.transition.as_ref().map_or(0, TransitionMatrix::heap_bytes)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index loops mirror the matrix math
+mod tests {
+    use super::*;
+    use crate::it::{CsrIt, CsrItConfig};
+    use csrplus_graph::generators::figure1_graph;
+
+    fn fig1() -> TransitionMatrix {
+        TransitionMatrix::from_graph(&figure1_graph())
+    }
+
+    #[test]
+    fn matches_csr_it_at_same_depth() {
+        let t = fig1();
+        let mut rls = CsrRls::new(CsrRlsConfig { iterations: 6, ..Default::default() });
+        rls.precompute(&t).unwrap();
+        let mut it = CsrIt::new(CsrItConfig { iterations: 6, ..Default::default() });
+        it.precompute(&t).unwrap();
+        let qs = [0usize, 1, 5];
+        let a = rls.multi_source(&qs).unwrap();
+        let b = it.multi_source(&qs).unwrap();
+        assert!(a.approx_eq(&b, 1e-12), "diff {}", a.max_abs_diff(&b));
+    }
+
+    #[test]
+    fn converges_to_exact_with_depth() {
+        let t = fig1();
+        let mut rls = CsrRls::new(CsrRlsConfig { iterations: 80, ..Default::default() });
+        rls.precompute(&t).unwrap();
+        let s = rls.multi_source(&[1]).unwrap();
+        let ex = csrplus_core::exact::single_source(&t, 1, 0.6, 1e-14);
+        for i in 0..6 {
+            assert!((s.get(i, 0) - ex[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn budget_guards_result_block() {
+        let t = fig1();
+        let mut rls =
+            CsrRls::new(CsrRlsConfig { budget: MemoryBudget::new(32), ..Default::default() });
+        rls.precompute(&t).unwrap();
+        assert!(rls.multi_source(&[0, 1]).unwrap_err().is_memory_crash());
+    }
+
+    #[test]
+    fn lifecycle_errors() {
+        let rls = CsrRls::new(CsrRlsConfig::default());
+        assert!(matches!(rls.multi_source(&[0]), Err(CoSimRankError::NotPrecomputed)));
+        let t = fig1();
+        let mut rls = CsrRls::new(CsrRlsConfig::default());
+        rls.precompute(&t).unwrap();
+        assert!(rls.multi_source(&[99]).is_err());
+    }
+}

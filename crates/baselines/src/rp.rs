@@ -1,0 +1,160 @@
+//! RP-CoSim — Gaussian random-projection estimation (Yang 2020).
+//!
+//! Estimates `S = Σ_k c^k (Q^k)ᵀ Q^k` by sketching each power with a
+//! shared Gaussian block `G` (`n×d`):
+//! `S ≈ Σ_k (c^k / d) · Z_k·Z_kᵀ` with `Z_0 = G`, `Z_{k+1} = Qᵀ·Z_k`,
+//! since `E[G·Gᵀ/d] = Iₙ`.  Unbiased, with `O(1/√d)` error — included as
+//! an extension baseline (the paper cites it as memory-bound at `O(n²)`
+//! for all-pairs; our multi-source variant keeps `O(n(d+|Q|))`).
+
+use csrplus_core::config::linear_iterations;
+use csrplus_core::{CoSimRankEngine, CoSimRankError};
+use csrplus_graph::TransitionMatrix;
+use csrplus_linalg::DenseMatrix;
+use csrplus_memtrack::{model as memmodel, MemoryBudget};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for [`RpCoSim`].
+#[derive(Debug, Clone, Copy)]
+pub struct RpCoSimConfig {
+    /// Damping factor `c`.
+    pub damping: f64,
+    /// Series truncation accuracy.
+    pub epsilon: f64,
+    /// Number of random projections `d` (error ~ `O(1/√d)`).
+    pub projections: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Memory budget for the sketch blocks.
+    pub budget: MemoryBudget,
+}
+
+impl Default for RpCoSimConfig {
+    fn default() -> Self {
+        RpCoSimConfig {
+            damping: 0.6,
+            epsilon: 1e-5,
+            projections: 256,
+            seed: 0x9e37,
+            budget: MemoryBudget::default(),
+        }
+    }
+}
+
+/// The RP-CoSim extension baseline engine.
+#[derive(Debug, Clone)]
+pub struct RpCoSim {
+    config: RpCoSimConfig,
+    transition: Option<TransitionMatrix>,
+}
+
+impl RpCoSim {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: RpCoSimConfig) -> Self {
+        RpCoSim { config, transition: None }
+    }
+}
+
+impl CoSimRankEngine for RpCoSim {
+    fn name(&self) -> &'static str {
+        "RP-CoSim"
+    }
+
+    fn precompute(&mut self, t: &TransitionMatrix) -> Result<(), CoSimRankError> {
+        self.transition = Some(t.clone());
+        Ok(())
+    }
+
+    fn multi_source(&self, queries: &[usize]) -> Result<DenseMatrix, CoSimRankError> {
+        let t = self.transition.as_ref().ok_or(CoSimRankError::NotPrecomputed)?;
+        let n = t.n();
+        for &q in queries {
+            if q >= n {
+                return Err(CoSimRankError::QueryOutOfBounds { node: q, n });
+            }
+        }
+        let d = self.config.projections;
+        self.config.budget.check_all(&[
+            ("sketch Z (n×d)", memmodel::dense(n, d)),
+            ("result (n×|Q|)", memmodel::dense(n, queries.len())),
+        ])?;
+        let c = self.config.damping;
+        let depth = linear_iterations(c, self.config.epsilon);
+
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut z = DenseMatrix::random_gaussian(n, d, &mut rng);
+        let mut out = DenseMatrix::zeros(n, queries.len());
+        let mut coeff = 1.0 / d as f64;
+        for _ in 0..=depth {
+            // out += coeff · Z · Z[Q,:]ᵀ
+            let zq = z.select_rows(queries); // |Q| × d
+            let contrib = z.matmul_transpose_b(&zq)?; // n × |Q|
+            out.add_scaled(coeff, &contrib)?;
+            // Z ← Qᵀ·Z, coeff ← c·coeff.
+            z = t.qt().matmul_dense(&z);
+            coeff *= c;
+        }
+        Ok(out)
+    }
+
+    fn memoised_bytes(&self) -> usize {
+        self.transition.as_ref().map_or(0, TransitionMatrix::heap_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csrplus_core::exact;
+    use csrplus_graph::generators::figure1_graph;
+
+    fn engine(d: usize, seed: u64) -> RpCoSim {
+        let mut e = RpCoSim::new(RpCoSimConfig { projections: d, seed, ..Default::default() });
+        e.precompute(&TransitionMatrix::from_graph(&figure1_graph())).unwrap();
+        e
+    }
+
+    #[test]
+    fn estimates_converge_with_projections() {
+        let t = TransitionMatrix::from_graph(&figure1_graph());
+        let exact_s = exact::multi_source(&t, &[1, 3], 0.6, 1e-10);
+        // Average error over several seeds must shrink as d grows.
+        let avg_err = |d: usize| -> f64 {
+            let mut total = 0.0;
+            for seed in 0..8 {
+                let e = engine(d, seed);
+                let s = e.multi_source(&[1, 3]).unwrap();
+                total += csrplus_core::metrics::avg_diff(&s, &exact_s);
+            }
+            total / 8.0
+        };
+        let coarse = avg_err(32);
+        let fine = avg_err(2048);
+        assert!(fine < coarse, "d=2048 err {fine} not below d=32 err {coarse}");
+        assert!(fine < 0.08, "err {fine} too large at d=2048");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = engine(64, 7).multi_source(&[2]).unwrap();
+        let b = engine(64, 7).multi_source(&[2]).unwrap();
+        assert!(a.approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn budget_crash() {
+        let mut e =
+            RpCoSim::new(RpCoSimConfig { budget: MemoryBudget::new(256), ..Default::default() });
+        e.precompute(&TransitionMatrix::from_graph(&figure1_graph())).unwrap();
+        assert!(e.multi_source(&[0]).unwrap_err().is_memory_crash());
+    }
+
+    #[test]
+    fn lifecycle_errors() {
+        let e = RpCoSim::new(RpCoSimConfig::default());
+        assert!(matches!(e.multi_source(&[0]), Err(CoSimRankError::NotPrecomputed)));
+        let e = engine(16, 1);
+        assert!(e.multi_source(&[6]).is_err());
+    }
+}

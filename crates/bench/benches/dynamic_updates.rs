@@ -1,0 +1,45 @@
+//! Criterion bench for the dynamic (evolving-graph) extension: cost of an
+//! incremental edge update (Brand rank-one SVD update + state rebuild)
+//! vs a full re-precomputation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csrplus_bench::workloads::workload;
+use csrplus_core::dynamic::{DynamicConfig, DynamicCsrPlus};
+use csrplus_core::{CsrPlusConfig, CsrPlusModel};
+use csrplus_datasets::{DatasetId, Scale};
+use csrplus_graph::TransitionMatrix;
+
+fn bench_updates(c: &mut Criterion) {
+    let w = workload(DatasetId::Fb, Scale::Test);
+    let mut group = c.benchmark_group("dynamic_updates");
+    group.sample_size(20);
+    for r in [5usize, 10] {
+        let cfg = DynamicConfig {
+            base: CsrPlusConfig { rank: r, ..Default::default() },
+            refresh_interval: usize::MAX, // isolate the incremental path
+        };
+        group.bench_with_input(BenchmarkId::new("incremental_edge", r), &cfg, |b, cfg| {
+            let mut live = DynamicCsrPlus::new(&w.graph, *cfg).unwrap();
+            let mut flip = false;
+            b.iter(|| {
+                // Alternate insert/remove of the same edge so state stays
+                // bounded across iterations.
+                if flip {
+                    live.remove_edge(0, 7).unwrap();
+                } else {
+                    live.insert_edge(0, 7).unwrap();
+                }
+                flip = !flip;
+            })
+        });
+        let base = CsrPlusConfig { rank: r, ..Default::default() };
+        group.bench_with_input(BenchmarkId::new("full_recompute", r), &base, |b, base| {
+            let t = TransitionMatrix::from_graph(&w.graph);
+            b.iter(|| std::hint::black_box(CsrPlusModel::precompute(&t, base).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

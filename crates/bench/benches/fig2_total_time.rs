@@ -1,0 +1,31 @@
+//! Criterion bench for Figure 2: total multi-source time per algorithm
+//! (test-scale FB and P2P analogues; see the `figures` binary for the
+//! full dataset sweep with guards).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csrplus_bench::runner::{build_engine, Algo, RunParams};
+use csrplus_bench::workloads::workload;
+use csrplus_datasets::{DatasetId, Scale};
+
+fn bench_total_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_total_time");
+    group.sample_size(10);
+    for id in [DatasetId::Fb, DatasetId::P2p] {
+        let w = workload(id, Scale::Test);
+        let queries = w.queries(100, 1);
+        for algo in Algo::paper_set() {
+            group.bench_with_input(BenchmarkId::new(algo.name(), id.name()), &algo, |b, &algo| {
+                b.iter(|| {
+                    let params = RunParams::default();
+                    let mut engine = build_engine(algo, &params);
+                    engine.precompute(&w.transition).expect("precompute");
+                    std::hint::black_box(engine.multi_source(&queries).expect("query"));
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_total_time);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for Figure 3: CSR+ preprocessing vs query time —
+//! preprocessing is |Q|-independent, query time grows linearly in |Q|.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use csrplus_bench::workloads::workload;
+use csrplus_core::{CsrPlusConfig, CsrPlusModel};
+use csrplus_datasets::{DatasetId, Scale};
+
+fn bench_phases(c: &mut Criterion) {
+    let w = workload(DatasetId::Fb, Scale::Test);
+    let cfg = CsrPlusConfig::default();
+
+    let mut pre = c.benchmark_group("fig3_precompute");
+    pre.sample_size(20);
+    pre.bench_function("FB", |b| {
+        b.iter(|| std::hint::black_box(CsrPlusModel::precompute(&w.transition, &cfg).unwrap()))
+    });
+    pre.finish();
+
+    let model = CsrPlusModel::precompute(&w.transition, &cfg).unwrap();
+    let mut query = c.benchmark_group("fig3_query");
+    query.sample_size(30);
+    for q in [100usize, 300, 500, 700] {
+        let queries = w.queries(q.min(w.n()), 2);
+        query.throughput(Throughput::Elements(queries.len() as u64));
+        query.bench_with_input(BenchmarkId::new("FB", q), &queries, |b, queries| {
+            b.iter(|| std::hint::black_box(model.multi_source(queries).unwrap()))
+        });
+    }
+    query.finish();
+}
+
+criterion_group!(benches, bench_phases);
+criterion_main!(benches);

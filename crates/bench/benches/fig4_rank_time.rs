@@ -1,0 +1,40 @@
+//! Criterion bench for Figure 4: effect of the low rank r on time.
+//! CSR+ grows mildly with r; CSR-NI's O(r⁴n²) tensor products blow up
+//! (NI is benched only at the small ranks to keep wall-clock sane).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csrplus_bench::runner::{build_engine, Algo, RunParams};
+use csrplus_bench::workloads::workload;
+use csrplus_datasets::{DatasetId, Scale};
+
+fn bench_rank(c: &mut Criterion) {
+    let w = workload(DatasetId::Fb, Scale::Test);
+    let queries = w.queries(100, 3);
+    let mut group = c.benchmark_group("fig4_rank_time");
+    group.sample_size(10);
+    for r in [5usize, 10, 15, 20, 25] {
+        let params = RunParams { rank: r, ..Default::default() };
+        for algo in [Algo::CsrPlus, Algo::CsrRls, Algo::CsrIt] {
+            group.bench_with_input(BenchmarkId::new(algo.name(), r), &params, |b, params| {
+                b.iter(|| {
+                    let mut e = build_engine(algo, params);
+                    e.precompute(&w.transition).unwrap();
+                    std::hint::black_box(e.multi_source(&queries).unwrap());
+                })
+            });
+        }
+        if r <= 10 {
+            group.bench_with_input(BenchmarkId::new("CSR-NI", r), &params, |b, params| {
+                b.iter(|| {
+                    let mut e = build_engine(Algo::CsrNi, params);
+                    e.precompute(&w.transition).unwrap();
+                    std::hint::black_box(e.multi_source(&queries).unwrap());
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rank);
+criterion_main!(benches);

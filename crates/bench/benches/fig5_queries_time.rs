@@ -1,0 +1,30 @@
+//! Criterion bench for Figure 5: effect of |Q| on time.  CSR+ is nearly
+//! flat (shared preprocessing); CSR-RLS grows linearly (per-query work).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csrplus_bench::runner::{build_engine, Algo, RunParams};
+use csrplus_bench::workloads::workload;
+use csrplus_datasets::{DatasetId, Scale};
+
+fn bench_queries(c: &mut Criterion) {
+    let w = workload(DatasetId::P2p, Scale::Test);
+    let mut group = c.benchmark_group("fig5_queries_time");
+    group.sample_size(10);
+    for q in [100usize, 300, 500, 700] {
+        let queries = w.queries(q.min(w.n()), 4);
+        for algo in [Algo::CsrPlus, Algo::CsrRls] {
+            group.bench_with_input(BenchmarkId::new(algo.name(), q), &queries, |b, queries| {
+                b.iter(|| {
+                    let params = RunParams::default();
+                    let mut e = build_engine(algo, &params);
+                    e.precompute(&w.transition).unwrap();
+                    std::hint::black_box(e.multi_source(queries).unwrap());
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Microbenchmarks of the substrate kernels every algorithm sits on:
+//! sparse·dense multiply, randomized truncated SVD, thin QR, Kronecker
+//! row streaming.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use csrplus_bench::workloads::workload;
+use csrplus_datasets::{DatasetId, Scale};
+use csrplus_linalg::kron::KronPair;
+use csrplus_linalg::qr::thin_qr;
+use csrplus_linalg::randomized::{randomized_svd, RandomizedSvdConfig};
+use csrplus_linalg::DenseMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_spmm(c: &mut Criterion) {
+    let w = workload(DatasetId::P2p, Scale::Test);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("kernel_spmm");
+    for k in [1usize, 8, 32] {
+        let x = DenseMatrix::random_gaussian(w.n(), k, &mut rng);
+        group.throughput(Throughput::Elements((w.m() * k) as u64));
+        group.bench_with_input(BenchmarkId::new("Q·X", k), &x, |b, x| {
+            b.iter(|| std::hint::black_box(w.transition.q().matmul_dense(x)))
+        });
+        group.bench_with_input(BenchmarkId::new("Qᵀ·X", k), &x, |b, x| {
+            b.iter(|| std::hint::black_box(w.transition.qt().matmul_dense(x)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_randomized_svd(c: &mut Criterion) {
+    let w = workload(DatasetId::Fb, Scale::Test);
+    let mut group = c.benchmark_group("kernel_randomized_svd");
+    group.sample_size(10);
+    for r in [5usize, 25] {
+        let cfg = RandomizedSvdConfig::with_rank(r);
+        group.bench_with_input(BenchmarkId::from_parameter(r), &cfg, |b, cfg| {
+            b.iter(|| std::hint::black_box(randomized_svd(&w.transition, cfg).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_qr(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let a = DenseMatrix::random_gaussian(2000, 16, &mut rng);
+    c.bench_function("kernel_thin_qr_2000x16", |b| {
+        b.iter(|| std::hint::black_box(thin_qr(&a).unwrap()))
+    });
+}
+
+fn bench_kron_rows(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let u = DenseMatrix::random_gaussian(500, 5, &mut rng);
+    let pair = KronPair::new(&u, &u);
+    let mut buf = vec![0.0; pair.ncols()];
+    c.bench_function("kernel_kron_row_stream_500x5", |b| {
+        b.iter(|| {
+            for i in (0..pair.nrows()).step_by(997) {
+                pair.row_into(i, &mut buf);
+                std::hint::black_box(&buf);
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_spmm, bench_randomized_svd, bench_qr, bench_kron_rows);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench companion to Table 3: cost of higher-rank CSR+
+//! preprocessing (the time side of the accuracy/rank trade-off).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csrplus_bench::workloads::workload;
+use csrplus_core::{CsrPlusConfig, CsrPlusModel};
+use csrplus_datasets::{DatasetId, Scale};
+
+fn bench_rank_accuracy_tradeoff(c: &mut Criterion) {
+    let w = workload(DatasetId::Fb, Scale::Test);
+    let mut group = c.benchmark_group("table3_precompute_by_rank");
+    group.sample_size(10);
+    for r in [25usize, 50, 100] {
+        let rank = r.min(w.n());
+        let cfg = CsrPlusConfig { rank, epsilon: 1e-8, ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(rank), &cfg, |b, cfg| {
+            b.iter(|| std::hint::black_box(CsrPlusModel::precompute(&w.transition, cfg).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rank_accuracy_tradeoff);
+criterion_main!(benches);

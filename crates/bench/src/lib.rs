@@ -1,0 +1,24 @@
+//! # csrplus-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! CSR+ paper's evaluation (§4), plus the ablations called out in
+//! DESIGN.md §5.
+//!
+//! Two entry points:
+//! * the `figures` binary (`cargo run -p csrplus-bench --release --bin
+//!   figures -- <experiment>`) — prints the same rows/series the paper
+//!   plots and writes CSVs under `results/`;
+//! * the Criterion benches (`cargo bench`) — statistically robust timing
+//!   of the headline comparisons on test-scale graphs.
+//!
+//! The library half holds what both share: dataset workloads with
+//! process-level caching ([`workloads`]), engine construction and
+//! phase-timed execution with memory/time guards ([`runner`]), and table
+//! rendering/CSV output ([`report`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod runner;
+pub mod workloads;

@@ -1,0 +1,517 @@
+//! Engine construction, phase-timed execution, and cost prediction.
+//!
+//! Each experiment cell (dataset × algorithm × parameters) runs through
+//! [`run`], which:
+//! 1. predicts the floating-point work and skips combinations that would
+//!    blow the wall-clock budget (reported as such, never silently);
+//! 2. brackets the precompute and query phases in
+//!    [`csrplus_memtrack::PeakScope`]s for measured peak bytes;
+//! 3. classifies budget violations as the paper's "memory crash".
+//!
+//! The paper's machine had 256 GB of RAM and full-size datasets; we run
+//! scaled analogues, so alongside the measured numbers every result
+//! carries [`RunResult::paper_scale_bytes`] — the algorithm's memory-model
+//! footprint at the *paper's* `n`/`m` — which reproduces the original
+//! crash frontier (who dies on which dataset) without needing 256 GB.
+
+use crate::workloads::Workload;
+use csrplus_baselines::{
+    CoSimMate, CoSimMateConfig, CsrIt, CsrItConfig, CsrNi, CsrNiConfig, CsrRls, CsrRlsConfig,
+    NiMode, RpCoSim, RpCoSimConfig,
+};
+use csrplus_core::engine::CsrPlusEngine;
+use csrplus_core::{CoSimRankEngine, CoSimRankError, CsrPlusConfig};
+use csrplus_linalg::DenseMatrix;
+use csrplus_memtrack::{model as memmodel, MemoryBudget, PeakScope};
+use std::time::{Duration, Instant};
+
+/// The algorithms of §4.1 (plus the RP-CoSim extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algo {
+    /// This paper's algorithm.
+    CsrPlus,
+    /// Li et al.'s low-rank method with real Kronecker products.
+    CsrNi,
+    /// Rothe & Schütze's all-pairs iteration.
+    CsrIt,
+    /// Kusumoto-style per-query recursion.
+    CsrRls,
+    /// Repeated-squaring all-pairs.
+    CoSimMate,
+    /// Random-projection estimator (extension).
+    RpCoSim,
+}
+
+impl Algo {
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algo::CsrPlus => "CSR+",
+            Algo::CsrNi => "CSR-NI",
+            Algo::CsrIt => "CSR-IT",
+            Algo::CsrRls => "CSR-RLS",
+            Algo::CoSimMate => "CoSimMate",
+            Algo::RpCoSim => "RP-CoSim",
+        }
+    }
+
+    /// The four algorithms compared throughout Figures 2–9.
+    pub fn paper_set() -> [Algo; 4] {
+        [Algo::CsrPlus, Algo::CsrRls, Algo::CsrIt, Algo::CsrNi]
+    }
+}
+
+/// Parameters shared by one experiment cell.
+#[derive(Debug, Clone, Copy)]
+pub struct RunParams {
+    /// Target low rank `r` (also the iteration count for CSR-IT/CSR-RLS,
+    /// per the paper's fairness setting).
+    pub rank: usize,
+    /// Damping factor `c`.
+    pub damping: f64,
+    /// Accuracy `ε`.
+    pub epsilon: f64,
+    /// Memory budget for this run.
+    pub budget: MemoryBudget,
+    /// Wall-clock guard: combinations predicted to exceed this many
+    /// floating-point operations are skipped, not run.
+    pub max_predicted_flops: f64,
+    /// Allow CSR-NI to fall back to its streamed (time-faithful) mode
+    /// when materialisation would exceed the budget — used by the time
+    /// figures; memory figures keep it off.
+    pub ni_streamed_fallback: bool,
+}
+
+impl Default for RunParams {
+    fn default() -> Self {
+        RunParams {
+            rank: 5,
+            damping: 0.6,
+            epsilon: 1e-5,
+            budget: MemoryBudget::default(),
+            max_predicted_flops: 2e11,
+            ni_streamed_fallback: true,
+        }
+    }
+}
+
+/// Wall-clock split of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseTimes {
+    /// Preprocessing phase.
+    pub precompute: Duration,
+    /// Online multi-source query phase.
+    pub query: Duration,
+}
+
+impl PhaseTimes {
+    /// Total wall-clock.
+    pub fn total(&self) -> Duration {
+        self.precompute + self.query
+    }
+}
+
+/// Outcome of one experiment cell.
+#[derive(Debug, Clone)]
+pub enum RunStatus {
+    /// Completed; timings are valid.
+    Ok,
+    /// The memory budget fired (the paper's "memory crash").
+    MemoryCrash(String),
+    /// Skipped because the predicted work exceeded the wall-clock guard.
+    TimeSkipped {
+        /// Predicted floating-point operations.
+        predicted_flops: f64,
+    },
+    /// Failed for another reason.
+    Failed(String),
+}
+
+impl RunStatus {
+    /// True when timings are valid.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, RunStatus::Ok)
+    }
+}
+
+/// Result of one experiment cell.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Which algorithm ran.
+    pub algo: Algo,
+    /// Outcome classification.
+    pub status: RunStatus,
+    /// Phase timings (when `status.is_ok()`).
+    pub times: Option<PhaseTimes>,
+    /// Measured peak heap bytes during precompute (0 without the
+    /// tracking allocator).
+    pub peak_precompute_bytes: usize,
+    /// Measured peak heap bytes during the query phase.
+    pub peak_query_bytes: usize,
+    /// Bytes retained by the engine between phases.
+    pub memoised_bytes: usize,
+    /// Memory-model footprint at the *paper's* full dataset size.
+    pub paper_scale_bytes: usize,
+    /// The similarity block, when the caller asked to keep it.
+    pub output: Option<DenseMatrix>,
+}
+
+/// Builds a fresh engine for `algo` with the given parameters.
+pub fn build_engine(algo: Algo, p: &RunParams) -> Box<dyn CoSimRankEngine> {
+    match algo {
+        Algo::CsrPlus => Box::new(CsrPlusEngine::new(CsrPlusConfig {
+            rank: p.rank,
+            damping: p.damping,
+            epsilon: p.epsilon,
+            ..Default::default()
+        })),
+        Algo::CsrNi => Box::new(CsrNi::new(CsrNiConfig {
+            rank: p.rank,
+            damping: p.damping,
+            mode: NiMode::Materialized,
+            budget: p.budget,
+            ..Default::default()
+        })),
+        Algo::CsrIt => Box::new(CsrIt::new(CsrItConfig {
+            damping: p.damping,
+            iterations: p.rank, // fairness: k = r
+            budget: p.budget,
+        })),
+        Algo::CsrRls => Box::new(CsrRls::new(CsrRlsConfig {
+            damping: p.damping,
+            iterations: p.rank, // fairness: k = r
+            budget: p.budget,
+        })),
+        Algo::CoSimMate => Box::new(CoSimMate::new(CoSimMateConfig {
+            damping: p.damping,
+            epsilon: p.epsilon,
+            budget: p.budget,
+        })),
+        Algo::RpCoSim => Box::new(RpCoSim::new(RpCoSimConfig {
+            damping: p.damping,
+            epsilon: p.epsilon,
+            budget: p.budget,
+            ..Default::default()
+        })),
+    }
+}
+
+/// Rough floating-point-operation prediction for the wall-clock guard.
+pub fn predicted_flops(algo: Algo, n: usize, m: usize, r: usize, q: usize) -> f64 {
+    let (n, m, r, q) = (n as f64, m as f64, r as f64, q as f64);
+    match algo {
+        // SVD sketch sweeps + subspace solve + Z + query gather.
+        Algo::CsrPlus => 8.0 * m * (r + 8.0) + 4.0 * n * r * r + 2.0 * n * r * q,
+        // The O(r⁴n²) tensor product dominates; query adds O(n·q·r²).
+        Algo::CsrNi => 2.0 * n * n * r.powi(4) + 2.0 * n * q * r * r,
+        // k dense-sparse sandwiches of cost 2·m·n each (k = r).
+        Algo::CsrIt => r * 4.0 * m * n,
+        // 2k sparse matvecs per query (k = r).
+        Algo::CsrRls => q * 4.0 * r * m,
+        // log₂K dense n³ squarings.
+        Algo::CoSimMate => 7.0 * 2.0 * n * n * n,
+        // depth sparse propagations of a d-column block + query gathers.
+        Algo::RpCoSim => 25.0 * 2.0 * (m * 256.0 + n * q),
+    }
+}
+
+/// Memory-model footprint at dataset size `(n, m)` for Figures 6–9.
+pub fn model_bytes(algo: Algo, n: usize, m: usize, r: usize, q: usize) -> usize {
+    match algo {
+        Algo::CsrPlus => {
+            memmodel::csrplus_precompute(n, m, r).saturating_add(memmodel::csrplus_query(n, r, q))
+        }
+        Algo::CsrNi => memmodel::csr_ni_query(n, r, q),
+        Algo::CsrIt => memmodel::csr_it(n),
+        Algo::CsrRls => memmodel::csr_rls(n, q),
+        Algo::CoSimMate => memmodel::cosimate(n),
+        Algo::RpCoSim => memmodel::dense(n, 256).saturating_add(memmodel::dense(n, q)),
+    }
+}
+
+/// Runs one experiment cell.
+pub fn run(
+    algo: Algo,
+    w: &Workload,
+    queries: &[usize],
+    p: &RunParams,
+    keep_output: bool,
+) -> RunResult {
+    let (n, m) = (w.n(), w.m());
+    let spec = w.id.spec();
+    let paper_scale_bytes =
+        model_bytes(algo, spec.paper_nodes, spec.paper_edges, p.rank, queries.len());
+
+    let flops = predicted_flops(algo, n, m, p.rank, queries.len());
+    if flops > p.max_predicted_flops {
+        return RunResult {
+            algo,
+            status: RunStatus::TimeSkipped { predicted_flops: flops },
+            times: None,
+            peak_precompute_bytes: 0,
+            peak_query_bytes: 0,
+            memoised_bytes: 0,
+            paper_scale_bytes,
+            output: None,
+        };
+    }
+
+    let mut engine = build_engine(algo, p);
+
+    // Precompute phase.
+    let scope = PeakScope::start();
+    let t0 = Instant::now();
+    let pre = engine.precompute(&w.transition);
+    let precompute = t0.elapsed();
+    let peak_precompute_bytes = scope.finish();
+
+    let mut failed = pre.err();
+
+    // NI fallback: retry the precompute in streamed mode so the *time*
+    // figures can still be measured where materialisation cannot fit.
+    if let Some(err) = &failed {
+        if algo == Algo::CsrNi && err.is_memory_crash() && p.ni_streamed_fallback {
+            let mut ni = CsrNi::new(CsrNiConfig {
+                rank: p.rank,
+                damping: p.damping,
+                mode: NiMode::Streamed,
+                budget: p.budget,
+                ..Default::default()
+            });
+            let scope = PeakScope::start();
+            let t0 = Instant::now();
+            match ni.precompute(&w.transition) {
+                Ok(()) => {
+                    let precompute = t0.elapsed();
+                    let peak = scope.finish();
+                    return finish_query(
+                        algo,
+                        Box::new(ni),
+                        w,
+                        queries,
+                        precompute,
+                        peak,
+                        paper_scale_bytes,
+                        keep_output,
+                    );
+                }
+                Err(e) => failed = Some(e),
+            }
+        }
+    }
+
+    if let Some(e) = failed {
+        return RunResult {
+            algo,
+            status: classify_error(e),
+            times: None,
+            peak_precompute_bytes,
+            peak_query_bytes: 0,
+            memoised_bytes: 0,
+            paper_scale_bytes,
+            output: None,
+        };
+    }
+
+    finish_query(
+        algo,
+        engine,
+        w,
+        queries,
+        precompute,
+        peak_precompute_bytes,
+        paper_scale_bytes,
+        keep_output,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish_query(
+    algo: Algo,
+    engine: Box<dyn CoSimRankEngine>,
+    _w: &Workload,
+    queries: &[usize],
+    precompute: Duration,
+    peak_precompute_bytes: usize,
+    paper_scale_bytes: usize,
+    keep_output: bool,
+) -> RunResult {
+    let memoised_bytes = engine.memoised_bytes();
+    let scope = PeakScope::start();
+    let t1 = Instant::now();
+    let out = engine.multi_source(queries);
+    let query = t1.elapsed();
+    let peak_query_bytes = scope.finish();
+    match out {
+        Ok(s) => RunResult {
+            algo,
+            status: RunStatus::Ok,
+            times: Some(PhaseTimes { precompute, query }),
+            peak_precompute_bytes,
+            peak_query_bytes,
+            memoised_bytes,
+            paper_scale_bytes,
+            output: keep_output.then_some(s),
+        },
+        Err(e) => RunResult {
+            algo,
+            status: classify_error(e),
+            times: None,
+            peak_precompute_bytes,
+            peak_query_bytes,
+            memoised_bytes,
+            paper_scale_bytes,
+            output: None,
+        },
+    }
+}
+
+fn classify_error(e: CoSimRankError) -> RunStatus {
+    if e.is_memory_crash() {
+        RunStatus::MemoryCrash(e.to_string())
+    } else {
+        RunStatus::Failed(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::workload;
+    use csrplus_datasets::{DatasetId, Scale};
+
+    fn params() -> RunParams {
+        RunParams { rank: 4, ..Default::default() }
+    }
+
+    #[test]
+    fn all_algorithms_complete_on_tiny_fb() {
+        let w = workload(DatasetId::Fb, Scale::Test);
+        let queries = w.queries(10, 1);
+        for algo in
+            [Algo::CsrPlus, Algo::CsrNi, Algo::CsrIt, Algo::CsrRls, Algo::CoSimMate, Algo::RpCoSim]
+        {
+            let r = run(algo, &w, &queries, &params(), true);
+            assert!(r.status.is_ok(), "{}: {:?}", algo.name(), r.status);
+            let s = r.output.expect("kept output");
+            assert_eq!(s.shape(), (w.n(), queries.len()));
+            assert!(r.times.expect("times").total() > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn low_rank_engines_agree_on_output() {
+        let w = workload(DatasetId::Fb, Scale::Test);
+        let queries = w.queries(8, 2);
+        let p = params();
+        let a = run(Algo::CsrPlus, &w, &queries, &p, true);
+        let b = run(Algo::CsrNi, &w, &queries, &p, true);
+        let sa = a.output.unwrap();
+        let sb = b.output.unwrap();
+        assert!(sa.approx_eq(&sb, 1e-6), "diff {}", sa.max_abs_diff(&sb));
+    }
+
+    #[test]
+    fn time_guard_skips_predictably_expensive_cells() {
+        let w = workload(DatasetId::Fb, Scale::Test);
+        let queries = w.queries(10, 3);
+        let p = RunParams { max_predicted_flops: 1.0, ..params() };
+        let r = run(Algo::CsrNi, &w, &queries, &p, false);
+        assert!(matches!(r.status, RunStatus::TimeSkipped { .. }));
+    }
+
+    #[test]
+    fn memory_crash_reported_without_fallback() {
+        let w = workload(DatasetId::Fb, Scale::Test);
+        let queries = w.queries(10, 4);
+        let p = RunParams {
+            budget: MemoryBudget::new(1 << 10),
+            ni_streamed_fallback: false,
+            ..params()
+        };
+        let r = run(Algo::CsrNi, &w, &queries, &p, false);
+        assert!(matches!(r.status, RunStatus::MemoryCrash(_)), "{:?}", r.status);
+    }
+
+    #[test]
+    fn ni_fallback_recovers_time_measurement() {
+        let w = workload(DatasetId::Fb, Scale::Test);
+        let queries = w.queries(10, 5);
+        let p = RunParams {
+            budget: MemoryBudget::new(6 << 20), // too small to materialise
+            ni_streamed_fallback: true,
+            ..params()
+        };
+        let r = run(Algo::CsrNi, &w, &queries, &p, false);
+        assert!(r.status.is_ok(), "{:?}", r.status);
+    }
+
+    #[test]
+    fn predicted_flops_ordering_matches_complexity_table() {
+        // At paper-like sizes, NI ≫ IT ≫ RLS ≫ CSR+ (Table 1's ordering
+        // for the default parameters).
+        let (n, m, r, q) = (22_687, 54_705, 5, 100);
+        let f = |a: Algo| predicted_flops(a, n, m, r, q);
+        assert!(f(Algo::CsrNi) > f(Algo::CsrIt));
+        assert!(f(Algo::CsrIt) > f(Algo::CsrRls));
+        assert!(f(Algo::CsrRls) > f(Algo::CsrPlus));
+        // CSR+ is linear in m (with n-dependent terms fixed): doubling m
+        // adds exactly the m-linear share.
+        let base = predicted_flops(Algo::CsrPlus, n, m, r, q);
+        let doubled = predicted_flops(Algo::CsrPlus, n, 2 * m, r, q);
+        assert!(doubled > base && doubled < 2.0 * base);
+        let m_share = doubled - base; // = 8·m·(r+8)
+        assert!((m_share - 8.0 * m as f64 * (r as f64 + 8.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn model_bytes_monotone_in_inputs() {
+        for algo in [Algo::CsrPlus, Algo::CsrNi, Algo::CsrIt, Algo::CsrRls] {
+            let small = model_bytes(algo, 1_000, 5_000, 5, 100);
+            let big_n = model_bytes(algo, 2_000, 5_000, 5, 100);
+            assert!(big_n >= small, "{algo:?} not monotone in n");
+        }
+        // |Q| only moves the query-linear algorithms.
+        let rls_q1 = model_bytes(Algo::CsrRls, 1_000, 5_000, 5, 100);
+        let rls_q7 = model_bytes(Algo::CsrRls, 1_000, 5_000, 5, 700);
+        assert!(rls_q7 > rls_q1);
+        let it_q1 = model_bytes(Algo::CsrIt, 1_000, 5_000, 5, 100);
+        let it_q7 = model_bytes(Algo::CsrIt, 1_000, 5_000, 5, 700);
+        assert_eq!(it_q1, it_q7, "CSR-IT memory must be |Q|-independent");
+    }
+
+    #[test]
+    fn build_engine_names_are_stable() {
+        let p = params();
+        for (algo, name) in [
+            (Algo::CsrPlus, "CSR+"),
+            (Algo::CsrNi, "CSR-NI"),
+            (Algo::CsrIt, "CSR-IT"),
+            (Algo::CsrRls, "CSR-RLS"),
+            (Algo::CoSimMate, "CoSimMate"),
+            (Algo::RpCoSim, "RP-CoSim"),
+        ] {
+            assert_eq!(build_engine(algo, &p).name(), name);
+            assert_eq!(algo.name(), name);
+        }
+    }
+
+    #[test]
+    fn paper_scale_bytes_reproduce_crash_frontier() {
+        // At the paper's sizes with the paper's 256 GB machine: CSR+
+        // survives everywhere; CSR-IT dies on YT and beyond.
+        const PAPER_RAM: usize = 256 * (1 << 30);
+        let fits = |algo: Algo, id: DatasetId| {
+            let s = id.spec();
+            model_bytes(algo, s.paper_nodes, s.paper_edges, 5, 100) <= PAPER_RAM
+        };
+        for id in DatasetId::all() {
+            assert!(fits(Algo::CsrPlus, id), "CSR+ must fit on {}", id.name());
+        }
+        assert!(fits(Algo::CsrIt, DatasetId::Fb));
+        assert!(!fits(Algo::CsrIt, DatasetId::Yt));
+        assert!(!fits(Algo::CsrIt, DatasetId::Tw));
+        assert!(!fits(Algo::CsrNi, DatasetId::Yt));
+        assert!(fits(Algo::CsrRls, DatasetId::Wt));
+    }
+}

@@ -1,0 +1,86 @@
+//! Benchmark workloads: cached dataset analogues and query sets.
+//!
+//! Generating a multi-million-edge graph takes seconds, so each (dataset,
+//! scale) pair is generated once per process and shared behind a static
+//! cache.
+
+use csrplus_datasets::{DatasetId, Scale};
+use csrplus_graph::sample::sample_queries;
+use csrplus_graph::{DiGraph, TransitionMatrix};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A cached workload: the graph and its transition matrix.
+#[derive(Debug)]
+pub struct Workload {
+    /// Dataset identity.
+    pub id: DatasetId,
+    /// Scale the analogue was generated at.
+    pub scale: Scale,
+    /// The generated graph.
+    pub graph: DiGraph,
+    /// Column-normalised transition matrix (with cached transpose).
+    pub transition: TransitionMatrix,
+}
+
+impl Workload {
+    /// `n`.
+    pub fn n(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// `m`.
+    pub fn m(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// Deterministic query set of the given size (non-dangling nodes).
+    pub fn queries(&self, size: usize, seed: u64) -> Vec<usize> {
+        sample_queries(&self.graph, size, seed)
+    }
+}
+
+type Cache = Mutex<HashMap<(DatasetId, bool), Arc<Workload>>>;
+
+fn cache() -> &'static Cache {
+    static CACHE: OnceLock<Cache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Fetches (generating on first use) the workload for a dataset at a
+/// scale.  Panics on generator failure — specs are static and valid.
+pub fn workload(id: DatasetId, scale: Scale) -> Arc<Workload> {
+    let key = (id, matches!(scale, Scale::Bench));
+    if let Some(w) = cache().lock().expect("cache poisoned").get(&key) {
+        return Arc::clone(w);
+    }
+    // Generate outside the lock (can take seconds for the big analogues).
+    let graph = id.spec().generate(scale).expect("static dataset spec is valid");
+    let transition = TransitionMatrix::from_graph(&graph);
+    let w = Arc::new(Workload { id, scale, graph, transition });
+    cache().lock().expect("cache poisoned").entry(key).or_insert_with(|| Arc::clone(&w));
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_cached() {
+        let a = workload(DatasetId::Fb, Scale::Test);
+        let b = workload(DatasetId::Fb, Scale::Test);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.n(), a.transition.n());
+    }
+
+    #[test]
+    fn queries_are_deterministic_and_bounded() {
+        let w = workload(DatasetId::P2p, Scale::Test);
+        let q1 = w.queries(50, 9);
+        let q2 = w.queries(50, 9);
+        assert_eq!(q1, q2);
+        assert_eq!(q1.len(), 50);
+        assert!(q1.iter().all(|&q| q < w.n()));
+    }
+}

@@ -1,0 +1,388 @@
+//! Hand-rolled argument parsing (no external CLI crates).
+
+use csrplus_datasets::{DatasetId, Scale};
+use std::path::PathBuf;
+
+/// Usage text printed on parse errors.
+pub const USAGE: &str = "\
+usage:
+  csrplus generate   --dataset <fb|p2p|yt|wt|tw|wb> [--scale test|bench] --out <graph.txt>
+  csrplus stats      <graph.txt>
+  csrplus precompute <graph.txt> [--rank R] [--damping C] [--epsilon E]
+                     [--backend randomized|lanczos] --out <model.csrp>
+  csrplus query      <model.csrp> --nodes 1,3,5 [--top K]
+  csrplus topk       <model.csrp> --node N [--k K]
+  csrplus exact      <graph.txt> --nodes 1,3 [--damping C] [--epsilon E]
+  csrplus join       <model.csrp> --threshold T [--limit N]
+  csrplus serve      <model.csrp> [--port P]";
+
+/// A fully parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate a synthetic dataset analogue as a SNAP file.
+    Generate {
+        /// Which dataset family.
+        dataset: DatasetId,
+        /// Generation scale.
+        scale: Scale,
+        /// Output path.
+        out: PathBuf,
+    },
+    /// Print graph statistics.
+    Stats {
+        /// Graph path.
+        graph: PathBuf,
+    },
+    /// Precompute a CSR+ model from a graph.
+    Precompute {
+        /// Graph path.
+        graph: PathBuf,
+        /// Target rank.
+        rank: usize,
+        /// Damping factor.
+        damping: f64,
+        /// Accuracy.
+        epsilon: f64,
+        /// Truncated-SVD backend.
+        backend: csrplus_core::SvdBackend,
+        /// Output model path.
+        out: PathBuf,
+    },
+    /// Multi-source query against a saved model.
+    Query {
+        /// Model path.
+        model: PathBuf,
+        /// Query node ids.
+        nodes: Vec<usize>,
+        /// If set, print only the top-K rows per query.
+        top: Option<usize>,
+    },
+    /// Top-k most similar nodes to a single node.
+    TopK {
+        /// Model path.
+        model: PathBuf,
+        /// The query node.
+        node: usize,
+        /// How many results.
+        k: usize,
+    },
+    /// Similarity join: all pairs scoring at least a threshold.
+    Join {
+        /// Model path.
+        model: PathBuf,
+        /// Minimum similarity.
+        threshold: f64,
+        /// Print at most this many pairs.
+        limit: usize,
+    },
+    /// Serve the model over HTTP.
+    Serve {
+        /// Model path.
+        model: PathBuf,
+        /// TCP port (0 = ephemeral; the bound address is printed).
+        port: u16,
+    },
+    /// Exact (iterative) multi-source CoSimRank straight off the graph.
+    Exact {
+        /// Graph path.
+        graph: PathBuf,
+        /// Query node ids.
+        nodes: Vec<usize>,
+        /// Damping factor.
+        damping: f64,
+        /// Accuracy.
+        epsilon: f64,
+    },
+}
+
+/// Parses `argv` (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let mut it = argv.iter();
+    let sub = it.next().ok_or("missing subcommand")?;
+    let rest: Vec<&String> = it.collect();
+    match sub.as_str() {
+        "generate" => parse_generate(&rest),
+        "stats" => {
+            let graph = positional(&rest, 0)?;
+            Ok(Command::Stats { graph })
+        }
+        "precompute" => parse_precompute(&rest),
+        "query" => parse_query(&rest),
+        "topk" => parse_topk(&rest),
+        "exact" => parse_exact(&rest),
+        "join" => parse_join(&rest),
+        "serve" => Ok(Command::Serve {
+            model: positional(&rest, 0)?,
+            port: match flag_value(&rest, "--port") {
+                Some(v) => parse_num(v, "port")?,
+                None => 8100,
+            },
+        }),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn positional(rest: &[&String], idx: usize) -> Result<PathBuf, String> {
+    rest.iter()
+        .filter(|a| !a.starts_with("--"))
+        .nth(idx)
+        .map(PathBuf::from)
+        .ok_or_else(|| "missing positional argument".to_string())
+}
+
+fn flag_value<'a>(rest: &'a [&'a String], name: &str) -> Option<&'a str> {
+    rest.iter().position(|a| *a == name).and_then(|i| rest.get(i + 1)).map(|s| s.as_str())
+}
+
+fn require<'a>(rest: &'a [&'a String], name: &str) -> Result<&'a str, String> {
+    flag_value(rest, name).ok_or_else(|| format!("missing required flag {name}"))
+}
+
+fn parse_num<T: std::str::FromStr>(v: &str, what: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("invalid {what}: {v:?}"))
+}
+
+fn parse_nodes(v: &str) -> Result<Vec<usize>, String> {
+    let nodes: Result<Vec<usize>, _> = v.split(',').map(|p| p.trim().parse()).collect();
+    let nodes = nodes.map_err(|_| format!("invalid node list: {v:?}"))?;
+    if nodes.is_empty() {
+        return Err("empty node list".to_string());
+    }
+    Ok(nodes)
+}
+
+fn parse_dataset(v: &str) -> Result<DatasetId, String> {
+    match v.to_ascii_lowercase().as_str() {
+        "fb" => Ok(DatasetId::Fb),
+        "p2p" => Ok(DatasetId::P2p),
+        "yt" => Ok(DatasetId::Yt),
+        "wt" => Ok(DatasetId::Wt),
+        "tw" => Ok(DatasetId::Tw),
+        "wb" => Ok(DatasetId::Wb),
+        other => Err(format!("unknown dataset {other:?}")),
+    }
+}
+
+fn parse_scale(v: Option<&str>) -> Result<Scale, String> {
+    match v {
+        None | Some("test") => Ok(Scale::Test),
+        Some("bench") => Ok(Scale::Bench),
+        Some(other) => Err(format!("unknown scale {other:?}")),
+    }
+}
+
+fn parse_generate(rest: &[&String]) -> Result<Command, String> {
+    Ok(Command::Generate {
+        dataset: parse_dataset(require(rest, "--dataset")?)?,
+        scale: parse_scale(flag_value(rest, "--scale"))?,
+        out: PathBuf::from(require(rest, "--out")?),
+    })
+}
+
+fn parse_precompute(rest: &[&String]) -> Result<Command, String> {
+    Ok(Command::Precompute {
+        graph: positional(rest, 0)?,
+        rank: match flag_value(rest, "--rank") {
+            Some(v) => parse_num(v, "rank")?,
+            None => 5,
+        },
+        damping: match flag_value(rest, "--damping") {
+            Some(v) => parse_num(v, "damping")?,
+            None => 0.6,
+        },
+        epsilon: match flag_value(rest, "--epsilon") {
+            Some(v) => parse_num(v, "epsilon")?,
+            None => 1e-5,
+        },
+        backend: match flag_value(rest, "--backend") {
+            None | Some("randomized") => csrplus_core::SvdBackend::Randomized,
+            Some("lanczos") => csrplus_core::SvdBackend::Lanczos,
+            Some(other) => return Err(format!("unknown backend {other:?}")),
+        },
+        out: PathBuf::from(require(rest, "--out")?),
+    })
+}
+
+fn parse_query(rest: &[&String]) -> Result<Command, String> {
+    Ok(Command::Query {
+        model: positional(rest, 0)?,
+        nodes: parse_nodes(require(rest, "--nodes")?)?,
+        top: match flag_value(rest, "--top") {
+            Some(v) => Some(parse_num(v, "top")?),
+            None => None,
+        },
+    })
+}
+
+fn parse_topk(rest: &[&String]) -> Result<Command, String> {
+    Ok(Command::TopK {
+        model: positional(rest, 0)?,
+        node: parse_num(require(rest, "--node")?, "node")?,
+        k: match flag_value(rest, "--k") {
+            Some(v) => parse_num(v, "k")?,
+            None => 10,
+        },
+    })
+}
+
+fn parse_join(rest: &[&String]) -> Result<Command, String> {
+    Ok(Command::Join {
+        model: positional(rest, 0)?,
+        threshold: parse_num(require(rest, "--threshold")?, "threshold")?,
+        limit: match flag_value(rest, "--limit") {
+            Some(v) => parse_num(v, "limit")?,
+            None => 100,
+        },
+    })
+}
+
+fn parse_exact(rest: &[&String]) -> Result<Command, String> {
+    Ok(Command::Exact {
+        graph: positional(rest, 0)?,
+        nodes: parse_nodes(require(rest, "--nodes")?)?,
+        damping: match flag_value(rest, "--damping") {
+            Some(v) => parse_num(v, "damping")?,
+            None => 0.6,
+        },
+        epsilon: match flag_value(rest, "--epsilon") {
+            Some(v) => parse_num(v, "epsilon")?,
+            None => 1e-8,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_generate_full() {
+        let cmd = parse(&argv("generate --dataset fb --scale bench --out g.txt")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                dataset: DatasetId::Fb,
+                scale: Scale::Bench,
+                out: PathBuf::from("g.txt")
+            }
+        );
+    }
+
+    #[test]
+    fn generate_defaults_scale_to_test() {
+        let cmd = parse(&argv("generate --dataset p2p --out g.txt")).unwrap();
+        assert!(matches!(cmd, Command::Generate { scale: Scale::Test, .. }));
+    }
+
+    #[test]
+    fn parse_precompute_defaults() {
+        let cmd = parse(&argv("precompute g.txt --out m.csrp")).unwrap();
+        match cmd {
+            Command::Precompute { rank, damping, epsilon, backend, .. } => {
+                assert_eq!(rank, 5);
+                assert_eq!(damping, 0.6);
+                assert_eq!(epsilon, 1e-5);
+                assert_eq!(backend, csrplus_core::SvdBackend::Randomized);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_precompute_lanczos_backend() {
+        let cmd = parse(&argv("precompute g.txt --backend lanczos --out m.csrp")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Precompute { backend: csrplus_core::SvdBackend::Lanczos, .. }
+        ));
+        assert!(parse(&argv("precompute g.txt --backend frob --out m"))
+            .unwrap_err()
+            .contains("unknown backend"));
+    }
+
+    #[test]
+    fn parse_query_nodes_list() {
+        let cmd = parse(&argv("query m.csrp --nodes 1,3,5 --top 7")).unwrap();
+        match cmd {
+            Command::Query { nodes, top, .. } => {
+                assert_eq!(nodes, vec![1, 3, 5]);
+                assert_eq!(top, Some(7));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_topk_defaults_k() {
+        let cmd = parse(&argv("topk m.csrp --node 4")).unwrap();
+        assert!(matches!(cmd, Command::TopK { node: 4, k: 10, .. }));
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse(&argv("")).is_err());
+        assert!(parse(&argv("frobnicate")).unwrap_err().contains("unknown subcommand"));
+        assert!(parse(&argv("generate --out g.txt")).unwrap_err().contains("--dataset"));
+        assert!(parse(&argv("generate --dataset nope --out g"))
+            .unwrap_err()
+            .contains("unknown dataset"));
+        assert!(parse(&argv("query m --nodes x,y")).unwrap_err().contains("invalid node list"));
+        assert!(parse(&argv("query m --nodes ,")).is_err());
+        assert!(parse(&argv("precompute g.txt --rank abc --out m"))
+            .unwrap_err()
+            .contains("invalid rank"));
+    }
+
+    #[test]
+    fn parse_join() {
+        let cmd = parse(&argv("join m.csrp --threshold 0.25 --limit 5")).unwrap();
+        match cmd {
+            Command::Join { threshold, limit, .. } => {
+                assert_eq!(threshold, 0.25);
+                assert_eq!(limit, 5);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("join m.csrp")).unwrap_err().contains("--threshold"));
+    }
+
+    #[test]
+    fn parse_serve() {
+        let cmd = parse(&argv("serve m.csrp --port 0")).unwrap();
+        assert!(matches!(cmd, Command::Serve { port: 0, .. }));
+        let cmd = parse(&argv("serve m.csrp")).unwrap();
+        assert!(matches!(cmd, Command::Serve { port: 8100, .. }));
+    }
+
+    #[test]
+    fn exact_parses() {
+        let cmd = parse(&argv("exact g.txt --nodes 0,2 --damping 0.8")).unwrap();
+        match cmd {
+            Command::Exact { nodes, damping, epsilon, .. } => {
+                assert_eq!(nodes, vec![0, 2]);
+                assert_eq!(damping, 0.8);
+                assert_eq!(epsilon, 1e-8);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_dataset_names_parse() {
+        for (name, id) in [
+            ("fb", DatasetId::Fb),
+            ("p2p", DatasetId::P2p),
+            ("yt", DatasetId::Yt),
+            ("wt", DatasetId::Wt),
+            ("tw", DatasetId::Tw),
+            ("wb", DatasetId::Wb),
+        ] {
+            assert_eq!(parse_dataset(name).unwrap(), id);
+            assert_eq!(parse_dataset(&name.to_uppercase()).unwrap(), id);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Command implementations.
+
+use crate::args::Command;
+use csrplus_core::{exact, persist, CsrPlusConfig, CsrPlusModel};
+use csrplus_graph::io::{read_snap_file, write_snap_file};
+use csrplus_graph::TransitionMatrix;
+use std::error::Error;
+use std::time::Instant;
+
+/// Executes a parsed command.
+pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
+    match cmd {
+        Command::Generate { dataset, scale, out } => {
+            let t0 = Instant::now();
+            let graph = dataset.spec().generate(scale)?;
+            write_snap_file(&graph, &out)?;
+            println!(
+                "generated {} analogue: {} nodes, {} edges → {} ({:.1?})",
+                dataset.name(),
+                graph.num_nodes(),
+                graph.num_edges(),
+                out.display(),
+                t0.elapsed()
+            );
+            Ok(())
+        }
+        Command::Stats { graph } => {
+            let loaded = read_snap_file(&graph)?;
+            let s = loaded.graph.stats();
+            let comps = csrplus_graph::components::weakly_connected_components(&loaded.graph);
+            println!("nodes            {}", s.nodes);
+            println!("edges            {}", s.edges);
+            println!("avg degree       {:.2}", s.avg_degree);
+            println!("max in-degree    {}", s.max_in_degree);
+            println!("max out-degree   {}", s.max_out_degree);
+            println!("dangling columns {}", s.dangling_columns);
+            println!("weak components  {} (giant: {} nodes)", comps.count(), comps.giant_size());
+            println!("reciprocity      {:.2}", s.reciprocity);
+            let hin = csrplus_graph::degree::in_degree_histogram(&loaded.graph);
+            println!(
+                "in-degree bins   {} (log2-binned{})",
+                hin.render(),
+                hin.tail_slope().map(|sl| format!(", tail slope {sl:.2}")).unwrap_or_default()
+            );
+            Ok(())
+        }
+        Command::Precompute { graph, rank, damping, epsilon, backend, out } => {
+            let loaded = read_snap_file(&graph)?;
+            let transition = TransitionMatrix::from_graph(&loaded.graph);
+            let config = CsrPlusConfig { rank, damping, epsilon, backend, ..Default::default() };
+            let t0 = Instant::now();
+            let model = CsrPlusModel::precompute(&transition, &config)?;
+            let pre = t0.elapsed();
+            persist::save_model(&model, &out)?;
+            println!(
+                "precomputed rank-{} model over {} nodes in {:.1?} → {} ({} bytes memoised)",
+                model.rank(),
+                model.n(),
+                pre,
+                out.display(),
+                model.heap_bytes()
+            );
+            Ok(())
+        }
+        Command::Query { model, nodes, top } => {
+            let m = persist::load_model(&model)?;
+            let t0 = Instant::now();
+            let s = m.multi_source(&nodes)?;
+            let dt = t0.elapsed();
+            match top {
+                Some(k) => {
+                    for (j, &q) in nodes.iter().enumerate() {
+                        let mut col: Vec<(usize, f64)> =
+                            (0..m.n()).map(|i| (i, s.get(i, j))).collect();
+                        col.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+                        let rendered: Vec<String> =
+                            col.iter().take(k).map(|(i, v)| format!("{i}:{v:.4}")).collect();
+                        println!("query {q}: {}", rendered.join(" "));
+                    }
+                }
+                None => {
+                    // Full columns, one line per node.
+                    print!("node");
+                    for &q in &nodes {
+                        print!("\tS[*,{q}]");
+                    }
+                    println!();
+                    for i in 0..m.n() {
+                        print!("{i}");
+                        for j in 0..nodes.len() {
+                            print!("\t{:.6}", s.get(i, j));
+                        }
+                        println!();
+                    }
+                }
+            }
+            eprintln!("({} nodes × {} queries in {dt:.1?})", m.n(), nodes.len());
+            Ok(())
+        }
+        Command::TopK { model, node, k } => {
+            let m = persist::load_model(&model)?;
+            let top = m.top_k(node, k)?;
+            for (rank, (i, v)) in top.iter().enumerate() {
+                println!("{:>3}. node {i:<10} {v:.6}", rank + 1);
+            }
+            Ok(())
+        }
+        Command::Join { model, threshold, limit } => {
+            let m = persist::load_model(&model)?;
+            let t0 = Instant::now();
+            let pairs = m.similarity_join(threshold, &csrplus_memtrack::MemoryBudget::default())?;
+            let dt = t0.elapsed();
+            for &(x, y, s) in pairs.iter().take(limit) {
+                println!("{x}\t{y}\t{s:.6}");
+            }
+            eprintln!(
+                "({} pairs ≥ {threshold} in {dt:.1?}; showing {})",
+                pairs.len(),
+                pairs.len().min(limit)
+            );
+            Ok(())
+        }
+        Command::Serve { model, port } => {
+            let m = persist::load_model(&model)?;
+            eprintln!(
+                "serving {} nodes at rank {} (routes: /health /similarity /topk /query)",
+                m.n(),
+                m.rank()
+            );
+            crate::server::serve(m, port, None)
+        }
+        Command::Exact { graph, nodes, damping, epsilon } => {
+            let loaded = read_snap_file(&graph)?;
+            let transition = TransitionMatrix::from_graph(&loaded.graph);
+            for &q in &nodes {
+                if q >= transition.n() {
+                    return Err(format!("query node {q} out of bounds").into());
+                }
+            }
+            let s = exact::multi_source(&transition, &nodes, damping, epsilon);
+            print!("node");
+            for &q in &nodes {
+                print!("\tS[*,{q}]");
+            }
+            println!();
+            for i in 0..transition.n() {
+                print!("{i}");
+                for j in 0..nodes.len() {
+                    print!("\t{:.6}", s.get(i, j));
+                }
+                println!();
+            }
+            Ok(())
+        }
+    }
+}

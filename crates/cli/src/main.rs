@@ -1,0 +1,39 @@
+//! `csrplus` — command-line CoSimRank search.
+//!
+//! ```text
+//! csrplus generate   --dataset fb [--scale test|bench] --out graph.txt
+//! csrplus stats      <graph.txt>
+//! csrplus precompute <graph.txt> [--rank R] [--damping C] [--epsilon E] --out model.csrp
+//! csrplus query      <model.csrp> --nodes 1,3,5 [--top K]
+//! csrplus topk       <model.csrp> --node N [--k K]
+//! csrplus exact      <graph.txt> --nodes 1,3 [--damping C] [--epsilon E]
+//! csrplus join       <model.csrp> --threshold T [--limit N]
+//! csrplus serve      <model.csrp> [--port P]
+//! ```
+//!
+//! Graphs are SNAP plain-text edge lists; models use the binary format of
+//! `csrplus_core::persist` (checksummed, versioned).
+
+mod args;
+mod commands;
+mod server;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(cmd) => match commands::run(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", args::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! A minimal HTTP/1.1 query server over a loaded CSR+ model.
+//!
+//! `csrplus serve <model.csrp> --port 0` binds a TCP listener, prints the
+//! bound address, and answers:
+//!
+//! | route | response |
+//! |---|---|
+//! | `GET /similarity?a=1&b=3` | `{"a":1,"b":3,"similarity":0.4853}` |
+//! | `GET /topk?node=1&k=5` | `{"node":1,"results":[{"node":3,"score":0.4853},…]}` |
+//! | `GET /query?nodes=1,3` | `{"queries":[1,3],"columns":[[…],[…]]}` |
+//! | `GET /health` | `{"status":"ok","nodes":6,"rank":3}` |
+//!
+//! Everything is std-only (no HTTP or JSON dependencies): the precompute/
+//! query split makes the query path cheap enough that a blocking
+//! thread-per-connection loop serves thousands of requests per second.
+
+use csrplus_core::CsrPlusModel;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+/// Runs the server loop forever (or until `max_requests`, used by tests).
+pub fn serve(
+    model: CsrPlusModel,
+    port: u16,
+    max_requests: Option<usize>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let listener = TcpListener::bind(("127.0.0.1", port))?;
+    let addr = listener.local_addr()?;
+    // The test harness parses this line to find the ephemeral port.
+    println!("listening on http://{addr}");
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+
+    let model = Arc::new(model);
+    let mut served = 0usize;
+    for stream in listener.incoming() {
+        match stream {
+            Ok(stream) => {
+                let model = Arc::clone(&model);
+                // Blocking handler: each request is microseconds of work.
+                if let Err(e) = handle(&model, stream) {
+                    eprintln!("request error: {e}");
+                }
+            }
+            Err(e) => eprintln!("accept error: {e}"),
+        }
+        served += 1;
+        if let Some(max) = max_requests {
+            if served >= max {
+                break;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn handle(model: &CsrPlusModel, stream: TcpStream) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers (we ignore them — GET only, no bodies).
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+
+    let mut stream = stream;
+    let response = route(model, request_line.trim());
+    match response {
+        Ok(body) => write_response(&mut stream, 200, "OK", &body),
+        Err((code, msg)) => {
+            let body = format!("{{\"error\":{}}}", json_string(&msg));
+            let reason = if code == 404 { "Not Found" } else { "Bad Request" };
+            write_response(&mut stream, code, reason, &body)
+        }
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    code: u16,
+    reason: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// Routes a request line like `GET /topk?node=1&k=5 HTTP/1.1`.
+fn route(model: &CsrPlusModel, request_line: &str) -> Result<String, (u16, String)> {
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    if method != "GET" {
+        return Err((400, format!("unsupported method {method:?}")));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let params = parse_query(query);
+    let get = |key: &str| -> Result<&str, (u16, String)> {
+        params
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| (400, format!("missing parameter {key:?}")))
+    };
+    let parse_usize = |v: &str, key: &str| -> Result<usize, (u16, String)> {
+        v.parse().map_err(|_| (400, format!("invalid {key}: {v:?}")))
+    };
+
+    match path {
+        "/health" => {
+            Ok(format!("{{\"status\":\"ok\",\"nodes\":{},\"rank\":{}}}", model.n(), model.rank()))
+        }
+        "/similarity" => {
+            let a = parse_usize(get("a")?, "a")?;
+            let b = parse_usize(get("b")?, "b")?;
+            let s = model.similarity(a, b).map_err(|e| (400, e.to_string()))?;
+            Ok(format!("{{\"a\":{a},\"b\":{b},\"similarity\":{s}}}"))
+        }
+        "/topk" => {
+            let node = parse_usize(get("node")?, "node")?;
+            let k = match params.iter().find(|(key, _)| *key == "k") {
+                Some((_, v)) => parse_usize(v, "k")?,
+                None => 10,
+            };
+            let top = model.top_k_pruned(node, k).map_err(|e| (400, e.to_string()))?;
+            let items: Vec<String> =
+                top.iter().map(|(i, s)| format!("{{\"node\":{i},\"score\":{s}}}")).collect();
+            Ok(format!("{{\"node\":{node},\"results\":[{}]}}", items.join(",")))
+        }
+        "/query" => {
+            let nodes: Result<Vec<usize>, _> =
+                get("nodes")?.split(',').map(|v| v.parse::<usize>()).collect();
+            let nodes = nodes.map_err(|_| (400, "invalid node list".to_string()))?;
+            let s = model.multi_source(&nodes).map_err(|e| (400, e.to_string()))?;
+            let cols: Vec<String> = (0..nodes.len())
+                .map(|j| {
+                    let col: Vec<String> =
+                        (0..model.n()).map(|i| format!("{}", s.get(i, j))).collect();
+                    format!("[{}]", col.join(","))
+                })
+                .collect();
+            let q: Vec<String> = nodes.iter().map(|q| q.to_string()).collect();
+            Ok(format!("{{\"queries\":[{}],\"columns\":[{}]}}", q.join(","), cols.join(",")))
+        }
+        other => Err((404, format!("no route {other:?}"))),
+    }
+}
+
+fn parse_query(query: &str) -> Vec<(&str, &str)> {
+    query.split('&').filter_map(|pair| pair.split_once('=')).collect()
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csrplus_core::CsrPlusConfig;
+    use csrplus_graph::{generators::figure1_graph, TransitionMatrix};
+
+    fn model() -> CsrPlusModel {
+        let t = TransitionMatrix::from_graph(&figure1_graph());
+        CsrPlusModel::precompute(&t, &CsrPlusConfig::with_rank(3)).unwrap()
+    }
+
+    #[test]
+    fn routes_health_and_similarity() {
+        let m = model();
+        let body = route(&m, "GET /health HTTP/1.1").unwrap();
+        assert!(body.contains("\"nodes\":6"));
+        assert!(body.contains("\"rank\":3"));
+        let body = route(&m, "GET /similarity?a=1&b=3 HTTP/1.1").unwrap();
+        assert!(body.contains("\"a\":1"));
+        // S[b,d] ≈ 0.485 from the worked example.
+        let value: f64 =
+            body.split("\"similarity\":").nth(1).unwrap().trim_end_matches('}').parse().unwrap();
+        assert!((value - 0.485).abs() < 0.02, "{value}");
+    }
+
+    #[test]
+    fn routes_topk_and_query() {
+        let m = model();
+        let body = route(&m, "GET /topk?node=1&k=2 HTTP/1.1").unwrap();
+        assert!(body.starts_with("{\"node\":1,\"results\":["));
+        assert_eq!(body.matches("\"score\":").count(), 2);
+        let body = route(&m, "GET /query?nodes=1,3 HTTP/1.1").unwrap();
+        assert!(body.contains("\"queries\":[1,3]"));
+        assert_eq!(body.matches('[').count(), 4); // queries + columns + 2 cols
+    }
+
+    #[test]
+    fn error_paths() {
+        let m = model();
+        assert_eq!(route(&m, "POST /health HTTP/1.1").unwrap_err().0, 400);
+        assert_eq!(route(&m, "GET /nope HTTP/1.1").unwrap_err().0, 404);
+        assert_eq!(route(&m, "GET /similarity?a=1 HTTP/1.1").unwrap_err().0, 400);
+        assert_eq!(route(&m, "GET /similarity?a=1&b=x HTTP/1.1").unwrap_err().0, 400);
+        assert_eq!(route(&m, "GET /topk?node=99 HTTP/1.1").unwrap_err().0, 400);
+        assert_eq!(route(&m, "GET /query?nodes=1,,3 HTTP/1.1").unwrap_err().0, 400);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_string("back\\slash"), "\"back\\\\slash\"");
+        assert_eq!(json_string("tab\there"), "\"tab\\u0009here\"");
+    }
+
+    #[test]
+    fn query_string_parsing() {
+        assert_eq!(parse_query("a=1&b=2"), vec![("a", "1"), ("b", "2")]);
+        assert_eq!(parse_query(""), Vec::<(&str, &str)>::new());
+        assert_eq!(parse_query("novalue&x=3"), vec![("x", "3")]);
+    }
+}

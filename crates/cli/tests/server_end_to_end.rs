@@ -1,0 +1,91 @@
+//! End-to-end test of `csrplus serve`: spawn the binary on an ephemeral
+//! port, issue real HTTP requests over TCP, parse the JSON by hand.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("csrplus_serve_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir.join(name)
+}
+
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.child.kill().ok();
+        self.child.wait().ok();
+    }
+}
+
+fn start_server() -> Server {
+    // Build a tiny model file first.
+    let graph = tmp("serve.txt");
+    let model = tmp("serve.csrp");
+    std::fs::write(&graph, "0 1\n2 1\n4 1\n0 3\n4 3\n5 3\n3 0\n3 2\n3 5\n2 4\n5 4\n").unwrap();
+    let st = Command::new(env!("CARGO_BIN_EXE_csrplus"))
+        .args(["precompute", graph.to_str().unwrap(), "--rank", "3", "--out"])
+        .arg(&model)
+        .status()
+        .expect("precompute");
+    assert!(st.success());
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_csrplus"))
+        .args(["serve", model.to_str().unwrap(), "--port", "0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn serve");
+    // The server prints "listening on http://127.0.0.1:PORT".
+    let stdout = child.stdout.take().expect("stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let line = lines.next().expect("banner line").expect("read banner");
+    let addr = line.trim_start_matches("listening on http://").to_string();
+    Server { child, addr }
+}
+
+fn get(addr: &str, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    let status: u16 =
+        response.split_whitespace().nth(1).and_then(|s| s.parse().ok()).expect("status code");
+    let body = response.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+    (status, body)
+}
+
+#[test]
+fn serves_all_routes() {
+    let server = start_server();
+
+    let (code, body) = get(&server.addr, "/health");
+    assert_eq!(code, 200);
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    assert!(body.contains("\"nodes\":6"));
+
+    let (code, body) = get(&server.addr, "/similarity?a=1&b=3");
+    assert_eq!(code, 200);
+    assert!(body.contains("\"similarity\":"), "{body}");
+
+    let (code, body) = get(&server.addr, "/topk?node=1&k=3");
+    assert_eq!(code, 200);
+    assert_eq!(body.matches("\"score\":").count(), 3, "{body}");
+
+    let (code, body) = get(&server.addr, "/query?nodes=1,3");
+    assert_eq!(code, 200);
+    assert!(body.contains("\"queries\":[1,3]"), "{body}");
+
+    let (code, body) = get(&server.addr, "/similarity?a=99&b=0");
+    assert_eq!(code, 400);
+    assert!(body.contains("error"), "{body}");
+
+    let (code, _) = get(&server.addr, "/nope");
+    assert_eq!(code, 404);
+}

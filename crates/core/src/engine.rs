@@ -1,0 +1,142 @@
+//! The common interface every CoSimRank algorithm implements.
+//!
+//! The bench harness treats CSR+ and all baselines uniformly: build an
+//! engine, run `precompute`, then run `multi_source` any number of times.
+//! Engines own their memoised state; both phases can fail with a
+//! "memory crash" ([`crate::CoSimRankError::MemoryLimit`]) when the
+//! configured budget would be exceeded, mirroring how the paper's larger
+//! configurations kill the baselines.
+
+use crate::error::CoSimRankError;
+use crate::model::CsrPlusModel;
+use crate::CsrPlusConfig;
+use csrplus_graph::TransitionMatrix;
+use csrplus_linalg::DenseMatrix;
+use csrplus_memtrack::MemoryBudget;
+
+/// Outcome classification used by the harness when tabulating figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineOutcome {
+    /// Ran to completion.
+    Completed,
+    /// Hit the memory budget (the paper's "memory crash").
+    MemoryCrash,
+    /// Failed for another reason.
+    Failed,
+}
+
+/// A two-phase multi-source CoSimRank algorithm.
+pub trait CoSimRankEngine {
+    /// Short display name, e.g. `"CSR+"` or `"CSR-NI"`.
+    fn name(&self) -> &'static str;
+
+    /// One-off preprocessing over the graph.  May be a no-op for purely
+    /// online algorithms.
+    fn precompute(&mut self, t: &TransitionMatrix) -> Result<(), CoSimRankError>;
+
+    /// Answers `[S]_{*,Q}`; requires `precompute` to have succeeded.
+    fn multi_source(&self, queries: &[usize]) -> Result<DenseMatrix, CoSimRankError>;
+
+    /// Measured bytes held by the memoised state after `precompute`.
+    fn memoised_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// [`CoSimRankEngine`] implementation for CSR+ itself.
+#[derive(Debug, Clone)]
+pub struct CsrPlusEngine {
+    config: CsrPlusConfig,
+    model: Option<CsrPlusModel>,
+}
+
+impl CsrPlusEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: CsrPlusConfig) -> Self {
+        CsrPlusEngine { config, model: None }
+    }
+
+    /// Access to the underlying model once precomputed.
+    pub fn model(&self) -> Option<&CsrPlusModel> {
+        self.model.as_ref()
+    }
+
+    /// The configured memory budget does not constrain CSR+ in any paper
+    /// experiment (its state is `O(rn)`), but expose a budgeted all-pairs
+    /// for parity with baselines.
+    pub fn all_pairs(&self, budget: &MemoryBudget) -> Result<DenseMatrix, CoSimRankError> {
+        self.model.as_ref().ok_or(CoSimRankError::NotPrecomputed)?.all_pairs(budget)
+    }
+}
+
+impl CoSimRankEngine for CsrPlusEngine {
+    fn name(&self) -> &'static str {
+        "CSR+"
+    }
+
+    fn precompute(&mut self, t: &TransitionMatrix) -> Result<(), CoSimRankError> {
+        self.model = Some(CsrPlusModel::precompute(t, &self.config)?);
+        Ok(())
+    }
+
+    fn multi_source(&self, queries: &[usize]) -> Result<DenseMatrix, CoSimRankError> {
+        self.model.as_ref().ok_or(CoSimRankError::NotPrecomputed)?.multi_source(queries)
+    }
+
+    fn memoised_bytes(&self) -> usize {
+        self.model.as_ref().map_or(0, CsrPlusModel::heap_bytes)
+    }
+}
+
+/// Classifies an engine `Result` for figure tabulation.
+pub fn classify<T>(result: &Result<T, CoSimRankError>) -> EngineOutcome {
+    match result {
+        Ok(_) => EngineOutcome::Completed,
+        Err(e) if e.is_memory_crash() => EngineOutcome::MemoryCrash,
+        Err(_) => EngineOutcome::Failed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csrplus_graph::generators::figure1_graph;
+
+    #[test]
+    fn engine_lifecycle() {
+        let t = TransitionMatrix::from_graph(&figure1_graph());
+        let mut e = CsrPlusEngine::new(CsrPlusConfig::with_rank(3));
+        // Query before precompute is a structured error.
+        assert!(matches!(e.multi_source(&[0]), Err(CoSimRankError::NotPrecomputed)));
+        assert_eq!(e.memoised_bytes(), 0);
+        e.precompute(&t).unwrap();
+        let s = e.multi_source(&[1, 3]).unwrap();
+        assert_eq!(s.shape(), (6, 2));
+        assert!(e.memoised_bytes() > 0);
+        assert_eq!(e.name(), "CSR+");
+    }
+
+    #[test]
+    fn classify_outcomes() {
+        let ok: Result<(), CoSimRankError> = Ok(());
+        assert_eq!(classify(&ok), EngineOutcome::Completed);
+        let crash: Result<(), CoSimRankError> =
+            Err(csrplus_memtrack::MemoryLimitError { what: "x".into(), required: 2, budget: 1 }
+                .into());
+        assert_eq!(classify(&crash), EngineOutcome::MemoryCrash);
+        let other: Result<(), CoSimRankError> = Err(CoSimRankError::NotPrecomputed);
+        assert_eq!(classify(&other), EngineOutcome::Failed);
+    }
+
+    #[test]
+    fn engine_matches_model_directly() {
+        let t = TransitionMatrix::from_graph(&figure1_graph());
+        let cfg = CsrPlusConfig::with_rank(3);
+        let mut e = CsrPlusEngine::new(cfg);
+        e.precompute(&t).unwrap();
+        let direct = CsrPlusModel::precompute(&t, &cfg).unwrap();
+        let s1 = e.multi_source(&[2]).unwrap();
+        let s2 = direct.multi_source(&[2]).unwrap();
+        assert!(s1.approx_eq(&s2, 1e-12));
+    }
+}

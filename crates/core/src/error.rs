@@ -1,0 +1,101 @@
+//! Unified error type for CoSimRank computations.
+
+use csrplus_linalg::LinalgError;
+use csrplus_memtrack::MemoryLimitError;
+use std::fmt;
+
+/// Errors surfaced by CSR+ and the baseline algorithms.
+#[derive(Debug)]
+pub enum CoSimRankError {
+    /// A configuration parameter is invalid (rank 0, damping ∉ (0,1), …).
+    InvalidConfig {
+        /// Human-readable description.
+        message: String,
+    },
+    /// A query node id was out of range.
+    QueryOutOfBounds {
+        /// Offending node id.
+        node: usize,
+        /// Graph size.
+        n: usize,
+    },
+    /// The algorithm requires a precompute step that has not run yet.
+    NotPrecomputed,
+    /// The run would exceed its memory budget ("memory crash").
+    MemoryLimit(MemoryLimitError),
+    /// Underlying linear-algebra failure.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for CoSimRankError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoSimRankError::InvalidConfig { message } => write!(f, "invalid config: {message}"),
+            CoSimRankError::QueryOutOfBounds { node, n } => {
+                write!(f, "query node {node} out of bounds for graph of {n} nodes")
+            }
+            CoSimRankError::NotPrecomputed => {
+                write!(f, "precompute() must run before queries")
+            }
+            CoSimRankError::MemoryLimit(e) => write!(f, "{e}"),
+            CoSimRankError::Linalg(e) => write!(f, "linear algebra: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoSimRankError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoSimRankError::MemoryLimit(e) => Some(e),
+            CoSimRankError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for CoSimRankError {
+    fn from(e: LinalgError) -> Self {
+        CoSimRankError::Linalg(e)
+    }
+}
+
+impl From<MemoryLimitError> for CoSimRankError {
+    fn from(e: MemoryLimitError) -> Self {
+        CoSimRankError::MemoryLimit(e)
+    }
+}
+
+impl CoSimRankError {
+    /// True when this error is the budget guard firing (the paper's
+    /// "memory crash") rather than a logic failure.
+    pub fn is_memory_crash(&self) -> bool {
+        matches!(self, CoSimRankError::MemoryLimit(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_classification() {
+        let e = CoSimRankError::InvalidConfig { message: "rank 0".into() };
+        assert!(e.to_string().contains("rank 0"));
+        assert!(!e.is_memory_crash());
+        let e = CoSimRankError::QueryOutOfBounds { node: 7, n: 5 };
+        assert!(e.to_string().contains("7"));
+        let e = CoSimRankError::NotPrecomputed;
+        assert!(e.to_string().contains("precompute"));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: CoSimRankError = LinalgError::Singular { context: "lu" }.into();
+        assert!(matches!(e, CoSimRankError::Linalg(_)));
+        let m = MemoryLimitError { what: "U⊗U".into(), required: 10, budget: 5 };
+        let e: CoSimRankError = m.into();
+        assert!(e.is_memory_crash());
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

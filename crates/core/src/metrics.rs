@@ -1,0 +1,115 @@
+//! Accuracy metrics — §4.2.3 of the paper.
+
+use csrplus_linalg::DenseMatrix;
+
+/// `AvgDiff_Q(Ŝ, S) = (1 / (|V|·|Q|)) · Σ_{(i,j)} |Ŝ_{i,j} − S_{i,j}|`
+/// over the `n × |Q|` similarity blocks (the measure of Table 3).
+///
+/// # Panics
+/// Panics on shape mismatch or empty matrices.
+pub fn avg_diff(estimate: &DenseMatrix, exact: &DenseMatrix) -> f64 {
+    assert_eq!(estimate.shape(), exact.shape(), "avg_diff: shape mismatch");
+    let (n, q) = estimate.shape();
+    assert!(n > 0 && q > 0, "avg_diff: empty matrices");
+    let total: f64 =
+        estimate.as_slice().iter().zip(exact.as_slice().iter()).map(|(a, b)| (a - b).abs()).sum();
+    total / (n as f64 * q as f64)
+}
+
+/// Largest absolute entry-wise difference (`‖Ŝ − S‖_max`).
+pub fn max_diff(estimate: &DenseMatrix, exact: &DenseMatrix) -> f64 {
+    estimate.max_abs_diff(exact)
+}
+
+/// Precision@k between two ranked lists of node ids: the fraction of the
+/// top-`k` estimated ids that appear in the top-`k` exact ids.  Used by
+/// the retrieval-quality extension experiments.
+pub fn precision_at_k(estimated: &[usize], exact: &[usize], k: usize) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    let est: Vec<usize> = estimated.iter().copied().take(k).collect();
+    let truth: std::collections::HashSet<usize> = exact.iter().copied().take(k).collect();
+    let hits = est.iter().filter(|id| truth.contains(id)).count();
+    hits as f64 / k.min(est.len().max(1)) as f64
+}
+
+/// Normalised discounted cumulative gain at `k` between an estimated
+/// ranking and graded relevances (`relevance[node]`), the standard
+/// ranking-quality measure for retrieval experiments.  1.0 = the
+/// estimated order is an ideal ordering of the relevances.
+pub fn ndcg_at_k(estimated: &[usize], relevance: &[f64], k: usize) -> f64 {
+    let dcg: f64 = estimated
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(rank, &node)| relevance[node] / ((rank + 2) as f64).log2())
+        .sum();
+    let mut ideal: Vec<f64> = relevance.to_vec();
+    ideal.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let idcg: f64 =
+        ideal.iter().take(k).enumerate().map(|(rank, rel)| rel / ((rank + 2) as f64).log2()).sum();
+    if idcg > 0.0 {
+        dcg / idcg
+    } else {
+        1.0 // no relevant items at all: any order is vacuously ideal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_diff_known_value() {
+        let a = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = DenseMatrix::from_vec(2, 2, vec![1.5, 2.0, 2.0, 4.0]).unwrap();
+        // |diffs| = [0.5, 0, 1, 0] → mean = 1.5/4
+        assert!((avg_diff(&a, &b) - 0.375).abs() < 1e-15);
+        assert_eq!(avg_diff(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn avg_diff_is_symmetric() {
+        let a = DenseMatrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]).unwrap();
+        let b = DenseMatrix::from_vec(1, 3, vec![0.0, 5.0, 3.0]).unwrap();
+        assert_eq!(avg_diff(&a, &b), avg_diff(&b, &a));
+    }
+
+    #[test]
+    fn max_diff_finds_worst_entry() {
+        let a = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = DenseMatrix::from_vec(2, 2, vec![1.0, 0.0, 3.0, 4.5]).unwrap();
+        assert_eq!(max_diff(&a, &b), 2.0);
+    }
+
+    #[test]
+    fn ndcg_basics() {
+        let relevance = [0.0, 3.0, 1.0, 2.0];
+        // Ideal order: 1, 3, 2 (then 0).
+        assert!((ndcg_at_k(&[1, 3, 2], &relevance, 3) - 1.0).abs() < 1e-12);
+        // Worst top-3 order of the relevant items still scores < 1.
+        let worst = ndcg_at_k(&[2, 3, 1], &relevance, 3);
+        assert!(worst < 1.0 && worst > 0.5);
+        // Retrieving only the irrelevant node scores 0.
+        assert_eq!(ndcg_at_k(&[0], &relevance, 1), 0.0);
+        // All-zero relevance is vacuously perfect.
+        assert_eq!(ndcg_at_k(&[0, 1], &[0.0, 0.0], 2), 1.0);
+    }
+
+    #[test]
+    fn ndcg_monotone_in_better_placement() {
+        let relevance = [1.0, 0.0, 0.0, 5.0];
+        let good = ndcg_at_k(&[3, 0, 1], &relevance, 3);
+        let bad = ndcg_at_k(&[1, 0, 3], &relevance, 3);
+        assert!(good > bad);
+    }
+
+    #[test]
+    fn precision_at_k_basics() {
+        assert_eq!(precision_at_k(&[1, 2, 3], &[3, 2, 1], 3), 1.0);
+        assert_eq!(precision_at_k(&[1, 2, 3], &[4, 5, 6], 3), 0.0);
+        assert!((precision_at_k(&[1, 2, 9], &[1, 2, 3], 3) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(precision_at_k(&[], &[], 0), 1.0);
+    }
+}

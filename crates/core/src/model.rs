@@ -1,0 +1,821 @@
+//! The CSR+ model: precomputation (Algorithm 1 lines 1–6) and online
+//! multi-source queries (line 7).
+
+use crate::config::CsrPlusConfig;
+use crate::error::CoSimRankError;
+use csrplus_graph::TransitionMatrix;
+use csrplus_linalg::randomized::randomized_svd;
+use csrplus_linalg::DenseMatrix;
+use csrplus_memtrack::MemoryBudget;
+use std::time::Duration;
+
+/// Wall-clock breakdown of one precomputation (Algorithm 1 lines 1–6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrecomputeStats {
+    /// Line 2: the truncated SVD — the dominant term, `O(mr)`-ish.
+    pub svd: Duration,
+    /// Lines 3–5: `H₀` and the repeated-squaring fixed point, `O(nr²+r³)`.
+    pub subspace: Duration,
+    /// Line 6: `Z = U(ΣPΣ)`, `O(nr²)`.
+    pub memoise: Duration,
+    /// Squaring iterations actually run.
+    pub squaring_iterations: usize,
+}
+
+impl PrecomputeStats {
+    /// Total preprocessing wall-clock.
+    pub fn total(&self) -> Duration {
+        self.svd + self.subspace + self.memoise
+    }
+}
+
+/// The memoised state of Algorithm 1 after precomputation.
+///
+/// Holds only `O(rn)` data: the left singular block `U` (`n×r`) and
+/// `Z = U(ΣPΣ)` (`n×r`), plus the `r×r` diagnostics (`P`, `H₀`, `Σ`).
+#[derive(Debug, Clone)]
+pub struct CsrPlusModel {
+    config: CsrPlusConfig,
+    n: usize,
+    /// Left singular vectors of `Q` (`n × r`).
+    u: DenseMatrix,
+    /// `Z = U·(Σ P Σ)` (`n × r`), memoised for the query phase.
+    z: DenseMatrix,
+    /// Singular values of `Q` (length `r`).
+    sigma: Vec<f64>,
+    /// Fixed point of `P = cHPHᵀ + I_r` (diagnostic / ablation access).
+    p: DenseMatrix,
+    /// `H₀ = VᵀUΣ` (diagnostic / ablation access).
+    h0: DenseMatrix,
+    /// Row norms of `Z`, sorted descending (node id attached) — powers
+    /// the Cauchy–Schwarz pruning of [`CsrPlusModel::top_k_pruned`].
+    z_norms_desc: Vec<(f64, u32)>,
+}
+
+impl CsrPlusModel {
+    /// Runs the precomputation phase (Algorithm 1 lines 1–6) over the
+    /// column-normalised transition matrix.
+    ///
+    /// ```
+    /// use csrplus_core::{CsrPlusConfig, CsrPlusModel};
+    /// use csrplus_graph::{generators::figure1_graph, TransitionMatrix};
+    ///
+    /// let t = TransitionMatrix::from_graph(&figure1_graph());
+    /// let model = CsrPlusModel::precompute(&t, &CsrPlusConfig::with_rank(3))?;
+    /// let s = model.multi_source(&[1, 3])?; // queries {b, d}
+    /// assert_eq!(s.shape(), (6, 2));
+    /// # Ok::<(), csrplus_core::CoSimRankError>(())
+    /// ```
+    ///
+    /// # Errors
+    /// Propagates configuration and SVD failures.
+    pub fn precompute(
+        t: &TransitionMatrix,
+        config: &CsrPlusConfig,
+    ) -> Result<Self, CoSimRankError> {
+        Ok(Self::precompute_with_stats(t, config)?.0)
+    }
+
+    /// [`CsrPlusModel::precompute`] with a wall-clock breakdown per phase
+    /// (the per-line costs of Theorem 3.7's table, measured).
+    pub fn precompute_with_stats(
+        t: &TransitionMatrix,
+        config: &CsrPlusConfig,
+    ) -> Result<(Self, PrecomputeStats), CoSimRankError> {
+        let n = t.n();
+        config.validate(n)?;
+
+        // Line 2: decompose Q at rank r, then run lines 3–6.
+        let t0 = std::time::Instant::now();
+        let svd = match config.backend {
+            crate::config::SvdBackend::Randomized => randomized_svd(t, &config.svd_config())?,
+            crate::config::SvdBackend::Lanczos => {
+                csrplus_linalg::lanczos::lanczos_svd(t, &config.lanczos_config())?
+            }
+        };
+        let svd_time = t0.elapsed();
+        let (model, mut stats) = Self::from_svd_with_stats(config, &svd)?;
+        stats.svd = svd_time;
+        Ok((model, stats))
+    }
+
+    /// Builds the memoised state (Algorithm 1 lines 3–6) from an existing
+    /// truncated SVD of `Q` in the *standard* convention `Q ≈ UΣVᵀ`.
+    ///
+    /// NB: the paper's Eqs. (6a)/(6b) and its worked example are
+    /// consistent only with the convention `Q = VΣUᵀ` (its "U" is the
+    /// *right* singular block of `Q`; compare Example 3.6, where the
+    /// printed `Vᵀ` has `e_d` as its first row — the left singular vector
+    /// of the three identical columns of `Q`).  The factors of the
+    /// standard SVD are therefore swapped here.
+    ///
+    /// This entry point also powers [`crate::dynamic`], which maintains
+    /// the SVD incrementally under edge updates.
+    pub fn from_svd(
+        config: &CsrPlusConfig,
+        svd: &csrplus_linalg::TruncatedSvd,
+    ) -> Result<Self, CoSimRankError> {
+        Ok(Self::from_svd_with_stats(config, svd)?.0)
+    }
+
+    /// [`CsrPlusModel::from_svd`] with per-phase timing (SVD time is left
+    /// zero — the caller owns that phase).
+    pub fn from_svd_with_stats(
+        config: &CsrPlusConfig,
+        svd: &csrplus_linalg::TruncatedSvd,
+    ) -> Result<(Self, PrecomputeStats), CoSimRankError> {
+        let n = svd.u.rows();
+        let u = svd.v.clone();
+        let v = svd.u.clone();
+        let sigma = svd.sigma.clone();
+
+        // Line 3: H₀ = Vᵀ U Σ  (r×r, via the n×r intermediates only).
+        let t1 = std::time::Instant::now();
+        let us = u.scale_columns(&sigma);
+        let h0 = v.matmul_transpose_a(&us)?;
+
+        // Lines 4–5: repeated squaring for P = c·H P Hᵀ + I_r.
+        let iterations = config.squaring_iterations();
+        let p = solve_subspace_fixed_point(&h0, config.damping, iterations)?;
+        let subspace = t1.elapsed();
+
+        // Line 6: Z = U (Σ P Σ).
+        let t2 = std::time::Instant::now();
+        let sps = p.scale_rows(&sigma).scale_columns(&sigma);
+        let z = u.matmul(&sps)?;
+        let z_norms_desc = sorted_row_norms(&z);
+        let memoise = t2.elapsed();
+
+        let stats = PrecomputeStats {
+            svd: Duration::ZERO,
+            subspace,
+            memoise,
+            squaring_iterations: iterations,
+        };
+        Ok((CsrPlusModel { config: *config, n, u, z, sigma, p, h0, z_norms_desc }, stats))
+    }
+
+    /// Reassembles a model from previously memoised parts (used by
+    /// [`crate::persist`] when loading from disk).
+    ///
+    /// # Errors
+    /// [`CoSimRankError::InvalidConfig`] when the shapes are inconsistent.
+    pub fn from_parts(
+        config: CsrPlusConfig,
+        n: usize,
+        u: DenseMatrix,
+        z: DenseMatrix,
+        sigma: Vec<f64>,
+        p: DenseMatrix,
+        h0: DenseMatrix,
+    ) -> Result<Self, CoSimRankError> {
+        let r = sigma.len();
+        let bad = |what: &str| CoSimRankError::InvalidConfig {
+            message: format!("from_parts: inconsistent {what}"),
+        };
+        if u.shape() != (n, r) || z.shape() != (n, r) {
+            return Err(bad("U/Z shapes"));
+        }
+        if p.shape() != (r, r) || h0.shape() != (r, r) {
+            return Err(bad("P/H₀ shapes"));
+        }
+        config.validate(n.max(1))?;
+        let z_norms_desc = sorted_row_norms(&z);
+        Ok(CsrPlusModel { config, n, u, z, sigma, p, h0, z_norms_desc })
+    }
+
+    /// Graph size `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The configuration used to build this model.
+    pub fn config(&self) -> &CsrPlusConfig {
+        &self.config
+    }
+
+    /// Effective rank (may be below the requested rank if the spectrum
+    /// truncated earlier).
+    pub fn rank(&self) -> usize {
+        self.sigma.len()
+    }
+
+    /// Singular values of the truncated SVD.
+    pub fn sigma(&self) -> &[f64] {
+        &self.sigma
+    }
+
+    /// The `n×r` left singular block `U`.
+    pub fn u(&self) -> &DenseMatrix {
+        &self.u
+    }
+
+    /// The memoised `n×r` matrix `Z = U(ΣPΣ)`.
+    pub fn z(&self) -> &DenseMatrix {
+        &self.z
+    }
+
+    /// The `r×r` subspace fixed point `P` (diagnostics/ablations).
+    pub fn p(&self) -> &DenseMatrix {
+        &self.p
+    }
+
+    /// `H₀ = VᵀUΣ` (diagnostics/ablations).
+    pub fn h0(&self) -> &DenseMatrix {
+        &self.h0
+    }
+
+    /// Online multi-source query (Algorithm 1 line 7):
+    /// `[S]_{*,Q} = [Iₙ]_{*,Q} + c·Z·[U]_{Q,*}ᵀ`.
+    ///
+    /// Returns an `n × |Q|` matrix whose column `j` is the similarity of
+    /// every node to `queries[j]`.
+    ///
+    /// # Errors
+    /// [`CoSimRankError::QueryOutOfBounds`] on an invalid node id.
+    pub fn multi_source(&self, queries: &[usize]) -> Result<DenseMatrix, CoSimRankError> {
+        for &q in queries {
+            if q >= self.n {
+                return Err(CoSimRankError::QueryOutOfBounds { node: q, n: self.n });
+            }
+        }
+        let uq = self.u.select_rows(queries); // |Q| × r
+        let mut s = self.z.matmul_transpose_b(&uq)?; // n × |Q|
+        s.scale_in_place(self.config.damping);
+        for (j, &q) in queries.iter().enumerate() {
+            let v = s.get(q, j) + 1.0;
+            s.set(q, j, v);
+        }
+        Ok(s)
+    }
+
+    /// Multi-source query evaluated in bounded-memory chunks: the query
+    /// set is processed `chunk` columns at a time and each `n × chunk`
+    /// block is handed to `sink` before the next is computed — the
+    /// streaming regime for very large `|Q|` where the full `n × |Q|`
+    /// block would not fit (the memory growth of Figures 7/9, capped).
+    pub fn multi_source_chunked(
+        &self,
+        queries: &[usize],
+        chunk: usize,
+        mut sink: impl FnMut(&[usize], &DenseMatrix),
+    ) -> Result<(), CoSimRankError> {
+        if chunk == 0 {
+            return Err(CoSimRankError::InvalidConfig {
+                message: "multi_source_chunked: chunk must be positive".into(),
+            });
+        }
+        for part in queries.chunks(chunk) {
+            let block = self.multi_source(part)?;
+            sink(part, &block);
+        }
+        Ok(())
+    }
+
+    /// Partial-pairs similarity block `[S]_{A,B}` — every pair between
+    /// two node sets, in `O(|A|·|B|·r)` after the shared precompute
+    /// (the partial-pairs regime of Yu & McCann 2015, expressed through
+    /// Theorem 3.5: `[S]_{A,B} = [Iₙ]_{A,B} + c·[Z]_{A,*}·[U]_{B,*}ᵀ`).
+    pub fn partial_pairs(
+        &self,
+        rows: &[usize],
+        cols: &[usize],
+    ) -> Result<DenseMatrix, CoSimRankError> {
+        for &x in rows.iter().chain(cols.iter()) {
+            if x >= self.n {
+                return Err(CoSimRankError::QueryOutOfBounds { node: x, n: self.n });
+            }
+        }
+        let za = self.z.select_rows(rows); // |A| × r
+        let ub = self.u.select_rows(cols); // |B| × r
+        let mut s = za.matmul_transpose_b(&ub)?; // |A| × |B|
+        s.scale_in_place(self.config.damping);
+        for (i, &a) in rows.iter().enumerate() {
+            for (j, &b) in cols.iter().enumerate() {
+                if a == b {
+                    let v = s.get(i, j) + 1.0;
+                    s.set(i, j, v);
+                }
+            }
+        }
+        Ok(s)
+    }
+
+    /// Single-source similarity column `[S]_{*,q}`.
+    pub fn single_source(&self, q: usize) -> Result<Vec<f64>, CoSimRankError> {
+        Ok(self.multi_source(&[q])?.into_vec())
+    }
+
+    /// Single-pair similarity `[S]_{a,b} = [a=b] + c·Z[a,:]·U[b,:]ᵀ`.
+    pub fn similarity(&self, a: usize, b: usize) -> Result<f64, CoSimRankError> {
+        if a >= self.n {
+            return Err(CoSimRankError::QueryOutOfBounds { node: a, n: self.n });
+        }
+        if b >= self.n {
+            return Err(CoSimRankError::QueryOutOfBounds { node: b, n: self.n });
+        }
+        let base = if a == b { 1.0 } else { 0.0 };
+        Ok(base + self.config.damping * csrplus_linalg::vector::dot(self.z.row(a), self.u.row(b)))
+    }
+
+    /// All-pairs similarity `S = Iₙ + c·Z·Uᵀ` — an `n × n` dense matrix,
+    /// so it is guarded by a [`MemoryBudget`].
+    pub fn all_pairs(&self, budget: &MemoryBudget) -> Result<DenseMatrix, CoSimRankError> {
+        budget.check("all-pairs S (n×n)", csrplus_memtrack::model::dense(self.n, self.n))?;
+        let queries: Vec<usize> = (0..self.n).collect();
+        self.multi_source(&queries)
+    }
+
+    /// Top-`k` most similar nodes to `q` (excluding `q` itself), sorted by
+    /// descending similarity with node id as tie-break.
+    pub fn top_k(&self, q: usize, k: usize) -> Result<Vec<(usize, f64)>, CoSimRankError> {
+        let col = self.single_source(q)?;
+        let mut scored: Vec<(usize, f64)> =
+            col.into_iter().enumerate().filter(|&(i, _)| i != q).collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
+        scored.truncate(k);
+        Ok(scored)
+    }
+
+    /// Top-`k` retrieval with Cauchy–Schwarz pruning: candidates are
+    /// visited in descending `‖Z[x,:]‖` order and the scan stops as soon
+    /// as the bound `c·‖Z[x,:]‖·‖U[q,:]‖` cannot beat the current k-th
+    /// best score — typically touching a small fraction of the nodes on
+    /// skewed (real-world) score distributions.  Returns exactly what
+    /// [`CsrPlusModel::top_k`] returns.
+    pub fn top_k_pruned(&self, q: usize, k: usize) -> Result<Vec<(usize, f64)>, CoSimRankError> {
+        Ok(self.top_k_pruned_with_stats(q, k)?.0)
+    }
+
+    /// [`CsrPlusModel::top_k_pruned`] plus the number of candidates whose
+    /// exact score was actually computed — the pruning-effectiveness
+    /// metric reported by the ablation benches.
+    pub fn top_k_pruned_with_stats(
+        &self,
+        q: usize,
+        k: usize,
+    ) -> Result<(Vec<(usize, f64)>, usize), CoSimRankError> {
+        if q >= self.n {
+            return Err(CoSimRankError::QueryOutOfBounds { node: q, n: self.n });
+        }
+        if k == 0 {
+            return Ok((Vec::new(), 0));
+        }
+        let c = self.config.damping;
+        let uq = self.u.row(q);
+        let uq_norm = csrplus_linalg::vector::norm2(uq);
+        let mut best: Vec<(usize, f64)> = Vec::with_capacity(k + 1);
+        let mut kth_score = f64::NEG_INFINITY;
+        let mut scanned = 0usize;
+        for &(znorm, x) in &self.z_norms_desc {
+            let x = x as usize;
+            if best.len() == k && c * znorm * uq_norm <= kth_score {
+                break; // no remaining candidate can beat the k-th best
+            }
+            if x == q {
+                continue; // top_k excludes the query itself
+            }
+            scanned += 1;
+            let score = c * csrplus_linalg::vector::dot(self.z.row(x), uq);
+            if best.len() < k || score > kth_score {
+                best.push((x, score));
+                best.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+                });
+                best.truncate(k);
+                kth_score = if best.len() == k { best[k - 1].1 } else { f64::NEG_INFINITY };
+            }
+        }
+        Ok((best, scanned))
+    }
+
+    /// Similarity join: every ordered pair `(x, y)`, `x ≠ y`, with
+    /// `[S]_{x,y} ≥ threshold`, found without materialising the `n×n`
+    /// matrix.  Candidates are enumerated in descending-norm order on
+    /// both sides and pruned with `c·‖Z[x]‖·‖U[y]‖ < threshold`, so the
+    /// scan cost adapts to the score distribution instead of being
+    /// `Θ(n²)`.  Pairs come back sorted by descending similarity.
+    ///
+    /// `threshold` must be positive: the bound only prunes positive
+    /// scores, and CoSimRank joins below 0 are meaningless (exact
+    /// similarities are non-negative).
+    pub fn similarity_join(
+        &self,
+        threshold: f64,
+        budget: &MemoryBudget,
+    ) -> Result<Vec<(usize, usize, f64)>, CoSimRankError> {
+        if threshold.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(CoSimRankError::InvalidConfig {
+                message: format!("similarity_join threshold {threshold} must be > 0"),
+            });
+        }
+        let c = self.config.damping;
+        let u_norms_desc = sorted_row_norms(&self.u);
+        let mut out: Vec<(usize, usize, f64)> = Vec::new();
+        for &(zn, x) in &self.z_norms_desc {
+            // The largest possible score for this x is against the
+            // largest ‖u‖; once even that dies, every later x (smaller
+            // ‖z‖) dies too.
+            let best_possible = c * zn * u_norms_desc.first().map_or(0.0, |p| p.0);
+            if best_possible < threshold {
+                break;
+            }
+            let x = x as usize;
+            for &(un, y) in &u_norms_desc {
+                if c * zn * un < threshold {
+                    break; // u-norms only shrink from here
+                }
+                let y = y as usize;
+                if x == y {
+                    continue;
+                }
+                let score = c * csrplus_linalg::vector::dot(self.z.row(x), self.u.row(y));
+                if score >= threshold {
+                    out.push((x, y, score));
+                    // Guard unbounded result sets (dense near-clique
+                    // graphs at tiny thresholds).
+                    budget.check(
+                        "similarity-join result set",
+                        out.capacity() * std::mem::size_of::<(usize, usize, f64)>(),
+                    )?;
+                }
+            }
+        }
+        out.sort_by(|a, b| {
+            b.2.partial_cmp(&a.2)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+                .then(a.1.cmp(&b.1))
+        });
+        Ok(out)
+    }
+
+    /// Measured heap footprint of the memoised state (bytes).
+    pub fn heap_bytes(&self) -> usize {
+        self.u.heap_bytes()
+            + self.z.heap_bytes()
+            + self.p.heap_bytes()
+            + self.h0.heap_bytes()
+            + self.sigma.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+/// Row norms of `m` with their row ids, sorted descending.
+fn sorted_row_norms(m: &DenseMatrix) -> Vec<(f64, u32)> {
+    let mut norms: Vec<(f64, u32)> =
+        (0..m.rows()).map(|i| (csrplus_linalg::vector::norm2(m.row(i)), i as u32)).collect();
+    norms.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    norms
+}
+
+/// Solves `P = c·H·P·Hᵀ + I_r` by repeated squaring (Algorithm 1, line 5):
+/// `P_{k+1} = P_k + c^{2^k}·H_k·P_k·H_kᵀ`, `H_{k+1} = H_k²`.
+///
+/// After `k` iterations `P_k` equals the first `2^k` terms of
+/// `Σ_j c^j H^j (Hᵀ)^j`, so the iteration count from
+/// [`crate::config::squaring_iterations`] guarantees `‖P_k − P‖ < ε`.
+pub fn solve_subspace_fixed_point(
+    h0: &DenseMatrix,
+    damping: f64,
+    iterations: usize,
+) -> Result<DenseMatrix, CoSimRankError> {
+    let r = h0.rows();
+    let mut p = DenseMatrix::identity(r);
+    let mut h = h0.clone();
+    let mut factor = damping;
+    for _ in 0..iterations {
+        // P ← P + factor · H·P·Hᵀ
+        let hp = h.matmul(&p)?;
+        let hpht = hp.matmul_transpose_b(&h)?;
+        p.add_scaled(factor, &hpht)?;
+        // H ← H², factor ← factor².
+        h = h.matmul(&h)?;
+        factor *= factor;
+    }
+    Ok(p)
+}
+
+/// Reference linear iteration for the same fixed point (used by the
+/// repeated-squaring ablation): `P ← c·H·P·Hᵀ + I_r`, `iterations` times.
+pub fn solve_subspace_fixed_point_linear(
+    h0: &DenseMatrix,
+    damping: f64,
+    iterations: usize,
+) -> Result<DenseMatrix, CoSimRankError> {
+    let r = h0.rows();
+    let mut p = DenseMatrix::identity(r);
+    for _ in 0..iterations {
+        let hp = h0.matmul(&p)?;
+        let mut hpht = hp.matmul_transpose_b(h0)?;
+        hpht.scale_in_place(damping);
+        hpht.add_diag(1.0)?;
+        p = hpht;
+    }
+    Ok(p)
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index loops mirror the matrix math
+mod tests {
+    use super::*;
+    use csrplus_graph::generators::{classic::cycle, figure1_graph};
+
+    fn fig1_model(rank: usize) -> CsrPlusModel {
+        let g = figure1_graph();
+        let t = TransitionMatrix::from_graph(&g);
+        let cfg = CsrPlusConfig { rank, ..Default::default() };
+        CsrPlusModel::precompute(&t, &cfg).unwrap()
+    }
+
+    #[test]
+    fn precompute_stats_cover_all_phases() {
+        let g = figure1_graph();
+        let t = TransitionMatrix::from_graph(&g);
+        let cfg = CsrPlusConfig { rank: 3, ..Default::default() };
+        let (model, stats) = CsrPlusModel::precompute_with_stats(&t, &cfg).unwrap();
+        assert_eq!(stats.squaring_iterations, cfg.squaring_iterations());
+        assert!(stats.svd > std::time::Duration::ZERO);
+        assert_eq!(stats.total(), stats.svd + stats.subspace + stats.memoise);
+        // And the model is the same as the plain entry point's.
+        let plain = CsrPlusModel::precompute(&t, &cfg).unwrap();
+        let a = model.multi_source(&[1]).unwrap();
+        let b = plain.multi_source(&[1]).unwrap();
+        assert!(a.approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn worked_example_3_6_singular_values() {
+        // The paper prints Σ = diag(1.73, 0.87, 0.54) for rank 3.
+        let m = fig1_model(3);
+        assert!((m.sigma()[0] - 1.73).abs() < 0.01, "{:?}", m.sigma());
+        assert!((m.sigma()[1] - 0.87).abs() < 0.01);
+        assert!((m.sigma()[2] - 0.54).abs() < 0.01);
+    }
+
+    #[test]
+    fn worked_example_3_6_similarities() {
+        // Final output of Example 3.6 for Q = {b, d} (2-dp values).
+        let m = fig1_model(3);
+        let s = m.multi_source(&[1, 3]).unwrap();
+        let expected_b = [0.16, 1.49, 0.16, 0.49, 0.48, 0.16];
+        let expected_d = [0.16, 0.49, 0.16, 1.49, 0.48, 0.16];
+        for i in 0..6 {
+            assert!(
+                (s.get(i, 0) - expected_b[i]).abs() < 0.02,
+                "S[{i},b] = {} want {}",
+                s.get(i, 0),
+                expected_b[i]
+            );
+            assert!(
+                (s.get(i, 1) - expected_d[i]).abs() < 0.02,
+                "S[{i},d] = {} want {}",
+                s.get(i, 1),
+                expected_d[i]
+            );
+        }
+    }
+
+    #[test]
+    fn lanczos_backend_reproduces_worked_example() {
+        let g = figure1_graph();
+        let t = TransitionMatrix::from_graph(&g);
+        let cfg = CsrPlusConfig {
+            rank: 3,
+            backend: crate::config::SvdBackend::Lanczos,
+            ..Default::default()
+        };
+        let m = CsrPlusModel::precompute(&t, &cfg).unwrap();
+        assert!((m.sigma()[0] - 1.73).abs() < 0.01);
+        let s = m.multi_source(&[1, 3]).unwrap();
+        assert!((s.get(1, 0) - 1.49).abs() < 0.02);
+        assert!((s.get(3, 0) - 0.49).abs() < 0.02);
+    }
+
+    #[test]
+    fn backends_agree_on_full_rank() {
+        let g = figure1_graph();
+        let t = TransitionMatrix::from_graph(&g);
+        let mk = |backend| {
+            let cfg = CsrPlusConfig { rank: 4, epsilon: 1e-12, backend, ..Default::default() };
+            CsrPlusModel::precompute(&t, &cfg).unwrap().multi_source(&[0, 1, 2]).unwrap()
+        };
+        let a = mk(crate::config::SvdBackend::Randomized);
+        let b = mk(crate::config::SvdBackend::Lanczos);
+        assert!(a.approx_eq(&b, 1e-6), "backend diff {}", a.max_abs_diff(&b));
+    }
+
+    #[test]
+    fn subspace_fixed_point_matches_linear_iteration() {
+        let m = fig1_model(3);
+        let sq = solve_subspace_fixed_point(m.h0(), 0.6, 5).unwrap();
+        let lin = solve_subspace_fixed_point_linear(m.h0(), 0.6, 64).unwrap();
+        assert!(sq.approx_eq(&lin, 1e-6), "diff {}", sq.max_abs_diff(&lin));
+    }
+
+    #[test]
+    fn fixed_point_satisfies_equation() {
+        // P must satisfy P = c·HPHᵀ + I to within ε.
+        let m = fig1_model(3);
+        let p = m.p();
+        let hp = m.h0().matmul(p).unwrap();
+        let mut rhs = hp.matmul_transpose_b(m.h0()).unwrap();
+        rhs.scale_in_place(0.6);
+        rhs.add_diag(1.0).unwrap();
+        assert!(p.approx_eq(&rhs, 1e-5), "residual {}", p.max_abs_diff(&rhs));
+    }
+
+    #[test]
+    fn p_is_symmetric_with_unit_plus_diagonal() {
+        let m = fig1_model(3);
+        let p = m.p();
+        for i in 0..3 {
+            assert!(p.get(i, i) >= 1.0 - 1e-9, "P[{i},{i}] = {}", p.get(i, i));
+            for j in 0..3 {
+                assert!((p.get(i, j) - p.get(j, i)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_source_columns_match_single_source() {
+        let m = fig1_model(3);
+        let s = m.multi_source(&[0, 2, 5]).unwrap();
+        for (j, &q) in [0usize, 2, 5].iter().enumerate() {
+            let col = m.single_source(q).unwrap();
+            for i in 0..6 {
+                assert!((s.get(i, j) - col[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_multi_source_matches_monolithic() {
+        let m = fig1_model(3);
+        let queries = [0usize, 1, 2, 3, 4, 5];
+        let full = m.multi_source(&queries).unwrap();
+        for chunk in [1usize, 2, 4, 6, 100] {
+            let mut seen = 0usize;
+            m.multi_source_chunked(&queries, chunk, |part, block| {
+                assert_eq!(block.shape(), (6, part.len()));
+                for (j, _) in part.iter().enumerate() {
+                    for i in 0..6 {
+                        assert!((block.get(i, j) - full.get(i, seen + j)).abs() < 1e-15);
+                    }
+                }
+                seen += part.len();
+            })
+            .unwrap();
+            assert_eq!(seen, queries.len());
+        }
+        assert!(m.multi_source_chunked(&queries, 0, |_, _| {}).is_err());
+    }
+
+    #[test]
+    fn partial_pairs_matches_full_matrix() {
+        let m = fig1_model(3);
+        let s_all = m.all_pairs(&MemoryBudget::unlimited()).unwrap();
+        let rows = [0usize, 3, 5];
+        let cols = [1usize, 3];
+        let block = m.partial_pairs(&rows, &cols).unwrap();
+        assert_eq!(block.shape(), (3, 2));
+        for (i, &a) in rows.iter().enumerate() {
+            for (j, &b) in cols.iter().enumerate() {
+                assert!((block.get(i, j) - s_all.get(a, b)).abs() < 1e-12);
+            }
+        }
+        assert!(m.partial_pairs(&[9], &[0]).is_err());
+        assert!(m.partial_pairs(&[0], &[9]).is_err());
+    }
+
+    #[test]
+    fn similarity_matches_matrix_entry() {
+        let m = fig1_model(3);
+        let s = m.all_pairs(&MemoryBudget::unlimited()).unwrap();
+        for a in 0..6 {
+            for b in 0..6 {
+                let pair = m.similarity(a, b).unwrap();
+                assert!((pair - s.get(a, b)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn all_pairs_is_symmetric() {
+        let m = fig1_model(3);
+        let s = m.all_pairs(&MemoryBudget::unlimited()).unwrap();
+        assert!(s.approx_eq(&s.transpose(), 1e-9));
+    }
+
+    #[test]
+    fn query_out_of_bounds_rejected() {
+        let m = fig1_model(3);
+        assert!(matches!(
+            m.multi_source(&[6]),
+            Err(CoSimRankError::QueryOutOfBounds { node: 6, n: 6 })
+        ));
+        assert!(m.similarity(0, 99).is_err());
+        assert!(m.similarity(99, 0).is_err());
+    }
+
+    #[test]
+    fn all_pairs_respects_budget() {
+        let m = fig1_model(3);
+        let tiny = MemoryBudget::new(8);
+        let err = m.all_pairs(&tiny).unwrap_err();
+        assert!(err.is_memory_crash());
+    }
+
+    #[test]
+    fn top_k_excludes_query_and_sorts() {
+        let m = fig1_model(3);
+        let top = m.top_k(1, 3).unwrap(); // node b
+        assert_eq!(top.len(), 3);
+        assert!(top.iter().all(|&(i, _)| i != 1));
+        for w in top.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        // In Example 3.6, d is the most similar node to b (0.49).
+        assert_eq!(top[0].0, 3);
+    }
+
+    #[test]
+    fn similarity_join_matches_brute_force() {
+        let m = fig1_model(3);
+        let s = m.all_pairs(&MemoryBudget::unlimited()).unwrap();
+        for threshold in [0.1f64, 0.3, 0.5, 1.0] {
+            let joined = m.similarity_join(threshold, &MemoryBudget::unlimited()).unwrap();
+            // Brute-force reference.
+            let mut want: Vec<(usize, usize, f64)> = Vec::new();
+            for x in 0..6 {
+                for y in 0..6 {
+                    if x != y && s.get(x, y) >= threshold {
+                        want.push((x, y, s.get(x, y)));
+                    }
+                }
+            }
+            assert_eq!(joined.len(), want.len(), "threshold {threshold}");
+            let got: std::collections::HashSet<(usize, usize)> =
+                joined.iter().map(|&(x, y, _)| (x, y)).collect();
+            for (x, y, _) in want {
+                assert!(got.contains(&(x, y)), "missing ({x},{y}) at {threshold}");
+            }
+            // Sorted by descending score.
+            for w in joined.windows(2) {
+                assert!(w[0].2 >= w[1].2 - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn similarity_join_validates_threshold() {
+        let m = fig1_model(3);
+        assert!(m.similarity_join(0.0, &MemoryBudget::unlimited()).is_err());
+        assert!(m.similarity_join(-1.0, &MemoryBudget::unlimited()).is_err());
+        // A threshold above every off-diagonal score yields nothing.
+        let empty = m.similarity_join(10.0, &MemoryBudget::unlimited()).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn pruned_top_k_matches_naive() {
+        let m = fig1_model(3);
+        for q in 0..6 {
+            for k in [1usize, 3, 5, 10] {
+                let naive = m.top_k(q, k).unwrap();
+                let pruned = m.top_k_pruned(q, k).unwrap();
+                assert_eq!(naive.len(), pruned.len(), "q={q} k={k}");
+                for (a, b) in naive.iter().zip(pruned.iter()) {
+                    assert_eq!(a.0, b.0, "q={q} k={k}: {naive:?} vs {pruned:?}");
+                    assert!((a.1 - b.1).abs() < 1e-12);
+                }
+            }
+        }
+        assert!(m.top_k_pruned(9, 3).is_err());
+        assert!(m.top_k_pruned(0, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn cycle_graph_uniform_structure() {
+        // On a directed cycle Q is a permutation matrix; all PPR vectors
+        // stay unit mass, so S[a,a] = 1/(1-c) at full rank.
+        let g = cycle(8);
+        let t = TransitionMatrix::from_graph(&g);
+        let cfg = CsrPlusConfig { rank: 8, epsilon: 1e-10, ..Default::default() };
+        let m = CsrPlusModel::precompute(&t, &cfg).unwrap();
+        let expect = 1.0 / (1.0 - 0.6);
+        for i in 0..8 {
+            let s = m.similarity(i, i).unwrap();
+            assert!((s - expect).abs() < 1e-4, "S[{i},{i}] = {s} want {expect}");
+        }
+    }
+
+    #[test]
+    fn heap_bytes_is_order_rn() {
+        let m = fig1_model(3);
+        let b = m.heap_bytes();
+        // 6 nodes, rank 3: a few hundred bytes, far below n² scale.
+        assert!(b > 0 && b < 10_000, "bytes {b}");
+    }
+}

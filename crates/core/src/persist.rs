@@ -1,0 +1,390 @@
+//! Binary persistence for precomputed CSR+ models.
+//!
+//! The whole point of the precompute/query split is to pay the SVD once;
+//! this module makes the memoised state durable so a service can load a
+//! model at startup and answer queries immediately.
+//!
+//! Format (all little-endian):
+//!
+//! ```text
+//! magic   b"CSRP"            4 bytes
+//! version u32                currently 1
+//! n, r    u64 × 2
+//! damping, epsilon  f64 × 2
+//! oversample, power_iterations, seed, backend  u64 × 4
+//! sigma   f64 × r
+//! U       f64 × n·r  (row-major)
+//! Z       f64 × n·r  (row-major)
+//! P       f64 × r·r  (row-major)
+//! H₀      f64 × r·r  (row-major)
+//! crc     u64  (FNV-1a over everything after the magic)
+//! ```
+//!
+//! The checksum guards against truncated or bit-rotted files; versioning
+//! guards against silent format drift.
+
+use crate::config::CsrPlusConfig;
+use crate::error::CoSimRankError;
+use crate::model::CsrPlusModel;
+use csrplus_linalg::DenseMatrix;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: [u8; 4] = *b"CSRP";
+const VERSION: u32 = 1;
+
+/// Errors specific to model (de)serialisation.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a CSR+ model (bad magic).
+    BadMagic,
+    /// The file uses an unsupported format version.
+    UnsupportedVersion(u32),
+    /// The checksum did not match (truncation or corruption).
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        expected: u64,
+        /// Checksum of the bytes actually read.
+        actual: u64,
+    },
+    /// The payload is internally inconsistent (e.g. absurd sizes).
+    Malformed(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::BadMagic => write!(f, "not a CSR+ model file (bad magic)"),
+            PersistError::UnsupportedVersion(v) => write!(f, "unsupported model version {v}"),
+            PersistError::ChecksumMismatch { expected, actual } => {
+                write!(f, "checksum mismatch: stored {expected:#x}, computed {actual:#x}")
+            }
+            PersistError::Malformed(m) => write!(f, "malformed model file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// FNV-1a, the integrity (not security) checksum of the format.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf29ce484222325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+}
+
+/// A writer that checksums everything passing through it.
+struct HashingWriter<W: Write> {
+    inner: W,
+    hash: Fnv1a,
+}
+
+impl<W: Write> HashingWriter<W> {
+    fn new(inner: W) -> Self {
+        HashingWriter { inner, hash: Fnv1a::new() }
+    }
+
+    fn put_u32(&mut self, v: u32) -> io::Result<()> {
+        self.put(&v.to_le_bytes())
+    }
+
+    fn put_u64(&mut self, v: u64) -> io::Result<()> {
+        self.put(&v.to_le_bytes())
+    }
+
+    fn put_f64(&mut self, v: f64) -> io::Result<()> {
+        self.put(&v.to_le_bytes())
+    }
+
+    fn put_f64_slice(&mut self, vs: &[f64]) -> io::Result<()> {
+        for &v in vs {
+            self.put_f64(v)?;
+        }
+        Ok(())
+    }
+
+    fn put(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.hash.update(bytes);
+        self.inner.write_all(bytes)
+    }
+}
+
+/// A reader that checksums everything passing through it.
+struct HashingReader<R: Read> {
+    inner: R,
+    hash: Fnv1a,
+}
+
+impl<R: Read> HashingReader<R> {
+    fn new(inner: R) -> Self {
+        HashingReader { inner, hash: Fnv1a::new() }
+    }
+
+    fn get_u32(&mut self) -> Result<u32, PersistError> {
+        let mut b = [0u8; 4];
+        self.get(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn get_u64(&mut self) -> Result<u64, PersistError> {
+        let mut b = [0u8; 8];
+        self.get(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn get_f64(&mut self) -> Result<f64, PersistError> {
+        let mut b = [0u8; 8];
+        self.get(&mut b)?;
+        Ok(f64::from_le_bytes(b))
+    }
+
+    fn get_f64_vec(&mut self, len: usize) -> Result<Vec<f64>, PersistError> {
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.get_f64()?);
+        }
+        Ok(out)
+    }
+
+    fn get(&mut self, buf: &mut [u8]) -> Result<(), PersistError> {
+        self.inner.read_exact(buf)?;
+        self.hash.update(buf);
+        Ok(())
+    }
+}
+
+/// Serialises a model to any writer.
+///
+/// ```
+/// use csrplus_core::{persist, CsrPlusConfig, CsrPlusModel};
+/// use csrplus_graph::{generators::figure1_graph, TransitionMatrix};
+///
+/// let t = TransitionMatrix::from_graph(&figure1_graph());
+/// let model = CsrPlusModel::precompute(&t, &CsrPlusConfig::with_rank(3)).unwrap();
+/// let mut buf = Vec::new();
+/// persist::write_model(&model, &mut buf)?;
+/// let loaded = persist::read_model(buf.as_slice())?;
+/// assert_eq!(loaded.n(), 6);
+/// # Ok::<(), csrplus_core::persist::PersistError>(())
+/// ```
+pub fn write_model<W: Write>(model: &CsrPlusModel, writer: W) -> Result<(), PersistError> {
+    let mut w = HashingWriter::new(writer);
+    w.inner.write_all(&MAGIC)?;
+    w.put_u32(VERSION)?;
+    let cfg = model.config();
+    let (n, r) = (model.n(), model.rank());
+    w.put_u64(n as u64)?;
+    w.put_u64(r as u64)?;
+    w.put_f64(cfg.damping)?;
+    w.put_f64(cfg.epsilon)?;
+    w.put_u64(cfg.oversample as u64)?;
+    w.put_u64(cfg.power_iterations as u64)?;
+    w.put_u64(cfg.seed)?;
+    w.put_u64(match cfg.backend {
+        crate::config::SvdBackend::Randomized => 0,
+        crate::config::SvdBackend::Lanczos => 1,
+    })?;
+    w.put_f64_slice(model.sigma())?;
+    w.put_f64_slice(model.u().as_slice())?;
+    w.put_f64_slice(model.z().as_slice())?;
+    w.put_f64_slice(model.p().as_slice())?;
+    w.put_f64_slice(model.h0().as_slice())?;
+    let crc = w.hash.0;
+    w.inner.write_all(&crc.to_le_bytes())?;
+    w.inner.flush()?;
+    Ok(())
+}
+
+/// Deserialises a model from any reader (with integrity verification).
+pub fn read_model<R: Read>(reader: R) -> Result<CsrPlusModel, PersistError> {
+    let mut r = HashingReader::new(reader);
+    let mut magic = [0u8; 4];
+    r.inner.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = r.get_u32()?;
+    if version != VERSION {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    let n = r.get_u64()? as usize;
+    let rank = r.get_u64()? as usize;
+    // Sanity bounds before allocating: a corrupt header must not OOM us.
+    const MAX_ELEMENTS: usize = 1 << 36;
+    if rank == 0 || rank > n || n.saturating_mul(rank) > MAX_ELEMENTS {
+        return Err(PersistError::Malformed(format!("implausible sizes n={n} r={rank}")));
+    }
+    let damping = r.get_f64()?;
+    let epsilon = r.get_f64()?;
+    let oversample = r.get_u64()? as usize;
+    let power_iterations = r.get_u64()? as usize;
+    let seed = r.get_u64()?;
+    let backend = match r.get_u64()? {
+        0 => crate::config::SvdBackend::Randomized,
+        1 => crate::config::SvdBackend::Lanczos,
+        other => return Err(PersistError::Malformed(format!("unknown SVD backend tag {other}"))),
+    };
+    let sigma = r.get_f64_vec(rank)?;
+    let u = r.get_f64_vec(n * rank)?;
+    let z = r.get_f64_vec(n * rank)?;
+    let p = r.get_f64_vec(rank * rank)?;
+    let h0 = r.get_f64_vec(rank * rank)?;
+    let actual = r.hash.0;
+    let mut crc_bytes = [0u8; 8];
+    r.inner.read_exact(&mut crc_bytes)?;
+    let expected = u64::from_le_bytes(crc_bytes);
+    if expected != actual {
+        return Err(PersistError::ChecksumMismatch { expected, actual });
+    }
+
+    let mk = |rows: usize, cols: usize, data: Vec<f64>| -> Result<DenseMatrix, PersistError> {
+        DenseMatrix::from_vec(rows, cols, data).map_err(|e| PersistError::Malformed(e.to_string()))
+    };
+    let config =
+        CsrPlusConfig { damping, rank, epsilon, oversample, power_iterations, seed, backend };
+    CsrPlusModel::from_parts(
+        config,
+        n,
+        mk(n, rank, u)?,
+        mk(n, rank, z)?,
+        sigma,
+        mk(rank, rank, p)?,
+        mk(rank, rank, h0)?,
+    )
+    .map_err(|e: CoSimRankError| PersistError::Malformed(e.to_string()))
+}
+
+/// Saves a model to a file path.
+pub fn save_model<P: AsRef<Path>>(model: &CsrPlusModel, path: P) -> Result<(), PersistError> {
+    let file = std::fs::File::create(path)?;
+    write_model(model, io::BufWriter::new(file))
+}
+
+/// Loads a model from a file path.
+pub fn load_model<P: AsRef<Path>>(path: P) -> Result<CsrPlusModel, PersistError> {
+    let file = std::fs::File::open(path)?;
+    read_model(io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csrplus_graph::generators::figure1_graph;
+    use csrplus_graph::TransitionMatrix;
+
+    fn model() -> CsrPlusModel {
+        let t = TransitionMatrix::from_graph(&figure1_graph());
+        CsrPlusModel::precompute(&t, &CsrPlusConfig::with_rank(3)).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_queries() {
+        let m = model();
+        let mut buf = Vec::new();
+        write_model(&m, &mut buf).unwrap();
+        let loaded = read_model(buf.as_slice()).unwrap();
+        let a = m.multi_source(&[1, 3]).unwrap();
+        let b = loaded.multi_source(&[1, 3]).unwrap();
+        assert!(a.approx_eq(&b, 0.0), "loaded model must answer identically");
+        assert_eq!(loaded.config(), m.config());
+        assert_eq!(loaded.sigma(), m.sigma());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let m = model();
+        let dir = std::env::temp_dir().join("csrplus_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.csrp");
+        save_model(&m, &path).unwrap();
+        let loaded = load_model(&path).unwrap();
+        assert_eq!(loaded.n(), 6);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_model(&b"NOPE"[..]).unwrap_err();
+        assert!(matches!(err, PersistError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let m = model();
+        let mut buf = Vec::new();
+        write_model(&m, &mut buf).unwrap();
+        buf.truncate(buf.len() - 12);
+        let err = read_model(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn corruption_detected_by_checksum() {
+        let m = model();
+        let mut buf = Vec::new();
+        write_model(&m, &mut buf).unwrap();
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0xFF;
+        let err = read_model(buf.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, PersistError::ChecksumMismatch { .. } | PersistError::Malformed(_)),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let m = model();
+        let mut buf = Vec::new();
+        write_model(&m, &mut buf).unwrap();
+        buf[4] = 99; // bump the version field
+        let err = read_model(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, PersistError::UnsupportedVersion(_)), "{err}");
+    }
+
+    #[test]
+    fn implausible_header_rejected_before_allocation() {
+        // Hand-craft a header claiming n = u64::MAX.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"CSRP");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes()); // n
+        buf.extend_from_slice(&5u64.to_le_bytes()); // r
+        buf.extend_from_slice(&[0u8; 64]); // enough trailing bytes
+        let err = read_model(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, PersistError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = PersistError::ChecksumMismatch { expected: 1, actual: 2 };
+        assert!(e.to_string().contains("checksum"));
+        assert!(PersistError::BadMagic.to_string().contains("magic"));
+        assert!(PersistError::UnsupportedVersion(7).to_string().contains("7"));
+    }
+}

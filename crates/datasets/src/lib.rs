@@ -1,0 +1,288 @@
+//! # csrplus-datasets
+//!
+//! Deterministic synthetic analogues of the six SNAP datasets in the CSR+
+//! paper's evaluation (§4.1).  The environment has no dataset downloads
+//! and the two largest graphs are ~1–1.5 B edges, so each dataset is
+//! replaced by a generator from the same structural family with matched
+//! `n`, average degree `m/n` and degree-distribution shape — the three
+//! quantities that drive every compared algorithm's cost (all methods
+//! consume only the sparse transition matrix).  See DESIGN.md §4.
+//!
+//! | id  | paper n / m            | family            | analogue            |
+//! |-----|------------------------|-------------------|---------------------|
+//! | FB  | 4,039 / 88,234         | social friendship | Barabási–Albert, reciprocal |
+//! | P2P | 22,687 / 54,705        | peer-to-peer      | Erdős–Rényi         |
+//! | YT  | 1.13 M / 5.98 M        | social community  | Chung–Lu power law  |
+//! | WT  | 2.39 M / 5.02 M        | communication     | Chung–Lu power law  |
+//! | TW  | 41.6 M / 1.47 B        | follower network  | Chung–Lu, heavy in-degree |
+//! | WB  | 118 M / 1.02 B         | web crawl         | Chung–Lu power law  |
+//!
+//! FB and P2P are generated at the paper's full size.  YT/WT are scaled
+//! ÷16 and TW/WB ÷256 in node count (preserving `m/n`) so that every
+//! figure regenerates inside a CI-scale time budget; the scaling factors
+//! are recorded in [`DatasetSpec::scale_divisor`] and surfaced by the
+//! harness output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use csrplus_graph::generators::chung_lu::ChungLuConfig;
+use csrplus_graph::generators::{barabasi_albert, chung_lu, erdos_renyi};
+use csrplus_graph::{DiGraph, GraphError};
+
+/// Identifier of one of the paper's six datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetId {
+    /// ego-Facebook social friendship graph.
+    Fb,
+    /// Gnutella peer-to-peer network.
+    P2p,
+    /// YouTube social network communities.
+    Yt,
+    /// Wikipedia Talk communication graph.
+    Wt,
+    /// Twitter user–follower network.
+    Tw,
+    /// Webbase crawl graph.
+    Wb,
+}
+
+impl DatasetId {
+    /// All six datasets in the paper's table order.
+    pub fn all() -> [DatasetId; 6] {
+        [DatasetId::Fb, DatasetId::P2p, DatasetId::Yt, DatasetId::Wt, DatasetId::Tw, DatasetId::Wb]
+    }
+
+    /// The four datasets the paper's parameter-sweep figures use.
+    pub fn sweep_set() -> [DatasetId; 4] {
+        [DatasetId::Fb, DatasetId::P2p, DatasetId::Wt, DatasetId::Tw]
+    }
+
+    /// Short display name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetId::Fb => "FB",
+            DatasetId::P2p => "P2P",
+            DatasetId::Yt => "YT",
+            DatasetId::Wt => "WT",
+            DatasetId::Tw => "TW",
+            DatasetId::Wb => "WB",
+        }
+    }
+
+    /// The full specification.
+    pub fn spec(&self) -> DatasetSpec {
+        match self {
+            DatasetId::Fb => DatasetSpec {
+                id: *self,
+                paper_nodes: 4_039,
+                paper_edges: 88_234,
+                scale_divisor: 1,
+                family: Family::Social,
+            },
+            DatasetId::P2p => DatasetSpec {
+                id: *self,
+                paper_nodes: 22_687,
+                paper_edges: 54_705,
+                scale_divisor: 1,
+                family: Family::PeerToPeer,
+            },
+            DatasetId::Yt => DatasetSpec {
+                id: *self,
+                paper_nodes: 1_134_890,
+                paper_edges: 5_975_248,
+                scale_divisor: 16,
+                family: Family::PowerLaw { gamma_out: 2.2, gamma_in: 2.2 },
+            },
+            DatasetId::Wt => DatasetSpec {
+                id: *self,
+                paper_nodes: 2_394_385,
+                paper_edges: 5_021_410,
+                scale_divisor: 16,
+                family: Family::PowerLaw { gamma_out: 2.3, gamma_in: 2.2 },
+            },
+            DatasetId::Tw => DatasetSpec {
+                id: *self,
+                paper_nodes: 41_625_230,
+                paper_edges: 1_468_365_182,
+                scale_divisor: 256,
+                // Follower graphs: very heavy in-degree tail.
+                family: Family::PowerLaw { gamma_out: 2.5, gamma_in: 2.05 },
+            },
+            DatasetId::Wb => DatasetSpec {
+                id: *self,
+                paper_nodes: 118_142_155,
+                paper_edges: 1_019_903_190,
+                scale_divisor: 256,
+                family: Family::PowerLaw { gamma_out: 2.15, gamma_in: 2.15 },
+            },
+        }
+    }
+}
+
+/// Structural family of a dataset (drives the generator choice).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Family {
+    /// Reciprocal preferential attachment (Barabási–Albert).
+    Social,
+    /// Near-uniform sparse random graph (Erdős–Rényi).
+    PeerToPeer,
+    /// Chung–Lu with the given power-law exponents.
+    PowerLaw {
+        /// Out-degree exponent.
+        gamma_out: f64,
+        /// In-degree exponent.
+        gamma_in: f64,
+    },
+}
+
+/// Static description of one dataset analogue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetSpec {
+    /// Which dataset this is.
+    pub id: DatasetId,
+    /// Node count in the original SNAP graph.
+    pub paper_nodes: usize,
+    /// Edge count in the original SNAP graph.
+    pub paper_edges: usize,
+    /// Node-count divisor applied at [`Scale::Bench`] (1 = full size).
+    pub scale_divisor: usize,
+    /// Structural family / generator parameters.
+    pub family: Family,
+}
+
+/// How large to generate an analogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny graphs for unit/integration tests (÷64 of bench size,
+    /// minimum 200 nodes).
+    Test,
+    /// The benchmark size: paper size for FB/P2P, scaled for the rest.
+    Bench,
+}
+
+impl DatasetSpec {
+    /// Average degree `m/n` of the original dataset.
+    pub fn paper_avg_degree(&self) -> f64 {
+        self.paper_edges as f64 / self.paper_nodes as f64
+    }
+
+    /// Target `(n, m)` at the given scale (preserves `m/n`).
+    pub fn target_size(&self, scale: Scale) -> (usize, usize) {
+        let bench_n = (self.paper_nodes / self.scale_divisor).max(200);
+        let n = match scale {
+            Scale::Bench => bench_n,
+            Scale::Test => (bench_n / 64).max(200),
+        };
+        let m = (n as f64 * self.paper_avg_degree()).round() as usize;
+        // Cap at simple-digraph capacity for the tiny test sizes.
+        let m = m.min(n * (n - 1));
+        (n, m)
+    }
+
+    /// Generates the analogue graph deterministically.
+    ///
+    /// # Errors
+    /// Propagates generator parameter failures (none for the built-in
+    /// specifications).
+    pub fn generate(&self, scale: Scale) -> Result<DiGraph, GraphError> {
+        let (n, m) = self.target_size(scale);
+        let seed = 0xDA7A_0000 ^ (self.id as u64);
+        match self.family {
+            Family::Social => {
+                // Reciprocity 1.0: friendship edges are mutual; k chosen so
+                // that n·k·2 ≈ m.
+                let k = ((m as f64 / (2.0 * n as f64)).round() as usize).max(1);
+                barabasi_albert(n, k, 1.0, seed)
+            }
+            Family::PeerToPeer => erdos_renyi(n, m, seed),
+            Family::PowerLaw { gamma_out, gamma_in } => {
+                chung_lu(&ChungLuConfig { n, m, gamma_out, gamma_in, seed })
+            }
+        }
+    }
+}
+
+/// Convenience: generate a dataset analogue by id.
+pub fn generate(id: DatasetId, scale: Scale) -> Result<DiGraph, GraphError> {
+    id.spec().generate(scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_six_generate_at_test_scale() {
+        for id in DatasetId::all() {
+            let spec = id.spec();
+            let g = spec.generate(Scale::Test).unwrap();
+            let (n, m) = spec.target_size(Scale::Test);
+            assert_eq!(g.num_nodes(), n, "{}", id.name());
+            // Generators may fall slightly short of m after dedup.
+            assert!(
+                g.num_edges() as f64 >= 0.8 * m as f64,
+                "{}: {} edges, target {m}",
+                id.name(),
+                g.num_edges()
+            );
+        }
+    }
+
+    #[test]
+    fn avg_degree_matches_paper_shape() {
+        for id in DatasetId::all() {
+            let spec = id.spec();
+            let g = spec.generate(Scale::Test).unwrap();
+            let got = g.avg_degree();
+            let want = spec.paper_avg_degree();
+            // Within 35% — shape preservation, not exact replication.
+            assert!(
+                got > 0.6 * want && got < 1.4 * want,
+                "{}: avg degree {got:.1} vs paper {want:.1}",
+                id.name()
+            );
+        }
+    }
+
+    #[test]
+    fn fb_and_p2p_are_full_size_at_bench() {
+        let fb = DatasetId::Fb.spec();
+        assert_eq!(fb.target_size(Scale::Bench).0, 4_039);
+        let p2p = DatasetId::P2p.spec();
+        assert_eq!(p2p.target_size(Scale::Bench).0, 22_687);
+        assert_eq!(p2p.target_size(Scale::Bench).1, 54_705);
+    }
+
+    #[test]
+    fn big_graphs_are_scaled() {
+        let tw = DatasetId::Tw.spec();
+        let (n, m) = tw.target_size(Scale::Bench);
+        assert_eq!(n, 41_625_230 / 256);
+        // m/n preserved at 35.3.
+        let ratio = m as f64 / n as f64;
+        assert!((ratio - 35.27).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(DatasetId::P2p, Scale::Test).unwrap();
+        let b = generate(DatasetId::P2p, Scale::Test).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn social_graph_is_reciprocal_and_heavy_tailed() {
+        let g = generate(DatasetId::Fb, Scale::Test).unwrap();
+        // Reciprocity 1.0 ⇒ most edges are mutual.
+        let mutual = g.edges().iter().filter(|&&(u, v)| g.has_edge(v, u)).count();
+        assert!(mutual as f64 > 0.9 * g.num_edges() as f64);
+    }
+
+    #[test]
+    fn names_and_sweep_set() {
+        assert_eq!(DatasetId::Fb.name(), "FB");
+        assert_eq!(DatasetId::Wb.name(), "WB");
+        assert_eq!(DatasetId::sweep_set().len(), 4);
+    }
+}

@@ -1,0 +1,149 @@
+//! Weakly-connected components.
+//!
+//! CoSimRank mass cannot flow between weak components, so similarity
+//! across them is exactly zero; component structure therefore explains
+//! sparsity patterns in the similarity matrix and validates that the
+//! synthetic dataset analogues are (like their SNAP originals) dominated
+//! by one giant component.
+
+use crate::digraph::DiGraph;
+
+/// Result of a weakly-connected-component decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// `component[v]` = component id of node `v` (ids are dense, 0-based,
+    /// ordered by first-seen node).
+    pub component: Vec<u32>,
+    /// Number of nodes per component id.
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Size of the largest component (0 for the empty graph).
+    pub fn giant_size(&self) -> usize {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// True when `a` and `b` can exchange CoSimRank mass (same weak
+    /// component).
+    pub fn connected(&self, a: usize, b: usize) -> bool {
+        self.component[a] == self.component[b]
+    }
+}
+
+/// Computes weakly-connected components by union–find with path halving.
+pub fn weakly_connected_components(g: &DiGraph) -> Components {
+    let n = g.num_nodes();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize]; // halve
+            x = parent[x as usize];
+        }
+        x
+    }
+
+    for &(u, v) in g.edges() {
+        let ru = find(&mut parent, u);
+        let rv = find(&mut parent, v);
+        if ru != rv {
+            parent[ru as usize] = rv;
+        }
+    }
+
+    // Compact roots to dense component ids in first-seen order.
+    let mut id_of_root = vec![u32::MAX; n];
+    let mut component = vec![0u32; n];
+    let mut sizes: Vec<usize> = Vec::new();
+    for v in 0..n as u32 {
+        let root = find(&mut parent, v);
+        let id = if id_of_root[root as usize] == u32::MAX {
+            let id = sizes.len() as u32;
+            id_of_root[root as usize] = id;
+            sizes.push(0);
+            id
+        } else {
+            id_of_root[root as usize]
+        };
+        component[v as usize] = id;
+        sizes[id as usize] += 1;
+    }
+    Components { component, sizes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{classic::cycle, classic::star, figure1_graph};
+
+    #[test]
+    fn single_component_graphs() {
+        for g in [figure1_graph(), cycle(10), star(5)] {
+            let c = weakly_connected_components(&g);
+            assert_eq!(c.count(), 1, "{g:?}");
+            assert_eq!(c.giant_size(), g.num_nodes());
+        }
+    }
+
+    #[test]
+    fn disjoint_pieces_are_separate() {
+        // Two triangles + one isolated node.
+        let g =
+            DiGraph::from_edges(7, vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).unwrap();
+        let c = weakly_connected_components(&g);
+        assert_eq!(c.count(), 3);
+        assert!(c.connected(0, 2));
+        assert!(c.connected(3, 5));
+        assert!(!c.connected(0, 3));
+        assert!(!c.connected(6, 0));
+        let mut sizes = c.sizes.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 3, 3]);
+    }
+
+    #[test]
+    fn direction_is_ignored() {
+        // 0 → 1 ← 2: weakly one component despite no directed path 0→2.
+        let g = DiGraph::from_edges(3, vec![(0, 1), (2, 1)]).unwrap();
+        let c = weakly_connected_components(&g);
+        assert_eq!(c.count(), 1);
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let c = weakly_connected_components(&DiGraph::empty(0));
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.giant_size(), 0);
+        let c = weakly_connected_components(&DiGraph::empty(4));
+        assert_eq!(c.count(), 4);
+        assert_eq!(c.giant_size(), 1);
+    }
+
+    #[test]
+    fn cross_component_cosimrank_is_zero() {
+        // The structural fact this module documents: similarity across
+        // weak components is exactly 0.
+        let g = DiGraph::from_edges(6, vec![(0, 1), (1, 0), (3, 4), (4, 3)]).unwrap();
+        let comps = weakly_connected_components(&g);
+        let t = crate::TransitionMatrix::from_graph(&g);
+        // Hand-rolled 2-step similarity: p vectors never overlap across
+        // components, so every term of Eq. (3) vanishes.
+        let mut pa = vec![0.0; 6];
+        pa[0] = 1.0;
+        let mut pb = vec![0.0; 6];
+        pb[3] = 1.0;
+        for _ in 0..5 {
+            pa = t.propagate(&pa);
+            pb = t.propagate(&pb);
+            let dot: f64 = pa.iter().zip(&pb).map(|(a, b)| a * b).sum();
+            assert_eq!(dot, 0.0);
+        }
+        assert!(!comps.connected(0, 3));
+    }
+}

@@ -1,0 +1,152 @@
+//! Degree-distribution analysis.
+//!
+//! The dataset analogues claim to preserve the *shape* of their SNAP
+//! originals' degree distributions (DESIGN.md §4); this module provides
+//! the log-binned histograms and tail statistics that make that claim
+//! checkable, and powers the `csrplus stats` output.
+
+use crate::digraph::DiGraph;
+
+/// A log₂-binned degree histogram: bin `i` counts nodes with degree in
+/// `[2^i, 2^{i+1})`; bin 0 additionally holds degree-0 and degree-1 nodes
+/// split out via [`DegreeHistogram::zeros`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegreeHistogram {
+    /// Nodes with degree 0 (kept out of the log bins).
+    pub zeros: usize,
+    /// `bins[i]` = number of nodes with degree in `[2^i, 2^{i+1})`.
+    pub bins: Vec<usize>,
+}
+
+impl DegreeHistogram {
+    /// Builds the histogram from a degree sequence.
+    pub fn from_degrees(degrees: &[u32]) -> Self {
+        let mut zeros = 0usize;
+        let mut bins: Vec<usize> = Vec::new();
+        for &d in degrees {
+            if d == 0 {
+                zeros += 1;
+                continue;
+            }
+            let bin = (u32::BITS - 1 - d.leading_zeros()) as usize; // ⌊log₂ d⌋
+            if bin >= bins.len() {
+                bins.resize(bin + 1, 0);
+            }
+            bins[bin] += 1;
+        }
+        DegreeHistogram { zeros, bins }
+    }
+
+    /// Number of populated bins (a proxy for tail length: power laws span
+    /// many bins, Poisson-like distributions few).
+    pub fn spread(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Approximate power-law slope fitted over the bin counts by least
+    /// squares on `(bin index, log2(count))` — `None` when fewer than
+    /// three populated bins exist.  A Chung–Lu/BA graph yields a clearly
+    /// negative slope; an ER graph is too narrow to fit.
+    pub fn tail_slope(&self) -> Option<f64> {
+        let pts: Vec<(f64, f64)> = self
+            .bins
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (i as f64, (c as f64).log2()))
+            .collect();
+        if pts.len() < 3 {
+            return None;
+        }
+        let n = pts.len() as f64;
+        let sx: f64 = pts.iter().map(|p| p.0).sum();
+        let sy: f64 = pts.iter().map(|p| p.1).sum();
+        let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+        let denom = n * sxx - sx * sx;
+        (denom.abs() > 1e-12).then(|| (n * sxy - sx * sy) / denom)
+    }
+
+    /// Renders an ASCII sparkline of bin counts, e.g. for CLI output.
+    pub fn render(&self) -> String {
+        const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1) as f64;
+        self.bins
+            .iter()
+            .map(|&c| {
+                let level = ((c as f64 / max) * 7.0).round() as usize;
+                GLYPHS[level.min(7)]
+            })
+            .collect()
+    }
+}
+
+/// In-degree histogram of a graph.
+pub fn in_degree_histogram(g: &DiGraph) -> DegreeHistogram {
+    DegreeHistogram::from_degrees(&g.in_degrees())
+}
+
+/// Out-degree histogram of a graph.
+pub fn out_degree_histogram(g: &DiGraph) -> DegreeHistogram {
+    DegreeHistogram::from_degrees(&g.out_degrees())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::chung_lu::{chung_lu, ChungLuConfig};
+    use crate::generators::erdos_renyi;
+
+    #[test]
+    fn bins_are_log2() {
+        let h = DegreeHistogram::from_degrees(&[0, 1, 1, 2, 3, 4, 7, 8, 1000]);
+        assert_eq!(h.zeros, 1);
+        assert_eq!(h.bins[0], 2); // degree 1
+        assert_eq!(h.bins[1], 2); // degrees 2, 3
+        assert_eq!(h.bins[2], 2); // degrees 4..8: 4 and 7
+        assert_eq!(h.bins[3], 1); // 8..16: 8
+        assert_eq!(h.bins[9], 1); // 512..1024: 1000
+        assert_eq!(h.spread(), 10);
+    }
+
+    #[test]
+    fn power_law_has_negative_slope_er_is_narrow() {
+        let pl =
+            chung_lu(&ChungLuConfig { n: 4000, m: 24_000, gamma_out: 2.1, gamma_in: 2.1, seed: 5 })
+                .unwrap();
+        let h_pl = in_degree_histogram(&pl);
+        let slope = h_pl.tail_slope().expect("power law spans many bins");
+        assert!(slope < -0.5, "slope {slope} not clearly decaying");
+
+        let er = erdos_renyi(4000, 24_000, 5).unwrap();
+        let h_er = in_degree_histogram(&er);
+        assert!(
+            h_er.spread() < h_pl.spread(),
+            "ER spread {} should undercut power-law spread {}",
+            h_er.spread(),
+            h_pl.spread()
+        );
+    }
+
+    #[test]
+    fn render_produces_one_glyph_per_bin() {
+        let h = DegreeHistogram::from_degrees(&[1, 2, 4, 8, 16]);
+        assert_eq!(h.render().chars().count(), h.spread());
+        // Empty histogram renders empty.
+        let empty = DegreeHistogram::from_degrees(&[]);
+        assert_eq!(empty.render(), "");
+        assert_eq!(empty.tail_slope(), None);
+    }
+
+    #[test]
+    fn out_and_in_histograms_use_right_degrees() {
+        let g = crate::generators::classic::star(9);
+        // Star: hub in-degree 8, leaves out-degree 1.
+        let hin = in_degree_histogram(&g);
+        assert_eq!(hin.zeros, 8); // leaves have no in-edges
+        assert_eq!(hin.bins[3], 1); // hub: 8 ∈ [8,16)
+        let hout = out_degree_histogram(&g);
+        assert_eq!(hout.zeros, 1); // hub has no out-edges
+        assert_eq!(hout.bins[0], 8);
+    }
+}

@@ -1,0 +1,228 @@
+//! Directed graphs as deduplicated COO edge lists.
+//!
+//! This mirrors the paper's storage choice (§4.1 "Graph Storage"): the
+//! adjacency matrix is kept as sorted `(source, target)` pairs — COO with
+//! implicit unit weights — from which grouped neighbour lists (CSR) are
+//! derived on demand.
+
+use crate::error::GraphError;
+
+/// A directed graph over nodes `0..n`, stored as a sorted, deduplicated
+/// edge list (self-loops allowed, parallel edges merged).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiGraph {
+    n: usize,
+    /// Sorted by `(src, dst)`, deduplicated.
+    edges: Vec<(u32, u32)>,
+}
+
+impl DiGraph {
+    /// Builds a graph from an arbitrary edge list; edges are sorted and
+    /// duplicates merged.
+    ///
+    /// # Errors
+    /// [`GraphError::NodeOutOfBounds`] if an endpoint is `>= n`.
+    pub fn from_edges(n: usize, mut edges: Vec<(u32, u32)>) -> Result<Self, GraphError> {
+        for &(u, v) in &edges {
+            if u as usize >= n {
+                return Err(GraphError::NodeOutOfBounds { node: u as u64, n });
+            }
+            if v as usize >= n {
+                return Err(GraphError::NodeOutOfBounds { node: v as u64, n });
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        Ok(DiGraph { n, edges })
+    }
+
+    /// An empty graph with `n` isolated nodes.
+    pub fn empty(n: usize) -> Self {
+        DiGraph { n, edges: Vec::new() }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of (distinct) directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Average degree `m / n` (0 for the empty graph).
+    pub fn avg_degree(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.edges.len() as f64 / self.n as f64
+        }
+    }
+
+    /// The sorted edge slice.
+    #[inline]
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Out-degree of every node.
+    pub fn out_degrees(&self) -> Vec<u32> {
+        let mut d = vec![0u32; self.n];
+        for &(u, _) in &self.edges {
+            d[u as usize] += 1;
+        }
+        d
+    }
+
+    /// In-degree of every node.
+    pub fn in_degrees(&self) -> Vec<u32> {
+        let mut d = vec![0u32; self.n];
+        for &(_, v) in &self.edges {
+            d[v as usize] += 1;
+        }
+        d
+    }
+
+    /// True if the graph contains edge `u → v` (binary search).
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.edges.binary_search(&(u, v)).is_ok()
+    }
+
+    /// Returns the reversed graph (every `u → v` becomes `v → u`).
+    pub fn reverse(&self) -> DiGraph {
+        let rev: Vec<(u32, u32)> = self.edges.iter().map(|&(u, v)| (v, u)).collect();
+        DiGraph::from_edges(self.n, rev).expect("reverse preserves bounds")
+    }
+
+    /// Fraction of edges whose reverse also exists (1.0 for undirected-
+    /// style graphs, ~0 for strict hierarchies).
+    pub fn reciprocity(&self) -> f64 {
+        if self.edges.is_empty() {
+            return 0.0;
+        }
+        let mutual = self.edges.iter().filter(|&&(u, v)| self.has_edge(v, u)).count();
+        mutual as f64 / self.edges.len() as f64
+    }
+
+    /// Summary statistics used by dataset reports.
+    pub fn stats(&self) -> GraphStats {
+        let ind = self.in_degrees();
+        let outd = self.out_degrees();
+        GraphStats {
+            nodes: self.n,
+            edges: self.edges.len(),
+            avg_degree: self.avg_degree(),
+            max_in_degree: ind.iter().copied().max().unwrap_or(0),
+            max_out_degree: outd.iter().copied().max().unwrap_or(0),
+            dangling_columns: ind.iter().filter(|&&d| d == 0).count(),
+            reciprocity: self.reciprocity(),
+        }
+    }
+}
+
+/// Aggregate statistics of a [`DiGraph`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphStats {
+    /// `n = |V|`.
+    pub nodes: usize,
+    /// `m = |E|`.
+    pub edges: usize,
+    /// `m / n`.
+    pub avg_degree: f64,
+    /// Largest in-degree.
+    pub max_in_degree: u32,
+    /// Largest out-degree.
+    pub max_out_degree: u32,
+    /// Nodes with no in-edges (zero columns of `Q`).
+    pub dangling_columns: usize,
+    /// Fraction of edges with a reciprocal partner.
+    pub reciprocity: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> DiGraph {
+        DiGraph::from_edges(3, vec![(0, 1), (1, 2), (2, 0)]).unwrap()
+    }
+
+    #[test]
+    fn build_sorts_and_dedups() {
+        let g = DiGraph::from_edges(3, vec![(2, 0), (0, 1), (2, 0), (1, 2)]).unwrap();
+        assert_eq!(g.edges(), &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn rejects_out_of_bounds() {
+        assert!(matches!(
+            DiGraph::from_edges(2, vec![(0, 2)]),
+            Err(GraphError::NodeOutOfBounds { node: 2, n: 2 })
+        ));
+        assert!(DiGraph::from_edges(2, vec![(5, 0)]).is_err());
+    }
+
+    #[test]
+    fn degrees() {
+        let g = DiGraph::from_edges(4, vec![(0, 3), (1, 3), (2, 3), (3, 0)]).unwrap();
+        assert_eq!(g.in_degrees(), vec![1, 0, 0, 3]);
+        assert_eq!(g.out_degrees(), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn has_edge_and_reverse() {
+        let g = triangle();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        let r = g.reverse();
+        assert!(r.has_edge(1, 0));
+        assert_eq!(r.num_edges(), 3);
+        // Reversing twice is the identity.
+        assert_eq!(r.reverse(), g);
+    }
+
+    #[test]
+    fn stats_counts_dangling() {
+        let g = DiGraph::from_edges(4, vec![(0, 1), (2, 1)]).unwrap();
+        let s = g.stats();
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.edges, 2);
+        assert_eq!(s.max_in_degree, 2);
+        assert_eq!(s.dangling_columns, 3); // nodes 0, 2, 3 have no in-edges
+    }
+
+    #[test]
+    fn reciprocity_values() {
+        // Directed cycle: no mutual edges.
+        let g = DiGraph::from_edges(3, vec![(0, 1), (1, 2), (2, 0)]).unwrap();
+        assert_eq!(g.reciprocity(), 0.0);
+        // Fully mutual pair.
+        let g = DiGraph::from_edges(2, vec![(0, 1), (1, 0)]).unwrap();
+        assert_eq!(g.reciprocity(), 1.0);
+        // Half mutual.
+        let g = DiGraph::from_edges(3, vec![(0, 1), (1, 0), (0, 2), (2, 1)]).unwrap();
+        assert_eq!(g.reciprocity(), 0.5);
+        assert_eq!(DiGraph::empty(3).reciprocity(), 0.0);
+        assert_eq!(g.stats().reciprocity, 0.5);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::empty(5);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+        assert_eq!(DiGraph::empty(0).avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn self_loops_allowed() {
+        let g = DiGraph::from_edges(2, vec![(0, 0), (0, 0), (1, 1)]).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 0));
+    }
+}

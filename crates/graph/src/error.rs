@@ -1,0 +1,83 @@
+//! Error type for graph construction and I/O.
+
+use std::fmt;
+
+/// Errors produced while building, loading or transforming graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge referenced a node id `>= n`.
+    NodeOutOfBounds {
+        /// Offending node id.
+        node: u64,
+        /// Number of nodes in the graph.
+        n: usize,
+    },
+    /// A line of an edge-list file could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Offending content (truncated).
+        content: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A generator was given impossible parameters.
+    InvalidParameter {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, n } => {
+                write!(f, "node id {node} out of bounds for graph with {n} nodes")
+            }
+            GraphError::Parse { line, content } => {
+                write!(f, "parse error at line {line}: {content:?}")
+            }
+            GraphError::Io(e) => write!(f, "io error: {e}"),
+            GraphError::InvalidParameter { message } => write!(f, "invalid parameter: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = GraphError::NodeOutOfBounds { node: 9, n: 5 };
+        assert!(e.to_string().contains("9"));
+        let e = GraphError::Parse { line: 3, content: "x y z".into() };
+        assert!(e.to_string().contains("line 3"));
+        let e = GraphError::InvalidParameter { message: "m too large".into() };
+        assert!(e.to_string().contains("m too large"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: GraphError = io.into();
+        assert!(matches!(e, GraphError::Io(_)));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,146 @@
+//! Walker alias method for O(1) weighted sampling.
+//!
+//! The Chung–Lu and preferential-attachment generators draw tens of
+//! millions of endpoints from skewed weight distributions; the alias
+//! method gives constant-time draws after `O(n)` preprocessing.
+
+use rand::Rng;
+
+/// A discrete distribution supporting O(1) sampling.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Acceptance probability for each bucket.
+    prob: Vec<f64>,
+    /// Fallback index for each bucket.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds a table from non-negative weights (not necessarily
+    /// normalised).  Zero total weight yields a uniform distribution.
+    pub fn new(weights: &[f64]) -> Self {
+        let n = weights.len();
+        assert!(n > 0, "AliasTable needs at least one weight");
+        assert!(n <= u32::MAX as usize, "AliasTable supports at most u32::MAX buckets");
+        let total: f64 = weights.iter().sum();
+        let scaled: Vec<f64> = if total > 0.0 {
+            weights.iter().map(|w| w * n as f64 / total).collect()
+        } else {
+            vec![1.0; n]
+        };
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        let mut work = scaled;
+        for (i, &w) in work.iter().enumerate() {
+            if w < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        // NB: must test emptiness before popping — a tuple pattern like
+        // `(small.pop(), large.pop())` would pop (and lose) an element from
+        // `large` on the exit iteration.
+        while !small.is_empty() && !large.is_empty() {
+            let s = small.pop().expect("checked non-empty");
+            let l = large.pop().expect("checked non-empty");
+            prob[s as usize] = work[s as usize];
+            alias[s as usize] = l;
+            work[l as usize] = (work[l as usize] + work[s as usize]) - 1.0;
+            if work[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        for l in large {
+            prob[l as usize] = 1.0;
+        }
+        for s in small {
+            prob[s as usize] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Draws one index.
+    #[inline]
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u32 {
+        let n = self.prob.len();
+        let i = rng.gen_range(0..n);
+        if rng.gen::<f64>() < self.prob[i] {
+            i as u32
+        } else {
+            self.alias[i]
+        }
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Always false (construction requires ≥ 1 weight).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empirical_frequencies_match_weights() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let table = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        let draws = 100_000;
+        for _ in 0..draws {
+            counts[table.sample(&mut rng) as usize] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = w / total;
+            let got = counts[i] as f64 / draws as f64;
+            assert!((got - expected).abs() < 0.01, "bucket {i}: {got} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn zero_weights_fall_back_to_uniform() {
+        let table = AliasTable::new(&[0.0, 0.0, 0.0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 3];
+        for _ in 0..1000 {
+            seen[table.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn single_bucket_always_zero() {
+        let table = AliasTable::new(&[7.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+        assert_eq!(table.len(), 1);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn degenerate_spike_distribution() {
+        // One huge weight among tiny ones.
+        let mut weights = vec![1e-9; 100];
+        weights[42] = 1e9;
+        let table = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = (0..1000).filter(|_| table.sample(&mut rng) == 42).count();
+        assert!(hits > 990);
+    }
+}

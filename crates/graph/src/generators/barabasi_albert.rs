@@ -1,0 +1,117 @@
+//! Directed Barabási–Albert preferential attachment.
+//!
+//! Produces the heavy-tailed, high-clustering degree profile of social
+//! friendship graphs (the FB and YT families in the paper's table).  Each
+//! arriving node attaches `k` out-edges to existing nodes chosen with
+//! probability proportional to `degree + 1`, and with probability
+//! `reciprocity` the chosen target links back — social ties are largely
+//! mutual, and reciprocation keeps in-degrees heavy-tailed too.
+
+use crate::digraph::DiGraph;
+use crate::error::GraphError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a directed BA graph with `n` nodes and roughly `n·k·(1 +
+/// reciprocity)` edges.
+///
+/// # Errors
+/// [`GraphError::InvalidParameter`] when `k == 0`, `k >= n`, or
+/// `reciprocity ∉ [0, 1]`.
+pub fn barabasi_albert(
+    n: usize,
+    k: usize,
+    reciprocity: f64,
+    seed: u64,
+) -> Result<DiGraph, GraphError> {
+    if k == 0 || k >= n.max(1) {
+        return Err(GraphError::InvalidParameter { message: format!("k={k} not in 1..n={n}") });
+    }
+    if !(0.0..=1.0).contains(&reciprocity) {
+        return Err(GraphError::InvalidParameter {
+            message: format!("reciprocity={reciprocity} not in [0,1]"),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * k * 2);
+    // `targets` holds one entry per degree unit: sampling uniformly from it
+    // is sampling proportional to degree (+1 via the seed entries).
+    let mut targets: Vec<u32> = Vec::with_capacity(2 * n * k);
+
+    // Seed clique-ish core: first k+1 nodes form a directed cycle.
+    let core = k + 1;
+    for i in 0..core {
+        let j = (i + 1) % core;
+        edges.push((i as u32, j as u32));
+        targets.push(i as u32);
+        targets.push(j as u32);
+    }
+
+    for v in core..n {
+        let v = v as u32;
+        let mut chosen: Vec<u32> = Vec::with_capacity(k);
+        while chosen.len() < k {
+            let t = targets[rng.gen_range(0..targets.len())];
+            if t != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            edges.push((v, t));
+            targets.push(v);
+            targets.push(t);
+            if rng.gen::<f64>() < reciprocity {
+                edges.push((t, v));
+                targets.push(t);
+                targets.push(v);
+            }
+        }
+    }
+    DiGraph::from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_and_edge_counts() {
+        let g = barabasi_albert(500, 5, 0.0, 1).unwrap();
+        assert_eq!(g.num_nodes(), 500);
+        // (k+1) seed edges + k per subsequent node, minus dedup losses.
+        let expected = (5 + 1) + (500 - 6) * 5;
+        assert!(g.num_edges() <= expected);
+        assert!(g.num_edges() > expected * 9 / 10);
+    }
+
+    #[test]
+    fn reciprocity_roughly_doubles_edges() {
+        let g0 = barabasi_albert(400, 4, 0.0, 2).unwrap();
+        let g1 = barabasi_albert(400, 4, 1.0, 2).unwrap();
+        assert!(g1.num_edges() as f64 > 1.8 * g0.num_edges() as f64);
+    }
+
+    #[test]
+    fn heavy_tail_emerges() {
+        let g = barabasi_albert(2000, 3, 0.5, 3).unwrap();
+        let ind = g.in_degrees();
+        let max = *ind.iter().max().unwrap() as f64;
+        let avg = ind.iter().map(|&d| d as f64).sum::<f64>() / ind.len() as f64;
+        // Hubs: the max in-degree should dwarf the average (≫ ER's ~4x).
+        assert!(max > 8.0 * avg, "max {max} avg {avg}: no hub formed");
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(barabasi_albert(10, 0, 0.0, 0).is_err());
+        assert!(barabasi_albert(10, 10, 0.0, 0).is_err());
+        assert!(barabasi_albert(10, 2, 1.5, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = barabasi_albert(300, 4, 0.3, 5).unwrap();
+        let b = barabasi_albert(300, 4, 0.3, 5).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,73 @@
+//! Small deterministic graphs with known CoSimRank structure.
+//!
+//! Handy as test fixtures: their transition matrices and similarity
+//! patterns can be derived by hand.
+
+use crate::digraph::DiGraph;
+
+/// Star: every leaf `1..n` points at the hub `0`.
+pub fn star(n: usize) -> DiGraph {
+    let edges = (1..n as u32).map(|i| (i, 0)).collect();
+    DiGraph::from_edges(n, edges).expect("star edges valid")
+}
+
+/// Directed cycle `0 → 1 → … → n-1 → 0`.
+pub fn cycle(n: usize) -> DiGraph {
+    let edges = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+    DiGraph::from_edges(n, edges).expect("cycle edges valid")
+}
+
+/// Directed path `0 → 1 → … → n-1`.
+pub fn path(n: usize) -> DiGraph {
+    let edges = (0..n.saturating_sub(1) as u32).map(|i| (i, i + 1)).collect();
+    DiGraph::from_edges(n, edges).expect("path edges valid")
+}
+
+/// Complete digraph: every ordered pair except self-loops.
+pub fn complete(n: usize) -> DiGraph {
+    let mut edges = Vec::with_capacity(n * n.saturating_sub(1));
+    for u in 0..n as u32 {
+        for v in 0..n as u32 {
+            if u != v {
+                edges.push((u, v));
+            }
+        }
+    }
+    DiGraph::from_edges(n, edges).expect("complete edges valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_degrees() {
+        let g = star(5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.in_degrees()[0], 4);
+        assert_eq!(g.out_degrees()[0], 0);
+    }
+
+    #[test]
+    fn cycle_regular() {
+        let g = cycle(7);
+        assert_eq!(g.num_edges(), 7);
+        assert!(g.in_degrees().iter().all(|&d| d == 1));
+        assert!(g.out_degrees().iter().all(|&d| d == 1));
+    }
+
+    #[test]
+    fn path_endpoints() {
+        let g = path(4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.in_degrees(), vec![0, 1, 1, 1]);
+        assert_eq!(path(1).num_edges(), 0);
+    }
+
+    #[test]
+    fn complete_count() {
+        let g = complete(5);
+        assert_eq!(g.num_edges(), 20);
+        assert!(g.in_degrees().iter().all(|&d| d == 4));
+    }
+}

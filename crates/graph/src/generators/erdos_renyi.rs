@@ -1,0 +1,82 @@
+//! Directed Erdős–Rényi `G(n, m)` graphs.
+//!
+//! Near-uniform degree, no hubs — the structural family of the Gnutella
+//! peer-to-peer dataset (P2P: `m/n ≈ 2.4`).
+
+use crate::digraph::DiGraph;
+use crate::error::GraphError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Samples a directed graph with exactly `m` distinct edges (no
+/// self-loops) chosen uniformly among all `n·(n-1)` ordered pairs.
+///
+/// # Errors
+/// [`GraphError::InvalidParameter`] when `m > n·(n-1)` or `n == 0` with
+/// `m > 0`.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Result<DiGraph, GraphError> {
+    let max_edges = n.saturating_mul(n.saturating_sub(1));
+    if m > max_edges {
+        return Err(GraphError::InvalidParameter {
+            message: format!("m={m} exceeds n(n-1)={max_edges}"),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Dense regime: permute all pairs would be O(n²); the experiments only
+    // use the sparse regime (m ≪ n²), so rejection sampling is O(m).
+    let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(m * 2);
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        if seen.insert((u, v)) {
+            edges.push((u, v));
+        }
+    }
+    DiGraph::from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_edge_count() {
+        let g = erdos_renyi(100, 500, 7).unwrap();
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_edges(), 500);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = erdos_renyi(50, 300, 8).unwrap();
+        assert!(g.edges().iter().all(|&(u, v)| u != v));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = erdos_renyi(60, 200, 9).unwrap();
+        let b = erdos_renyi(60, 200, 9).unwrap();
+        assert_eq!(a, b);
+        let c = erdos_renyi(60, 200, 10).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rejects_impossible_m() {
+        assert!(erdos_renyi(3, 7, 0).is_err());
+        assert!(erdos_renyi(3, 6, 0).is_ok()); // exactly n(n-1)
+    }
+
+    #[test]
+    fn degrees_are_near_uniform() {
+        let g = erdos_renyi(1000, 10_000, 11).unwrap();
+        let max_in = *g.in_degrees().iter().max().unwrap();
+        // Poisson(10): max should stay modest, far below hub territory.
+        assert!(max_in < 40, "max in-degree {max_in} too skewed for ER");
+    }
+}

@@ -1,0 +1,22 @@
+//! Deterministic random-graph generators.
+//!
+//! These synthesise the structural families of the paper's six SNAP
+//! datasets (social, peer-to-peer, communication, web/follower graphs) so
+//! every experiment is reproducible without external downloads — see
+//! DESIGN.md §4 for the substitution rationale.  All generators take an
+//! explicit seed and are deterministic given it.
+
+pub mod alias;
+pub mod barabasi_albert;
+pub mod chung_lu;
+pub mod classic;
+pub mod erdos_renyi;
+pub mod paper_example;
+pub mod sbm;
+
+pub use barabasi_albert::barabasi_albert;
+pub use chung_lu::chung_lu;
+pub use classic::{complete, cycle, path, star};
+pub use erdos_renyi::erdos_renyi;
+pub use paper_example::figure1_graph;
+pub use sbm::{stochastic_block_model, SbmConfig, SbmGraph};

@@ -1,0 +1,71 @@
+//! The worked-example graph of Figure 1 (Wiki Talk toy graph).
+//!
+//! Nodes are labelled `a..f` in the paper; we use indices `0..6` in the
+//! same order.  The edge set is read off the column-normalised matrix `Q`
+//! printed in Example 3.6 (`Q[x,y] ≠ 0 ⇔ x → y`).
+
+use crate::digraph::DiGraph;
+
+/// Index of node `a`.
+pub const A: u32 = 0;
+/// Index of node `b`.
+pub const B: u32 = 1;
+/// Index of node `c`.
+pub const C: u32 = 2;
+/// Index of node `d`.
+pub const D: u32 = 3;
+/// Index of node `e`.
+pub const E: u32 = 4;
+/// Index of node `f`.
+pub const F: u32 = 5;
+
+/// Builds the 6-node, 11-edge graph of Figure 1(a).
+pub fn figure1_graph() -> DiGraph {
+    DiGraph::from_edges(
+        6,
+        vec![
+            // in-neighbours of b = {a, c, e}
+            (A, B),
+            (C, B),
+            (E, B),
+            // in-neighbours of d = {a, e, f}
+            (A, D),
+            (E, D),
+            (F, D),
+            // in-neighbours of a, c, f = {d}
+            (D, A),
+            (D, C),
+            (D, F),
+            // in-neighbours of e = {c, f}
+            (C, E),
+            (F, E),
+        ],
+    )
+    .expect("static edge list is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_example_1_1_narrative() {
+        let g = figure1_graph();
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.num_edges(), 11);
+        // In-neighbour sets quoted in Example 1.1.
+        let ins = |y: u32| -> Vec<u32> {
+            g.edges().iter().filter(|&&(_, t)| t == y).map(|&(s, _)| s).collect()
+        };
+        assert_eq!(ins(B), vec![A, C, E]);
+        assert_eq!(ins(D), vec![A, E, F]);
+        assert_eq!(ins(C), vec![D]);
+        assert_eq!(ins(F), vec![D]);
+    }
+
+    #[test]
+    fn indegrees_match_matrix_fractions() {
+        let g = figure1_graph();
+        assert_eq!(g.in_degrees(), vec![1, 3, 1, 3, 2, 1]);
+    }
+}

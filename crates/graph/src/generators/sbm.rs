@@ -1,0 +1,154 @@
+//! Stochastic block model (planted partition) graphs.
+//!
+//! Generates graphs with known community structure: nodes are split into
+//! `k` blocks and each ordered pair gets an edge with probability
+//! `p_in` (same block) or `p_out` (different blocks).  Because the ground
+//! truth is known, these graphs let the workspace *evaluate retrieval
+//! quality* — CoSimRank's top-k should recover same-community nodes —
+//! rather than only reproduce running times.
+
+use crate::digraph::DiGraph;
+use crate::error::GraphError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the planted-partition generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SbmConfig {
+    /// Nodes per block.
+    pub block_size: usize,
+    /// Number of blocks.
+    pub blocks: usize,
+    /// Edge probability within a block.
+    pub p_in: f64,
+    /// Edge probability across blocks.
+    pub p_out: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// A generated SBM graph together with its ground-truth communities.
+#[derive(Debug, Clone)]
+pub struct SbmGraph {
+    /// The generated graph (`block_size · blocks` nodes).
+    pub graph: DiGraph,
+    /// `membership[v]` = block id of node `v`.
+    pub membership: Vec<u32>,
+}
+
+impl SbmGraph {
+    /// All nodes of one block.
+    pub fn block_members(&self, block: u32) -> Vec<usize> {
+        self.membership.iter().enumerate().filter(|&(_, &b)| b == block).map(|(v, _)| v).collect()
+    }
+
+    /// True when `a` and `b` share a block.
+    pub fn same_block(&self, a: usize, b: usize) -> bool {
+        self.membership[a] == self.membership[b]
+    }
+}
+
+/// Samples a planted-partition graph.
+///
+/// # Errors
+/// [`GraphError::InvalidParameter`] for empty dimensions or
+/// probabilities outside `[0, 1]`.
+pub fn stochastic_block_model(cfg: &SbmConfig) -> Result<SbmGraph, GraphError> {
+    let SbmConfig { block_size, blocks, p_in, p_out, seed } = *cfg;
+    if block_size == 0 || blocks == 0 {
+        return Err(GraphError::InvalidParameter {
+            message: "block_size and blocks must be positive".into(),
+        });
+    }
+    for (name, p) in [("p_in", p_in), ("p_out", p_out)] {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(GraphError::InvalidParameter {
+                message: format!("{name}={p} not in [0,1]"),
+            });
+        }
+    }
+    let n = block_size * blocks;
+    let membership: Vec<u32> = (0..n).map(|v| (v / block_size) as u32).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    // Bernoulli per ordered pair: fine at the community-experiment sizes
+    // (hundreds to low thousands of nodes); the scale-free generators
+    // cover the big-n regimes.
+    for u in 0..n {
+        for v in 0..n {
+            if u == v {
+                continue;
+            }
+            let p = if membership[u] == membership[v] { p_in } else { p_out };
+            if rng.gen::<f64>() < p {
+                edges.push((u as u32, v as u32));
+            }
+        }
+    }
+    let graph = DiGraph::from_edges(n, edges)?;
+    Ok(SbmGraph { graph, membership })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SbmConfig {
+        SbmConfig { block_size: 30, blocks: 3, p_in: 0.3, p_out: 0.02, seed: 11 }
+    }
+
+    #[test]
+    fn sizes_and_membership() {
+        let sbm = stochastic_block_model(&cfg()).unwrap();
+        assert_eq!(sbm.graph.num_nodes(), 90);
+        assert_eq!(sbm.membership.len(), 90);
+        assert_eq!(sbm.block_members(0).len(), 30);
+        assert_eq!(sbm.block_members(2), (60..90).collect::<Vec<_>>());
+        assert!(sbm.same_block(0, 29));
+        assert!(!sbm.same_block(0, 30));
+    }
+
+    #[test]
+    fn edge_densities_match_probabilities() {
+        let sbm = stochastic_block_model(&cfg()).unwrap();
+        let (mut within, mut across) = (0usize, 0usize);
+        for &(u, v) in sbm.graph.edges() {
+            if sbm.same_block(u as usize, v as usize) {
+                within += 1;
+            } else {
+                across += 1;
+            }
+        }
+        // Expected: within ≈ 3·30·29·0.3 ≈ 783; across ≈ 90·60·0.02 = 108.
+        let exp_within = 3.0 * 30.0 * 29.0 * 0.3;
+        let exp_across = 90.0 * 60.0 * 0.02;
+        assert!((within as f64 - exp_within).abs() < 0.25 * exp_within, "within {within}");
+        assert!((across as f64 - exp_across).abs() < 0.5 * exp_across, "across {across}");
+    }
+
+    #[test]
+    fn deterministic_and_parameter_validation() {
+        let a = stochastic_block_model(&cfg()).unwrap();
+        let b = stochastic_block_model(&cfg()).unwrap();
+        assert_eq!(a.graph, b.graph);
+        assert!(stochastic_block_model(&SbmConfig { block_size: 0, ..cfg() }).is_err());
+        assert!(stochastic_block_model(&SbmConfig { blocks: 0, ..cfg() }).is_err());
+        assert!(stochastic_block_model(&SbmConfig { p_in: 1.5, ..cfg() }).is_err());
+        assert!(stochastic_block_model(&SbmConfig { p_out: -0.1, ..cfg() }).is_err());
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        let full = stochastic_block_model(&SbmConfig {
+            block_size: 4,
+            blocks: 2,
+            p_in: 1.0,
+            p_out: 0.0,
+            seed: 1,
+        })
+        .unwrap();
+        // Two disconnected 4-cliques (directed): 2·4·3 = 24 edges.
+        assert_eq!(full.graph.num_edges(), 24);
+        assert!(full.graph.edges().iter().all(|&(u, v)| full.same_block(u as usize, v as usize)));
+    }
+}

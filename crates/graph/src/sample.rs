@@ -1,0 +1,155 @@
+//! Query-set and node sampling utilities.
+//!
+//! Multi-source experiments draw `|Q|` distinct query nodes per run
+//! (`|Q| = 100..700` in Figures 3/5/7/9); this module provides the
+//! deterministic samplers the harness uses.
+
+use crate::digraph::DiGraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Extracts the induced subgraph on `nodes` (relabelled to `0..k` in the
+/// given order).  Returns the subgraph and the mapping `new → old`.
+///
+/// Used to carve scaled-down replicas out of larger graphs while keeping
+/// local structure intact (an alternative to re-generating at a smaller
+/// size).
+pub fn induced_subgraph(g: &DiGraph, nodes: &[usize]) -> (DiGraph, Vec<usize>) {
+    let mut new_id = vec![u32::MAX; g.num_nodes()];
+    for (new, &old) in nodes.iter().enumerate() {
+        assert!(old < g.num_nodes(), "node {old} out of bounds");
+        new_id[old] = new as u32;
+    }
+    let edges: Vec<(u32, u32)> = g
+        .edges()
+        .iter()
+        .filter_map(|&(u, v)| {
+            let (nu, nv) = (new_id[u as usize], new_id[v as usize]);
+            (nu != u32::MAX && nv != u32::MAX).then_some((nu, nv))
+        })
+        .collect();
+    let sub = DiGraph::from_edges(nodes.len(), edges).expect("relabelled ids in bounds");
+    (sub, nodes.to_vec())
+}
+
+/// Draws `k` distinct node ids uniformly from `0..n` (partial
+/// Fisher–Yates).  If `k >= n`, returns all nodes in shuffled order.
+pub fn sample_nodes(n: usize, k: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids: Vec<usize> = (0..n).collect();
+    if k >= n {
+        ids.shuffle(&mut rng);
+        return ids;
+    }
+    // Partial shuffle: O(k) swaps.
+    for i in 0..k {
+        let j = rand::Rng::gen_range(&mut rng, i..n);
+        ids.swap(i, j);
+    }
+    ids.truncate(k);
+    ids
+}
+
+/// Draws `k` distinct query nodes that each have at least one in-edge
+/// (zero-in-degree queries have trivial similarity columns and make
+/// accuracy comparisons degenerate).  Falls back to arbitrary nodes when
+/// fewer than `k` non-dangling nodes exist.
+pub fn sample_queries(g: &DiGraph, k: usize, seed: u64) -> Vec<usize> {
+    let ind = g.in_degrees();
+    let candidates: Vec<usize> = (0..g.num_nodes()).filter(|&v| ind[v] > 0).collect();
+    if candidates.len() >= k {
+        let picks = sample_nodes(candidates.len(), k, seed);
+        picks.into_iter().map(|i| candidates[i]).collect()
+    } else {
+        sample_nodes(g.num_nodes(), k, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{classic::star, figure1_graph};
+
+    #[test]
+    fn sample_nodes_distinct_and_in_range() {
+        let s = sample_nodes(100, 30, 1);
+        assert_eq!(s.len(), 30);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 30);
+        assert!(s.iter().all(|&v| v < 100));
+    }
+
+    #[test]
+    fn sample_nodes_k_exceeds_n() {
+        let s = sample_nodes(5, 10, 2);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(sample_nodes(50, 10, 3), sample_nodes(50, 10, 3));
+        assert_ne!(sample_nodes(50, 10, 3), sample_nodes(50, 10, 4));
+    }
+
+    #[test]
+    fn queries_avoid_dangling_nodes() {
+        // Star: only the hub (0) has in-edges.
+        let g = star(10);
+        let q = sample_queries(&g, 1, 5);
+        assert_eq!(q, vec![0]);
+    }
+
+    #[test]
+    fn queries_fall_back_when_too_few_candidates() {
+        let g = star(10); // one non-dangling node, ask for 3
+        let q = sample_queries(&g, 3, 6);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = figure1_graph();
+        // Take {a, b, d, e} = {0, 1, 3, 4}.
+        let (sub, mapping) = induced_subgraph(&g, &[0, 1, 3, 4]);
+        assert_eq!(sub.num_nodes(), 4);
+        assert_eq!(mapping, vec![0, 1, 3, 4]);
+        // Edges entirely inside the set: a→b, a→d, e→b, e→d, d→a.
+        assert_eq!(sub.num_edges(), 5);
+        assert!(sub.has_edge(0, 1)); // a→b
+        assert!(sub.has_edge(2, 0)); // d→a
+        assert!(!sub.has_edge(1, 0));
+    }
+
+    #[test]
+    fn induced_subgraph_of_everything_is_isomorphic() {
+        let g = figure1_graph();
+        let all: Vec<usize> = (0..6).collect();
+        let (sub, _) = induced_subgraph(&g, &all);
+        assert_eq!(sub, g);
+    }
+
+    #[test]
+    fn induced_subgraph_reorders_labels() {
+        let g = figure1_graph();
+        // Reversed order: old node 5 becomes new node 0.
+        let (sub, mapping) = induced_subgraph(&g, &[5, 4, 3]);
+        assert_eq!(mapping, vec![5, 4, 3]);
+        // f→d (5→3) becomes 0→2; f→e (5→4) becomes 0→1.
+        assert!(sub.has_edge(0, 2));
+        assert!(sub.has_edge(0, 1));
+    }
+
+    #[test]
+    fn figure1_queries_have_in_edges() {
+        let g = figure1_graph();
+        let ind = g.in_degrees();
+        for &q in &sample_queries(&g, 4, 7) {
+            assert!(ind[q] > 0);
+        }
+    }
+}

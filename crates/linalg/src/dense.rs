@@ -1,0 +1,656 @@
+//! Row-major dense matrix with cache-aware kernels.
+//!
+//! `DenseMatrix` is the workhorse container of the workspace.  CSR+ only
+//! ever materialises tall-skinny (`n×r`) or tiny (`r×r`) dense matrices, so
+//! a flat row-major `Vec<f64>` with i-k-j multiplication order (which
+//! streams both operands row-wise) is fast without tiling heroics.
+
+use crate::error::LinalgError;
+use crate::vector;
+use rand::Rng;
+use std::fmt;
+
+/// A dense `rows × cols` matrix of `f64`, stored row-major.
+#[derive(Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a square diagonal matrix from `diag`.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m.data[i * n + i] = d;
+        }
+        m
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::InvalidParameter`] if `data.len() != rows*cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, LinalgError> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::InvalidParameter {
+                context: "DenseMatrix::from_vec",
+                message: format!("buffer length {} != {rows}x{cols}", data.len()),
+            });
+        }
+        Ok(DenseMatrix { rows, cols, data })
+    }
+
+    /// Builds a matrix from a closure evaluated at every `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Builds a matrix from row slices; all rows must have equal length.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, LinalgError> {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |r0| r0.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            if row.len() != c {
+                return Err(LinalgError::InvalidParameter {
+                    context: "DenseMatrix::from_rows",
+                    message: "ragged rows".into(),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(DenseMatrix { rows: r, cols: c, data })
+    }
+
+    /// Fills with i.i.d. standard Gaussian entries (Box–Muller from `rng`).
+    pub fn random_gaussian<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        // Box–Muller: two normals per pair of uniforms.
+        while data.len() < rows * cols {
+            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            data.push(r * theta.cos());
+            if data.len() < rows * cols {
+                data.push(r * theta.sin());
+            }
+        }
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Borrow row `i` mutably.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy column `j` into a fresh vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// Overwrite column `j` from a slice of length `rows`.
+    pub fn set_col(&mut self, j: usize, v: &[f64]) {
+        assert_eq!(v.len(), self.rows, "set_col: length mismatch");
+        for (i, &x) in v.iter().enumerate() {
+            self.set(i, j, x);
+        }
+    }
+
+    /// The underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The underlying row-major buffer, mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut t = DenseMatrix::zeros(self.cols, self.rows);
+        // Block the transpose to keep both access patterns cache-resident.
+        const B: usize = 32;
+        for ib in (0..self.rows).step_by(B) {
+            for jb in (0..self.cols).step_by(B) {
+                for i in ib..(ib + B).min(self.rows) {
+                    for j in jb..(jb + B).min(self.cols) {
+                        t.data[j * self.rows + i] = self.data[i * self.cols + j];
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// `C = self · other`, i-k-j order (streams rows of both operands).
+    /// Output rows are split across scoped threads when the work is large
+    /// enough to amortise spawning.
+    pub fn matmul(&self, other: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+        let work = self.rows.saturating_mul(self.cols).saturating_mul(other.cols);
+        const MIN_WORK_PER_THREAD: usize = 1 << 20;
+        let hw = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+        let threads = if work < 2 * MIN_WORK_PER_THREAD {
+            1
+        } else {
+            hw.min(work / MIN_WORK_PER_THREAD).max(1)
+        };
+        self.matmul_with_threads(other, threads)
+    }
+
+    /// [`DenseMatrix::matmul`] with an explicit thread count (exposed so
+    /// the threaded path stays testable on single-core CI).
+    pub fn matmul_with_threads(
+        &self,
+        other: &DenseMatrix,
+        threads: usize,
+    ) -> Result<DenseMatrix, LinalgError> {
+        if self.cols != other.rows {
+            return Err(LinalgError::ShapeMismatch {
+                context: "matmul",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut c = DenseMatrix::zeros(self.rows, other.cols);
+        let kc = other.cols;
+        let row_block = |me: &DenseMatrix, out: &mut [f64], lo: usize| {
+            for (off, crow) in out.chunks_mut(kc).enumerate() {
+                let arow = me.row(lo + off);
+                for (k, &aik) in arow.iter().enumerate() {
+                    if aik != 0.0 {
+                        vector::axpy(aik, other.row(k), crow);
+                    }
+                }
+            }
+        };
+        if self.rows == 0 || kc == 0 {
+            return Ok(c); // empty result; chunking by 0 would panic
+        }
+        if threads <= 1 {
+            row_block(self, &mut c.data, 0);
+            return Ok(c);
+        }
+        let chunk_rows = self.rows.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (t, out_chunk) in c.data.chunks_mut(chunk_rows * kc).enumerate() {
+                let lo = t * chunk_rows;
+                scope.spawn(move || row_block(self, out_chunk, lo));
+            }
+        });
+        Ok(c)
+    }
+
+    /// `C = self · otherᵀ` (each entry is a row-row dot product).
+    pub fn matmul_transpose_b(&self, other: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+        if self.cols != other.cols {
+            return Err(LinalgError::ShapeMismatch {
+                context: "matmul_transpose_b",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut c = DenseMatrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            for j in 0..other.rows {
+                c.data[i * other.rows + j] = vector::dot(arow, other.row(j));
+            }
+        }
+        Ok(c)
+    }
+
+    /// `C = selfᵀ · other` (rank-1 accumulation over shared rows).
+    pub fn matmul_transpose_a(&self, other: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+        if self.rows != other.rows {
+            return Err(LinalgError::ShapeMismatch {
+                context: "matmul_transpose_a",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut c = DenseMatrix::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let arow = self.row(k);
+            let brow = other.row(k);
+            for (i, &aki) in arow.iter().enumerate() {
+                if aki != 0.0 {
+                    vector::axpy(aki, brow, &mut c.data[i * other.cols..(i + 1) * other.cols]);
+                }
+            }
+        }
+        Ok(c)
+    }
+
+    /// Matrix-vector product `self · x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec: length mismatch");
+        (0..self.rows).map(|i| vector::dot(self.row(i), x)).collect()
+    }
+
+    /// Transposed matrix-vector product `selfᵀ · x`.
+    pub fn matvec_transpose(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "matvec_transpose: length mismatch");
+        let mut y = vec![0.0; self.cols];
+        for (i, &xi) in x.iter().enumerate() {
+            if xi != 0.0 {
+                vector::axpy(xi, self.row(i), &mut y);
+            }
+        }
+        y
+    }
+
+    /// `self ← self + a · other`.
+    pub fn add_scaled(&mut self, a: f64, other: &DenseMatrix) -> Result<(), LinalgError> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                context: "add_scaled",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        vector::axpy(a, &other.data, &mut self.data);
+        Ok(())
+    }
+
+    /// `self ← a · self`.
+    pub fn scale_in_place(&mut self, a: f64) {
+        vector::scale(a, &mut self.data);
+    }
+
+    /// `self ← self + a·I` (square matrices only).
+    pub fn add_diag(&mut self, a: f64) -> Result<(), LinalgError> {
+        if self.rows != self.cols {
+            return Err(LinalgError::NotSquare { context: "add_diag", shape: self.shape() });
+        }
+        for i in 0..self.rows {
+            self.data[i * self.cols + i] += a;
+        }
+        Ok(())
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        vector::norm2(&self.data)
+    }
+
+    /// Largest absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        vector::norm_inf(&self.data)
+    }
+
+    /// Largest absolute element-wise difference to `other`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "max_abs_diff: shape mismatch");
+        vector::max_abs_diff(&self.data, &other.data)
+    }
+
+    /// New matrix containing the selected rows, in the given order
+    /// (implements the `[U]_{Q,*}` gather of Theorem 3.5).
+    pub fn select_rows(&self, idx: &[usize]) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(idx.len(), self.cols);
+        for (o, &i) in idx.iter().enumerate() {
+            assert!(i < self.rows, "select_rows: index {i} out of bounds ({})", self.rows);
+            out.row_mut(o).copy_from_slice(self.row(i));
+        }
+        out
+    }
+
+    /// New matrix containing the selected columns, in the given order.
+    pub fn select_cols(&self, idx: &[usize]) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, idx.len());
+        for i in 0..self.rows {
+            for (o, &j) in idx.iter().enumerate() {
+                assert!(j < self.cols, "select_cols: index {j} out of bounds ({})", self.cols);
+                out.data[i * idx.len() + o] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Column-stacking vectorisation `vec(X)` (Definition 2.1 of the paper,
+    /// standard orientation): `vec(X)[j·rows + i] = X[i,j]`.
+    pub fn vectorize(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(self.rows * self.cols);
+        for j in 0..self.cols {
+            for i in 0..self.rows {
+                v.push(self.get(i, j));
+            }
+        }
+        v
+    }
+
+    /// Inverse of [`DenseMatrix::vectorize`]: reshapes a column-stacked
+    /// vector back into a `rows × cols` matrix.
+    pub fn unvectorize(rows: usize, cols: usize, v: &[f64]) -> Result<Self, LinalgError> {
+        if v.len() != rows * cols {
+            return Err(LinalgError::InvalidParameter {
+                context: "unvectorize",
+                message: format!("buffer length {} != {rows}x{cols}", v.len()),
+            });
+        }
+        let mut m = DenseMatrix::zeros(rows, cols);
+        for j in 0..cols {
+            for i in 0..rows {
+                m.set(i, j, v[j * rows + i]);
+            }
+        }
+        Ok(m)
+    }
+
+    /// True when every entry differs from `other` by at most `tol`.
+    pub fn approx_eq(&self, other: &DenseMatrix, tol: f64) -> bool {
+        self.shape() == other.shape() && self.max_abs_diff(other) <= tol
+    }
+
+    /// Returns `self · diag(s)` (column `j` scaled by `s[j]`).
+    pub fn scale_columns(&self, s: &[f64]) -> DenseMatrix {
+        assert_eq!(self.cols, s.len(), "scale_columns: length mismatch");
+        let mut out = self.clone();
+        for i in 0..out.rows {
+            let row = out.row_mut(i);
+            for (j, &sj) in s.iter().enumerate() {
+                row[j] *= sj;
+            }
+        }
+        out
+    }
+
+    /// Returns `diag(s) · self` (row `i` scaled by `s[i]`).
+    pub fn scale_rows(&self, s: &[f64]) -> DenseMatrix {
+        assert_eq!(self.rows, s.len(), "scale_rows: length mismatch");
+        let mut out = self.clone();
+        for (i, &si) in s.iter().enumerate() {
+            vector::scale(si, out.row_mut(i));
+        }
+        out
+    }
+
+    /// Applies `f` to every entry in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Estimated heap footprint in bytes (used by the memory model).
+    pub fn heap_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+impl fmt::Debug for DenseMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DenseMatrix {}x{} [", self.rows, self.cols)?;
+        let show_rows = self.rows.min(8);
+        for i in 0..show_rows {
+            write!(f, "  [")?;
+            let show_cols = self.cols.min(8);
+            for j in 0..show_cols {
+                write!(f, "{:>10.4}", self.get(i, j))?;
+                if j + 1 < show_cols {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > 8 {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index loops mirror the matrix math
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mat(rows: usize, cols: usize, v: &[f64]) -> DenseMatrix {
+        DenseMatrix::from_vec(rows, cols, v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn identity_and_diag() {
+        let i3 = DenseMatrix::identity(3);
+        assert_eq!(i3.get(0, 0), 1.0);
+        assert_eq!(i3.get(0, 1), 0.0);
+        let d = DenseMatrix::from_diag(&[2.0, 3.0]);
+        assert_eq!(d.get(1, 1), 3.0);
+        assert_eq!(d.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_len() {
+        assert!(DenseMatrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        assert!(DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0]]).is_err());
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = mat(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = mat(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(2, 3);
+        assert!(matches!(a.matmul(&b), Err(LinalgError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn threaded_matmul_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(55);
+        let a = DenseMatrix::random_gaussian(97, 53, &mut rng);
+        let b = DenseMatrix::random_gaussian(53, 31, &mut rng);
+        let serial = a.matmul_with_threads(&b, 1).unwrap();
+        for threads in [2usize, 3, 5, 8, 97, 200] {
+            let par = a.matmul_with_threads(&b, threads).unwrap();
+            assert!(par.approx_eq(&serial, 1e-12), "threads={threads}");
+        }
+        // Auto path agrees too.
+        assert!(a.matmul(&b).unwrap().approx_eq(&serial, 1e-12));
+    }
+
+    #[test]
+    fn threaded_matmul_degenerate_shapes() {
+        let a = DenseMatrix::zeros(0, 4);
+        let b = DenseMatrix::zeros(4, 3);
+        assert_eq!(a.matmul_with_threads(&b, 4).unwrap().shape(), (0, 3));
+        let a = DenseMatrix::zeros(3, 4);
+        let b = DenseMatrix::zeros(4, 0);
+        assert_eq!(a.matmul_with_threads(&b, 4).unwrap().shape(), (3, 0));
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = DenseMatrix::random_gaussian(37, 53, &mut rng);
+        let att = a.transpose().transpose();
+        assert!(a.approx_eq(&att, 0.0));
+    }
+
+    #[test]
+    fn matmul_transpose_variants_agree_with_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = DenseMatrix::random_gaussian(13, 7, &mut rng);
+        let b = DenseMatrix::random_gaussian(13, 5, &mut rng);
+        let c1 = a.matmul_transpose_a(&b).unwrap(); // Aᵀ B, 7x5
+        let c2 = a.transpose().matmul(&b).unwrap();
+        assert!(c1.approx_eq(&c2, 1e-12));
+
+        let d = DenseMatrix::random_gaussian(11, 7, &mut rng);
+        let e1 = a.matmul_transpose_b(&d).unwrap(); // A Dᵀ, 13x11
+        let e2 = a.matmul(&d.transpose()).unwrap();
+        assert!(e1.approx_eq(&e2, 1e-12));
+    }
+
+    #[test]
+    fn matvec_and_transpose_agree_with_matmul() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = DenseMatrix::random_gaussian(9, 4, &mut rng);
+        let x: Vec<f64> = (0..4).map(|i| i as f64 + 0.5).collect();
+        let y = a.matvec(&x);
+        let xm = DenseMatrix::from_vec(4, 1, x.clone()).unwrap();
+        let ym = a.matmul(&xm).unwrap();
+        for i in 0..9 {
+            assert!((y[i] - ym.get(i, 0)).abs() < 1e-12);
+        }
+        let z: Vec<f64> = (0..9).map(|i| (i as f64).cos()).collect();
+        let w = a.matvec_transpose(&z);
+        let zm = DenseMatrix::from_vec(1, 9, z).unwrap();
+        let wm = zm.matmul(&a).unwrap();
+        for j in 0..4 {
+            assert!((w[j] - wm.get(0, j)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn select_rows_and_cols() {
+        let a = mat(3, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
+        let r = a.select_rows(&[2, 0]);
+        assert_eq!(r.as_slice(), &[7.0, 8.0, 9.0, 1.0, 2.0, 3.0]);
+        let c = a.select_cols(&[1]);
+        assert_eq!(c.as_slice(), &[2.0, 5.0, 8.0]);
+    }
+
+    #[test]
+    fn vectorize_column_stacking() {
+        // X = [1 3; 2 4] → vec(X) = [1, 2, 3, 4] (columns stacked).
+        let x = mat(2, 2, &[1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(x.vectorize(), vec![1.0, 2.0, 3.0, 4.0]);
+        let back = DenseMatrix::unvectorize(2, 2, &x.vectorize()).unwrap();
+        assert!(back.approx_eq(&x, 0.0));
+    }
+
+    #[test]
+    fn add_scaled_and_diag() {
+        let mut a = DenseMatrix::identity(2);
+        let b = mat(2, 2, &[1.0, 1.0, 1.0, 1.0]);
+        a.add_scaled(2.0, &b).unwrap();
+        assert_eq!(a.as_slice(), &[3.0, 2.0, 2.0, 3.0]);
+        a.add_diag(-1.0).unwrap();
+        assert_eq!(a.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+        let mut ns = DenseMatrix::zeros(2, 3);
+        assert!(ns.add_diag(1.0).is_err());
+    }
+
+    #[test]
+    fn gaussian_moments_are_sane() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = DenseMatrix::random_gaussian(200, 200, &mut rng);
+        let n = (200 * 200) as f64;
+        let mean: f64 = g.as_slice().iter().sum::<f64>() / n;
+        let var: f64 = g.as_slice().iter().map(|v| v * v).sum::<f64>() / n;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn scale_columns_and_rows() {
+        let a = DenseMatrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let c = a.scale_columns(&[2.0, 0.0, -1.0]);
+        assert_eq!(c.as_slice(), &[2.0, 0.0, -3.0, 8.0, 0.0, -6.0]);
+        let r = a.scale_rows(&[10.0, 0.1]);
+        let want = [10.0, 20.0, 30.0, 0.4, 0.5, 0.6];
+        for (got, w) in r.as_slice().iter().zip(want.iter()) {
+            assert!((got - w).abs() < 1e-15);
+        }
+        // diag sandwich: diag(s)·A·diag(t) == scale_rows then scale_columns.
+        let srt = a.scale_rows(&[2.0, 3.0]).scale_columns(&[1.0, 2.0, 3.0]);
+        let alt = a.scale_columns(&[1.0, 2.0, 3.0]).scale_rows(&[2.0, 3.0]);
+        assert!(srt.approx_eq(&alt, 0.0));
+    }
+
+    #[test]
+    fn debug_format_truncates() {
+        let a = DenseMatrix::zeros(20, 20);
+        let s = format!("{a:?}");
+        assert!(s.contains("…"));
+    }
+}

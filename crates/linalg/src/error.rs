@@ -1,0 +1,97 @@
+//! Error type shared by all linear-algebra routines.
+
+use std::fmt;
+
+/// Errors produced by decompositions and solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes. Carries `(context, lhs, rhs)`.
+    ShapeMismatch {
+        /// Operation that detected the mismatch (e.g. `"matmul"`).
+        context: &'static str,
+        /// Shape of the left-hand operand, `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right-hand operand, `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A matrix that must be square was not.
+    NotSquare {
+        /// Operation that required squareness.
+        context: &'static str,
+        /// Actual shape.
+        shape: (usize, usize),
+    },
+    /// The matrix is singular (or numerically so) to working precision.
+    Singular {
+        /// Operation that failed.
+        context: &'static str,
+    },
+    /// An iterative method failed to converge within its sweep budget.
+    NoConvergence {
+        /// Operation that failed.
+        context: &'static str,
+        /// Number of sweeps/iterations performed.
+        iterations: usize,
+    },
+    /// A parameter was out of range (e.g. rank 0, rank > min dimension).
+    InvalidParameter {
+        /// Operation that rejected the parameter.
+        context: &'static str,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { context, lhs, rhs } => {
+                write!(f, "{context}: shape mismatch {}x{} vs {}x{}", lhs.0, lhs.1, rhs.0, rhs.1)
+            }
+            LinalgError::NotSquare { context, shape } => {
+                write!(f, "{context}: expected square matrix, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::Singular { context } => write!(f, "{context}: matrix is singular"),
+            LinalgError::NoConvergence { context, iterations } => {
+                write!(f, "{context}: no convergence after {iterations} iterations")
+            }
+            LinalgError::InvalidParameter { context, message } => {
+                write!(f, "{context}: invalid parameter: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = LinalgError::ShapeMismatch { context: "matmul", lhs: (2, 3), rhs: (4, 5) };
+        assert_eq!(e.to_string(), "matmul: shape mismatch 2x3 vs 4x5");
+    }
+
+    #[test]
+    fn display_singular() {
+        let e = LinalgError::Singular { context: "lu_solve" };
+        assert!(e.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn display_not_square_and_convergence() {
+        let e = LinalgError::NotSquare { context: "inverse", shape: (3, 4) };
+        assert!(e.to_string().contains("3x4"));
+        let e = LinalgError::NoConvergence { context: "jacobi", iterations: 50 };
+        assert!(e.to_string().contains("50"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        let e = LinalgError::Singular { context: "x" };
+        takes_err(&e);
+    }
+}

@@ -1,0 +1,198 @@
+//! Cyclic Jacobi eigensolver for small symmetric matrices.
+//!
+//! The CSR+ pipeline occasionally needs an exact eigendecomposition of a
+//! small Gram matrix (e.g. inside the small-matrix SVD used by the
+//! randomized range finder).  Cyclic Jacobi is slow asymptotically but
+//! simple, robust and extremely accurate for the `r × r` (`r ≤ a few
+//! hundred`) matrices that arise here.
+
+use crate::dense::DenseMatrix;
+use crate::error::LinalgError;
+
+/// Eigendecomposition `A = V · diag(λ) · Vᵀ` of a symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, sorted descending.
+    pub eigenvalues: Vec<f64>,
+    /// Orthonormal eigenvectors as columns, in the same order.
+    pub eigenvectors: DenseMatrix,
+}
+
+/// Maximum number of full Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 64;
+
+/// Computes all eigenvalues/eigenvectors of a symmetric matrix via cyclic
+/// Jacobi rotations.
+///
+/// # Errors
+/// * [`LinalgError::NotSquare`] if `a` is not square.
+/// * [`LinalgError::NoConvergence`] if off-diagonal mass does not vanish
+///   within the sweep budget (practically unreachable for symmetric input).
+///
+/// Symmetry is *assumed*: only the upper triangle is read.
+pub fn symmetric_eigen(a: &DenseMatrix) -> Result<SymmetricEigen, LinalgError> {
+    let (n, m) = a.shape();
+    if n != m {
+        return Err(LinalgError::NotSquare { context: "symmetric_eigen", shape: a.shape() });
+    }
+    if n == 0 {
+        return Ok(SymmetricEigen { eigenvalues: vec![], eigenvectors: DenseMatrix::zeros(0, 0) });
+    }
+
+    let mut w = a.clone();
+    // Symmetrise defensively so tiny asymmetries don't stall convergence.
+    for i in 0..n {
+        for j in i + 1..n {
+            let s = 0.5 * (w.get(i, j) + w.get(j, i));
+            w.set(i, j, s);
+            w.set(j, i, s);
+        }
+    }
+    let mut v = DenseMatrix::identity(n);
+
+    let off = |w: &DenseMatrix| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                s += w.get(i, j) * w.get(i, j);
+            }
+        }
+        s.sqrt()
+    };
+
+    let tol = 1e-14 * w.frobenius_norm().max(1.0);
+    let mut sweeps = 0;
+    while off(&w) > tol {
+        if sweeps >= MAX_SWEEPS {
+            return Err(LinalgError::NoConvergence {
+                context: "symmetric_eigen",
+                iterations: sweeps,
+            });
+        }
+        sweeps += 1;
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = w.get(p, q);
+                if apq.abs() <= tol / (n as f64) {
+                    continue;
+                }
+                let app = w.get(p, p);
+                let aqq = w.get(q, q);
+                // Classic stable rotation computation.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                // Update rows/columns p and q of W: W ← JᵀWJ.
+                for k in 0..n {
+                    let wkp = w.get(k, p);
+                    let wkq = w.get(k, q);
+                    w.set(k, p, c * wkp - s * wkq);
+                    w.set(k, q, s * wkp + c * wkq);
+                }
+                for k in 0..n {
+                    let wpk = w.get(p, k);
+                    let wqk = w.get(q, k);
+                    w.set(p, k, c * wpk - s * wqk);
+                    w.set(q, k, s * wpk + c * wqk);
+                }
+                // Accumulate rotations into V.
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+
+    // Extract and sort by descending eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    let eig: Vec<f64> = (0..n).map(|i| w.get(i, i)).collect();
+    order.sort_by(|&i, &j| eig[j].partial_cmp(&eig[i]).unwrap_or(std::cmp::Ordering::Equal));
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| eig[i]).collect();
+    let eigenvectors = v.select_cols(&order);
+    Ok(SymmetricEigen { eigenvalues, eigenvectors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_eigen(a: &DenseMatrix, tol: f64) -> SymmetricEigen {
+        let e = symmetric_eigen(a).unwrap();
+        let n = a.rows();
+        // A V = V diag(λ)
+        let av = a.matmul(&e.eigenvectors).unwrap();
+        let vl = e.eigenvectors.matmul(&DenseMatrix::from_diag(&e.eigenvalues)).unwrap();
+        assert!(av.approx_eq(&vl, tol), "residual {}", av.max_abs_diff(&vl));
+        // VᵀV = I
+        let vtv = e.eigenvectors.matmul_transpose_a(&e.eigenvectors).unwrap();
+        assert!(vtv.approx_eq(&DenseMatrix::identity(n), tol));
+        // Sorted descending
+        for w in e.eigenvalues.windows(2) {
+            assert!(w[0] >= w[1] - tol);
+        }
+        e
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = DenseMatrix::from_diag(&[1.0, 5.0, 3.0]);
+        let e = check_eigen(&a, 1e-12);
+        assert!((e.eigenvalues[0] - 5.0).abs() < 1e-12);
+        assert!((e.eigenvalues[1] - 3.0).abs() < 1e-12);
+        assert!((e.eigenvalues[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = DenseMatrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+        let e = check_eigen(&a, 1e-12);
+        assert!((e.eigenvalues[0] - 3.0).abs() < 1e-12);
+        assert!((e.eigenvalues[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_gram_matrices() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for &n in &[1usize, 2, 5, 17, 40] {
+            let g = DenseMatrix::random_gaussian(n + 3, n, &mut rng);
+            let a = g.matmul_transpose_a(&g).unwrap(); // SPD Gram matrix
+            let e = check_eigen(&a, 1e-9 * (n as f64));
+            // Gram matrices are PSD.
+            assert!(*e.eigenvalues.last().unwrap() > -1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = symmetric_eigen(&DenseMatrix::zeros(0, 0)).unwrap();
+        assert!(e.eigenvalues.is_empty());
+        let a = DenseMatrix::from_vec(1, 1, vec![4.0]).unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        assert_eq!(e.eigenvalues, vec![4.0]);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(symmetric_eigen(&DenseMatrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn trace_preserved() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = DenseMatrix::random_gaussian(10, 10, &mut rng);
+        let mut a = g.matmul_transpose_a(&g).unwrap();
+        a.add_diag(0.5).unwrap();
+        let trace: f64 = (0..10).map(|i| a.get(i, i)).sum();
+        let e = symmetric_eigen(&a).unwrap();
+        let sum: f64 = e.eigenvalues.iter().sum();
+        assert!((trace - sum).abs() < 1e-9 * trace.abs());
+    }
+}

@@ -1,0 +1,235 @@
+//! Kronecker (tensor) products — Definition 2.2 of the paper.
+//!
+//! The faithful CSR-NI baseline (Li et al., Eq. (6a)/(6b)) *materialises*
+//! products like `U ⊗ U` (`n² × r²`) — the very cost CSR+ removes.  To make
+//! that baseline runnable we provide:
+//!
+//! * [`kron`] — full materialisation (guarded by the caller's memory
+//!   budget);
+//! * [`KronPair`] — a virtual `A ⊗ B` that yields rows on demand, letting
+//!   the time-faithful "streamed" CSR-NI variant execute the identical
+//!   floating-point work with `O(r²)` live memory per row;
+//! * [`kron_matvec`] — `(A ⊗ B)·vec(X) = vec(B·X·Aᵀ)` without forming the
+//!   product (the mixed-product identity behind Theorems 3.1–3.5).
+
+use crate::dense::DenseMatrix;
+use crate::error::LinalgError;
+
+/// Materialises `A ⊗ B` as a dense `(pa·pb) × (qa·qb)` matrix.
+///
+/// Row/column layout follows the standard (column-stacking-`vec`
+/// compatible) convention: entry `((ia·pb + ib), (ja·qb + jb)) =
+/// A[ia,ja]·B[ib,jb]`.
+pub fn kron(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    let (pa, qa) = a.shape();
+    let (pb, qb) = b.shape();
+    let mut out = DenseMatrix::zeros(pa * pb, qa * qb);
+    for ia in 0..pa {
+        for ib in 0..pb {
+            let orow = out.row_mut(ia * pb + ib);
+            for ja in 0..qa {
+                let aij = a.get(ia, ja);
+                if aij == 0.0 {
+                    continue;
+                }
+                let brow = b.row(ib);
+                let dst = &mut orow[ja * qb..(ja + 1) * qb];
+                for (d, &bv) in dst.iter_mut().zip(brow.iter()) {
+                    *d += aij * bv;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A virtual Kronecker product `A ⊗ B` that never materialises.
+#[derive(Debug, Clone)]
+pub struct KronPair<'a> {
+    a: &'a DenseMatrix,
+    b: &'a DenseMatrix,
+}
+
+impl<'a> KronPair<'a> {
+    /// Wraps two factors.
+    pub fn new(a: &'a DenseMatrix, b: &'a DenseMatrix) -> Self {
+        KronPair { a, b }
+    }
+
+    /// Number of rows of the virtual product.
+    pub fn nrows(&self) -> usize {
+        self.a.rows() * self.b.rows()
+    }
+
+    /// Number of columns of the virtual product.
+    pub fn ncols(&self) -> usize {
+        self.a.cols() * self.b.cols()
+    }
+
+    /// Writes row `i` of `A ⊗ B` into `buf` (length `ncols`).
+    pub fn row_into(&self, i: usize, buf: &mut [f64]) {
+        assert_eq!(buf.len(), self.ncols(), "row_into: buffer length");
+        let pb = self.b.rows();
+        let qb = self.b.cols();
+        let ia = i / pb;
+        let ib = i % pb;
+        let arow = self.a.row(ia);
+        let brow = self.b.row(ib);
+        for (ja, &av) in arow.iter().enumerate() {
+            let dst = &mut buf[ja * qb..(ja + 1) * qb];
+            if av == 0.0 {
+                dst.fill(0.0);
+            } else {
+                for (d, &bv) in dst.iter_mut().zip(brow.iter()) {
+                    *d = av * bv;
+                }
+            }
+        }
+    }
+
+    /// Computes `(A ⊗ B) · x` by streaming rows; `O(ncols)` live memory.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols(), "KronPair::matvec: length mismatch");
+        let mut buf = vec![0.0; self.ncols()];
+        let mut y = Vec::with_capacity(self.nrows());
+        for i in 0..self.nrows() {
+            self.row_into(i, &mut buf);
+            y.push(crate::vector::dot(&buf, x));
+        }
+        y
+    }
+}
+
+/// Computes `(A ⊗ B) · vec(X)` as `vec(B · X · Aᵀ)` without forming the
+/// Kronecker product (mixed-product property).
+///
+/// `X` must be `b.cols() × a.cols()`; the result is `vec` of a
+/// `b.rows() × a.rows()` matrix.
+pub fn kron_matvec(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    x: &DenseMatrix,
+) -> Result<Vec<f64>, LinalgError> {
+    if x.rows() != b.cols() || x.cols() != a.cols() {
+        return Err(LinalgError::ShapeMismatch {
+            context: "kron_matvec",
+            lhs: (b.cols(), a.cols()),
+            rhs: x.shape(),
+        });
+    }
+    let bx = b.matmul(x)?; // pb x qa
+    let bxat = bx.matmul_transpose_b(a)?; // pb x pa
+    Ok(bxat.vectorize())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn m(rows: usize, cols: usize, v: &[f64]) -> DenseMatrix {
+        DenseMatrix::from_vec(rows, cols, v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn kron_2x2_known() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = m(2, 2, &[0.0, 5.0, 6.0, 7.0]);
+        let k = kron(&a, &b);
+        assert_eq!(k.shape(), (4, 4));
+        // Block (0,0) = 1*B, block (0,1) = 2*B, etc.
+        assert_eq!(k.get(0, 1), 5.0);
+        assert_eq!(k.get(0, 3), 10.0);
+        assert_eq!(k.get(3, 0), 3.0 * 6.0); // block (1,0) = A[1,0]·B
+        assert_eq!(k.get(3, 3), 4.0 * 7.0); // block (1,1) = A[1,1]·B
+    }
+
+    #[test]
+    fn kron_mixed_product_property() {
+        // (A⊗B)(C⊗D) = (AC)⊗(BD) — Theorem 3.1's engine.
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = DenseMatrix::random_gaussian(3, 4, &mut rng);
+        let b = DenseMatrix::random_gaussian(2, 5, &mut rng);
+        let c = DenseMatrix::random_gaussian(4, 2, &mut rng);
+        let d = DenseMatrix::random_gaussian(5, 3, &mut rng);
+        let lhs = kron(&a, &b).matmul(&kron(&c, &d)).unwrap();
+        let rhs = kron(&a.matmul(&c).unwrap(), &b.matmul(&d).unwrap());
+        assert!(lhs.approx_eq(&rhs, 1e-10));
+    }
+
+    #[test]
+    fn kron_transpose_distributes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = DenseMatrix::random_gaussian(3, 2, &mut rng);
+        let b = DenseMatrix::random_gaussian(4, 5, &mut rng);
+        let lhs = kron(&a, &b).transpose();
+        let rhs = kron(&a.transpose(), &b.transpose());
+        assert!(lhs.approx_eq(&rhs, 0.0));
+    }
+
+    #[test]
+    fn kron_pair_rows_match_materialised() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let a = DenseMatrix::random_gaussian(3, 4, &mut rng);
+        let b = DenseMatrix::random_gaussian(2, 5, &mut rng);
+        let full = kron(&a, &b);
+        let pair = KronPair::new(&a, &b);
+        assert_eq!(pair.nrows(), full.rows());
+        assert_eq!(pair.ncols(), full.cols());
+        let mut buf = vec![0.0; pair.ncols()];
+        for i in 0..pair.nrows() {
+            pair.row_into(i, &mut buf);
+            assert_eq!(buf.as_slice(), full.row(i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn kron_pair_matvec_matches() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = DenseMatrix::random_gaussian(3, 3, &mut rng);
+        let b = DenseMatrix::random_gaussian(4, 4, &mut rng);
+        let x: Vec<f64> = (0..12).map(|i| (i as f64 * 0.7).sin()).collect();
+        let full = kron(&a, &b);
+        let direct = full.matvec(&x);
+        let streamed = KronPair::new(&a, &b).matvec(&x);
+        for (d, s) in direct.iter().zip(streamed.iter()) {
+            assert!((d - s).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn kron_matvec_is_vec_of_sandwich() {
+        // (A⊗B)vec(X) = vec(BXAᵀ) — the identity behind Theorem 3.5.
+        let mut rng = StdRng::seed_from_u64(14);
+        let a = DenseMatrix::random_gaussian(3, 2, &mut rng);
+        let b = DenseMatrix::random_gaussian(4, 5, &mut rng);
+        let x = DenseMatrix::random_gaussian(5, 2, &mut rng);
+        let fast = kron_matvec(&a, &b, &x).unwrap();
+        let slow = kron(&a, &b).matvec(&x.vectorize());
+        assert_eq!(fast.len(), slow.len());
+        for (f, s) in fast.iter().zip(slow.iter()) {
+            assert!((f - s).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn kron_matvec_rejects_bad_shape() {
+        let a = DenseMatrix::zeros(2, 2);
+        let b = DenseMatrix::zeros(2, 2);
+        let x = DenseMatrix::zeros(3, 3);
+        assert!(kron_matvec(&a, &b, &x).is_err());
+    }
+
+    #[test]
+    fn kron_identity_blocks() {
+        let i2 = DenseMatrix::identity(2);
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let k = kron(&i2, &a);
+        // Block diagonal with two copies of A.
+        assert_eq!(k.get(0, 0), 1.0);
+        assert_eq!(k.get(2, 2), 1.0);
+        assert_eq!(k.get(0, 2), 0.0);
+        assert_eq!(k.get(3, 2), 3.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! # csrplus-linalg
+//!
+//! Self-contained dense linear algebra for the `csrplus` workspace.
+//!
+//! The CSR+ paper (EDBT 2024) is, at its heart, a sequence of matrix
+//! identities (Theorems 3.1–3.5) applied to a low-rank SVD of the
+//! column-normalised adjacency matrix.  This crate provides every matrix
+//! primitive those theorems require, implemented from scratch:
+//!
+//! * [`DenseMatrix`] — row-major dense matrices with BLAS-like kernels
+//!   (blocked multiply, transpose-multiply, rank updates);
+//! * [`qr`] — thin Householder QR used to orthonormalise subspace bases;
+//! * [`jacobi`] — a cyclic Jacobi eigensolver for small symmetric matrices;
+//! * [`svd`] — one-sided Jacobi SVD for small dense matrices (exact) and
+//!   the [`svd::TruncatedSvd`] result type;
+//! * [`randomized`] / [`lanczos`] — randomized subspace-iteration **truncated SVD** over
+//!   any [`LinearOperator`], the workhorse used to factor billion-edge
+//!   sparse transition matrices as `Q ≈ U Σ Vᵀ`;
+//! * [`kron`] — Kronecker (tensor) products, both materialised (used by the
+//!   faithful CSR-NI baseline) and streamed row-by-row (used by its
+//!   memory-bounded variant);
+//! * [`lu`] — LU decomposition with partial pivoting for small solves and
+//!   inverses (the `Λ` matrix of Li et al.'s Eq. (6b)).
+//!
+//! Everything is `f64`; matrices the algorithms keep around are either
+//! `O(n·r)` tall-skinny or `O(r²)` small, so a simple row-major layout with
+//! cache-blocked kernels is the right trade-off.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dense;
+pub mod error;
+pub mod jacobi;
+pub mod kron;
+pub mod lanczos;
+pub mod linop;
+pub mod lu;
+pub mod qr;
+pub mod randomized;
+pub mod svd;
+pub mod svd_update;
+pub mod vector;
+
+pub use dense::DenseMatrix;
+pub use error::LinalgError;
+pub use linop::LinearOperator;
+pub use svd::TruncatedSvd;

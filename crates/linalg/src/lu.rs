@@ -1,0 +1,204 @@
+//! LU decomposition with partial pivoting.
+//!
+//! Used by the CSR-NI baseline to invert the `r² × r²` matrix `Λ` of Li et
+//! al.'s Eq. (6b), and by tests as an independent solver to cross-check the
+//! fixed-point iterations.
+
+use crate::dense::DenseMatrix;
+use crate::error::LinalgError;
+
+/// A factorisation `P·A = L·U` of a square matrix.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed LU factors (unit lower triangle implicit).
+    lu: DenseMatrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (for determinants).
+    sign: f64,
+}
+
+impl Lu {
+    /// Factorises `a` (square) with partial pivoting.
+    ///
+    /// # Errors
+    /// * [`LinalgError::NotSquare`] for non-square input.
+    /// * [`LinalgError::Singular`] if a pivot vanishes.
+    pub fn factor(a: &DenseMatrix) -> Result<Lu, LinalgError> {
+        let (n, m) = a.shape();
+        if n != m {
+            return Err(LinalgError::NotSquare { context: "lu_factor", shape: a.shape() });
+        }
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Partial pivot: largest |entry| in column k at or below row k.
+            let mut p = k;
+            let mut best = lu.get(k, k).abs();
+            for i in k + 1..n {
+                let v = lu.get(i, k).abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best == 0.0 {
+                return Err(LinalgError::Singular { context: "lu_factor" });
+            }
+            if p != k {
+                swap_rows(&mut lu, p, k);
+                perm.swap(p, k);
+                sign = -sign;
+            }
+            let pivot = lu.get(k, k);
+            for i in k + 1..n {
+                let factor = lu.get(i, k) / pivot;
+                lu.set(i, k, factor);
+                if factor != 0.0 {
+                    for j in k + 1..n {
+                        let v = lu.get(i, j) - factor * lu.get(k, j);
+                        lu.set(i, j, v);
+                    }
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Solves `A·x = b` for a single right-hand side.
+    pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                context: "lu_solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Apply permutation, forward substitution (unit L), back substitution.
+        let mut x: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        for i in 1..n {
+            let mut s = x[i];
+            for (j, xj) in x.iter().enumerate().take(i) {
+                s -= self.lu.get(i, j) * xj;
+            }
+            x[i] = s;
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for (j, xj) in x.iter().enumerate().skip(i + 1) {
+                s -= self.lu.get(i, j) * xj;
+            }
+            x[i] = s / self.lu.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Solves `A·X = B` column by column.
+    pub fn solve_matrix(&self, b: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+        let n = self.lu.rows();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                context: "lu_solve_matrix",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut x = DenseMatrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = self.solve_vec(&b.col(j))?;
+            x.set_col(j, &col);
+        }
+        Ok(x)
+    }
+
+    /// Computes `A⁻¹` (solve against the identity).
+    pub fn inverse(&self) -> Result<DenseMatrix, LinalgError> {
+        self.solve_matrix(&DenseMatrix::identity(self.lu.rows()))
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.lu.rows() {
+            d *= self.lu.get(i, i);
+        }
+        d
+    }
+}
+
+fn swap_rows(m: &mut DenseMatrix, a: usize, b: usize) {
+    if a == b {
+        return;
+    }
+    let cols = m.cols();
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    let (head, tail) = m.as_mut_slice().split_at_mut(hi * cols);
+    head[lo * cols..(lo + 1) * cols].swap_with_slice(&mut tail[..cols]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn solve_known_system() {
+        // [2 1; 1 3] x = [3; 5] → x = [4/5, 7/5]
+        let a = DenseMatrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 3.0]).unwrap();
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve_vec(&[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-14);
+        assert!((x[1] - 1.4).abs() < 1e-14);
+    }
+
+    #[test]
+    fn random_solve_residual() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for &n in &[1usize, 2, 5, 20, 60] {
+            let mut a = DenseMatrix::random_gaussian(n, n, &mut rng);
+            a.add_diag(n as f64).unwrap(); // well-conditioned
+            let lu = Lu::factor(&a).unwrap();
+            let b = DenseMatrix::random_gaussian(n, 3, &mut rng);
+            let x = lu.solve_matrix(&b).unwrap();
+            let r = a.matmul(&x).unwrap();
+            assert!(r.approx_eq(&b, 1e-9), "n={n} residual {}", r.max_abs_diff(&b));
+        }
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let mut rng = StdRng::seed_from_u64(78);
+        let mut a = DenseMatrix::random_gaussian(12, 12, &mut rng);
+        a.add_diag(6.0).unwrap();
+        let inv = Lu::factor(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.approx_eq(&DenseMatrix::identity(12), 1e-10));
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert!(matches!(Lu::factor(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn det_of_permutation_and_diag() {
+        // Row-swapped diagonal: det = -6.
+        let a = DenseMatrix::from_vec(2, 2, vec![0.0, 2.0, 3.0, 0.0]).unwrap();
+        let lu = Lu::factor(&a).unwrap();
+        assert!((lu.det() + 6.0).abs() < 1e-14);
+        let d = DenseMatrix::from_diag(&[2.0, 5.0]);
+        assert!((Lu::factor(&d).unwrap().det() - 10.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn rejects_non_square_and_bad_rhs() {
+        assert!(Lu::factor(&DenseMatrix::zeros(2, 3)).is_err());
+        let a = DenseMatrix::identity(3);
+        let lu = Lu::factor(&a).unwrap();
+        assert!(lu.solve_vec(&[1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,185 @@
+//! Thin Householder QR decomposition.
+//!
+//! Used by the randomized SVD to re-orthonormalise subspace bases between
+//! power iterations.  For an `m × n` matrix with `m ≥ n` we return the thin
+//! factors: `Q` (`m × n`, orthonormal columns) and `R` (`n × n`, upper
+//! triangular) with `A = Q·R`.
+
+use crate::dense::DenseMatrix;
+use crate::error::LinalgError;
+use crate::vector;
+
+/// Result of a thin QR decomposition.
+#[derive(Debug, Clone)]
+pub struct ThinQr {
+    /// `m × n` matrix with orthonormal columns.
+    pub q: DenseMatrix,
+    /// `n × n` upper-triangular factor.
+    pub r: DenseMatrix,
+}
+
+/// Computes the thin QR factorisation of `a` via Householder reflections.
+///
+/// # Errors
+/// Returns [`LinalgError::InvalidParameter`] when `a.rows() < a.cols()`
+/// (a wide matrix has no thin QR of this shape).
+pub fn thin_qr(a: &DenseMatrix) -> Result<ThinQr, LinalgError> {
+    let (m, n) = a.shape();
+    if m < n {
+        return Err(LinalgError::InvalidParameter {
+            context: "thin_qr",
+            message: format!("need rows >= cols, got {m}x{n}"),
+        });
+    }
+    // Work on a column-major copy: Householder kernels stream columns.
+    let mut work = a.transpose(); // n x m: row j of `work` is column j of A
+                                  // Householder vectors, one per column, stored as rows of `vs` (length m,
+                                  // zero-padded before index k).
+    let mut vs = DenseMatrix::zeros(n, m);
+    let mut r = DenseMatrix::zeros(n, n);
+
+    for k in 0..n {
+        // Build the reflector from the k-th column, below the diagonal.
+        let colk = &work.row(k)[k..];
+        let alpha = vector::norm2(colk);
+        let mut v = vec![0.0; m - k];
+        v.copy_from_slice(colk);
+        // Choose sign to avoid cancellation.
+        let beta = if v[0] >= 0.0 { -alpha } else { alpha };
+        if alpha == 0.0 {
+            // Column already zero below: reflector is identity; diagonal 0.
+            r.set(k, k, 0.0);
+            // Store a unit vector so Q assembly below stays well-defined.
+            vs.row_mut(k)[k] = 0.0;
+            continue;
+        }
+        v[0] -= beta;
+        let vnorm = vector::norm2(&v);
+        if vnorm > 0.0 {
+            vector::scale(1.0 / vnorm, &mut v);
+        }
+        vs.row_mut(k)[k..].copy_from_slice(&v);
+        r.set(k, k, beta);
+
+        // Apply the reflector H = I - 2vvᵀ to the remaining columns.
+        for j in k + 1..n {
+            let colj = &mut work.row_mut(j)[k..];
+            let t = 2.0 * vector::dot(&v, colj);
+            vector::axpy(-t, &v, colj);
+        }
+        // Record the new k-th row of R from the updated columns.
+        for j in k + 1..n {
+            r.set(k, j, work.get(j, k));
+        }
+        // Also update the k-th column itself so later norms see the zeros.
+        {
+            let colk = &mut work.row_mut(k)[k..];
+            let t = 2.0 * vector::dot(&v, colk);
+            vector::axpy(-t, &v, colk);
+        }
+    }
+
+    // Assemble thin Q by applying the reflectors in reverse to the first n
+    // columns of the identity.
+    let mut qt = DenseMatrix::zeros(n, m); // row j = column j of Q
+    for j in 0..n {
+        qt.row_mut(j)[j] = 1.0;
+    }
+    for k in (0..n).rev() {
+        let v = &vs.row(k)[k..];
+        if vector::norm2(v) == 0.0 {
+            continue;
+        }
+        for j in 0..n {
+            let col = &mut qt.row_mut(j)[k..];
+            let t = 2.0 * vector::dot(v, col);
+            vector::axpy(-t, v, col);
+        }
+    }
+    Ok(ThinQr { q: qt.transpose(), r })
+}
+
+/// Orthonormalises the columns of `a` in place of a full QR (returns only
+/// the `Q` factor).  Rank-deficient columns come back as valid orthonormal
+/// directions picked by the Householder process, which is what subspace
+/// iteration needs.
+pub fn orthonormalize(a: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+    Ok(thin_qr(a)?.q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_qr(a: &DenseMatrix, tol: f64) {
+        let ThinQr { q, r } = thin_qr(a).unwrap();
+        let (m, n) = a.shape();
+        assert_eq!(q.shape(), (m, n));
+        assert_eq!(r.shape(), (n, n));
+        // A = QR
+        let qr = q.matmul(&r).unwrap();
+        assert!(qr.approx_eq(a, tol), "QR reconstruction error {}", qr.max_abs_diff(a));
+        // QᵀQ = I
+        let qtq = q.matmul_transpose_a(&q).unwrap();
+        assert!(qtq.approx_eq(&DenseMatrix::identity(n), tol), "Q not orthonormal");
+        // R upper triangular
+        for i in 0..n {
+            for j in 0..i {
+                assert!(r.get(i, j).abs() < tol, "R not triangular at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn qr_random_tall() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for &(m, n) in &[(5, 5), (10, 3), (40, 7), (100, 20)] {
+            let a = DenseMatrix::random_gaussian(m, n, &mut rng);
+            check_qr(&a, 1e-10);
+        }
+    }
+
+    #[test]
+    fn qr_identity() {
+        check_qr(&DenseMatrix::identity(6), 1e-14);
+    }
+
+    #[test]
+    fn qr_rejects_wide() {
+        let a = DenseMatrix::zeros(2, 5);
+        assert!(thin_qr(&a).is_err());
+    }
+
+    #[test]
+    fn qr_rank_deficient_still_orthonormal() {
+        // Two identical columns: Q must still have orthonormal columns.
+        let mut a = DenseMatrix::zeros(6, 2);
+        for i in 0..6 {
+            a.set(i, 0, (i + 1) as f64);
+            a.set(i, 1, (i + 1) as f64);
+        }
+        let q = orthonormalize(&a).unwrap();
+        let qtq = q.matmul_transpose_a(&q).unwrap();
+        // First column must be unit; diagonal entries 1 within tolerance.
+        assert!((qtq.get(0, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qr_single_column() {
+        let a = DenseMatrix::from_vec(3, 1, vec![3.0, 0.0, 4.0]).unwrap();
+        let ThinQr { q, r } = thin_qr(&a).unwrap();
+        assert!((r.get(0, 0).abs() - 5.0).abs() < 1e-12);
+        let qr = q.matmul(&r).unwrap();
+        assert!(qr.approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn qr_zero_matrix() {
+        let a = DenseMatrix::zeros(4, 2);
+        let ThinQr { q, r } = thin_qr(&a).unwrap();
+        let qr = q.matmul(&r).unwrap();
+        assert!(qr.approx_eq(&a, 1e-14));
+    }
+}

@@ -1,0 +1,298 @@
+//! Singular value decomposition.
+//!
+//! Two entry points:
+//! * [`jacobi_svd`] — exact one-sided Jacobi SVD for small dense matrices.
+//!   Used for `r × r` subspace matrices, as the inner factorisation of the
+//!   randomized method, and as ground truth in tests.
+//! * [`TruncatedSvd`] — the common result type `A ≈ U Σ Vᵀ` shared with the
+//!   randomized sparse factorisation in [`crate::randomized`].
+
+use crate::dense::DenseMatrix;
+use crate::error::LinalgError;
+use crate::vector;
+
+/// A rank-`k` (possibly truncated) SVD `A ≈ U · diag(σ) · Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct TruncatedSvd {
+    /// Left singular vectors, `m × k`, orthonormal columns.
+    pub u: DenseMatrix,
+    /// Singular values, length `k`, non-negative, sorted descending.
+    pub sigma: Vec<f64>,
+    /// Right singular vectors, `n × k`, orthonormal columns.
+    pub v: DenseMatrix,
+}
+
+impl TruncatedSvd {
+    /// Rank of the factorisation.
+    pub fn rank(&self) -> usize {
+        self.sigma.len()
+    }
+
+    /// `diag(σ)` as a dense `k × k` matrix.
+    pub fn sigma_matrix(&self) -> DenseMatrix {
+        DenseMatrix::from_diag(&self.sigma)
+    }
+
+    /// Reconstructs the (approximation of the) original matrix `U Σ Vᵀ`.
+    pub fn reconstruct(&self) -> DenseMatrix {
+        let us = scale_cols(&self.u, &self.sigma);
+        us.matmul_transpose_b(&self.v).expect("reconstruct: internal shape mismatch")
+    }
+
+    /// Keeps only the leading `r` triples, dropping the rest.
+    pub fn truncate(mut self, r: usize) -> TruncatedSvd {
+        let r = r.min(self.sigma.len());
+        self.sigma.truncate(r);
+        let keep: Vec<usize> = (0..r).collect();
+        self.u = self.u.select_cols(&keep);
+        self.v = self.v.select_cols(&keep);
+        self
+    }
+
+    /// Verifies the factorisation invariants (orthonormality, ordering);
+    /// returns the worst violation found.  Test/diagnostic helper.
+    pub fn invariant_violation(&self) -> f64 {
+        let k = self.rank();
+        let utu = self.u.matmul_transpose_a(&self.u).expect("shape");
+        let vtv = self.v.matmul_transpose_a(&self.v).expect("shape");
+        let eye = DenseMatrix::identity(k);
+        let mut worst = utu.max_abs_diff(&eye).max(vtv.max_abs_diff(&eye));
+        for w in self.sigma.windows(2) {
+            if w[1] > w[0] {
+                worst = worst.max(w[1] - w[0]);
+            }
+        }
+        for &s in &self.sigma {
+            if s < 0.0 {
+                worst = worst.max(-s);
+            }
+        }
+        worst
+    }
+}
+
+/// Multiplies column `j` of `m` by `s[j]` (returns a new matrix).
+pub(crate) fn scale_cols(m: &DenseMatrix, s: &[f64]) -> DenseMatrix {
+    assert_eq!(m.cols(), s.len(), "scale_cols: length mismatch");
+    let mut out = m.clone();
+    for i in 0..out.rows() {
+        let row = out.row_mut(i);
+        for (j, &sj) in s.iter().enumerate() {
+            row[j] *= sj;
+        }
+    }
+    out
+}
+
+/// Maximum number of one-sided Jacobi sweeps.
+const MAX_SWEEPS: usize = 60;
+
+/// Exact SVD of a dense matrix via one-sided Jacobi rotations.
+///
+/// Returns the full factorisation with `k = min(m, n)`.  Singular values
+/// smaller than `~1e-14 · σ₁` come back as exact zeros with zeroed left
+/// singular vectors (callers that invert `Σ` must truncate first).
+///
+/// # Errors
+/// [`LinalgError::NoConvergence`] if column pairs fail to orthogonalise
+/// within the sweep budget.
+pub fn jacobi_svd(a: &DenseMatrix) -> Result<TruncatedSvd, LinalgError> {
+    let (m, n) = a.shape();
+    if m < n {
+        // SVD(Aᵀ) = V Σ Uᵀ — swap factors.
+        let t = jacobi_svd(&a.transpose())?;
+        return Ok(TruncatedSvd { u: t.v, sigma: t.sigma, v: t.u });
+    }
+    if n == 0 {
+        return Ok(TruncatedSvd {
+            u: DenseMatrix::zeros(m, 0),
+            sigma: vec![],
+            v: DenseMatrix::zeros(0, 0),
+        });
+    }
+
+    // Column-major working copies: row j of `w` is column j of A.
+    let mut w = a.transpose();
+    let mut v = DenseMatrix::identity(n).transpose(); // row j = column j of V
+
+    let eps = 1e-15;
+    // Columns whose norm collapses below `null_cut` are numerically in the
+    // null space; rotating them against each other only churns rounding
+    // noise (|γ|/√(αβ) stays O(1)) and would never converge.
+    let frob = a.frobenius_norm();
+    let null_cut = (frob * 1e-14).max(f64::MIN_POSITIVE);
+    let mut converged = false;
+    let mut sweeps = 0;
+    while !converged {
+        if sweeps >= MAX_SWEEPS {
+            return Err(LinalgError::NoConvergence { context: "jacobi_svd", iterations: sweeps });
+        }
+        sweeps += 1;
+        converged = true;
+        for p in 0..n {
+            for q in p + 1..n {
+                let (alpha, beta, gamma) = {
+                    let wp = w.row(p);
+                    let wq = w.row(q);
+                    (vector::dot(wp, wp), vector::dot(wq, wq), vector::dot(wp, wq))
+                };
+                if alpha.sqrt() <= null_cut || beta.sqrt() <= null_cut {
+                    continue; // numerically zero column: σ = 0 territory
+                }
+                if gamma.abs() <= eps * (alpha * beta).sqrt() || gamma == 0.0 {
+                    continue;
+                }
+                converged = false;
+                let zeta = (beta - alpha) / (2.0 * gamma);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                rotate_rows(&mut w, p, q, c, s);
+                rotate_rows(&mut v, p, q, c, s);
+            }
+        }
+    }
+
+    // Singular values are the column norms of the rotated matrix.
+    let mut sigma: Vec<f64> = (0..n).map(|j| vector::norm2(w.row(j))).collect();
+    let smax = sigma.iter().cloned().fold(0.0f64, f64::max);
+    let cut = smax * 1e-14;
+
+    // Sort descending.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut u = DenseMatrix::zeros(m, n);
+    let mut v_sorted = DenseMatrix::zeros(n, n);
+    let mut sigma_sorted = Vec::with_capacity(n);
+    for (out_j, &j) in order.iter().enumerate() {
+        let s = sigma[j];
+        if s > cut {
+            let mut col = w.row(j).to_vec();
+            vector::scale(1.0 / s, &mut col);
+            u.set_col(out_j, &col);
+            sigma_sorted.push(s);
+        } else {
+            sigma_sorted.push(0.0);
+            // zero U column (documented contract for null space)
+        }
+        v_sorted.set_col(out_j, v.row(j));
+    }
+    sigma = sigma_sorted;
+
+    Ok(TruncatedSvd { u, sigma, v: v_sorted })
+}
+
+/// Applies the Givens rotation to rows `p`, `q` of `m` (which represent
+/// columns of the logical matrix).
+fn rotate_rows(m: &mut DenseMatrix, p: usize, q: usize, c: f64, s: f64) {
+    let cols = m.cols();
+    debug_assert!(p < q);
+    // Split borrow: rows p and q are disjoint slices.
+    let (head, tail) = m.as_mut_slice().split_at_mut(q * cols);
+    let rp = &mut head[p * cols..(p + 1) * cols];
+    let rq = &mut tail[..cols];
+    for k in 0..cols {
+        let a = rp[k];
+        let b = rq[k];
+        rp[k] = c * a - s * b;
+        rq[k] = s * a + c * b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_svd(a: &DenseMatrix, tol: f64) -> TruncatedSvd {
+        let svd = jacobi_svd(a).unwrap();
+        let rec = svd.reconstruct();
+        assert!(
+            rec.approx_eq(a, tol),
+            "reconstruction error {} for {:?}",
+            rec.max_abs_diff(a),
+            a.shape()
+        );
+        // Orthonormality only guaranteed on the non-null part.
+        let nz = svd.sigma.iter().filter(|s| **s > 0.0).count();
+        let trunc = svd.clone().truncate(nz);
+        assert!(trunc.invariant_violation() < tol, "invariants violated");
+        svd
+    }
+
+    #[test]
+    fn svd_known_diagonal() {
+        let a = DenseMatrix::from_diag(&[3.0, 1.0, 2.0]);
+        let svd = check_svd(&a, 1e-12);
+        assert!((svd.sigma[0] - 3.0).abs() < 1e-12);
+        assert!((svd.sigma[1] - 2.0).abs() < 1e-12);
+        assert!((svd.sigma[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn svd_random_shapes() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for &(m, n) in &[(1, 1), (3, 3), (10, 4), (4, 10), (25, 25), (50, 8)] {
+            let a = DenseMatrix::random_gaussian(m, n, &mut rng);
+            check_svd(&a, 1e-9);
+        }
+    }
+
+    #[test]
+    fn svd_rank_deficient() {
+        // Rank-1 matrix: outer product.
+        let u = [1.0, 2.0, 3.0, 4.0];
+        let v = [2.0, -1.0, 0.5];
+        let a = DenseMatrix::from_fn(4, 3, |i, j| u[i] * v[j]);
+        let svd = check_svd(&a, 1e-10);
+        let nz = svd.sigma.iter().filter(|s| **s > 1e-10).count();
+        assert_eq!(nz, 1, "rank-1 matrix must have one nonzero σ, got {:?}", svd.sigma);
+    }
+
+    #[test]
+    fn svd_zero_matrix() {
+        let a = DenseMatrix::zeros(3, 2);
+        let svd = jacobi_svd(&a).unwrap();
+        assert!(svd.sigma.iter().all(|&s| s == 0.0));
+        assert!(svd.reconstruct().approx_eq(&a, 1e-15));
+    }
+
+    #[test]
+    fn svd_singular_values_match_eigen_of_gram() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = DenseMatrix::random_gaussian(12, 6, &mut rng);
+        let svd = jacobi_svd(&a).unwrap();
+        let gram = a.matmul_transpose_a(&a).unwrap();
+        let eig = crate::jacobi::symmetric_eigen(&gram).unwrap();
+        for (s, l) in svd.sigma.iter().zip(eig.eigenvalues.iter()) {
+            assert!((s * s - l).abs() < 1e-8 * l.max(1.0), "σ²={} λ={}", s * s, l);
+        }
+    }
+
+    #[test]
+    fn truncate_keeps_leading_triples() {
+        let a = DenseMatrix::from_diag(&[5.0, 4.0, 3.0, 2.0]);
+        let svd = jacobi_svd(&a).unwrap().truncate(2);
+        assert_eq!(svd.rank(), 2);
+        assert_eq!(svd.sigma, vec![5.0, 4.0]);
+        assert_eq!(svd.u.shape(), (4, 2));
+        assert_eq!(svd.v.shape(), (4, 2));
+        // Best rank-2 approximation error in max-norm is the dropped σ₃=3
+        // on the diagonal.
+        let rec = svd.reconstruct();
+        assert!((rec.get(2, 2) - 0.0).abs() < 1e-12);
+        assert!((rec.get(0, 0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruct_wide_matrix() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let a = DenseMatrix::random_gaussian(3, 9, &mut rng);
+        let svd = jacobi_svd(&a).unwrap();
+        assert_eq!(svd.u.shape(), (3, 3));
+        assert_eq!(svd.v.shape(), (9, 3));
+        assert!(svd.reconstruct().approx_eq(&a, 1e-10));
+    }
+}

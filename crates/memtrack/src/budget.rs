@@ -1,0 +1,130 @@
+//! Logical memory budgets and the "memory crash" error.
+
+use std::fmt;
+
+/// Error returned when an algorithm would exceed its memory budget.
+///
+/// The paper's experiments report baselines that "crash due to memory
+/// overload" on large graphs; this error is the structured equivalent —
+/// raised *before* the offending allocation so the harness can record the
+/// failure and keep running other configurations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryLimitError {
+    /// What was about to be materialised (e.g. `"U ⊗ U (n²×r²)"`).
+    pub what: String,
+    /// Bytes the structure would need.
+    pub required: usize,
+    /// The configured budget.
+    pub budget: usize,
+}
+
+impl fmt::Display for MemoryLimitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "memory limit exceeded: {} needs {} bytes, budget is {} bytes",
+            self.what, self.required, self.budget
+        )
+    }
+}
+
+impl std::error::Error for MemoryLimitError {}
+
+/// A byte budget for a single algorithm run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryBudget {
+    limit: usize,
+}
+
+impl MemoryBudget {
+    /// Default budget used by the harness: 4 GiB, scaled down from the
+    /// paper's 256 GB testbed in proportion to the scaled dataset sizes
+    /// (and leaving headroom on a 16 GB CI machine — the guard must fire
+    /// *before* the kernel's OOM killer would).
+    pub const DEFAULT_BYTES: usize = 4 * (1 << 30);
+
+    /// Creates a budget of `limit` bytes.
+    pub fn new(limit: usize) -> Self {
+        MemoryBudget { limit }
+    }
+
+    /// An effectively unlimited budget.
+    pub fn unlimited() -> Self {
+        MemoryBudget { limit: usize::MAX }
+    }
+
+    /// The configured limit in bytes.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Checks whether `required` bytes for `what` fit; returns the
+    /// structured crash error otherwise.
+    pub fn check(&self, what: &str, required: usize) -> Result<(), MemoryLimitError> {
+        if required > self.limit {
+            Err(MemoryLimitError { what: what.to_string(), required, budget: self.limit })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Checks the sum of several requirements at once.
+    pub fn check_all(&self, items: &[(&str, usize)]) -> Result<(), MemoryLimitError> {
+        let total: usize = items.iter().map(|&(_, b)| b).sum();
+        if total > self.limit {
+            let what =
+                items.iter().map(|&(w, b)| format!("{w} ({b} B)")).collect::<Vec<_>>().join(" + ");
+            Err(MemoryLimitError { what, required: total, budget: self.limit })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Default for MemoryBudget {
+    fn default() -> Self {
+        MemoryBudget::new(Self::DEFAULT_BYTES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn within_budget_ok() {
+        let b = MemoryBudget::new(1000);
+        assert!(b.check("x", 1000).is_ok());
+        assert!(b.check("x", 999).is_ok());
+    }
+
+    #[test]
+    fn over_budget_reports_details() {
+        let b = MemoryBudget::new(1000);
+        let e = b.check("U ⊗ U", 4096).unwrap_err();
+        assert_eq!(e.required, 4096);
+        assert_eq!(e.budget, 1000);
+        assert!(e.to_string().contains("U ⊗ U"));
+    }
+
+    #[test]
+    fn check_all_sums() {
+        let b = MemoryBudget::new(100);
+        assert!(b.check_all(&[("a", 40), ("b", 60)]).is_ok());
+        let e = b.check_all(&[("a", 40), ("b", 61)]).unwrap_err();
+        assert_eq!(e.required, 101);
+        assert!(e.what.contains("a"));
+        assert!(e.what.contains("b"));
+    }
+
+    #[test]
+    fn unlimited_never_fails() {
+        let b = MemoryBudget::unlimited();
+        assert!(b.check("huge", usize::MAX).is_ok());
+    }
+
+    #[test]
+    fn default_is_4_gib() {
+        assert_eq!(MemoryBudget::default().limit(), 4 * (1 << 30));
+    }
+}

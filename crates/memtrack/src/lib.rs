@@ -1,0 +1,177 @@
+//! # csrplus-memtrack
+//!
+//! Memory accounting for the CSR+ experiments.
+//!
+//! Figures 6–9 of the paper report *memory usage per algorithm and phase*,
+//! and several baselines "fail due to memory crash" on the larger graphs.
+//! This crate reproduces both behaviours:
+//!
+//! * [`TrackingAllocator`] — a global-allocator wrapper counting live and
+//!   peak heap bytes.  The `figures` harness binary installs it with
+//!   `#[global_allocator]` and brackets each phase in a [`PeakScope`] to
+//!   measure the phase's peak footprint, the same quantity MATLAB's
+//!   `memory` profiling reports.
+//! * [`MemoryBudget`] — a logical byte budget checked *before* an
+//!   allocation-heavy step runs.  When the faithful CSR-NI baseline would
+//!   materialise a `n²×r²` Kronecker product beyond the budget it returns
+//!   [`MemoryLimitError`] instead of taking down the process, which the
+//!   harness reports exactly as the paper reports "memory crash".
+//! * [`model`] — closed-form byte counts for the data structures each
+//!   algorithm materialises (Table 1's memory column, made concrete).
+
+#![warn(missing_docs)]
+// `unsafe` is required to implement `GlobalAlloc`; it is confined to the
+// impl below and only delegates to `System`.
+
+pub mod budget;
+pub mod model;
+
+pub use budget::{MemoryBudget, MemoryLimitError};
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Live heap bytes allocated through [`TrackingAllocator`].
+static CURRENT: AtomicUsize = AtomicUsize::new(0);
+/// High-water mark since the last [`reset_peak`].
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// A [`GlobalAlloc`] wrapper around the system allocator that maintains
+/// live/peak byte counters.
+///
+/// Install in a binary with:
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: csrplus_memtrack::TrackingAllocator = csrplus_memtrack::TrackingAllocator;
+/// ```
+pub struct TrackingAllocator;
+
+// SAFETY: delegates directly to `System`; the bookkeeping uses only
+// atomics and cannot violate allocator invariants.
+unsafe impl GlobalAlloc for TrackingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            let cur = CURRENT.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(cur, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            let old = layout.size();
+            if new_size >= old {
+                let cur = CURRENT.fetch_add(new_size - old, Ordering::Relaxed) + (new_size - old);
+                PEAK.fetch_max(cur, Ordering::Relaxed);
+            } else {
+                CURRENT.fetch_sub(old - new_size, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+}
+
+/// Live heap bytes right now (0 unless the tracking allocator is
+/// installed in this binary).
+pub fn current_bytes() -> usize {
+    CURRENT.load(Ordering::Relaxed)
+}
+
+/// Peak heap bytes since the last [`reset_peak`].
+pub fn peak_bytes() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Resets the peak to the current live count and returns the new value.
+pub fn reset_peak() -> usize {
+    let cur = current_bytes();
+    PEAK.store(cur, Ordering::Relaxed);
+    cur
+}
+
+/// True when the tracking allocator has observed any traffic — used by the
+/// harness to decide between measured and modelled memory numbers.
+pub fn tracking_active() -> bool {
+    peak_bytes() > 0
+}
+
+/// RAII scope measuring the *additional* peak heap consumed inside it.
+///
+/// ```ignore
+/// let scope = PeakScope::start();
+/// run_phase();
+/// let phase_peak_bytes = scope.finish();
+/// ```
+#[derive(Debug)]
+pub struct PeakScope {
+    baseline: usize,
+}
+
+impl PeakScope {
+    /// Starts a measurement scope (resets the global peak).
+    pub fn start() -> Self {
+        let baseline = reset_peak();
+        PeakScope { baseline }
+    }
+
+    /// Ends the scope, returning peak bytes above the starting baseline.
+    pub fn finish(self) -> usize {
+        peak_bytes().saturating_sub(self.baseline)
+    }
+}
+
+/// Runs `f`, returning its result together with the peak heap bytes the
+/// call allocated (0 without the tracking allocator installed).
+pub fn measure_peak<T>(f: impl FnOnce() -> T) -> (T, usize) {
+    let scope = PeakScope::start();
+    let out = f();
+    (out, scope.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // NOTE: the tracking allocator is *not* installed in the test binary,
+    // so counters stay at zero; these tests cover the bookkeeping API
+    // surface.  End-to-end allocator behaviour is exercised by the
+    // `figures` harness binary which does install it.
+
+    #[test]
+    fn counters_start_consistent() {
+        let c = current_bytes();
+        let p = peak_bytes();
+        assert!(p >= c || p == 0);
+    }
+
+    #[test]
+    fn reset_peak_returns_current() {
+        let v = reset_peak();
+        assert_eq!(v, current_bytes());
+        assert_eq!(peak_bytes(), v);
+    }
+
+    #[test]
+    fn measure_peak_returns_closure_result() {
+        let (v, peak) = measure_peak(|| 40 + 2);
+        assert_eq!(v, 42);
+        // No allocator installed in unit tests: peak is 0 (the e2e
+        // behaviour is covered by tests/allocator.rs).
+        assert_eq!(peak, 0);
+    }
+
+    #[test]
+    fn peak_scope_without_allocator_is_zero() {
+        let scope = PeakScope::start();
+        let v: Vec<u8> = vec![0; 1024];
+        drop(v);
+        assert_eq!(scope.finish(), 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Closed-form byte counts for the structures each algorithm materialises.
+//!
+//! This is Table 1's memory column made concrete: given `n`, `m`, `r` and
+//! `|Q|`, these functions return the bytes of the dominant data structures
+//! so that (a) budget checks can run *before* allocating and (b) Figures
+//! 6–9 can be regenerated for would-crash configurations with modelled
+//! rather than measured numbers (flagged as such by the harness).
+
+/// Bytes of one `f64`.
+pub const F64: usize = 8;
+/// Bytes of one `u32` index.
+pub const U32: usize = 4;
+/// Bytes of one `usize` offset.
+pub const USIZE: usize = std::mem::size_of::<usize>();
+
+/// Dense `rows × cols` matrix of `f64`.
+pub fn dense(rows: usize, cols: usize) -> usize {
+    rows.saturating_mul(cols).saturating_mul(F64)
+}
+
+/// CSR sparse matrix with `rows` rows and `nnz` stored values.
+pub fn csr(rows: usize, nnz: usize) -> usize {
+    (rows + 1) * USIZE + nnz.saturating_mul(U32 + F64)
+}
+
+/// The CSR+ precomputation working set: `Q`, `Qᵀ`, `U`, `V` (`n×r`), the
+/// `r×r` subspace matrices and `Z` (`n×r`) — `O(rn + m)` (Theorem 3.7).
+pub fn csrplus_precompute(n: usize, m: usize, r: usize) -> usize {
+    sum(&[csr(n, m), csr(n, m), dense(n, r), dense(n, r), dense(n, r), 4 * dense(r, r)])
+}
+
+/// Saturating sum of byte counts.
+fn sum(items: &[usize]) -> usize {
+    items.iter().fold(0usize, |a, &b| a.saturating_add(b))
+}
+
+/// CSR+ query-phase output: the `n × |Q|` similarity block plus the
+/// gathered `|Q| × r` rows of `U`.
+pub fn csrplus_query(n: usize, r: usize, q: usize) -> usize {
+    sum(&[dense(n, q), dense(q, r)])
+}
+
+/// Li et al.'s faithful precomputation: `U⊗U` (`n²×r²`), `V⊗V` (`n²×r²`)
+/// and `Λ` (`r²×r²`) — the `O(r²n²)` term of Table 1.
+pub fn csr_ni_precompute(n: usize, r: usize) -> usize {
+    let n2 = n.saturating_mul(n);
+    let r2 = r.saturating_mul(r);
+    sum(&[dense(n2, r2), dense(n2, r2), dense(r2, r2)])
+}
+
+/// Li et al.'s query phase: `vec(S)` is an `n²` vector (all-pairs) or the
+/// `n × |Q|` block; faithful evaluation through Eq. (6a) materialises
+/// `(U⊗U)` rows for all `n²` positions — dominated by the precompute
+/// structures which are kept live.
+pub fn csr_ni_query(n: usize, r: usize, q: usize) -> usize {
+    sum(&[csr_ni_precompute(n, r), dense(n, q)])
+}
+
+/// CSR-IT (Rothe–Schütze all-pairs iteration): two dense `n × n` iterates.
+pub fn csr_it(n: usize) -> usize {
+    sum(&[dense(n, n), dense(n, n)])
+}
+
+/// CSR-RLS: per-query vectors (`O(n)`) plus the `n × |Q|` result block.
+pub fn csr_rls(n: usize, q: usize) -> usize {
+    sum(&[dense(n, q), dense(n, 4)])
+}
+
+/// CoSimMate repeated squaring: three dense `n × n` matrices (`S`, `T`,
+/// scratch).
+pub fn cosimate(n: usize) -> usize {
+    sum(&[dense(n, n), dense(n, n), dense(n, n)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_and_csr_formulas() {
+        assert_eq!(dense(10, 5), 400);
+        assert_eq!(csr(4, 10), 5 * USIZE + 10 * 12);
+    }
+
+    #[test]
+    fn csrplus_is_linear_in_n() {
+        let small = csrplus_precompute(1_000, 5_000, 5);
+        let big = csrplus_precompute(10_000, 50_000, 5);
+        let ratio = big as f64 / small as f64;
+        assert!((ratio - 10.0).abs() < 1.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn ni_is_quadratic_in_n() {
+        let small = csr_ni_precompute(100, 5);
+        let big = csr_ni_precompute(1_000, 5);
+        let ratio = big as f64 / small as f64;
+        assert!(ratio > 90.0 && ratio < 110.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn ni_dwarfs_csrplus() {
+        // The 10,312x memory gap of Fig. 6 (P2P) comes from exactly this
+        // asymmetry.
+        let n = 22_687;
+        let m = 54_705;
+        let r = 5;
+        let ni = csr_ni_precompute(n, r);
+        let plus = csrplus_precompute(n, m, r);
+        assert!(ni / plus > 1_000, "NI/CSR+ = {}", ni / plus);
+    }
+
+    #[test]
+    fn saturating_on_huge_inputs() {
+        // Must not overflow for billion-node hypotheticals.
+        let b = csr_ni_precompute(usize::MAX / 2, 100);
+        assert_eq!(b, usize::MAX);
+    }
+
+    #[test]
+    fn query_grows_linearly_with_q() {
+        let q1 = csrplus_query(10_000, 5, 100);
+        let q7 = csrplus_query(10_000, 5, 700);
+        assert!(q7 > 6 * q1 && q7 < 8 * q1);
+    }
+}

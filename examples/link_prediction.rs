@@ -1,0 +1,89 @@
+//! Link prediction — one of the paper's §1 application domains.
+//!
+//! Protocol: hide a random 10% of a community-structured graph's edges,
+//! score every hidden edge and an equal number of non-edges by CoSimRank
+//! on the remaining graph, and measure AUC (probability that a hidden
+//! edge outscores a random non-edge).  Link formation here follows
+//! community structure, which is exactly what CoSimRank's shared-
+//! in-neighbourhood recursion detects — so AUC should be well above the
+//! 0.5 coin-flip line.  (On locality-free graphs — e.g. small dense
+//! preferential-attachment graphs where edges attach to global hubs —
+//! similarity carries no edge signal and AUC sits at chance; community
+//! structure is the regime the paper's applications live in.)
+//!
+//! Run with: `cargo run --release --example link_prediction`
+
+use csrplus::core::{CsrPlusConfig, CsrPlusModel};
+use csrplus::graph::generators::sbm::{stochastic_block_model, SbmConfig};
+use csrplus::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sbm = stochastic_block_model(&SbmConfig {
+        block_size: 80,
+        blocks: 5,
+        p_in: 0.12,
+        p_out: 0.004,
+        seed: 31,
+    })?;
+    let full = sbm.graph.clone();
+    let n = full.num_nodes();
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // Split: hold out 10% of edges (with their reciprocal partners).
+    let mut edges: Vec<(u32, u32)> = full.edges().to_vec();
+    edges.shuffle(&mut rng);
+    let holdout = edges.len() / 10;
+    let (hidden, kept) = edges.split_at(holdout);
+    let train = DiGraph::from_edges(n, kept.to_vec())?;
+    println!(
+        "community graph: {} nodes; {} train edges, {} hidden edges",
+        n,
+        train.num_edges(),
+        hidden.len()
+    );
+
+    // Model on the training graph only.
+    let transition = TransitionMatrix::from_graph(&train);
+    let model = CsrPlusModel::precompute(&transition, &CsrPlusConfig::with_rank(10))?;
+
+    // Negative samples: node pairs absent from the *full* graph.
+    let mut negatives = Vec::with_capacity(hidden.len());
+    while negatives.len() < hidden.len() {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u != v && !full.has_edge(u, v) {
+            negatives.push((u, v));
+        }
+    }
+
+    let score = |pairs: &[(u32, u32)]| -> Vec<f64> {
+        pairs
+            .iter()
+            .map(|&(u, v)| model.similarity(u as usize, v as usize).expect("in bounds"))
+            .collect()
+    };
+    let pos = score(hidden);
+    let neg = score(&negatives);
+
+    // AUC by pairwise comparison (exact, sizes are small).
+    let mut wins = 0.0;
+    for &p in &pos {
+        for &q in &neg {
+            if p > q {
+                wins += 1.0;
+            } else if p == q {
+                wins += 0.5;
+            }
+        }
+    }
+    let auc = wins / (pos.len() * neg.len()) as f64;
+    let mean_pos = pos.iter().sum::<f64>() / pos.len() as f64;
+    let mean_neg = neg.iter().sum::<f64>() / neg.len() as f64;
+    println!("mean CoSimRank: hidden edges {mean_pos:.4}, non-edges {mean_neg:.4}");
+    println!("link-prediction AUC: {auc:.3}");
+    assert!(auc > 0.7, "CoSimRank link prediction should clearly beat chance (AUC {auc:.3})");
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! Scalability demonstration: CSR+ cost grows linearly in graph size.
+//!
+//! Generates a family of power-law graphs of doubling size, times CSR+'s
+//! preprocessing and query phases at each size, and contrasts the largest
+//! size with the CSR-RLS baseline (the only competitor that also survives
+//! large graphs in the paper).  Mirrors the scaling story of Figures 2–3.
+//!
+//! Run with: `cargo run --release --example scalability`
+
+use csrplus::baselines::{CsrRls, CsrRlsConfig};
+use csrplus::core::CoSimRankEngine;
+use csrplus::graph::generators::chung_lu::{chung_lu, ChungLuConfig};
+use csrplus::graph::sample::sample_queries;
+use csrplus::prelude::*;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sizes = [4_000usize, 8_000, 16_000, 32_000, 64_000];
+    let avg_degree = 8.0;
+    let query_count = 100;
+    let config = CsrPlusConfig::default(); // r = 5, c = 0.6
+
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>14}",
+        "n", "m", "precompute", "query(100)", "state bytes"
+    );
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let g = chung_lu(&ChungLuConfig {
+            n,
+            m: (n as f64 * avg_degree) as usize,
+            gamma_out: 2.2,
+            gamma_in: 2.2,
+            seed: 7,
+        })?;
+        let t = TransitionMatrix::from_graph(&g);
+        let queries = sample_queries(&g, query_count, 1);
+
+        let t0 = Instant::now();
+        let model = CsrPlusModel::precompute(&t, &config)?;
+        let pre = t0.elapsed();
+
+        let t1 = Instant::now();
+        let s = model.multi_source(&queries)?;
+        let query = t1.elapsed();
+        assert_eq!(s.shape(), (n, query_count));
+
+        println!(
+            "{:>8} {:>10} {:>12.1?} {:>12.1?} {:>14}",
+            n,
+            g.num_edges(),
+            pre,
+            query,
+            model.heap_bytes()
+        );
+        rows.push((n, pre.as_secs_f64() + query.as_secs_f64(), t, queries));
+    }
+
+    // Linearity check: total time should grow far slower than n².
+    let (n0, t0, ..) = &rows[0];
+    let (n1, t1, ..) = &rows[rows.len() - 1];
+    let growth = t1 / t0;
+    let size_ratio = (*n1 as f64) / (*n0 as f64);
+    println!(
+        "\nSize grew {size_ratio:.0}x; CSR+ total time grew {growth:.1}x \
+         (quadratic would be {:.0}x)",
+        size_ratio * size_ratio
+    );
+
+    // Baseline contrast on the largest graph.
+    let (n, _, t, queries) = rows.pop().expect("non-empty");
+    let mut rls = CsrRls::new(CsrRlsConfig::default());
+    rls.precompute(&t)?;
+    let t2 = Instant::now();
+    let _ = rls.multi_source(&queries)?;
+    let rls_time = t2.elapsed();
+
+    let t3 = Instant::now();
+    let model = CsrPlusModel::precompute(&t, &config)?;
+    let _ = model.multi_source(&queries)?;
+    let plus_time = t3.elapsed();
+    println!(
+        "\nAt n = {n}: CSR+ total {plus_time:.1?} vs CSR-RLS {rls_time:.1?} \
+         ({:.1}x speed-up, |Q| = {query_count})",
+        rls_time.as_secs_f64() / plus_time.as_secs_f64()
+    );
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! # csrplus
+//!
+//! A Rust reproduction of **CSR+: A Scalable Efficient CoSimRank Search
+//! Algorithm with Multi-Source Queries on Massive Graphs** (Zhang & Yu,
+//! EDBT 2024).
+//!
+//! CoSimRank scores node similarity by the SimRank-like intuition that
+//! *two nodes are similar if their in-neighbours are similar* — formally
+//! the fixed point of `S = c·QᵀSQ + Iₙ` over the column-normalised
+//! adjacency matrix `Q`.  CSR+ answers **multi-source** queries
+//! `[S]_{*,Q}` in `O(r(m + n(r + |Q|)))` time and `O(rn)` memory via a
+//! rank-`r` truncated SVD and four tensor-product-elimination theorems,
+//! without losing accuracy relative to the low-rank baseline it optimises.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use csrplus::prelude::*;
+//!
+//! // The 6-node Wikipedia-Talk toy graph from Figure 1 of the paper.
+//! let graph = csrplus::graph::generators::figure1_graph();
+//! let transition = TransitionMatrix::from_graph(&graph);
+//!
+//! // Precompute once (rank-3 SVD + subspace fixed point)…
+//! let config = CsrPlusConfig { rank: 3, ..Default::default() };
+//! let model = CsrPlusModel::precompute(&transition, &config).unwrap();
+//!
+//! // …then answer any number of multi-source queries.
+//! let similarities = model.multi_source(&[1, 3]).unwrap(); // nodes b, d
+//! assert_eq!(similarities.shape(), (6, 2));
+//! assert!(similarities.get(3, 0) > 0.4); // d is highly similar to b
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`linalg`] | dense kernels, QR, Jacobi eigen/SVD, randomized truncated SVD, Kronecker, LU |
+//! | [`graph`] | COO/CSR/CSC storage, SNAP I/O, generators, transition matrices |
+//! | [`datasets`] | synthetic analogues of the paper's six SNAP datasets |
+//! | [`core`] | the CSR+ algorithm, exact references, `AvgDiff` metric |
+//! | [`baselines`] | CSR-NI, CSR-IT, CSR-RLS, CoSimMate, RP-CoSim |
+//! | [`memtrack`] | tracking allocator, memory budgets and models |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use csrplus_baselines as baselines;
+pub use csrplus_core as core;
+pub use csrplus_datasets as datasets;
+pub use csrplus_graph as graph;
+pub use csrplus_linalg as linalg;
+pub use csrplus_memtrack as memtrack;
+
+/// One-line imports for the common path.
+pub mod prelude {
+    pub use csrplus_core::{CoSimRankEngine, CoSimRankError, CsrPlusConfig, CsrPlusModel};
+    pub use csrplus_graph::{DiGraph, TransitionMatrix};
+    pub use csrplus_linalg::DenseMatrix;
+    pub use csrplus_memtrack::MemoryBudget;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        use crate::prelude::*;
+        let g = crate::graph::generators::figure1_graph();
+        let t = TransitionMatrix::from_graph(&g);
+        let m = CsrPlusModel::precompute(&t, &CsrPlusConfig::with_rank(3)).unwrap();
+        assert_eq!(m.n(), 6);
+    }
+}

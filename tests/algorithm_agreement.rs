@@ -1,0 +1,124 @@
+//! Cross-algorithm agreement: every engine in the workspace must agree on
+//! the similarities it claims to compute.
+//!
+//! * CSR+ and CSR-NI share the identical low-rank error (Theorems 3.1–3.5
+//!   are lossless) — they must match to numerical precision.
+//! * CSR-IT and CSR-RLS truncate the same series at the same depth — they
+//!   must match exactly.
+//! * CoSimMate converges to exact CoSimRank.
+//! * At full rank, the low-rank engines converge to the iterative ones.
+
+use csrplus::baselines::{
+    CoSimMate, CoSimMateConfig, CsrIt, CsrItConfig, CsrNi, CsrNiConfig, CsrRls, CsrRlsConfig,
+    NiMode,
+};
+use csrplus::core::{exact, CoSimRankEngine};
+use csrplus::datasets::{generate, DatasetId, Scale};
+use csrplus::graph::sample::sample_queries;
+use csrplus::prelude::*;
+
+fn test_graph() -> (DiGraph, TransitionMatrix) {
+    let g = generate(DatasetId::Fb, Scale::Test).unwrap();
+    let t = TransitionMatrix::from_graph(&g);
+    (g, t)
+}
+
+#[test]
+fn csrplus_equals_csr_ni_on_real_shaped_graph() {
+    let (g, t) = test_graph();
+    let queries = sample_queries(&g, 20, 3);
+    let rank = 6;
+
+    let cfg = CsrPlusConfig { rank, epsilon: 1e-12, ..Default::default() };
+    let model = CsrPlusModel::precompute(&t, &cfg).unwrap();
+    let s_plus = model.multi_source(&queries).unwrap();
+
+    let mut ni = CsrNi::new(CsrNiConfig { rank, mode: NiMode::Streamed, ..Default::default() });
+    ni.precompute(&t).unwrap();
+    let s_ni = ni.multi_source(&queries).unwrap();
+
+    assert!(
+        s_plus.approx_eq(&s_ni, 1e-7),
+        "CSR+ vs CSR-NI max diff {}",
+        s_plus.max_abs_diff(&s_ni)
+    );
+}
+
+#[test]
+fn iterative_engines_agree_with_each_other() {
+    let (g, t) = test_graph();
+    let queries = sample_queries(&g, 10, 4);
+    let k = 7;
+
+    let mut it = CsrIt::new(CsrItConfig { iterations: k, ..Default::default() });
+    it.precompute(&t).unwrap();
+    let s_it = it.multi_source(&queries).unwrap();
+
+    let mut rls = CsrRls::new(CsrRlsConfig { iterations: k, ..Default::default() });
+    rls.precompute(&t).unwrap();
+    let s_rls = rls.multi_source(&queries).unwrap();
+
+    assert!(
+        s_it.approx_eq(&s_rls, 1e-10),
+        "CSR-IT vs CSR-RLS max diff {}",
+        s_it.max_abs_diff(&s_rls)
+    );
+}
+
+#[test]
+fn cosimate_matches_exact() {
+    let (g, t) = test_graph();
+    let queries = sample_queries(&g, 5, 5);
+    let mut mate = CoSimMate::new(CoSimMateConfig { epsilon: 1e-10, ..Default::default() });
+    mate.precompute(&t).unwrap();
+    let s_mate = mate.multi_source(&queries).unwrap();
+    let s_exact = exact::multi_source(&t, &queries, 0.6, 1e-12);
+    assert!(
+        s_mate.approx_eq(&s_exact, 1e-7),
+        "CoSimMate vs exact max diff {}",
+        s_mate.max_abs_diff(&s_exact)
+    );
+}
+
+#[test]
+fn low_rank_error_decreases_with_rank() {
+    // Table 3's trend: AvgDiff shrinks as r grows.
+    let (g, t) = test_graph();
+    let queries = sample_queries(&g, 15, 6);
+    let exact_s = exact::multi_source(&t, &queries, 0.6, 1e-12);
+    let mut last = f64::INFINITY;
+    for rank in [2usize, 8, 32] {
+        let cfg = CsrPlusConfig { rank, epsilon: 1e-10, ..Default::default() };
+        let model = CsrPlusModel::precompute(&t, &cfg).unwrap();
+        let s = model.multi_source(&queries).unwrap();
+        let err = csrplus::core::metrics::avg_diff(&s, &exact_s);
+        assert!(
+            err < last * 1.05, // allow tiny non-monotonic noise
+            "AvgDiff did not decrease: rank {rank} err {err} vs previous {last}"
+        );
+        last = err;
+    }
+    assert!(last < 0.05, "rank-32 AvgDiff {last} too large");
+}
+
+#[test]
+fn engines_report_memory_shape() {
+    // CSR+'s memoised state must be far smaller than materialised NI's.
+    let (_, t) = test_graph();
+    let rank = 4;
+    let mut plus = csrplus::core::engine::CsrPlusEngine::new(CsrPlusConfig::with_rank(rank));
+    plus.precompute(&t).unwrap();
+    let mut ni = CsrNi::new(CsrNiConfig {
+        rank,
+        mode: NiMode::Materialized,
+        budget: MemoryBudget::unlimited(),
+        ..Default::default()
+    });
+    ni.precompute(&t).unwrap();
+    assert!(
+        ni.memoised_bytes() > 50 * plus.memoised_bytes(),
+        "NI {} bytes vs CSR+ {} bytes",
+        ni.memoised_bytes(),
+        plus.memoised_bytes()
+    );
+}

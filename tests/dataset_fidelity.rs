@@ -1,0 +1,69 @@
+//! Fidelity checks on the synthetic SNAP analogues: the quantities that
+//! drive every compared algorithm's cost (n, m/n, degree shape,
+//! connectivity) must track the originals.
+
+use csrplus::datasets::{generate, DatasetId, Scale};
+use csrplus::graph::components::weakly_connected_components;
+
+#[test]
+fn fb_and_p2p_bench_scale_match_paper_exactly() {
+    // These two run at the paper's full size (Table of §4.1).
+    let fb = generate(DatasetId::Fb, Scale::Bench).unwrap();
+    assert_eq!(fb.num_nodes(), 4_039);
+    // BA with dedup may fall a hair short of the target edge count.
+    let target = 88_234f64;
+    assert!(
+        (fb.num_edges() as f64 - target).abs() < 0.1 * target,
+        "FB edges {} vs paper {target}",
+        fb.num_edges()
+    );
+
+    let p2p = generate(DatasetId::P2p, Scale::Bench).unwrap();
+    assert_eq!(p2p.num_nodes(), 22_687);
+    assert_eq!(p2p.num_edges(), 54_705); // ER hits m exactly
+}
+
+#[test]
+fn analogues_have_one_dominant_component() {
+    // Real SNAP graphs are dominated by a giant weak component; the
+    // analogues must be too, or similarity mass would fragment.
+    for id in [DatasetId::Fb, DatasetId::P2p, DatasetId::Yt, DatasetId::Wt] {
+        let g = generate(id, Scale::Test).unwrap();
+        let comps = weakly_connected_components(&g);
+        let giant_frac = comps.giant_size() as f64 / g.num_nodes() as f64;
+        assert!(
+            giant_frac > 0.5,
+            "{}: giant component only {:.0}% of nodes",
+            id.name(),
+            100.0 * giant_frac
+        );
+    }
+}
+
+#[test]
+fn degree_tail_distinguishes_families() {
+    // ER (P2P) must have a light tail; the power-law families heavy ones.
+    let tail_ratio = |id: DatasetId| -> f64 {
+        let g = generate(id, Scale::Test).unwrap();
+        let ind = g.in_degrees();
+        let max = *ind.iter().max().unwrap() as f64;
+        let avg = ind.iter().map(|&d| d as f64).sum::<f64>() / ind.len() as f64;
+        max / avg.max(1e-9)
+    };
+    let p2p = tail_ratio(DatasetId::P2p);
+    let tw = tail_ratio(DatasetId::Tw);
+    assert!(p2p < 10.0, "P2P max/avg in-degree {p2p} too heavy for ER");
+    assert!(tw > 15.0, "TW max/avg in-degree {tw} too light for a follower graph");
+    assert!(tw > 2.0 * p2p, "families not separated: TW {tw} vs P2P {p2p}");
+}
+
+#[test]
+fn snap_export_round_trips_a_dataset() {
+    let g = generate(DatasetId::Fb, Scale::Test).unwrap();
+    let mut buf = Vec::new();
+    csrplus::graph::io::write_snap(&g, &mut buf).unwrap();
+    let loaded = csrplus::graph::io::read_snap(buf.as_slice()).unwrap();
+    assert_eq!(loaded.graph.num_edges(), g.num_edges());
+    // Compact ids: the graph read back is identical, not merely isomorphic.
+    assert_eq!(loaded.graph.num_nodes(), g.num_nodes());
+}

@@ -1,0 +1,68 @@
+//! Property tests for the dynamic (evolving-graph) extension: arbitrary
+//! edit sequences at full rank must track exact CoSimRank, and the
+//! maintained edge set must mirror a reference implementation.
+
+use csrplus::core::dynamic::{DynamicConfig, DynamicCsrPlus};
+use csrplus::core::{exact, CsrPlusConfig};
+use csrplus::prelude::*;
+use proptest::prelude::*;
+
+/// A random initial graph on exactly `n` nodes plus a random edit script.
+fn arb_scenario() -> impl Strategy<Value = (usize, Vec<(u32, u32)>, Vec<(u32, u32, bool)>)> {
+    (4usize..=8).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 3..20);
+        let edits = proptest::collection::vec((0..n as u32, 0..n as u32, proptest::bool::ANY), 1..8);
+        (Just(n), edges, edits)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn full_rank_dynamic_tracks_exact_under_edits((n, edges, edits) in arb_scenario()) {
+        let edges: Vec<(u32, u32)> = edges.into_iter().filter(|(u, v)| u != v).collect();
+        let g = DiGraph::from_edges(n, edges).expect("bounded");
+        let cfg = DynamicConfig {
+            base: CsrPlusConfig { rank: n, epsilon: 1e-10, ..Default::default() },
+            refresh_interval: 1_000, // force the incremental path
+        };
+        let mut live = DynamicCsrPlus::new(&g, cfg).unwrap();
+        // Reference edge set maintained independently.
+        let mut reference: std::collections::BTreeSet<(u32, u32)> =
+            g.edges().iter().copied().collect();
+
+        for (x, y, insert) in edits {
+            if x == y {
+                continue;
+            }
+            if insert {
+                let changed = live.insert_edge(x, y).unwrap();
+                prop_assert_eq!(changed, reference.insert((x, y)));
+            } else {
+                let changed = live.remove_edge(x, y).unwrap();
+                prop_assert_eq!(changed, reference.remove(&(x, y)));
+            }
+            // Edge set mirrors the reference.
+            prop_assert_eq!(live.num_edges(), reference.len());
+            // Full-rank incremental model tracks exact CoSimRank.
+            let current = live.to_graph();
+            prop_assert_eq!(
+                current.edges(),
+                &reference.iter().copied().collect::<Vec<_>>()[..]
+            );
+            let t = TransitionMatrix::from_graph(&current);
+            let queries: Vec<usize> = (0..n).collect();
+            let want = exact::multi_source(&t, &queries, 0.6, 1e-12);
+            let got = live.model().multi_source(&queries).unwrap();
+            prop_assert!(
+                got.approx_eq(&want, 1e-4),
+                "drift {} after edit ({}, {}, {})",
+                got.max_abs_diff(&want),
+                x,
+                y,
+                insert
+            );
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Contract test: every `CoSimRankEngine` obeys the same lifecycle and
+//! output semantics, so the bench harness can treat them uniformly.
+
+use csrplus::baselines::{
+    CoSimMate, CoSimMateConfig, CsrIt, CsrItConfig, CsrNi, CsrNiConfig, CsrRls, CsrRlsConfig,
+    NiMode, RpCoSim, RpCoSimConfig,
+};
+use csrplus::core::engine::CsrPlusEngine;
+use csrplus::core::{CoSimRankEngine, CoSimRankError, CsrPlusConfig};
+use csrplus::prelude::*;
+
+fn engines() -> Vec<Box<dyn CoSimRankEngine>> {
+    vec![
+        Box::new(CsrPlusEngine::new(CsrPlusConfig::with_rank(3))),
+        Box::new(CsrNi::new(CsrNiConfig { rank: 3, ..Default::default() })),
+        Box::new(CsrNi::new(CsrNiConfig { rank: 3, mode: NiMode::Streamed, ..Default::default() })),
+        Box::new(CsrIt::new(CsrItConfig::default())),
+        Box::new(CsrRls::new(CsrRlsConfig::default())),
+        Box::new(CoSimMate::new(CoSimMateConfig::default())),
+        Box::new(RpCoSim::new(RpCoSimConfig { projections: 64, ..Default::default() })),
+    ]
+}
+
+fn fig1() -> TransitionMatrix {
+    TransitionMatrix::from_graph(&csrplus::graph::generators::figure1_graph())
+}
+
+#[test]
+fn query_before_precompute_is_structured_error() {
+    for engine in engines() {
+        let err = engine.multi_source(&[0]).unwrap_err();
+        assert!(
+            matches!(err, CoSimRankError::NotPrecomputed),
+            "{}: expected NotPrecomputed, got {err}",
+            engine.name()
+        );
+    }
+}
+
+#[test]
+fn out_of_bounds_query_is_rejected_by_all() {
+    let t = fig1();
+    for mut engine in engines() {
+        engine.precompute(&t).unwrap();
+        let err = engine.multi_source(&[17]).unwrap_err();
+        assert!(
+            matches!(err, CoSimRankError::QueryOutOfBounds { node: 17, n: 6 }),
+            "{}: got {err}",
+            engine.name()
+        );
+    }
+}
+
+#[test]
+fn output_shape_and_column_order_are_uniform() {
+    let t = fig1();
+    let queries = [5usize, 0, 3];
+    for mut engine in engines() {
+        engine.precompute(&t).unwrap();
+        let s = engine.multi_source(&queries).unwrap();
+        assert_eq!(s.shape(), (6, 3), "{}", engine.name());
+        // Column j must answer queries[j]: its maximum is at the query
+        // node itself (diagonal dominance) for every deterministic
+        // engine; RP-CoSim is a randomized estimator, so only require
+        // the diagonal to be clearly large.
+        for (j, &q) in queries.iter().enumerate() {
+            let diag = s.get(q, j);
+            assert!(diag > 0.8, "{}: S[{q},{j}] = {diag} suspiciously small", engine.name());
+        }
+    }
+}
+
+#[test]
+fn deterministic_engines_are_repeatable() {
+    let t = fig1();
+    for make in [0usize, 1, 2, 3, 4, 5] {
+        let mut a = engines().swap_remove(make);
+        let mut b = engines().swap_remove(make);
+        a.precompute(&t).unwrap();
+        b.precompute(&t).unwrap();
+        let sa = a.multi_source(&[1, 3]).unwrap();
+        let sb = b.multi_source(&[1, 3]).unwrap();
+        assert!(sa.approx_eq(&sb, 0.0), "{}: two identical runs disagree", a.name());
+    }
+}
+
+#[test]
+fn memoised_bytes_reported_after_precompute() {
+    let t = fig1();
+    for mut engine in engines() {
+        engine.precompute(&t).unwrap();
+        assert!(
+            engine.memoised_bytes() > 0,
+            "{}: memoised_bytes must be positive after precompute",
+            engine.name()
+        );
+    }
+}

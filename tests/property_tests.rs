@@ -1,0 +1,205 @@
+//! Property-based tests (proptest) on CoSimRank invariants over random
+//! graphs, and on the substrate data structures.
+#![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
+
+use csrplus::core::{exact, CsrPlusConfig, CsrPlusModel};
+use csrplus::graph::{CsrMatrix, DiGraph, TransitionMatrix};
+use csrplus::linalg::svd::jacobi_svd;
+use csrplus::linalg::DenseMatrix;
+use proptest::prelude::*;
+
+/// Strategy: a random directed graph with 2..=12 nodes.
+fn arb_graph() -> impl Strategy<Value = DiGraph> {
+    arb_graph_pub()
+}
+
+/// Shared strategy (used by both proptest blocks).
+pub fn arb_graph_pub() -> impl Strategy<Value = DiGraph> {
+    (2usize..=12).prop_flat_map(|n| {
+        let max_edges = n * (n - 1);
+        proptest::collection::vec((0..n as u32, 0..n as u32), 1..=max_edges.min(30)).prop_map(
+            move |edges| {
+                let edges: Vec<(u32, u32)> = edges.into_iter().filter(|(u, v)| u != v).collect();
+                DiGraph::from_edges(n, edges).expect("bounded ids")
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// CoSimRank is symmetric: S = Sᵀ.
+    #[test]
+    fn exact_cosimrank_is_symmetric(g in arb_graph()) {
+        let t = TransitionMatrix::from_graph(&g);
+        let s = exact::all_pairs_iterative(&t, 0.6, 1e-10);
+        prop_assert!(s.approx_eq(&s.transpose(), 1e-9));
+    }
+
+    /// Diagonal dominance: [S]_{a,a} ≥ [S]_{a,x} and [S]_{a,a} ≥ 1.
+    #[test]
+    fn exact_diagonal_dominates(g in arb_graph()) {
+        let t = TransitionMatrix::from_graph(&g);
+        let s = exact::all_pairs_iterative(&t, 0.6, 1e-10);
+        let n = g.num_nodes();
+        for a in 0..n {
+            prop_assert!(s.get(a, a) >= 1.0 - 1e-9);
+            for x in 0..n {
+                prop_assert!(s.get(a, a) >= s.get(a, x) - 1e-9);
+            }
+        }
+    }
+
+    /// The per-query recursion agrees with the dense iteration.
+    #[test]
+    fn recursion_matches_dense_iteration(g in arb_graph(), q_frac in 0.0f64..1.0) {
+        let t = TransitionMatrix::from_graph(&g);
+        let q = ((g.num_nodes() - 1) as f64 * q_frac) as usize;
+        let col = exact::single_source(&t, q, 0.6, 1e-11);
+        let s = exact::all_pairs_iterative(&t, 0.6, 1e-11);
+        for i in 0..g.num_nodes() {
+            prop_assert!((col[i] - s.get(i, q)).abs() < 1e-8);
+        }
+    }
+
+    /// CSR+ at full rank reproduces exact CoSimRank on any graph.
+    #[test]
+    fn full_rank_csrplus_is_exact(g in arb_graph()) {
+        let n = g.num_nodes();
+        let t = TransitionMatrix::from_graph(&g);
+        let cfg = CsrPlusConfig { rank: n, epsilon: 1e-12, ..Default::default() };
+        let model = CsrPlusModel::precompute(&t, &cfg).unwrap();
+        let queries: Vec<usize> = (0..n).collect();
+        let approx = model.multi_source(&queries).unwrap();
+        let exact_s = exact::multi_source(&t, &queries, 0.6, 1e-13);
+        prop_assert!(
+            approx.approx_eq(&exact_s, 1e-6),
+            "max diff {}",
+            approx.max_abs_diff(&exact_s)
+        );
+    }
+
+    /// CSR+ similarities are bounded: |S_approx| ≤ 1/(1−c) + slack, and
+    /// multi-source output is column-consistent with single-source.
+    #[test]
+    fn csrplus_columns_consistent(g in arb_graph()) {
+        let n = g.num_nodes();
+        let t = TransitionMatrix::from_graph(&g);
+        let cfg = CsrPlusConfig { rank: (n / 2).max(1), ..Default::default() };
+        let model = CsrPlusModel::precompute(&t, &cfg).unwrap();
+        let queries: Vec<usize> = (0..n).step_by(2).collect();
+        let s = model.multi_source(&queries).unwrap();
+        for (j, &q) in queries.iter().enumerate() {
+            let col = model.single_source(q).unwrap();
+            for i in 0..n {
+                prop_assert!((s.get(i, j) - col[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Transition matrices are column-stochastic (or zero-column).
+    #[test]
+    fn transition_columns_stochastic(g in arb_graph()) {
+        let t = TransitionMatrix::from_graph(&g);
+        let n = t.n();
+        let ones = vec![1.0; n];
+        // column sums = Qᵀ·1
+        let sums = t.propagate_transpose(&ones);
+        let ind = g.in_degrees();
+        for j in 0..n {
+            if ind[j] > 0 {
+                prop_assert!((sums[j] - 1.0).abs() < 1e-12);
+            } else {
+                prop_assert!(sums[j].abs() < 1e-15);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// CSR round trip: to_dense(from_coo(triples)) sums duplicates and
+    /// places every entry.
+    #[test]
+    fn csr_matches_dense_semantics(
+        triples in proptest::collection::vec((0u32..8, 0u32..8, -10.0f64..10.0), 0..40)
+    ) {
+        let a = CsrMatrix::from_coo(8, 8, triples.clone()).unwrap();
+        let mut d = DenseMatrix::zeros(8, 8);
+        for &(r, c, v) in &triples {
+            let cur = d.get(r as usize, c as usize);
+            d.set(r as usize, c as usize, cur + v);
+        }
+        prop_assert!(a.to_dense().approx_eq(&d, 1e-12));
+        // Transpose consistency.
+        prop_assert!(a.transpose().to_dense().approx_eq(&d.transpose(), 1e-12));
+    }
+
+    /// SNAP text round trip: write → read recovers the same graph for
+    /// arbitrary edge lists (compact ids, so the mapping is identity).
+    #[test]
+    fn snap_io_round_trips(g in crate::arb_graph_pub()) {
+        let mut buf = Vec::new();
+        csrplus::graph::io::write_snap(&g, &mut buf).unwrap();
+        let loaded = csrplus::graph::io::read_snap(buf.as_slice()).unwrap();
+        // Node count can only differ by trailing isolated nodes (they
+        // never appear in an edge list); edge sets must match exactly
+        // after the id compaction is applied.
+        prop_assert_eq!(loaded.graph.num_edges(), g.num_edges());
+        let relabel: std::collections::HashMap<u64, u32> = loaded
+            .labels
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| (old, new as u32))
+            .collect();
+        for &(u, v) in g.edges() {
+            let nu = relabel[&(u as u64)];
+            let nv = relabel[&(v as u64)];
+            prop_assert!(loaded.graph.has_edge(nu, nv));
+        }
+    }
+
+    /// Weakly-connected components partition the graph and respect edges.
+    #[test]
+    fn components_partition_and_respect_edges(g in crate::arb_graph_pub()) {
+        let c = csrplus::graph::components::weakly_connected_components(&g);
+        prop_assert_eq!(c.component.len(), g.num_nodes());
+        prop_assert_eq!(c.sizes.iter().sum::<usize>(), g.num_nodes());
+        for &(u, v) in g.edges() {
+            prop_assert!(c.connected(u as usize, v as usize));
+        }
+    }
+
+    /// Model persistence round-trips exactly for arbitrary graphs.
+    #[test]
+    fn persist_round_trip_is_exact(g in crate::arb_graph_pub()) {
+        let n = g.num_nodes();
+        let t = TransitionMatrix::from_graph(&g);
+        let cfg = CsrPlusConfig { rank: (n / 2).max(1), ..Default::default() };
+        let model = CsrPlusModel::precompute(&t, &cfg).unwrap();
+        let mut buf = Vec::new();
+        csrplus::core::persist::write_model(&model, &mut buf).unwrap();
+        let loaded = csrplus::core::persist::read_model(buf.as_slice()).unwrap();
+        let queries: Vec<usize> = (0..n).collect();
+        let a = model.multi_source(&queries).unwrap();
+        let b = loaded.multi_source(&queries).unwrap();
+        prop_assert!(a.approx_eq(&b, 0.0));
+    }
+
+    /// SVD reconstruction on arbitrary small matrices.
+    #[test]
+    fn jacobi_svd_reconstructs(
+        data in proptest::collection::vec(-5.0f64..5.0, 12),
+    ) {
+        let a = DenseMatrix::from_vec(4, 3, data).unwrap();
+        let svd = jacobi_svd(&a).unwrap();
+        prop_assert!(svd.reconstruct().approx_eq(&a, 1e-9));
+        // σ sorted descending and non-negative.
+        for w in svd.sigma.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        prop_assert!(svd.sigma.iter().all(|&s| s >= 0.0));
+    }
+}

@@ -1,0 +1,68 @@
+//! Weighted CoSimRank end to end: the weighted transition matrix flows
+//! through the exact references and CSR+ identically to the unweighted
+//! path, and weights actually shift the similarity mass.
+
+use csrplus::core::{exact, CsrPlusConfig, CsrPlusModel};
+use csrplus::prelude::*;
+
+/// Two "source" nodes (0, 1) both feed two "sink" nodes (2, 3), with node
+/// 4 feeding only sink 2.
+fn weighted(w_strong: f64) -> TransitionMatrix {
+    TransitionMatrix::from_weighted_triples(
+        5,
+        &[
+            (0, 2, w_strong),
+            (4, 2, 1.0),
+            (0, 3, 1.0),
+            (1, 3, 1.0),
+            (1, 2, 1.0),
+            (2, 0, 1.0),
+            (3, 1, 1.0),
+        ],
+    )
+    .unwrap()
+}
+
+#[test]
+fn weights_shift_similarity_towards_heavier_in_edges() {
+    // As node 0's edge into 2 gets heavier, the in-distributions of 2 and
+    // 3 share more of node 0's mass... actually sink 2's distribution
+    // concentrates on node 0, while sink 3 splits evenly between 0 and 1.
+    let c = 0.6;
+    let balanced = exact::single_pair(&weighted(1.0), 2, 3, c, 1e-10);
+    let skewed = exact::single_pair(&weighted(8.0), 2, 3, c, 1e-10);
+    // With w=8 the shared node 0 carries ~0.8 of col 2 and 0.5 of col 3:
+    // overlap 0.8·0.5 + small > balanced case (1/3·0.5 + 1/3·0.5).
+    assert!(
+        skewed > balanced,
+        "heavier shared in-edge must increase similarity: {skewed} vs {balanced}"
+    );
+}
+
+#[test]
+fn csrplus_handles_weighted_transition_at_full_rank() {
+    let t = weighted(3.0);
+    let cfg = CsrPlusConfig { rank: 5, epsilon: 1e-12, ..Default::default() };
+    let model = CsrPlusModel::precompute(&t, &cfg).unwrap();
+    let queries: Vec<usize> = (0..5).collect();
+    let approx = model.multi_source(&queries).unwrap();
+    let exact_s = exact::multi_source(&t, &queries, 0.6, 1e-13);
+    assert!(
+        approx.approx_eq(&exact_s, 1e-7),
+        "weighted CSR+ vs exact diff {}",
+        approx.max_abs_diff(&exact_s)
+    );
+}
+
+#[test]
+fn weighted_exact_stays_symmetric_and_diag_dominant() {
+    let t = weighted(5.0);
+    let s = exact::all_pairs_iterative(&t, 0.6, 1e-11);
+    assert!(s.approx_eq(&s.transpose(), 1e-10));
+    for a in 0..5 {
+        assert!(s.get(a, a) >= 1.0 - 1e-10);
+        for b in 0..5 {
+            assert!(s.get(a, a) >= s.get(a, b) - 1e-10);
+        }
+    }
+}

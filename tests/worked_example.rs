@@ -1,0 +1,117 @@
+//! Integration test: the complete worked example of §3.3 (Example 3.6),
+//! cross-checked across every crate boundary — graph construction,
+//! transition normalisation, truncated SVD, subspace fixed point, query —
+//! against both the paper's printed numbers and the exact references.
+
+use csrplus::core::{exact, metrics};
+use csrplus::prelude::*;
+
+const C: f64 = 0.6;
+
+fn fig1_transition() -> TransitionMatrix {
+    TransitionMatrix::from_graph(&csrplus::graph::generators::figure1_graph())
+}
+
+#[test]
+fn paper_example_end_to_end() {
+    let t = fig1_transition();
+    let config = CsrPlusConfig { rank: 3, damping: C, ..Default::default() };
+    let model = CsrPlusModel::precompute(&t, &config).unwrap();
+
+    // Σ as printed: diag(1.73, 0.87, 0.54).
+    let sig = model.sigma();
+    assert!((sig[0] - 1.73).abs() < 0.01);
+    assert!((sig[1] - 0.87).abs() < 0.01);
+    assert!((sig[2] - 0.54).abs() < 0.01);
+
+    // Final similarities for Q = {b, d} as printed (2 dp).
+    let s = model.multi_source(&[1, 3]).unwrap();
+    let want_b = [0.16, 1.49, 0.16, 0.49, 0.48, 0.16];
+    let want_d = [0.16, 0.49, 0.16, 1.49, 0.48, 0.16];
+    for i in 0..6 {
+        assert!((s.get(i, 0) - want_b[i]).abs() < 0.02, "S[{i},b] = {}", s.get(i, 0));
+        assert!((s.get(i, 1) - want_d[i]).abs() < 0.02, "S[{i},d] = {}", s.get(i, 1));
+    }
+}
+
+#[test]
+fn duplicate_structure_of_example_1_1_is_reflected_in_scores() {
+    // Example 1.1: b and d have identical 2-hop in-neighbour structures,
+    // so every other node is *equally similar to b and to d*.
+    let t = fig1_transition();
+    let s = exact::multi_source(&t, &[1, 3], C, 1e-12);
+    for x in 0..6 {
+        if x == 1 || x == 3 {
+            continue;
+        }
+        assert!(
+            (s.get(x, 0) - s.get(x, 1)).abs() < 1e-10,
+            "node {x}: S[x,b]={} != S[x,d]={}",
+            s.get(x, 0),
+            s.get(x, 1)
+        );
+    }
+    // And b, d play symmetric roles: equal self-similarities and a
+    // symmetric cross-similarity (column 0 answers b, column 1 answers d).
+    let self_b = s.get(1, 0);
+    let self_d = s.get(3, 1);
+    assert!((self_b - self_d).abs() < 1e-10);
+    let b_to_d = s.get(3, 0);
+    let d_to_b = s.get(1, 1);
+    assert!((b_to_d - d_to_b).abs() < 1e-10);
+}
+
+#[test]
+fn example_1_1_identical_ppr_vectors_from_hop_2() {
+    // Example 1.1: "c and f have the same in-neighbour set {d}, so b and d
+    // have the same 2-hop in-neighbour sets, leading to identical PPR
+    // vectors p_b^(k) = p_d^(k) for every k = 2, 3, …" — the duplicate
+    // work CSR+'s shared preprocessing eliminates.
+    let t = fig1_transition();
+    let mut p_b = vec![0.0; 6];
+    p_b[1] = 1.0;
+    let mut p_d = vec![0.0; 6];
+    p_d[3] = 1.0;
+    // k = 0, 1: different.
+    p_b = t.propagate(&p_b);
+    p_d = t.propagate(&p_d);
+    assert!(p_b.iter().zip(&p_d).any(|(a, b)| (a - b).abs() > 1e-12), "hop 1 must differ");
+    // k = 2, 3, …: identical.
+    for k in 2..8 {
+        p_b = t.propagate(&p_b);
+        p_d = t.propagate(&p_d);
+        for i in 0..6 {
+            assert!(
+                (p_b[i] - p_d[i]).abs() < 1e-12,
+                "hop {k}: p_b[{i}]={} != p_d[{i}]={}",
+                p_b[i],
+                p_d[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn rank3_approximation_error_is_small_but_nonzero() {
+    let t = fig1_transition();
+    let config = CsrPlusConfig { rank: 3, damping: C, ..Default::default() };
+    let model = CsrPlusModel::precompute(&t, &config).unwrap();
+    let approx = model.multi_source(&[1, 3]).unwrap();
+    let exact_s = exact::multi_source(&t, &[1, 3], C, 1e-12);
+    let err = metrics::avg_diff(&approx, &exact_s);
+    assert!(err > 0.0, "rank-3 of a rank-4 matrix cannot be exact");
+    assert!(err < 0.05, "AvgDiff {err} too large");
+}
+
+#[test]
+fn full_rank_model_is_exact() {
+    // At rank 4 (= rank of Q) the SVD is lossless and CSR+ must agree
+    // with exact CoSimRank to iteration precision.
+    let t = fig1_transition();
+    let config = CsrPlusConfig { rank: 4, damping: C, epsilon: 1e-12, ..Default::default() };
+    let model = CsrPlusModel::precompute(&t, &config).unwrap();
+    let queries: Vec<usize> = (0..6).collect();
+    let approx = model.multi_source(&queries).unwrap();
+    let exact_s = exact::multi_source(&t, &queries, C, 1e-13);
+    assert!(approx.approx_eq(&exact_s, 1e-7), "max diff {}", approx.max_abs_diff(&exact_s));
+}
