@@ -1,0 +1,110 @@
+//! Serving-throughput benchmark: the legacy sequential accept loop vs
+//! the pooled + micro-batched server, both hammered by 8 concurrent
+//! clients over real TCP.  The pooled path wins by parallelising
+//! evaluation + render work across workers, coalescing concurrent column
+//! fetches into shared multi-source evaluations, and answering repeats
+//! from the column cache.
+//!
+//! Note: the wall-clock gap scales with available cores.  On a
+//! single-core box the expected result is parity — the pool cannot
+//! parallelise, and the batcher/cache savings only offset its own
+//! dispatch overhead.  The interesting signal there is that the pooled
+//! path costs nothing even when it cannot win.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csrplus_core::{CsrPlusConfig, CsrPlusModel};
+use csrplus_datasets::{generate, DatasetId, Scale};
+use csrplus_graph::TransitionMatrix;
+use csrplus_serve::{legacy, ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 16;
+const TOTAL: usize = CLIENTS * REQUESTS_PER_CLIENT;
+
+fn model() -> CsrPlusModel {
+    let g = generate(DatasetId::Fb, Scale::Test).unwrap();
+    let t = TransitionMatrix::from_graph(&g);
+    CsrPlusModel::precompute(&t, &CsrPlusConfig::with_rank(8)).unwrap()
+}
+
+fn get(addr: SocketAddr, path: &str) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+}
+
+/// `CLIENTS` threads, `REQUESTS_PER_CLIENT` multi-source queries each.
+/// Each request asks for 4 full columns out of a 32-node hot set — real
+/// evaluation + render work per hit, with enough repetition for the
+/// pooled server's column cache to matter.
+fn hammer(addr: SocketAddr, n: usize) {
+    let hot = 32.min(n);
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for r in 0..REQUESTS_PER_CLIENT {
+                    let base = (c * REQUESTS_PER_CLIENT + r) * 4;
+                    let nodes: Vec<String> =
+                        (0..4).map(|i| ((base + i) % hot).to_string()).collect();
+                    get(addr, &format!("/query?nodes={}", nodes.join(",")));
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().unwrap();
+    }
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let m = model();
+    let n = m.n();
+    let mut group = c.benchmark_group("serving_throughput");
+    group.sample_size(10);
+
+    group.bench_function("legacy_sequential", |b| {
+        b.iter(|| {
+            let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+            let addr = listener.local_addr().unwrap();
+            let m = m.clone();
+            let server = std::thread::spawn(move || {
+                legacy::serve_listener(m, listener, Some(TOTAL)).map_err(|e| e.to_string())
+            });
+            hammer(addr, n);
+            server.join().unwrap().unwrap();
+        })
+    });
+
+    group.bench_function("pooled_batched", |b| {
+        b.iter(|| {
+            let config = ServeConfig {
+                workers: CLIENTS,
+                queue_depth: CLIENTS * 16,
+                max_batch: 32,
+                linger: Duration::from_micros(20),
+                cache_capacity: 1024,
+                cache_shards: 8,
+                timeout: Duration::from_secs(5),
+                max_requests: Some(TOTAL),
+            };
+            let handle = Server::start(m.clone(), 0, config).unwrap();
+            let addr = handle.addr();
+            hammer(addr, n);
+            handle.join();
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

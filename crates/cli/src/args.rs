@@ -14,7 +14,8 @@ usage:
   csrplus topk       <model.csrp> --node N [--k K]
   csrplus exact      <graph.txt> --nodes 1,3 [--damping C] [--epsilon E]
   csrplus join       <model.csrp> --threshold T [--limit N]
-  csrplus serve      <model.csrp> [--port P]";
+  csrplus serve      <model.csrp> [--port P] [--workers N] [--batch B] [--linger-us U]
+                     [--cache COLS] [--timeout-ms MS] [--max-requests N] [--legacy]";
 
 /// A fully parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,12 +76,26 @@ pub enum Command {
         /// Print at most this many pairs.
         limit: usize,
     },
-    /// Serve the model over HTTP.
+    /// Serve the model over HTTP (pooled/batched unless `--legacy`).
     Serve {
         /// Model path.
         model: PathBuf,
         /// TCP port (0 = ephemeral; the bound address is printed).
         port: u16,
+        /// Worker threads (default: available parallelism).
+        workers: Option<usize>,
+        /// Maximum coalesced batch size `|Q|`.
+        batch: usize,
+        /// Micro-batch linger window in microseconds.
+        linger_us: u64,
+        /// Column-cache capacity in columns (0 disables).
+        cache: usize,
+        /// Per-request timeout in milliseconds.
+        timeout_ms: u64,
+        /// Serve this many connections then exit.
+        max_requests: Option<usize>,
+        /// Use the original single-threaded sequential server.
+        legacy: bool,
     },
     /// Exact (iterative) multi-source CoSimRank straight off the graph.
     Exact {
@@ -111,13 +126,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "topk" => parse_topk(&rest),
         "exact" => parse_exact(&rest),
         "join" => parse_join(&rest),
-        "serve" => Ok(Command::Serve {
-            model: positional(&rest, 0)?,
-            port: match flag_value(&rest, "--port") {
-                Some(v) => parse_num(v, "port")?,
-                None => 8100,
-            },
-        }),
+        "serve" => parse_serve(&rest),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -132,6 +141,10 @@ fn positional(rest: &[&String], idx: usize) -> Result<PathBuf, String> {
 
 fn flag_value<'a>(rest: &'a [&'a String], name: &str) -> Option<&'a str> {
     rest.iter().position(|a| *a == name).and_then(|i| rest.get(i + 1)).map(|s| s.as_str())
+}
+
+fn has_flag(rest: &[&String], name: &str) -> bool {
+    rest.iter().any(|a| *a == name)
 }
 
 fn require<'a>(rest: &'a [&'a String], name: &str) -> Result<&'a str, String> {
@@ -233,6 +246,41 @@ fn parse_join(rest: &[&String]) -> Result<Command, String> {
             Some(v) => parse_num(v, "limit")?,
             None => 100,
         },
+    })
+}
+
+fn parse_serve(rest: &[&String]) -> Result<Command, String> {
+    Ok(Command::Serve {
+        model: positional(rest, 0)?,
+        port: match flag_value(rest, "--port") {
+            Some(v) => parse_num(v, "port")?,
+            None => 8100,
+        },
+        workers: match flag_value(rest, "--workers") {
+            Some(v) => Some(parse_num(v, "workers")?),
+            None => None,
+        },
+        batch: match flag_value(rest, "--batch") {
+            Some(v) => parse_num(v, "batch")?,
+            None => 32,
+        },
+        linger_us: match flag_value(rest, "--linger-us") {
+            Some(v) => parse_num(v, "linger-us")?,
+            None => 200,
+        },
+        cache: match flag_value(rest, "--cache") {
+            Some(v) => parse_num(v, "cache")?,
+            None => 1024,
+        },
+        timeout_ms: match flag_value(rest, "--timeout-ms") {
+            Some(v) => parse_num(v, "timeout-ms")?,
+            None => 5000,
+        },
+        max_requests: match flag_value(rest, "--max-requests") {
+            Some(v) => Some(parse_num(v, "max-requests")?),
+            None => None,
+        },
+        legacy: has_flag(rest, "--legacy"),
     })
 }
 
@@ -355,7 +403,60 @@ mod tests {
         let cmd = parse(&argv("serve m.csrp --port 0")).unwrap();
         assert!(matches!(cmd, Command::Serve { port: 0, .. }));
         let cmd = parse(&argv("serve m.csrp")).unwrap();
-        assert!(matches!(cmd, Command::Serve { port: 8100, .. }));
+        match cmd {
+            Command::Serve {
+                port,
+                workers,
+                batch,
+                linger_us,
+                cache,
+                timeout_ms,
+                max_requests,
+                legacy,
+                ..
+            } => {
+                assert_eq!(port, 8100);
+                assert_eq!(workers, None);
+                assert_eq!(batch, 32);
+                assert_eq!(linger_us, 200);
+                assert_eq!(cache, 1024);
+                assert_eq!(timeout_ms, 5000);
+                assert_eq!(max_requests, None);
+                assert!(!legacy);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_serve_tuning_flags() {
+        let cmd = parse(&argv(
+            "serve m.csrp --workers 4 --batch 16 --linger-us 50 --cache 0 \
+             --timeout-ms 250 --max-requests 3 --legacy",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Serve {
+                workers,
+                batch,
+                linger_us,
+                cache,
+                timeout_ms,
+                max_requests,
+                legacy,
+                ..
+            } => {
+                assert_eq!(workers, Some(4));
+                assert_eq!(batch, 16);
+                assert_eq!(linger_us, 50);
+                assert_eq!(cache, 0);
+                assert_eq!(timeout_ms, 250);
+                assert_eq!(max_requests, Some(3));
+                assert!(legacy);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("serve m.csrp --workers lots")).unwrap_err().contains("workers"));
     }
 
     #[test]

@@ -120,14 +120,49 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
             );
             Ok(())
         }
-        Command::Serve { model, port } => {
+        Command::Serve {
+            model,
+            port,
+            workers,
+            batch,
+            linger_us,
+            cache,
+            timeout_ms,
+            max_requests,
+            legacy,
+        } => {
             let m = persist::load_model(&model)?;
+            if legacy {
+                eprintln!(
+                    "serving {} nodes at rank {} (legacy sequential; routes: /health /similarity /topk /query)",
+                    m.n(),
+                    m.rank()
+                );
+                return csrplus_serve::legacy::serve(m, port, max_requests);
+            }
+            let mut config = csrplus_serve::ServeConfig::default();
+            if let Some(w) = workers {
+                config.workers = w.max(1);
+                config.queue_depth = config.workers * 16;
+            }
+            config.max_batch = batch.max(1);
+            config.linger = std::time::Duration::from_micros(linger_us);
+            config.cache_capacity = cache;
+            config.timeout = std::time::Duration::from_millis(timeout_ms);
+            config.max_requests = max_requests;
             eprintln!(
-                "serving {} nodes at rank {} (routes: /health /similarity /topk /query)",
+                "serving {} nodes at rank {} ({} workers, batch ≤ {}, linger {}µs, cache {} cols; \
+                 routes: /health /similarity /topk /query /metrics)",
                 m.n(),
-                m.rank()
+                m.rank(),
+                config.workers,
+                config.max_batch,
+                linger_us,
+                cache
             );
-            crate::server::serve(m, port, None)
+            let handle = csrplus_serve::Server::start(m, port, config)?;
+            handle.join();
+            Ok(())
         }
         Command::Exact { graph, nodes, damping, epsilon } => {
             let loaded = read_snap_file(&graph)?;

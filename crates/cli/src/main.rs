@@ -8,15 +8,19 @@
 //! csrplus topk       <model.csrp> --node N [--k K]
 //! csrplus exact      <graph.txt> --nodes 1,3 [--damping C] [--epsilon E]
 //! csrplus join       <model.csrp> --threshold T [--limit N]
-//! csrplus serve      <model.csrp> [--port P]
+//! csrplus serve      <model.csrp> [--port P] [--workers N] [--batch B] [--linger-us U]
+//!                    [--cache COLS] [--timeout-ms MS] [--max-requests N] [--legacy]
 //! ```
 //!
 //! Graphs are SNAP plain-text edge lists; models use the binary format of
-//! `csrplus_core::persist` (checksummed, versioned).
+//! `csrplus_core::persist` (checksummed, versioned).  Serving is
+//! delegated to the `csrplus-serve` crate: a worker pool with a bounded
+//! admission queue, a micro-batcher coalescing concurrent queries into
+//! multi-source evaluations, a sharded LRU column cache, and `/metrics`.
+//! `--legacy` falls back to the original sequential accept loop.
 
 mod args;
 mod commands;
-mod server;
 
 use std::process::ExitCode;
 

@@ -25,6 +25,10 @@ impl Drop for Server {
 }
 
 fn start_server() -> Server {
+    start_server_with(&[])
+}
+
+fn start_server_with(extra_args: &[&str]) -> Server {
     // Build a tiny model file first.
     let graph = tmp("serve.txt");
     let model = tmp("serve.csrp");
@@ -38,6 +42,7 @@ fn start_server() -> Server {
 
     let mut child = Command::new(env!("CARGO_BIN_EXE_csrplus"))
         .args(["serve", model.to_str().unwrap(), "--port", "0"])
+        .args(extra_args)
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
         .spawn()
@@ -87,5 +92,56 @@ fn serves_all_routes() {
     assert!(body.contains("error"), "{body}");
 
     let (code, _) = get(&server.addr, "/nope");
+    assert_eq!(code, 404);
+}
+
+#[test]
+fn percent_encoding_and_duplicate_params() {
+    let server = start_server();
+
+    // `1%2C3` decodes to `1,3`.
+    let (code, body) = get(&server.addr, "/query?nodes=1%2C3");
+    assert_eq!(code, 200);
+    assert!(body.contains("\"queries\":[1,3]"), "{body}");
+
+    // Repeating a parameter is ambiguous → 400, not silently last-wins.
+    let (code, body) = get(&server.addr, "/similarity?a=1&a=2&b=3");
+    assert_eq!(code, 400);
+    assert!(body.contains("duplicate"), "{body}");
+}
+
+#[test]
+fn metrics_route_reports_counts() {
+    let server = start_server();
+
+    let (code, _) = get(&server.addr, "/similarity?a=0&b=1");
+    assert_eq!(code, 200);
+    let (code, _) = get(&server.addr, "/similarity?a=0&b=1");
+    assert_eq!(code, 200);
+
+    let (code, body) = get(&server.addr, "/metrics");
+    assert_eq!(code, 200);
+    assert!(body.contains("\"requests_total\":2"), "{body}");
+    assert!(body.contains("\"similarity\":{\"requests\":2"), "{body}");
+    // The repeat of the same query hits the column cache.
+    assert!(body.contains("\"hits\":1"), "{body}");
+    assert!(body.contains("\"model_evaluations\":1"), "{body}");
+    assert!(body.contains("\"latency_us\""), "{body}");
+}
+
+#[test]
+fn legacy_mode_serves_same_routes_without_metrics() {
+    let server = start_server_with(&["--legacy"]);
+
+    let (code, body) = get(&server.addr, "/health");
+    assert_eq!(code, 200);
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+
+    let (code, body) = get(&server.addr, "/similarity?a=1&b=3");
+    assert_eq!(code, 200);
+    assert!(body.contains("\"similarity\":"), "{body}");
+
+    // The sequential server predates the metrics endpoint.
+    let (code, _) = get(&server.addr, "/metrics");
     assert_eq!(code, 404);
 }

@@ -17,7 +17,7 @@ use crate::dense::DenseMatrix;
 use crate::error::LinalgError;
 use crate::linop::LinearOperator;
 use crate::qr::orthonormalize;
-use crate::svd::{jacobi_svd, TruncatedSvd};
+use crate::svd::{jacobi_svd, TruncatedSvd, NULL_TRIPLE_TOL};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -102,7 +102,10 @@ pub fn randomized_svd<A: LinearOperator + ?Sized>(
     // A ≈ W·B = W·(Vb Σ Ubᵀ) → U = W·Vb, V = Ub.
     let u = w.matmul(&small.v)?;
     let svd = TruncatedSvd { u, sigma: small.sigma, v: small.u };
-    Ok(svd.truncate(cfg.rank))
+    // When A is rank-deficient the requested rank may exceed the numerical
+    // rank; the surplus triples carry zeroed columns (jacobi's null-direction
+    // contract) and would poison any consumer assuming orthonormal factors.
+    Ok(svd.truncate(cfg.rank).trim_null_triples(NULL_TRIPLE_TOL))
 }
 
 #[cfg(test)]

@@ -11,6 +11,13 @@ use crate::dense::DenseMatrix;
 use crate::error::LinalgError;
 use crate::vector;
 
+/// Relative cut below which a singular triple counts as numerically null
+/// (see [`TruncatedSvd::trim_null_triples`]).  Chosen two orders of
+/// magnitude above [`jacobi_svd`]'s own `1e-14` zeroing threshold so that
+/// near-null garbage produced by *compositions* of factorisations (e.g.
+/// repeated rank-one updates) is caught as well.
+pub const NULL_TRIPLE_TOL: f64 = 1e-12;
+
 /// A rank-`k` (possibly truncated) SVD `A ≈ U · diag(σ) · Vᵀ`.
 #[derive(Debug, Clone)]
 pub struct TruncatedSvd {
@@ -47,6 +54,27 @@ impl TruncatedSvd {
         self.u = self.u.select_cols(&keep);
         self.v = self.v.select_cols(&keep);
         self
+    }
+
+    /// Drops trailing numerically-null singular triples (σᵢ ≤ σ₁·`rel_tol`).
+    ///
+    /// [`jacobi_svd`] reports null directions as exact-zero singular values
+    /// with **zeroed left columns** (see the function docs), so a rank-deficient
+    /// input yields a factorisation whose trailing columns are not orthonormal.
+    /// Downstream consumers that rely on `UᵀU = VᵀV = I` — subspace fixed-point
+    /// solves, [`rank_one_update`](crate::svd_update::rank_one_update) rotations
+    /// — must not see those triples: a single zero column fed into an update
+    /// smears non-orthogonality across *all* columns of the rotated basis.
+    pub fn trim_null_triples(self, rel_tol: f64) -> TruncatedSvd {
+        let cut = self.sigma.first().copied().unwrap_or(0.0) * rel_tol;
+        // An all-zero spectrum (zero matrix) keeps one triple: rank 0 has no
+        // representation downstream (persisted headers, subspace solves).
+        let keep = self.sigma.iter().filter(|&&s| s > cut).count().max(1).min(self.sigma.len());
+        if keep == self.sigma.len() {
+            self
+        } else {
+            self.truncate(keep)
+        }
     }
 
     /// Verifies the factorisation invariants (orthonormality, ordering);

@@ -22,7 +22,7 @@
 
 use crate::dense::DenseMatrix;
 use crate::error::LinalgError;
-use crate::svd::{jacobi_svd, TruncatedSvd};
+use crate::svd::{jacobi_svd, TruncatedSvd, NULL_TRIPLE_TOL};
 use crate::vector;
 
 /// Applies the rank-one update `A + a·bᵀ` to a truncated SVD of `A`,
@@ -136,7 +136,12 @@ pub fn rank_one_update(
         }
     }
     let sigma: Vec<f64> = core.sigma.iter().copied().take(rank_out).collect();
-    Ok(TruncatedSvd { u: u_new, sigma, v: v_new })
+    // A rank-*decreasing* update (e.g. zeroing a matrix column) leaves
+    // numerically-null core triples whose rotated columns are zero or
+    // garbage; carrying them forward breaks the orthonormality of every
+    // column produced by the *next* update's rotation.  Trim them so the
+    // maintained factorisation stays a genuine SVD.
+    Ok(TruncatedSvd { u: u_new, sigma, v: v_new }.trim_null_triples(NULL_TRIPLE_TOL))
 }
 
 #[cfg(test)]

@@ -1,0 +1,340 @@
+//! The micro-batcher: coalesces concurrently queued single-node column
+//! requests into one multi-source `[S]_{*,Q}` evaluation.
+//!
+//! This is the serving-side payoff of the paper's multi-source identity
+//! (`[S]_{*,Q} = [Iₙ]_{*,Q} + c·Z·[U]_{Q,*}ᵀ`): evaluating `|Q|` queries
+//! together costs one pass over `Z`, so requests that arrive within a
+//! short linger window are answered by a single model evaluation.  Each
+//! entry of the batched result is the same independent dot product the
+//! unbatched path computes, so coalesced answers are **bitwise equal**
+//! to single-source ones.
+//!
+//! Flow per request: consult the [`ColumnCache`]; on a miss, enqueue the
+//! node and block on a reply channel.  A dedicated batcher thread fires
+//! when either `max_batch` requests are pending or the oldest has
+//! lingered for the configured window, deduplicates the node set, runs
+//! one [`CsrPlusModel::query_columns`] call, feeds the cache, and
+//! scatters `Arc` columns back to every waiter.
+
+use crate::cache::{Column, ColumnCache};
+use crate::metrics::Metrics;
+use csrplus_core::CsrPlusModel;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Why a column request failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnError {
+    /// The reply did not arrive within the caller's timeout.
+    Timeout,
+    /// The batcher is shutting down and no longer admits requests.
+    ShuttingDown,
+    /// The model evaluation itself failed (reported verbatim).
+    Failed(String),
+}
+
+impl std::fmt::Display for ColumnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ColumnError::Timeout => write!(f, "timed out waiting for column"),
+            ColumnError::ShuttingDown => write!(f, "server is shutting down"),
+            ColumnError::Failed(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+struct Waiter {
+    node: usize,
+    reply: mpsc::Sender<Result<Column, ColumnError>>,
+}
+
+struct State {
+    pending: Vec<Waiter>,
+    /// Fire time of the current linger window (set when the first
+    /// request of a batch arrives).
+    deadline: Option<Instant>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    wake: Condvar,
+    model: Arc<CsrPlusModel>,
+    cache: Arc<ColumnCache>,
+    metrics: Arc<Metrics>,
+    max_batch: usize,
+    linger: Duration,
+}
+
+/// The batcher: owns the background evaluation thread.
+pub struct Batcher {
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Batcher {
+    /// Starts the batcher thread.  `max_batch` caps `|Q|` per
+    /// evaluation; `linger` is how long the first request of a batch
+    /// waits for company before the batch fires anyway.
+    pub fn new(
+        model: Arc<CsrPlusModel>,
+        cache: Arc<ColumnCache>,
+        metrics: Arc<Metrics>,
+        max_batch: usize,
+        linger: Duration,
+    ) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { pending: Vec::new(), deadline: None, shutdown: false }),
+            wake: Condvar::new(),
+            model,
+            cache,
+            metrics,
+            max_batch: max_batch.max(1),
+            linger,
+        });
+        let worker = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("csrplus-batcher".to_string())
+                .spawn(move || batcher_loop(&shared))
+                .expect("failed to spawn batcher thread")
+        };
+        Batcher { shared, worker: Some(worker) }
+    }
+
+    /// The similarity column `[S]_{*,node}`, from cache or a (possibly
+    /// coalesced) model evaluation.  Blocks up to `timeout`.
+    pub fn column(&self, node: usize, timeout: Duration) -> Result<Column, ColumnError> {
+        if let Some(col) = self.shared.cache.get(node) {
+            return Ok(col);
+        }
+        // Validate before enqueueing: one bad node must not poison a
+        // whole coalesced batch.  Same error text as the direct path.
+        if node >= self.shared.model.n() {
+            let e =
+                csrplus_core::CoSimRankError::QueryOutOfBounds { node, n: self.shared.model.n() };
+            return Err(ColumnError::Failed(e.to_string()));
+        }
+        let (reply, receiver) = mpsc::channel();
+        {
+            let mut state = self.shared.state.lock().expect("batcher state poisoned");
+            if state.shutdown {
+                return Err(ColumnError::ShuttingDown);
+            }
+            if state.pending.is_empty() {
+                state.deadline = Some(Instant::now() + self.shared.linger);
+            }
+            state.pending.push(Waiter { node, reply });
+        }
+        self.shared.wake.notify_one();
+        match receiver.recv_timeout(timeout) {
+            Ok(result) => result,
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(ColumnError::Timeout),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ColumnError::ShuttingDown),
+        }
+    }
+
+    /// Stops admitting requests, answers everything already pending, and
+    /// joins the batcher thread.
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.shared.state.lock().expect("batcher state poisoned").shutdown = true;
+        self.shared.wake.notify_all();
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn batcher_loop(shared: &Shared) {
+    let mut state = shared.state.lock().expect("batcher state poisoned");
+    loop {
+        if state.pending.is_empty() {
+            if state.shutdown {
+                return;
+            }
+            state = shared.wake.wait(state).expect("batcher state poisoned");
+            continue;
+        }
+        let now = Instant::now();
+        let due = state.deadline.is_some_and(|d| d <= now);
+        if state.pending.len() >= shared.max_batch || due || state.shutdown {
+            let take = state.pending.len().min(shared.max_batch);
+            let batch: Vec<Waiter> = state.pending.drain(..take).collect();
+            // Anything left over starts a fresh linger window now.
+            state.deadline =
+                if state.pending.is_empty() { None } else { Some(now + shared.linger) };
+            drop(state);
+            evaluate(shared, batch);
+            state = shared.state.lock().expect("batcher state poisoned");
+        } else {
+            let wait = state.deadline.expect("pending implies deadline") - now;
+            state = shared.wake.wait_timeout(state, wait).expect("batcher state poisoned").0;
+        }
+    }
+}
+
+/// Runs one deduplicated multi-source evaluation and scatters the
+/// columns back to every waiter in the batch.
+fn evaluate(shared: &Shared, batch: Vec<Waiter>) {
+    let mut nodes: Vec<usize> = Vec::with_capacity(batch.len());
+    let mut slot: Vec<usize> = Vec::with_capacity(batch.len());
+    for waiter in &batch {
+        match nodes.iter().position(|&n| n == waiter.node) {
+            Some(i) => slot.push(i),
+            None => {
+                slot.push(nodes.len());
+                nodes.push(waiter.node);
+            }
+        }
+    }
+    shared.metrics.batched_requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
+    match shared.model.query_columns(&nodes) {
+        Ok(columns) => {
+            shared.metrics.model_evaluations.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.batch_sizes.observe(nodes.len() as u64);
+            let columns: Vec<Column> =
+                columns.into_iter().map(|c| Column::from(c.into_boxed_slice())).collect();
+            for (&node, column) in nodes.iter().zip(&columns) {
+                shared.cache.insert(node, Arc::clone(column));
+            }
+            for (waiter, &i) in batch.iter().zip(&slot) {
+                // A send fails only if the requester already timed out.
+                let _ = waiter.reply.send(Ok(Arc::clone(&columns[i])));
+            }
+        }
+        Err(e) => {
+            let msg = e.to_string();
+            for waiter in batch {
+                let _ = waiter.reply.send(Err(ColumnError::Failed(msg.clone())));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csrplus_core::CsrPlusConfig;
+    use csrplus_graph::{generators::figure1_graph, TransitionMatrix};
+
+    fn model() -> Arc<CsrPlusModel> {
+        let t = TransitionMatrix::from_graph(&figure1_graph());
+        Arc::new(CsrPlusModel::precompute(&t, &CsrPlusConfig::with_rank(3)).unwrap())
+    }
+
+    fn batcher(
+        max_batch: usize,
+        linger: Duration,
+        cache_capacity: usize,
+    ) -> (Batcher, Arc<Metrics>, Arc<CsrPlusModel>) {
+        let metrics = Arc::new(Metrics::new());
+        let m = model();
+        let cache = Arc::new(ColumnCache::new(cache_capacity, 2, Arc::clone(&metrics)));
+        (Batcher::new(Arc::clone(&m), cache, Arc::clone(&metrics), max_batch, linger), metrics, m)
+    }
+
+    const TIMEOUT: Duration = Duration::from_secs(10);
+
+    #[test]
+    fn single_request_matches_single_source() {
+        let (b, metrics, m) = batcher(4, Duration::from_micros(100), 0);
+        let col = b.column(1, TIMEOUT).unwrap();
+        let expected = m.single_source(1).unwrap();
+        assert_eq!(&col[..], &expected[..], "batched column must be bitwise equal");
+        assert_eq!(metrics.model_evaluations.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn concurrent_requests_coalesce_into_one_evaluation() {
+        // Long linger + max_batch = K: the batch fires exactly when the
+        // K-th request arrives, so the count is deterministic.
+        const K: usize = 4;
+        let (b, metrics, m) = batcher(K, Duration::from_secs(30), 0);
+        let b = Arc::new(b);
+        let handles: Vec<_> = (0..K)
+            .map(|node| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || b.column(node, TIMEOUT).unwrap())
+            })
+            .collect();
+        let columns: Vec<Column> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(metrics.model_evaluations.load(Ordering::Relaxed), 1, "one coalesced pass");
+        assert_eq!(metrics.batched_requests.load(Ordering::Relaxed), K as u64);
+        assert_eq!(metrics.batch_sizes.count(), 1);
+        assert_eq!(metrics.batch_sizes.sum(), K as u64);
+        for (node, col) in columns.iter().enumerate() {
+            let expected = m.single_source(node).unwrap();
+            assert_eq!(&col[..], &expected[..], "node {node} column must be bitwise equal");
+        }
+    }
+
+    #[test]
+    fn duplicate_nodes_deduplicate_within_a_batch() {
+        let (b, metrics, _m) = batcher(3, Duration::from_secs(30), 0);
+        let b = Arc::new(b);
+        let handles: Vec<_> = [2usize, 2, 2]
+            .into_iter()
+            .map(|node| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || b.column(node, TIMEOUT).unwrap())
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(metrics.model_evaluations.load(Ordering::Relaxed), 1);
+        // Three requests, one deduplicated query node.
+        assert_eq!(metrics.batched_requests.load(Ordering::Relaxed), 3);
+        assert_eq!(metrics.batch_sizes.sum(), 1);
+    }
+
+    #[test]
+    fn cache_hit_skips_the_batcher() {
+        let (b, metrics, _m) = batcher(4, Duration::from_micros(100), 8);
+        b.column(1, TIMEOUT).unwrap();
+        b.column(1, TIMEOUT).unwrap();
+        assert_eq!(metrics.model_evaluations.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.cache_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.cache_misses.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn out_of_bounds_node_fails_fast() {
+        let (b, _metrics, _m) = batcher(4, Duration::from_micros(100), 0);
+        match b.column(99, TIMEOUT) {
+            Err(ColumnError::Failed(msg)) => assert!(msg.contains("99"), "{msg}"),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn linger_deadline_fires_partial_batches() {
+        // max_batch 64 never fills; the 5 ms linger must fire the batch.
+        let (b, metrics, _m) = batcher(64, Duration::from_millis(5), 0);
+        let col = b.column(3, TIMEOUT).unwrap();
+        assert_eq!(col.len(), 6);
+        assert_eq!(metrics.model_evaluations.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_requests() {
+        let (b, _metrics, _m) = batcher(4, Duration::from_micros(100), 0);
+        b.begin_shutdown();
+        assert_eq!(b.column(1, TIMEOUT).unwrap_err(), ColumnError::ShuttingDown);
+    }
+}

@@ -1,0 +1,256 @@
+//! A sharded LRU cache of similarity columns, keyed by node id.
+//!
+//! Columns are `Arc<[f64]>`, so a hit hands the caller a shared view of
+//! the stored column with no copy.  Sharding (`node % shards`) keeps
+//! lock contention bounded under the worker pool; each shard is a
+//! classic hash-map-plus-intrusive-list LRU with O(1) get/insert.
+
+use crate::metrics::Metrics;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// One cached column, shared zero-copy with all readers.
+pub type Column = Arc<[f64]>;
+
+const NIL: usize = usize::MAX;
+
+struct Entry {
+    node: usize,
+    column: Column,
+    prev: usize,
+    next: usize,
+}
+
+/// One LRU shard: slab of entries + map + most/least-recent pointers.
+struct Shard {
+    map: HashMap<usize, usize>,
+    entries: Vec<Entry>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            map: HashMap::with_capacity(capacity),
+            entries: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.entries[idx].prev, self.entries[idx].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.entries[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.entries[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.entries[idx].prev = NIL;
+        self.entries[idx].next = self.head;
+        if self.head != NIL {
+            self.entries[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn get(&mut self, node: usize) -> Option<Column> {
+        let idx = *self.map.get(&node)?;
+        self.unlink(idx);
+        self.push_front(idx);
+        Some(Arc::clone(&self.entries[idx].column))
+    }
+
+    /// Inserts (or refreshes) a column; returns whether an eviction
+    /// happened.
+    fn insert(&mut self, node: usize, column: Column) -> bool {
+        if let Some(&idx) = self.map.get(&node) {
+            self.entries[idx].column = column;
+            self.unlink(idx);
+            self.push_front(idx);
+            return false;
+        }
+        let mut evicted = false;
+        if self.map.len() >= self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            self.unlink(lru);
+            self.map.remove(&self.entries[lru].node);
+            self.free.push(lru);
+            evicted = true;
+        }
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.entries[idx] = Entry { node, column, prev: NIL, next: NIL };
+                idx
+            }
+            None => {
+                self.entries.push(Entry { node, column, prev: NIL, next: NIL });
+                self.entries.len() - 1
+            }
+        };
+        self.map.insert(node, idx);
+        self.push_front(idx);
+        evicted
+    }
+}
+
+/// The sharded cache.  `capacity == 0` disables caching entirely (every
+/// lookup is a miss and inserts are dropped), which also makes batcher
+/// evaluation counts deterministic in tests.
+pub struct ColumnCache {
+    shards: Vec<Mutex<Shard>>,
+    metrics: Arc<Metrics>,
+}
+
+impl ColumnCache {
+    /// A cache holding up to `capacity` columns spread over `shards`
+    /// locks.  Hit/miss/eviction counts are reported through `metrics`.
+    pub fn new(capacity: usize, shards: usize, metrics: Arc<Metrics>) -> Self {
+        let shards = shards.max(1);
+        let per_shard = capacity / shards;
+        // Distribute the remainder so total capacity is exact.
+        let extra = capacity % shards;
+        let shards = (0..shards)
+            .map(|i| Mutex::new(Shard::new(per_shard + usize::from(i < extra))))
+            .collect();
+        ColumnCache { shards, metrics }
+    }
+
+    fn shard(&self, node: usize) -> &Mutex<Shard> {
+        &self.shards[node % self.shards.len()]
+    }
+
+    /// Looks up the column for `node`, counting a hit or miss.
+    pub fn get(&self, node: usize) -> Option<Column> {
+        let result = {
+            let mut shard = self.shard(node).lock().expect("cache shard poisoned");
+            if shard.capacity == 0 {
+                None
+            } else {
+                shard.get(node)
+            }
+        };
+        match result {
+            Some(col) => {
+                self.metrics.cache_hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Some(col)
+            }
+            None => {
+                self.metrics.cache_misses.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores the column for `node`, counting any eviction.
+    pub fn insert(&self, node: usize, column: Column) {
+        let evicted = {
+            let mut shard = self.shard(node).lock().expect("cache shard poisoned");
+            if shard.capacity == 0 {
+                false
+            } else {
+                shard.insert(node, column)
+            }
+        };
+        if evicted {
+            self.metrics.cache_evictions.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    fn col(v: f64) -> Column {
+        Arc::from(vec![v].into_boxed_slice())
+    }
+
+    fn counts(m: &Metrics) -> (u64, u64, u64) {
+        (
+            m.cache_hits.load(Ordering::Relaxed),
+            m.cache_misses.load(Ordering::Relaxed),
+            m.cache_evictions.load(Ordering::Relaxed),
+        )
+    }
+
+    #[test]
+    fn hit_miss_and_eviction_counters() {
+        let metrics = Arc::new(Metrics::new());
+        let cache = ColumnCache::new(2, 1, Arc::clone(&metrics));
+        assert!(cache.get(1).is_none());
+        cache.insert(1, col(1.0));
+        cache.insert(2, col(2.0));
+        assert_eq!(cache.get(1).unwrap()[0], 1.0);
+        assert_eq!(counts(&metrics), (1, 1, 0));
+        // Capacity 2: inserting a third evicts the LRU (node 2, since 1
+        // was touched more recently).
+        cache.insert(3, col(3.0));
+        assert_eq!(counts(&metrics).2, 1);
+        assert!(cache.get(2).is_none(), "node 2 was the LRU");
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+    }
+
+    #[test]
+    fn lru_order_follows_touches() {
+        let metrics = Arc::new(Metrics::new());
+        let cache = ColumnCache::new(3, 1, Arc::clone(&metrics));
+        for n in 0..3 {
+            cache.insert(n, col(n as f64));
+        }
+        cache.get(0); // order (MRU→LRU): 0, 2, 1
+        cache.insert(3, col(3.0)); // evicts 1
+        assert!(cache.get(1).is_none());
+        for n in [0usize, 2, 3] {
+            assert!(cache.get(n).is_some(), "node {n} should survive");
+        }
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_without_eviction() {
+        let metrics = Arc::new(Metrics::new());
+        let cache = ColumnCache::new(2, 1, Arc::clone(&metrics));
+        cache.insert(1, col(1.0));
+        cache.insert(1, col(10.0));
+        assert_eq!(cache.get(1).unwrap()[0], 10.0);
+        assert_eq!(counts(&metrics).2, 0);
+    }
+
+    #[test]
+    fn sharding_spreads_keys_and_capacity() {
+        let metrics = Arc::new(Metrics::new());
+        let cache = ColumnCache::new(8, 3, Arc::clone(&metrics));
+        for n in 0..8 {
+            cache.insert(n, col(n as f64));
+        }
+        let live = (0..8).filter(|&n| cache.get(n).is_some()).count();
+        assert_eq!(live, 8, "8 columns fit an 8-column cache across shards");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let metrics = Arc::new(Metrics::new());
+        let cache = ColumnCache::new(0, 4, Arc::clone(&metrics));
+        cache.insert(1, col(1.0));
+        assert!(cache.get(1).is_none());
+        assert_eq!(counts(&metrics), (0, 1, 0));
+    }
+}

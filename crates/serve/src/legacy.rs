@@ -1,0 +1,173 @@
+//! The original sequential, thread-per-nothing query server, preserved
+//! behind `--legacy` and as the baseline for the serving benchmarks.
+//!
+//! One accept loop, one request at a time — every query pays a full
+//! model evaluation.  Compared with [`crate::server`], this is the
+//! "no batching, no cache, no concurrency" control.
+//!
+//! Two deliberate changes from the version this replaced:
+//! * failed accepts no longer count toward `max_requests` (the old loop
+//!   incremented its counter on the `Err` arm too, so a test server
+//!   bombarded with bad connections could exit before serving anything);
+//! * query strings are percent-decoded and duplicate parameters are
+//!   rejected with `400`, via the shared [`crate::http`] parser.
+
+use crate::http::{self, Target};
+use crate::render;
+use csrplus_core::CsrPlusModel;
+use std::net::TcpListener;
+use std::sync::Arc;
+
+/// Runs the sequential server loop forever (or until `max_requests`
+/// connections have been **served** — failed accepts don't count).
+pub fn serve(
+    model: CsrPlusModel,
+    port: u16,
+    max_requests: Option<usize>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let listener = TcpListener::bind(("127.0.0.1", port))?;
+    let addr = listener.local_addr()?;
+    // The test harness parses this line to find the ephemeral port.
+    println!("listening on http://{addr}");
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    serve_listener(model, listener, max_requests)
+}
+
+/// Like [`serve`], but over a pre-bound listener — lets benchmarks and
+/// tests pick an ephemeral port and know its address without parsing the
+/// stdout banner.
+pub fn serve_listener(
+    model: CsrPlusModel,
+    listener: TcpListener,
+    max_requests: Option<usize>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let model = Arc::new(model);
+    let mut served = 0usize;
+    for stream in listener.incoming() {
+        match stream {
+            Ok(stream) => {
+                // Blocking handler: each request is microseconds of work.
+                if let Err(e) = handle(&model, stream) {
+                    eprintln!("request error: {e}");
+                }
+                served += 1;
+                if let Some(max) = max_requests {
+                    if served >= max {
+                        break;
+                    }
+                }
+            }
+            Err(e) => eprintln!("accept error: {e}"),
+        }
+    }
+    Ok(())
+}
+
+fn handle(model: &CsrPlusModel, stream: std::net::TcpStream) -> std::io::Result<()> {
+    let request_line = http::read_request(stream.try_clone()?)?;
+    match route(model, request_line.trim()) {
+        Ok(body) => http::write_response(&stream, 200, &body),
+        Err((code, msg)) => http::write_error(&stream, code, &msg),
+    }
+}
+
+/// Routes a request line like `GET /topk?node=1&k=5 HTTP/1.1`.
+pub fn route(model: &CsrPlusModel, request_line: &str) -> Result<String, (u16, String)> {
+    let target = http::parse_request_line(request_line)?;
+    dispatch(model, &target)
+}
+
+fn dispatch(model: &CsrPlusModel, target: &Target) -> Result<String, (u16, String)> {
+    let parse_usize = |v: &str, key: &str| -> Result<usize, (u16, String)> {
+        v.parse().map_err(|_| (400, format!("invalid {key}: {v:?}")))
+    };
+
+    match target.path.as_str() {
+        "/health" => Ok(render::health(model.n(), model.rank())),
+        "/similarity" => {
+            let a = parse_usize(target.require("a")?, "a")?;
+            let b = parse_usize(target.require("b")?, "b")?;
+            let s = model.similarity(a, b).map_err(|e| (400, e.to_string()))?;
+            Ok(render::similarity(a, b, s))
+        }
+        "/topk" => {
+            let node = parse_usize(target.require("node")?, "node")?;
+            let k = match target.get("k") {
+                Some(v) => parse_usize(v, "k")?,
+                None => 10,
+            };
+            let top = model.top_k_pruned(node, k).map_err(|e| (400, e.to_string()))?;
+            Ok(render::topk(node, &top))
+        }
+        "/query" => {
+            let nodes: Result<Vec<usize>, _> =
+                target.require("nodes")?.split(',').map(|v| v.parse::<usize>()).collect();
+            let nodes = nodes.map_err(|_| (400, "invalid node list".to_string()))?;
+            let s = model.multi_source(&nodes).map_err(|e| (400, e.to_string()))?;
+            let columns: Vec<Vec<f64>> =
+                (0..nodes.len()).map(|j| (0..model.n()).map(|i| s.get(i, j)).collect()).collect();
+            let views: Vec<&[f64]> = columns.iter().map(Vec::as_slice).collect();
+            Ok(render::query(&nodes, &views))
+        }
+        other => Err((404, format!("no route {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csrplus_core::CsrPlusConfig;
+    use csrplus_graph::{generators::figure1_graph, TransitionMatrix};
+
+    fn model() -> CsrPlusModel {
+        let t = TransitionMatrix::from_graph(&figure1_graph());
+        CsrPlusModel::precompute(&t, &CsrPlusConfig::with_rank(3)).unwrap()
+    }
+
+    #[test]
+    fn routes_health_and_similarity() {
+        let m = model();
+        let body = route(&m, "GET /health HTTP/1.1").unwrap();
+        assert!(body.contains("\"nodes\":6"));
+        assert!(body.contains("\"rank\":3"));
+        let body = route(&m, "GET /similarity?a=1&b=3 HTTP/1.1").unwrap();
+        assert!(body.contains("\"a\":1"));
+        // S[b,d] ≈ 0.485 from the worked example.
+        let value: f64 =
+            body.split("\"similarity\":").nth(1).unwrap().trim_end_matches('}').parse().unwrap();
+        assert!((value - 0.485).abs() < 0.02, "{value}");
+    }
+
+    #[test]
+    fn routes_topk_and_query() {
+        let m = model();
+        let body = route(&m, "GET /topk?node=1&k=2 HTTP/1.1").unwrap();
+        assert!(body.starts_with("{\"node\":1,\"results\":["));
+        assert_eq!(body.matches("\"score\":").count(), 2);
+        let body = route(&m, "GET /query?nodes=1,3 HTTP/1.1").unwrap();
+        assert!(body.contains("\"queries\":[1,3]"));
+        assert_eq!(body.matches('[').count(), 4); // queries + columns + 2 cols
+    }
+
+    #[test]
+    fn percent_encoded_node_list_is_decoded() {
+        let m = model();
+        let body = route(&m, "GET /query?nodes=1%2C3 HTTP/1.1").unwrap();
+        assert!(body.contains("\"queries\":[1,3]"), "{body}");
+    }
+
+    #[test]
+    fn error_paths() {
+        let m = model();
+        assert_eq!(route(&m, "POST /health HTTP/1.1").unwrap_err().0, 400);
+        assert_eq!(route(&m, "GET /nope HTTP/1.1").unwrap_err().0, 404);
+        assert_eq!(route(&m, "GET /similarity?a=1 HTTP/1.1").unwrap_err().0, 400);
+        assert_eq!(route(&m, "GET /similarity?a=1&b=x HTTP/1.1").unwrap_err().0, 400);
+        assert_eq!(route(&m, "GET /topk?node=99 HTTP/1.1").unwrap_err().0, 400);
+        assert_eq!(route(&m, "GET /query?nodes=1,,3 HTTP/1.1").unwrap_err().0, 400);
+        let err = route(&m, "GET /similarity?a=1&a=2&b=3 HTTP/1.1").unwrap_err();
+        assert_eq!(err.0, 400);
+        assert!(err.1.contains("duplicate parameter"), "{}", err.1);
+    }
+}

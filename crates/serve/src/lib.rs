@@ -1,0 +1,41 @@
+//! # csrplus-serve
+//!
+//! A production-shaped query-serving subsystem over precomputed
+//! [`csrplus_core::CsrPlusModel`]s — std-only, like the rest of the
+//! workspace.
+//!
+//! The paper's headline capability is *multi-source* amortisation:
+//! answering `|Q|` queries costs one `Z·[U]_{Q,*}ᵀ` pass (Eq. 10) instead
+//! of `|Q|` independent passes.  A sequential accept loop throws that
+//! away at the serving layer; this crate recovers it with four pieces:
+//!
+//! * [`pool`] — a worker thread pool with a **bounded admission queue**
+//!   (overload sheds with `503` instead of queueing unboundedly);
+//! * [`batcher`] — a **micro-batcher** that coalesces concurrently queued
+//!   single-node requests into one multi-source `[S]_{*,Q}` evaluation
+//!   and scatters the columns back to the waiting responders;
+//! * [`cache`] — a **sharded LRU column cache** keyed by node id,
+//!   consulted before batching;
+//! * [`metrics`] — counters, per-route latency histograms and the batch
+//!   size distribution, exposed at `GET /metrics`.
+//!
+//! [`server`] assembles them behind the same routes the original toy
+//! server exposed (`/health`, `/similarity`, `/topk`, `/query`), with
+//! per-request socket timeouts and graceful, queue-draining shutdown.
+//! [`legacy`] preserves that original sequential server for comparison
+//! benchmarks and as a `--legacy` escape hatch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod cache;
+pub mod http;
+pub mod legacy;
+pub mod metrics;
+pub mod pool;
+pub mod render;
+pub mod server;
+
+pub use metrics::Metrics;
+pub use server::{ServeConfig, Server, ServerHandle};

@@ -1,0 +1,249 @@
+//! Serving metrics: lock-free counters, log₂ latency histograms per
+//! route, and the batch-size distribution — everything `GET /metrics`
+//! reports.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Routes with dedicated counters/latency series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// `GET /health`
+    Health,
+    /// `GET /metrics`
+    Metrics,
+    /// `GET /similarity`
+    Similarity,
+    /// `GET /topk`
+    TopK,
+    /// `GET /query`
+    Query,
+}
+
+impl Route {
+    /// All instrumented routes, in render order.
+    pub const ALL: [Route; 5] =
+        [Route::Health, Route::Metrics, Route::Similarity, Route::TopK, Route::Query];
+
+    fn index(self) -> usize {
+        match self {
+            Route::Health => 0,
+            Route::Metrics => 1,
+            Route::Similarity => 2,
+            Route::TopK => 3,
+            Route::Query => 4,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Route::Health => "health",
+            Route::Metrics => "metrics",
+            Route::Similarity => "similarity",
+            Route::TopK => "topk",
+            Route::Query => "query",
+        }
+    }
+}
+
+/// Power-of-two bucketed histogram (bucket `i` counts values `v` with
+/// `2^(i-1) < v ≤ 2^i`, bucket 0 counts `v ≤ 1`); tracks count and sum
+/// for averages.  All atomic — observation never takes a lock.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; Self::BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// 2^31 µs ≈ 36 minutes: far beyond any per-request latency.
+    const BUCKETS: usize = 32;
+
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)] // array-init seed
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            buckets: [ZERO; Self::BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value.
+    pub fn observe(&self, value: u64) {
+        let bucket = (64 - value.max(1).leading_zeros() as usize - 1)
+            + usize::from(!value.is_power_of_two() && value > 1);
+        self.buckets[bucket.min(Self::BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in microseconds.
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Renders as `{"count":N,"sum":S,"buckets":{"le_2^i":c,…}}`, with
+    /// empty buckets omitted for compactness.
+    pub fn render_json(&self) -> String {
+        let mut buckets: Vec<String> = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                buckets.push(format!("\"le_{}\":{c}", 1u64 << i));
+            }
+        }
+        format!(
+            "{{\"count\":{},\"sum\":{},\"buckets\":{{{}}}}}",
+            self.count(),
+            self.sum(),
+            buckets.join(",")
+        )
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// All counters and histograms of one running server.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests per route (indexed by [`Route`]).
+    requests: [AtomicU64; 5],
+    /// Per-route latency, microseconds (indexed by [`Route`]).
+    latency_us: [Histogram; 5],
+    /// 4xx responses (bad parameters, unknown routes, …).
+    pub client_errors: AtomicU64,
+    /// I/O failures while reading/answering a request.
+    pub io_errors: AtomicU64,
+    /// Connections shed with `503` because the admission queue was full.
+    pub queue_rejections: AtomicU64,
+    /// Multi-source model evaluations run by the batcher (each one call
+    /// to `query_columns`, however many requests it served).
+    pub model_evaluations: AtomicU64,
+    /// Column requests answered by the batcher (including coalesced and
+    /// deduplicated ones).
+    pub batched_requests: AtomicU64,
+    /// Distribution of deduplicated batch sizes (|Q| per evaluation).
+    pub batch_sizes: Histogram,
+    /// Column-cache hits.
+    pub cache_hits: AtomicU64,
+    /// Column-cache misses.
+    pub cache_misses: AtomicU64,
+    /// Column-cache evictions.
+    pub cache_evictions: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one served request on `route`.
+    pub fn record_request(&self, route: Route, latency: Duration) {
+        self.requests[route.index()].fetch_add(1, Ordering::Relaxed);
+        self.latency_us[route.index()].observe_duration(latency);
+    }
+
+    /// Requests served on `route` so far.
+    pub fn requests(&self, route: Route) -> u64 {
+        self.requests[route.index()].load(Ordering::Relaxed)
+    }
+
+    /// Requests served across all routes.
+    pub fn total_requests(&self) -> u64 {
+        Route::ALL.iter().map(|&r| self.requests(r)).sum()
+    }
+
+    /// The `GET /metrics` body: request counts, cache and batch
+    /// statistics, and per-route latency histograms.
+    pub fn render_json(&self) -> String {
+        let mut routes: Vec<String> = Vec::new();
+        for route in Route::ALL {
+            routes.push(format!(
+                "\"{}\":{{\"requests\":{},\"latency_us\":{}}}",
+                route.name(),
+                self.requests(route),
+                self.latency_us[route.index()].render_json()
+            ));
+        }
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        format!(
+            concat!(
+                "{{\"requests_total\":{},",
+                "\"routes\":{{{}}},",
+                "\"errors\":{{\"client\":{},\"io\":{},\"queue_rejections\":{}}},",
+                "\"batcher\":{{\"model_evaluations\":{},\"batched_requests\":{},\"batch_sizes\":{}}},",
+                "\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{}}}}}"
+            ),
+            self.total_requests(),
+            routes.join(","),
+            load(&self.client_errors),
+            load(&self.io_errors),
+            load(&self.queue_rejections),
+            load(&self.model_evaluations),
+            load(&self.batched_requests),
+            self.batch_sizes.render_json(),
+            load(&self.cache_hits),
+            load(&self.cache_misses),
+            load(&self.cache_evictions),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_power_of_two_boundaries() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 5, 8, 9, 1024, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 10);
+        let json = h.render_json();
+        // 0 and 1 land in le_1; 2 in le_2; 3 and 4 in le_4; 5 and 8 in
+        // le_8; 9 in le_16; 1024 in le_1024.
+        assert!(json.contains("\"le_1\":2"), "{json}");
+        assert!(json.contains("\"le_2\":1"), "{json}");
+        assert!(json.contains("\"le_4\":2"), "{json}");
+        assert!(json.contains("\"le_8\":2"), "{json}");
+        assert!(json.contains("\"le_16\":1"), "{json}");
+        assert!(json.contains("\"le_1024\":1"), "{json}");
+    }
+
+    #[test]
+    fn metrics_render_contains_all_sections() {
+        let m = Metrics::new();
+        m.record_request(Route::TopK, Duration::from_micros(42));
+        m.record_request(Route::Health, Duration::from_micros(1));
+        m.cache_hits.fetch_add(3, Ordering::Relaxed);
+        m.model_evaluations.fetch_add(1, Ordering::Relaxed);
+        m.batch_sizes.observe(4);
+        let json = m.render_json();
+        assert!(json.contains("\"requests_total\":2"), "{json}");
+        assert!(json.contains("\"topk\":{\"requests\":1"), "{json}");
+        assert!(json.contains("\"model_evaluations\":1"), "{json}");
+        assert!(json.contains("\"hits\":3"), "{json}");
+        assert!(json.contains("\"batch_sizes\":{\"count\":1"), "{json}");
+        assert_eq!(m.requests(Route::TopK), 1);
+        assert_eq!(m.total_requests(), 2);
+    }
+}

@@ -1,0 +1,188 @@
+//! A fixed worker pool with a bounded admission queue.
+//!
+//! Submission is non-blocking: [`WorkerPool::try_submit`] either enqueues
+//! the job or hands it straight back when the queue is full, so the
+//! accept loop can shed load with a `503` instead of letting an
+//! unbounded backlog grow.  Shutdown is graceful — workers drain every
+//! job already admitted before exiting.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of work: one accepted connection to serve.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+/// The pool: `workers` threads pulling from one bounded queue.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads behind a queue admitting at most
+    /// `capacity` waiting jobs (jobs being executed don't count).
+    pub fn new(workers: usize, capacity: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue { jobs: VecDeque::new(), shutdown: false }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("csrplus-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        WorkerPool { shared, workers: handles }
+    }
+
+    /// Admits a job, or returns it if the queue is full or the pool is
+    /// shutting down (the caller responds `503`).
+    pub fn try_submit(&self, job: Job) -> Result<(), Job> {
+        let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+        if queue.shutdown || queue.jobs.len() >= self.shared.capacity {
+            return Err(job);
+        }
+        queue.jobs.push_back(job);
+        drop(queue);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+
+    /// Jobs currently waiting (not yet picked up by a worker).
+    pub fn queued(&self) -> usize {
+        self.shared.queue.lock().expect("pool queue poisoned").jobs.len()
+    }
+
+    /// Stops admissions, drains every queued job, and joins the workers.
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.shared.queue.lock().expect("pool queue poisoned").shutdown = true;
+        self.shared.ready.notify_all();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    break job;
+                }
+                if queue.shutdown {
+                    return; // queue drained, shutdown requested
+                }
+                queue = shared.ready.wait(queue).expect("pool queue poisoned");
+            }
+        };
+        job();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_submitted_jobs() {
+        let pool = WorkerPool::new(4, 16);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let counter = Arc::clone(&counter);
+            // Queue capacity is 16 but workers drain concurrently; retry
+            // rejected submissions to push all 32 through.
+            let mut job: Job = Box::new(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+            loop {
+                match pool.try_submit(job) {
+                    Ok(()) => break,
+                    Err(rejected) => {
+                        job = rejected;
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            }
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn bounded_queue_rejects_overflow() {
+        let pool = WorkerPool::new(1, 2);
+        // Block the single worker so the queue fills.
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        pool.try_submit(Box::new(move || {
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        }))
+        .unwrap_or_else(|_| panic!("first job rejected"));
+        started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        // Worker is busy: two jobs fit the queue, the third is shed.
+        assert!(pool.try_submit(Box::new(|| {})).is_ok());
+        assert!(pool.try_submit(Box::new(|| {})).is_ok());
+        assert!(pool.try_submit(Box::new(|| {})).is_err(), "queue of 2 must shed the 3rd");
+        release_tx.send(()).unwrap();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_jobs() {
+        let pool = WorkerPool::new(1, 8);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let counter = Arc::clone(&counter);
+            pool.try_submit(Box::new(move || {
+                std::thread::sleep(Duration::from_millis(2));
+                counter.fetch_add(1, Ordering::SeqCst);
+            }))
+            .unwrap_or_else(|_| panic!("admission failed"));
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 8, "shutdown must drain the queue");
+    }
+
+    #[test]
+    fn rejects_after_shutdown() {
+        let pool = WorkerPool::new(1, 8);
+        pool.begin_shutdown();
+        assert!(pool.try_submit(Box::new(|| {})).is_err());
+    }
+}

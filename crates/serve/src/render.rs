@@ -1,0 +1,75 @@
+//! JSON response bodies, shared by the pooled and legacy servers so both
+//! paths produce byte-identical output for identical scores.
+
+/// `GET /health` body.
+pub fn health(nodes: usize, rank: usize) -> String {
+    format!("{{\"status\":\"ok\",\"nodes\":{nodes},\"rank\":{rank}}}")
+}
+
+/// `GET /similarity` body.
+pub fn similarity(a: usize, b: usize, s: f64) -> String {
+    format!("{{\"a\":{a},\"b\":{b},\"similarity\":{s}}}")
+}
+
+/// `GET /topk` body.
+pub fn topk(node: usize, results: &[(usize, f64)]) -> String {
+    let items: Vec<String> =
+        results.iter().map(|(i, s)| format!("{{\"node\":{i},\"score\":{s}}}")).collect();
+    format!("{{\"node\":{node},\"results\":[{}]}}", items.join(","))
+}
+
+/// `GET /query` body: one full similarity column per query node.
+pub fn query(nodes: &[usize], columns: &[&[f64]]) -> String {
+    debug_assert_eq!(nodes.len(), columns.len());
+    let cols: Vec<String> = columns
+        .iter()
+        .map(|col| {
+            let vals: Vec<String> = col.iter().map(|v| format!("{v}")).collect();
+            format!("[{}]", vals.join(","))
+        })
+        .collect();
+    let q: Vec<String> = nodes.iter().map(|q| q.to_string()).collect();
+    format!("{{\"queries\":[{}],\"columns\":[{}]}}", q.join(","), cols.join(","))
+}
+
+/// Top-`k` over a precomputed similarity column, excluding the query
+/// node, sorted by descending score with node id as tie-break — the same
+/// order [`csrplus_core::CsrPlusModel::top_k`] produces, so serving from
+/// a batched/cached column is indistinguishable from the direct path.
+pub fn top_k_from_column(column: &[f64], q: usize, k: usize) -> Vec<(usize, f64)> {
+    let mut scored: Vec<(usize, f64)> =
+        column.iter().copied().enumerate().filter(|&(i, _)| i != q).collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+    });
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bodies_match_the_legacy_shapes() {
+        assert_eq!(health(6, 3), "{\"status\":\"ok\",\"nodes\":6,\"rank\":3}");
+        assert_eq!(similarity(1, 3, 0.5), "{\"a\":1,\"b\":3,\"similarity\":0.5}");
+        assert_eq!(
+            topk(1, &[(3, 0.5), (4, 0.25)]),
+            "{\"node\":1,\"results\":[{\"node\":3,\"score\":0.5},{\"node\":4,\"score\":0.25}]}"
+        );
+        assert_eq!(
+            query(&[1, 3], &[&[0.0, 1.0][..], &[0.5, 0.25][..]]),
+            "{\"queries\":[1,3],\"columns\":[[0,1],[0.5,0.25]]}"
+        );
+    }
+
+    #[test]
+    fn top_k_excludes_query_sorts_and_tie_breaks() {
+        let col = [0.5, 9.0, 0.25, 0.5, 0.75];
+        let top = top_k_from_column(&col, 1, 3);
+        assert_eq!(top, vec![(4, 0.75), (0, 0.5), (3, 0.5)]);
+        assert_eq!(top_k_from_column(&col, 1, 0), vec![]);
+        assert_eq!(top_k_from_column(&col, 1, 10).len(), 4);
+    }
+}

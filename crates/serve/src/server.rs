@@ -1,0 +1,459 @@
+//! The pooled server: accept loop → bounded admission queue → worker
+//! pool, with the micro-[`batcher`](crate::batcher) and the column
+//! [`cache`](crate::cache) behind the query routes and [`Metrics`] at
+//! `GET /metrics`.
+//!
+//! Routes are the same as the legacy server (`/health`, `/similarity`,
+//! `/topk`, `/query`) plus `/metrics`; bodies for identical scores are
+//! byte-identical to the legacy ones (shared [`crate::render`]).
+
+use crate::batcher::{Batcher, ColumnError};
+use crate::cache::{Column, ColumnCache};
+use crate::http::{self, Target};
+use crate::metrics::{Metrics, Route};
+use crate::pool::WorkerPool;
+use crate::render;
+use csrplus_core::CsrPlusModel;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads serving requests.
+    pub workers: usize,
+    /// Bounded admission queue depth; connections beyond it get `503`.
+    pub queue_depth: usize,
+    /// Maximum `|Q|` coalesced into one multi-source evaluation.
+    pub max_batch: usize,
+    /// How long the first request of a batch waits for company.
+    pub linger: Duration,
+    /// Column-cache capacity in columns (`0` disables the cache).
+    pub cache_capacity: usize,
+    /// Column-cache shard count.
+    pub cache_shards: usize,
+    /// Per-request budget: socket reads/writes and column waits.
+    pub timeout: Duration,
+    /// Serve this many connections then exit (used by tests/benches).
+    pub max_requests: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let workers =
+            std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(4);
+        ServeConfig {
+            workers,
+            queue_depth: workers * 16,
+            max_batch: 32,
+            linger: Duration::from_micros(200),
+            cache_capacity: 1024,
+            cache_shards: 8,
+            timeout: Duration::from_secs(5),
+            max_requests: None,
+        }
+    }
+}
+
+/// Everything a worker needs to answer one connection.
+struct Ctx {
+    model: Arc<CsrPlusModel>,
+    batcher: Batcher,
+    metrics: Arc<Metrics>,
+    timeout: Duration,
+}
+
+/// The pooled, batching server.  [`Server::start`] binds and returns a
+/// [`ServerHandle`]; the accept loop runs on a background thread.
+pub struct Server;
+
+impl Server {
+    /// Binds `127.0.0.1:port` (0 ⇒ ephemeral), announces the address on
+    /// stdout (`listening on http://…`, the line the CLI harness
+    /// parses), and starts accepting.
+    pub fn start(
+        model: CsrPlusModel,
+        port: u16,
+        config: ServeConfig,
+    ) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+
+        let metrics = Arc::new(Metrics::new());
+        let model = Arc::new(model);
+        let cache = Arc::new(ColumnCache::new(
+            config.cache_capacity,
+            config.cache_shards,
+            Arc::clone(&metrics),
+        ));
+        let batcher = Batcher::new(
+            Arc::clone(&model),
+            cache,
+            Arc::clone(&metrics),
+            config.max_batch,
+            config.linger,
+        );
+        let ctx = Arc::new(Ctx {
+            model,
+            batcher,
+            metrics: Arc::clone(&metrics),
+            timeout: config.timeout,
+        });
+        let pool = Arc::new(WorkerPool::new(config.workers, config.queue_depth));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let accept = {
+            let ctx = Arc::clone(&ctx);
+            let pool = Arc::clone(&pool);
+            let stop = Arc::clone(&stop);
+            let max_requests = config.max_requests;
+            std::thread::Builder::new()
+                .name("csrplus-accept".to_string())
+                .spawn(move || accept_loop(&listener, &ctx, &pool, &stop, max_requests))?
+        };
+
+        println!("listening on http://{addr}");
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+
+        Ok(ServerHandle {
+            addr,
+            metrics,
+            stop,
+            accept: Some(accept),
+            pool: Some(pool),
+            ctx: Some(ctx),
+        })
+    }
+}
+
+/// A running server: address, live metrics, and teardown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    metrics: Arc<Metrics>,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    pool: Option<Arc<WorkerPool>>,
+    ctx: Option<Arc<Ctx>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with `port: 0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live metrics for this server.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Blocks until the accept loop exits on its own (`max_requests`
+    /// reached), then drains and tears down gracefully.
+    pub fn join(mut self) {
+        self.teardown();
+    }
+
+    /// Stops accepting, drains admitted connections, answers every
+    /// pending batched request, and joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+        self.teardown();
+    }
+
+    fn stop_accepting(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn teardown(&mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // Drop order is the drain order: the pool first (its Drop joins
+        // workers after the queue empties — in-flight requests may still
+        // use the batcher), then the context (its Drop shuts the batcher
+        // down, which answers anything still pending).
+        self.pool.take();
+        self.ctx.take();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_accepting();
+        self.teardown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    ctx: &Arc<Ctx>,
+    pool: &Arc<WorkerPool>,
+    stop: &AtomicBool,
+    max_requests: Option<usize>,
+) {
+    let served = AtomicUsize::new(0);
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                eprintln!("accept error: {e}");
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            return; // the wake-up connection itself
+        }
+        if !ctx.timeout.is_zero() {
+            let _ = stream.set_read_timeout(Some(ctx.timeout));
+            let _ = stream.set_write_timeout(Some(ctx.timeout));
+        }
+        let shed = stream.try_clone();
+        let job = {
+            let ctx = Arc::clone(ctx);
+            Box::new(move || handle_connection(&ctx, stream))
+        };
+        if let Err(job) = pool.try_submit(job) {
+            // Shed load: answer 503 right here instead of queueing.
+            ctx.metrics.queue_rejections.fetch_add(1, Ordering::Relaxed);
+            if let Ok(stream) = shed {
+                let _ = http::write_error(&stream, 503, "admission queue full");
+            }
+            drop(job);
+        }
+        // Failed accepts deliberately don't count (see legacy notes).
+        let served_now = served.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some(max) = max_requests {
+            if served_now >= max {
+                return;
+            }
+        }
+    }
+}
+
+fn handle_connection(ctx: &Ctx, stream: TcpStream) {
+    let start = Instant::now();
+    let request_line = match stream.try_clone().and_then(http::read_request) {
+        Ok(line) => line,
+        Err(_) => {
+            ctx.metrics.io_errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    let (route, result) = dispatch(ctx, request_line.trim(), start);
+    let outcome = match &result {
+        Ok(body) => http::write_response(&stream, 200, body),
+        Err((code, msg)) => {
+            ctx.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
+            http::write_error(&stream, *code, msg)
+        }
+    };
+    if outcome.is_err() {
+        ctx.metrics.io_errors.fetch_add(1, Ordering::Relaxed);
+    }
+    if let Some(route) = route {
+        ctx.metrics.record_request(route, start.elapsed());
+    }
+}
+
+/// Routes one request.  Returns the [`Route`] (when recognised, for
+/// metrics) and the response body or `(code, message)` error.
+fn dispatch(
+    ctx: &Ctx,
+    request_line: &str,
+    start: Instant,
+) -> (Option<Route>, Result<String, (u16, String)>) {
+    let target = match http::parse_request_line(request_line) {
+        Ok(t) => t,
+        Err(e) => return (None, Err(e)),
+    };
+    let route = match target.path.as_str() {
+        "/health" => Route::Health,
+        "/metrics" => Route::Metrics,
+        "/similarity" => Route::Similarity,
+        "/topk" => Route::TopK,
+        "/query" => Route::Query,
+        other => return (None, Err((404, format!("no route {other:?}")))),
+    };
+    (Some(route), answer(ctx, route, &target, start))
+}
+
+fn answer(
+    ctx: &Ctx,
+    route: Route,
+    target: &Target,
+    start: Instant,
+) -> Result<String, (u16, String)> {
+    let parse_usize = |v: &str, key: &str| -> Result<usize, (u16, String)> {
+        v.parse().map_err(|_| (400, format!("invalid {key}: {v:?}")))
+    };
+    // The column wait shares the request budget with socket I/O.
+    let column = |node: usize| -> Result<Column, (u16, String)> {
+        let remaining = ctx.timeout.saturating_sub(start.elapsed());
+        ctx.batcher.column(node, remaining).map_err(|e| match e {
+            ColumnError::Timeout => (408, e.to_string()),
+            ColumnError::ShuttingDown => (503, e.to_string()),
+            ColumnError::Failed(msg) => (400, msg),
+        })
+    };
+
+    match route {
+        Route::Health => Ok(render::health(ctx.model.n(), ctx.model.rank())),
+        Route::Metrics => Ok(ctx.metrics.render_json()),
+        Route::Similarity => {
+            let a = parse_usize(target.require("a")?, "a")?;
+            let b = parse_usize(target.require("b")?, "b")?;
+            if a >= ctx.model.n() {
+                let e =
+                    csrplus_core::CoSimRankError::QueryOutOfBounds { node: a, n: ctx.model.n() };
+                return Err((400, e.to_string()));
+            }
+            // `[S]_{a,b}` is row `a` of column `b`: the batched/cached
+            // column entry is bitwise equal to `model.similarity(a, b)`.
+            let col = column(b)?;
+            Ok(render::similarity(a, b, col[a]))
+        }
+        Route::TopK => {
+            let node = parse_usize(target.require("node")?, "node")?;
+            let k = match target.get("k") {
+                Some(v) => parse_usize(v, "k")?,
+                None => 10,
+            };
+            let col = column(node)?;
+            Ok(render::topk(node, &render::top_k_from_column(&col, node, k)))
+        }
+        Route::Query => {
+            let nodes: Result<Vec<usize>, _> =
+                target.require("nodes")?.split(',').map(|v| v.parse::<usize>()).collect();
+            let nodes = nodes.map_err(|_| (400, "invalid node list".to_string()))?;
+            let columns: Vec<Column> =
+                nodes.iter().map(|&q| column(q)).collect::<Result<_, _>>()?;
+            let views: Vec<&[f64]> = columns.iter().map(|c| &c[..]).collect();
+            Ok(render::query(&nodes, &views))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csrplus_core::CsrPlusConfig;
+    use csrplus_graph::{generators::figure1_graph, TransitionMatrix};
+    use std::io::{Read as _, Write as _};
+
+    fn model() -> CsrPlusModel {
+        let t = TransitionMatrix::from_graph(&figure1_graph());
+        CsrPlusModel::precompute(&t, &CsrPlusConfig::with_rank(3)).unwrap()
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let code: u16 = response.split_whitespace().nth(1).unwrap().parse().unwrap();
+        let body = response.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+        (code, body)
+    }
+
+    #[test]
+    fn serves_all_routes_and_metrics() {
+        let handle = Server::start(model(), 0, ServeConfig::default()).unwrap();
+        let addr = handle.addr();
+
+        let (code, body) = get(addr, "/health");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"nodes\":6"), "{body}");
+
+        let (code, body) = get(addr, "/similarity?a=1&b=3");
+        assert_eq!(code, 200);
+        assert!(body.starts_with("{\"a\":1,\"b\":3,"), "{body}");
+
+        let (code, body) = get(addr, "/topk?node=1&k=2");
+        assert_eq!(code, 200);
+        assert_eq!(body.matches("\"score\":").count(), 2, "{body}");
+
+        let (code, body) = get(addr, "/query?nodes=1%2C3");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"queries\":[1,3]"), "{body}");
+
+        let (code, _) = get(addr, "/nope");
+        assert_eq!(code, 404);
+        let (code, body) = get(addr, "/similarity?a=1&a=2&b=3");
+        assert_eq!(code, 400);
+        assert!(body.contains("duplicate parameter"), "{body}");
+
+        let (code, body) = get(addr, "/metrics");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"requests_total\":"), "{body}");
+        assert!(body.contains("\"cache\":"), "{body}");
+        assert!(body.contains("\"batcher\":"), "{body}");
+
+        let metrics = handle.metrics();
+        assert_eq!(metrics.requests(Route::Health), 1);
+        // The duplicate-parameter request failed before routing, so only
+        // the valid similarity request is counted.
+        assert_eq!(metrics.requests(Route::Similarity), 1);
+        assert!(metrics.total_requests() >= 5);
+        assert!(metrics.client_errors.load(Ordering::Relaxed) >= 2, "404 + duplicate param");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn pooled_answers_match_legacy_byte_for_byte() {
+        let m = model();
+        let expected_sim = crate::legacy::route(&m, "GET /similarity?a=1&b=3 HTTP/1.1").unwrap();
+        let expected_query = crate::legacy::route(&m, "GET /query?nodes=1,3 HTTP/1.1").unwrap();
+        let handle = Server::start(m, 0, ServeConfig::default()).unwrap();
+        let (_, sim) = get(handle.addr(), "/similarity?a=1&b=3");
+        let (_, query) = get(handle.addr(), "/query?nodes=1,3");
+        assert_eq!(sim, expected_sim);
+        assert_eq!(query, expected_query);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn max_requests_counts_only_served_connections() {
+        let config = ServeConfig { max_requests: Some(3), ..ServeConfig::default() };
+        let handle = Server::start(model(), 0, config);
+        let handle = handle.unwrap();
+        let addr = handle.addr();
+        for _ in 0..3 {
+            let (code, _) = get(addr, "/health");
+            assert_eq!(code, 200);
+        }
+        // All three served connections counted; join() returns because
+        // the accept loop exited on its own.
+        handle.join();
+    }
+
+    #[test]
+    fn timeout_zero_times_out_column_requests() {
+        let config = ServeConfig {
+            timeout: Duration::from_millis(0),
+            linger: Duration::from_secs(1),
+            cache_capacity: 0,
+            ..ServeConfig::default()
+        };
+        // With a zero budget the column wait expires immediately: 408.
+        let handle = Server::start(model(), 0, config).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        write!(stream, "GET /topk?node=1 HTTP/1.1\r\n\r\n").unwrap();
+        let mut response = String::new();
+        // Read may fail (the server's write timeout is also 0) — accept
+        // either a 408 response or a reset connection.
+        let _ = stream.read_to_string(&mut response);
+        if !response.is_empty() {
+            assert!(response.contains("408"), "{response}");
+        }
+        handle.shutdown();
+    }
+}

@@ -1,0 +1,121 @@
+//! End-to-end proof of the tentpole property: `K` concurrent HTTP
+//! requests for distinct nodes coalesce into **one** multi-source model
+//! evaluation (observable via the `/metrics` evaluation counter) while
+//! every client receives the byte-identical body an unbatched server
+//! would have produced.
+
+use csrplus_core::{CsrPlusConfig, CsrPlusModel};
+use csrplus_graph::{generators::figure1_graph, TransitionMatrix};
+use csrplus_serve::{legacy, ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+fn model() -> CsrPlusModel {
+    let t = TransitionMatrix::from_graph(&figure1_graph());
+    CsrPlusModel::precompute(&t, &CsrPlusConfig::with_rank(3)).unwrap()
+}
+
+/// Issues one `GET` and returns `(status, body)`.
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let status: u16 = response.split_whitespace().nth(1).unwrap().parse().unwrap();
+    let body = response.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+    (status, body)
+}
+
+/// Pulls the integer value of `"key":N` out of the `/metrics` JSON.
+fn metric(json: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle).unwrap_or_else(|| panic!("{key} missing in {json}"));
+    json[at + needle.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn concurrent_http_requests_coalesce_into_one_evaluation() {
+    const K: usize = 4;
+    let m = model();
+    let reference = m.clone();
+    let config = ServeConfig {
+        workers: 2 * K,
+        queue_depth: 64,
+        max_batch: K,
+        // Generous linger: the batch must fire on *fullness* (the K-th
+        // arrival), making the single-evaluation assertion deterministic.
+        linger: Duration::from_secs(5),
+        cache_capacity: 0, // no cache: every request must reach the batcher
+        cache_shards: 1,
+        timeout: Duration::from_secs(30),
+        max_requests: None,
+    };
+    let handle = Server::start(m, 0, config).unwrap();
+    let addr = handle.addr();
+
+    let barrier = Arc::new(Barrier::new(K));
+    let clients: Vec<_> = (0..K)
+        .map(|j| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                (j, http_get(addr, &format!("/similarity?a=0&b={j}")))
+            })
+        })
+        .collect();
+    let answers: Vec<(usize, (u16, String))> =
+        clients.into_iter().map(|c| c.join().unwrap()).collect();
+
+    // Every client got the byte-identical body of an unbatched server.
+    for (j, (status, body)) in &answers {
+        assert_eq!(*status, 200, "client {j}");
+        let unbatched = legacy::route(&reference, &format!("GET /similarity?a=0&b={j} HTTP/1.1"))
+            .unwrap_or_else(|e| panic!("legacy route failed: {e:?}"));
+        assert_eq!(*body, unbatched, "client {j} answer differs from unbatched");
+    }
+
+    // The K column fetches ran as ONE multi-source evaluation.
+    let (status, metrics) = http_get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert_eq!(metric(&metrics, "model_evaluations"), 1, "metrics: {metrics}");
+    assert_eq!(metric(&metrics, "batched_requests"), K as u64, "metrics: {metrics}");
+    // The /metrics request itself is only counted after its body renders,
+    // so it sees exactly the K similarity requests.
+    assert_eq!(metric(&metrics, "requests_total"), K as u64, "metrics: {metrics}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn cache_serves_repeat_queries_without_reevaluation() {
+    let m = model();
+    let config = ServeConfig {
+        workers: 2,
+        queue_depth: 16,
+        linger: Duration::ZERO, // fire immediately: no coalescing, pure cache test
+        cache_capacity: 16,
+        cache_shards: 2,
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(m, 0, config).unwrap();
+    let addr = handle.addr();
+
+    let (s1, b1) = http_get(addr, "/similarity?a=1&b=2");
+    let (s2, b2) = http_get(addr, "/similarity?a=1&b=2");
+    assert_eq!((s1, s2), (200, 200));
+    assert_eq!(b1, b2);
+
+    let (_, metrics) = http_get(addr, "/metrics");
+    assert_eq!(metric(&metrics, "model_evaluations"), 1, "metrics: {metrics}");
+    assert_eq!(metric(&metrics, "hits"), 1, "metrics: {metrics}");
+    assert_eq!(metric(&metrics, "misses"), 1, "metrics: {metrics}");
+
+    handle.shutdown();
+}

@@ -7,11 +7,15 @@ use csrplus::core::{exact, CsrPlusConfig};
 use csrplus::prelude::*;
 use proptest::prelude::*;
 
+/// `(n, initial edges, edit script)` — each edit is `(u, v, insert?)`.
+type Scenario = (usize, Vec<(u32, u32)>, Vec<(u32, u32, bool)>);
+
 /// A random initial graph on exactly `n` nodes plus a random edit script.
-fn arb_scenario() -> impl Strategy<Value = (usize, Vec<(u32, u32)>, Vec<(u32, u32, bool)>)> {
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
     (4usize..=8).prop_flat_map(|n| {
         let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 3..20);
-        let edits = proptest::collection::vec((0..n as u32, 0..n as u32, proptest::bool::ANY), 1..8);
+        let edits =
+            proptest::collection::vec((0..n as u32, 0..n as u32, proptest::bool::ANY), 1..8);
         (Just(n), edges, edits)
     })
 }
