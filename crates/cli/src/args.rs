@@ -15,7 +15,11 @@ usage:
   csrplus exact      <graph.txt> --nodes 1,3 [--damping C] [--epsilon E]
   csrplus join       <model.csrp> --threshold T [--limit N]
   csrplus serve      <model.csrp> [--port P] [--workers N] [--batch B] [--linger-us U]
-                     [--cache COLS] [--timeout-ms MS] [--max-requests N] [--legacy]";
+                     [--cache COLS] [--timeout-ms MS] [--max-requests N] [--legacy]
+
+global flags (any position):
+  --threads N        cap the shared worker pool at N threads
+                     (default: CSRPLUS_THREADS or available parallelism)";
 
 /// A fully parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -108,6 +112,30 @@ pub enum Command {
         /// Accuracy.
         epsilon: f64,
     },
+}
+
+/// Strips a global `--threads N` flag (valid in any position) out of `argv`.
+///
+/// Returns the requested thread cap, if any, plus the remaining arguments.
+/// Extracting the pair *before* subcommand dispatch keeps the value token
+/// from being mistaken for a positional argument by [`parse`].
+pub fn extract_threads(argv: &[String]) -> Result<(Option<usize>, Vec<String>), String> {
+    let mut threads = None;
+    let mut rest = Vec::with_capacity(argv.len());
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--threads" {
+            let v = it.next().ok_or("missing value for --threads")?;
+            let n: usize = parse_num(v, "threads")?;
+            if n == 0 {
+                return Err("--threads must be at least 1".to_string());
+            }
+            threads = Some(n);
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    Ok((threads, rest))
 }
 
 /// Parses `argv` (without the program name).
@@ -470,6 +498,34 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn threads_flag_is_stripped_in_any_position() {
+        let (threads, rest) = extract_threads(&argv("--threads 4 stats g.txt")).unwrap();
+        assert_eq!(threads, Some(4));
+        assert_eq!(parse(&rest).unwrap(), Command::Stats { graph: PathBuf::from("g.txt") });
+
+        // After the subcommand, before the positional: the value token must
+        // not be mistaken for the graph path.
+        let (threads, rest) = extract_threads(&argv("stats --threads 2 g.txt")).unwrap();
+        assert_eq!(threads, Some(2));
+        assert_eq!(parse(&rest).unwrap(), Command::Stats { graph: PathBuf::from("g.txt") });
+
+        let (threads, rest) = extract_threads(&argv("topk m.csrp --node 4")).unwrap();
+        assert_eq!(threads, None);
+        assert_eq!(rest, argv("topk m.csrp --node 4"));
+    }
+
+    #[test]
+    fn threads_flag_rejects_bad_values() {
+        assert!(extract_threads(&argv("stats g.txt --threads")).unwrap_err().contains("value"));
+        assert!(extract_threads(&argv("--threads lots stats g.txt"))
+            .unwrap_err()
+            .contains("invalid threads"));
+        assert!(extract_threads(&argv("--threads 0 stats g.txt"))
+            .unwrap_err()
+            .contains("at least 1"));
     }
 
     #[test]

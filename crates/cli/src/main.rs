@@ -18,6 +18,10 @@
 //! admission queue, a micro-batcher coalescing concurrent queries into
 //! multi-source evaluations, a sharded LRU column cache, and `/metrics`.
 //! `--legacy` falls back to the original sequential accept loop.
+//!
+//! The global `--threads N` flag (any position) caps the shared
+//! `csrplus-par` worker pool that every compute kernel runs on; it
+//! overrides the `CSRPLUS_THREADS` environment variable.
 
 mod args;
 mod commands;
@@ -26,6 +30,19 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    let argv = match args::extract_threads(&argv) {
+        Ok((threads, rest)) => {
+            if let Some(n) = threads {
+                csrplus_par::set_threads(n);
+            }
+            rest
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", args::USAGE);
+            return ExitCode::from(2);
+        }
+    };
     match args::parse(&argv) {
         Ok(cmd) => match commands::run(cmd) {
             Ok(()) => ExitCode::SUCCESS,

@@ -9,6 +9,12 @@ use csrplus_linalg::DenseMatrix;
 use csrplus_memtrack::MemoryBudget;
 use std::time::Duration;
 
+/// Work floor per parallel chunk for the cheap per-node online sweeps
+/// (bound maps, norm tables, column gathers).  Chunk boundaries depend
+/// only on `n` and the per-node work, never on the thread count, so the
+/// online layer stays bitwise reproducible at any parallelism.
+const MIN_ONLINE_WORK: usize = 1 << 16;
+
 /// Wall-clock breakdown of one precomputation (Algorithm 1 lines 1–6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PrecomputeStats {
@@ -328,7 +334,19 @@ impl CsrPlusModel {
             return Ok(vec![self.multi_source(&[*q])?.into_vec()]);
         }
         let s = self.multi_source(queries)?;
-        Ok((0..queries.len()).map(|j| (0..self.n).map(|i| s.get(i, j)).collect()).collect())
+        // The strided column gather is memory-bound; split the query set
+        // into shape-determined blocks over the shared pool.
+        let n = self.n;
+        let mut cols: Vec<Vec<f64>> = vec![Vec::new(); queries.len()];
+        let chunk = csrplus_par::chunk_len(queries.len(), n.max(1), MIN_ONLINE_WORK);
+        csrplus_par::for_each_chunk_mut(&mut cols, chunk, csrplus_par::threads(), |ci, block| {
+            let j0 = ci * chunk;
+            for (off, col) in block.iter_mut().enumerate() {
+                let j = j0 + off;
+                *col = (0..n).map(|i| s.get(i, j)).collect();
+            }
+        });
+        Ok(cols)
     }
 
     /// Single-pair similarity `[S]_{a,b} = [a=b] + c·Z[a,:]·U[b,:]ᵀ`.
@@ -407,13 +425,21 @@ impl CsrPlusModel {
         let uq_rest = csrplus_linalg::vector::norm2(uq.get(1..).unwrap_or(&[]));
         // Per-query candidate order: descending split bound.  O(n log n)
         // in cheap O(1)-per-node bounds, traded for skipping O(r) exact
-        // dot products on everything past the break point.
-        let mut order: Vec<(f64, u32)> = self
-            .z_split
-            .iter()
-            .enumerate()
-            .map(|(x, &(z0, zrest))| (c * (z0 * uq0 + zrest * uq_rest), x as u32))
-            .collect();
+        // dot products on everything past the break point.  The bound
+        // map fill is embarrassingly parallel (one slot per node), so it
+        // runs on the shared pool; the early-break scan below stays
+        // sequential by construction.
+        let mut order: Vec<(f64, u32)> = vec![(0.0, 0); self.n];
+        let chunk = csrplus_par::chunk_len(self.n, 4, MIN_ONLINE_WORK);
+        let z_split = &self.z_split;
+        csrplus_par::for_each_chunk_mut(&mut order, chunk, csrplus_par::threads(), |ci, out| {
+            let lo = ci * chunk;
+            for (off, slot) in out.iter_mut().enumerate() {
+                let x = lo + off;
+                let (z0, zrest) = z_split[x];
+                *slot = (c * (z0 * uq0 + zrest * uq_rest), x as u32);
+            }
+        });
         order.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
         let mut best: Vec<(usize, f64)> = Vec::with_capacity(k + 1);
         let mut kth_score = f64::NEG_INFINITY;
@@ -511,26 +537,40 @@ impl CsrPlusModel {
     }
 }
 
-/// Row norms of `m` with their row ids, sorted descending.
+/// Row norms of `m` with their row ids, sorted descending.  The norm
+/// table fill runs on the shared pool (one slot per row); the sort stays
+/// serial and total order is unaffected by chunking.
 fn sorted_row_norms(m: &DenseMatrix) -> Vec<(f64, u32)> {
-    let mut norms: Vec<(f64, u32)> =
-        (0..m.rows()).map(|i| (csrplus_linalg::vector::norm2(m.row(i)), i as u32)).collect();
+    let mut norms: Vec<(f64, u32)> = vec![(0.0, 0); m.rows()];
+    let chunk = csrplus_par::chunk_len(m.rows(), 2 * m.cols().max(1), MIN_ONLINE_WORK);
+    csrplus_par::for_each_chunk_mut(&mut norms, chunk, csrplus_par::threads(), |ci, out| {
+        let lo = ci * chunk;
+        for (off, slot) in out.iter_mut().enumerate() {
+            let i = lo + off;
+            *slot = (csrplus_linalg::vector::norm2(m.row(i)), i as u32);
+        }
+    });
     norms.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
     norms
 }
 
 /// Per-row `(m[i,0], ‖m[i,1..]‖)` — the exact leading coordinate plus the
 /// norm of the tail, feeding the split retrieval bound of
-/// [`CsrPlusModel::top_k_pruned`].
+/// [`CsrPlusModel::top_k_pruned`].  Filled on the shared pool, one slot
+/// per row.
 fn split_row_bounds(m: &DenseMatrix) -> Vec<(f64, f64)> {
-    (0..m.rows())
-        .map(|i| {
-            let row = m.row(i);
+    let mut bounds: Vec<(f64, f64)> = vec![(0.0, 0.0); m.rows()];
+    let chunk = csrplus_par::chunk_len(m.rows(), 2 * m.cols().max(1), MIN_ONLINE_WORK);
+    csrplus_par::for_each_chunk_mut(&mut bounds, chunk, csrplus_par::threads(), |ci, out| {
+        let lo = ci * chunk;
+        for (off, slot) in out.iter_mut().enumerate() {
+            let row = m.row(lo + off);
             let head = row.first().copied().unwrap_or(0.0);
             let rest = csrplus_linalg::vector::norm2(row.get(1..).unwrap_or(&[]));
-            (head, rest)
-        })
-        .collect()
+            *slot = (head, rest);
+        }
+    });
+    bounds
 }
 
 /// Solves `P = c·H·P·Hᵀ + I_r` by repeated squaring (Algorithm 1, line 5):

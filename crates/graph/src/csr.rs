@@ -8,7 +8,16 @@
 
 use crate::error::GraphError;
 use csrplus_linalg::{vector, DenseMatrix, LinearOperator};
-use std::num::NonZeroUsize;
+
+/// Work floor (multiply-adds) per parallel chunk for the sparse kernels.
+/// Chunk sizing depends only on the matrix shape and nnz — never on the
+/// thread count — so sparse products are bitwise reproducible at any
+/// parallelism (each chunk owns a disjoint slice of output rows).
+const MIN_CHUNK_WORK: usize = 1 << 18;
+
+/// Cap on partial buffers for the scatter kernel
+/// ([`CsrMatrix::matvec_transpose`]); bounds scratch at `8 × cols` floats.
+const MAX_PARTIALS: usize = 8;
 
 /// Rows×cols sparse matrix in CSR format (`f64` values, `u32` indices).
 #[derive(Debug, Clone, PartialEq)]
@@ -135,76 +144,112 @@ impl CsrMatrix {
         d
     }
 
-    /// Sparse · vector: `y = A·x`.
+    /// Average non-zeros per row, used as the per-row work estimate when
+    /// sizing parallel chunks (shape-only, so chunking is reproducible).
+    fn mean_row_nnz(&self) -> usize {
+        self.nnz().checked_div(self.rows).unwrap_or(1).max(1)
+    }
+
+    /// Sparse · vector: `y = A·x`, output rows distributed over the
+    /// shared [`csrplus_par`] pool.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "matvec: length mismatch");
-        let mut y = Vec::with_capacity(self.rows);
-        for i in 0..self.rows {
-            let (idx, val) = self.row(i);
-            let mut acc = 0.0;
-            for (&j, &v) in idx.iter().zip(val.iter()) {
-                acc += v * x[j as usize];
-            }
-            y.push(acc);
-        }
-        y
-    }
-
-    /// Sparseᵀ · vector: `y = Aᵀ·x` (scatter over rows).
-    pub fn matvec_transpose(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.rows, "matvec_transpose: length mismatch");
-        let mut y = vec![0.0; self.cols];
-        for (i, &xi) in x.iter().enumerate() {
-            if xi == 0.0 {
-                continue;
-            }
-            let (idx, val) = self.row(i);
-            for (&j, &v) in idx.iter().zip(val.iter()) {
-                y[j as usize] += v * xi;
-            }
-        }
-        y
-    }
-
-    /// Sparse · dense block: `Y = A·X` (`X: cols×k`), parallel over output
-    /// row chunks when the work is large enough to amortise thread spawn.
-    pub fn matmul_dense(&self, x: &DenseMatrix) -> DenseMatrix {
-        let threads = effective_threads(self.nnz().saturating_mul(x.cols()));
-        self.matmul_dense_with_threads(x, threads)
-    }
-
-    /// Sparse · dense with an explicit thread count (the public entry
-    /// point picks it from the machine; this exists so the threaded path
-    /// is testable on single-core CI).
-    pub fn matmul_dense_with_threads(&self, x: &DenseMatrix, threads: usize) -> DenseMatrix {
-        assert_eq!(x.rows(), self.cols, "matmul_dense: shape mismatch");
-        let k = x.cols();
-        let mut y = DenseMatrix::zeros(self.rows, k);
-        if threads <= 1 || self.rows == 0 || k == 0 {
-            self.spmm_rows(x, &mut y, 0, self.rows);
-            return y;
-        }
-        let chunk = self.rows.div_ceil(threads);
-        let out = y.as_mut_slice();
-        std::thread::scope(|scope| {
-            for (t, out_chunk) in out.chunks_mut(chunk * k).enumerate() {
-                let lo = t * chunk;
-                let hi = (lo + out_chunk.len() / k).min(self.rows);
-                let me = &*self;
-                scope.spawn(move || {
-                    for i in lo..hi {
-                        let (idx, val) = me.row(i);
-                        let orow = &mut out_chunk[(i - lo) * k..(i - lo + 1) * k];
-                        for (&j, &v) in idx.iter().zip(val.iter()) {
-                            vector::axpy(v, x.row(j as usize), orow);
-                        }
-                    }
-                });
+        let mut y = vec![0.0; self.rows];
+        let chunk_rows = csrplus_par::chunk_len(self.rows, self.mean_row_nnz(), MIN_CHUNK_WORK);
+        csrplus_par::for_each_chunk_mut(&mut y, chunk_rows, csrplus_par::threads(), |ci, out| {
+            let lo = ci * chunk_rows;
+            for (off, yv) in out.iter_mut().enumerate() {
+                let (idx, val) = self.row(lo + off);
+                let mut acc = 0.0;
+                for (&j, &v) in idx.iter().zip(val.iter()) {
+                    acc += v * x[j as usize];
+                }
+                *yv = acc;
             }
         });
         y
     }
 
+    /// Sparseᵀ · vector: `y = Aᵀ·x` (scatter over rows).
+    ///
+    /// The scatter accumulates into shared output columns, so the pool
+    /// version splits the rows into at most [`MAX_PARTIALS`]
+    /// shape-determined chunks, each scattering into a private partial,
+    /// reduced serially in chunk order — the summation order is fixed
+    /// regardless of thread count.
+    pub fn matvec_transpose(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "matvec_transpose: length mismatch");
+        let mut y = vec![0.0; self.cols];
+        if self.rows == 0 || self.cols == 0 {
+            return y;
+        }
+        let scatter = |y: &mut [f64], lo: usize, hi: usize| {
+            for (i, &xi) in x[lo..hi].iter().enumerate() {
+                if xi == 0.0 {
+                    continue;
+                }
+                let (idx, val) = self.row(lo + i);
+                for (&j, &v) in idx.iter().zip(val.iter()) {
+                    y[j as usize] += v * xi;
+                }
+            }
+        };
+        let chunk_rows = csrplus_par::chunk_len(self.rows, self.mean_row_nnz(), MIN_CHUNK_WORK)
+            .max(self.rows.div_ceil(MAX_PARTIALS));
+        let n_chunks = csrplus_par::chunk_count(self.rows, chunk_rows);
+        if n_chunks == 1 {
+            scatter(&mut y, 0, self.rows);
+            return y;
+        }
+        let rows = self.rows;
+        let mut partials = vec![0.0f64; n_chunks * self.cols];
+        csrplus_par::for_each_chunk_mut(
+            &mut partials,
+            self.cols,
+            csrplus_par::threads(),
+            |ci, part| {
+                let lo = ci * chunk_rows;
+                scatter(part, lo, (lo + chunk_rows).min(rows));
+            },
+        );
+        for part in partials.chunks(self.cols) {
+            vector::axpy(1.0, part, &mut y);
+        }
+        y
+    }
+
+    /// Sparse · dense block: `Y = A·X` (`X: cols×k`), output row chunks
+    /// distributed over the shared persistent pool.
+    pub fn matmul_dense(&self, x: &DenseMatrix) -> DenseMatrix {
+        self.matmul_dense_with_threads(x, csrplus_par::threads())
+    }
+
+    /// Sparse · dense with an explicit parallelism cap (the public entry
+    /// point uses the global limit; this exists so the pooled path is
+    /// testable on single-core CI).  Chunk boundaries depend only on the
+    /// matrix shape/nnz, so the product is bitwise identical at any cap.
+    pub fn matmul_dense_with_threads(&self, x: &DenseMatrix, threads: usize) -> DenseMatrix {
+        assert_eq!(x.rows(), self.cols, "matmul_dense: shape mismatch");
+        let k = x.cols();
+        let mut y = DenseMatrix::zeros(self.rows, k);
+        if self.rows == 0 || k == 0 {
+            return y;
+        }
+        let chunk_rows = csrplus_par::chunk_len(self.rows, self.mean_row_nnz() * k, MIN_CHUNK_WORK);
+        csrplus_par::for_each_chunk_mut(y.as_mut_slice(), chunk_rows * k, threads, |ci, out| {
+            let lo = ci * chunk_rows;
+            for (off, orow) in out.chunks_mut(k).enumerate() {
+                let (idx, val) = self.row(lo + off);
+                for (&j, &v) in idx.iter().zip(val.iter()) {
+                    vector::axpy(v, x.row(j as usize), orow);
+                }
+            }
+        });
+        y
+    }
+
+    /// Reference serial kernel kept for the parallel-equivalence tests.
+    #[cfg(test)]
     fn spmm_rows(&self, x: &DenseMatrix, y: &mut DenseMatrix, lo: usize, hi: usize) {
         let k = x.cols();
         for i in lo..hi {
@@ -227,16 +272,6 @@ impl CsrMatrix {
             + self.indices.capacity() * std::mem::size_of::<u32>()
             + self.values.capacity() * std::mem::size_of::<f64>()
     }
-}
-
-/// Picks a thread count for a kernel with `work` scalar multiply-adds.
-fn effective_threads(work: usize) -> usize {
-    const MIN_WORK_PER_THREAD: usize = 1 << 18;
-    if work < 2 * MIN_WORK_PER_THREAD {
-        return 1;
-    }
-    let hw = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
-    hw.min(work / MIN_WORK_PER_THREAD).max(1)
 }
 
 impl LinearOperator for CsrMatrix {
@@ -385,6 +420,44 @@ mod tests {
         }
         // And the auto-selected path agrees too.
         assert!(a.matmul_dense(&x).approx_eq(&serial, 1e-12));
+    }
+
+    #[test]
+    fn pooled_spmm_bitwise_identical_across_caps() {
+        let a = random_sparse(2000, 2000, 120_000, 49);
+        let mut rng = StdRng::seed_from_u64(50);
+        let x = DenseMatrix::random_gaussian(2000, 8, &mut rng);
+        let serial = a.matmul_dense_with_threads(&x, 1);
+        for threads in [2usize, 4, 8] {
+            let y = a.matmul_dense_with_threads(&x, threads);
+            assert_eq!(y.as_slice(), serial.as_slice(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sparse_matvec_kernels_match_reference() {
+        // The pooled matvec / partial-reduced matvec_transpose must agree
+        // with a plain serial loop (values, not just approximately).
+        let a = random_sparse(3000, 1500, 90_000, 51);
+        let x: Vec<f64> = (0..1500).map(|i| (i as f64 * 0.37).cos()).collect();
+        let y = a.matvec(&x);
+        for (i, yv) in y.iter().enumerate() {
+            let (idx, val) = a.row(i);
+            let want: f64 = idx.iter().zip(val).map(|(&j, &v)| v * x[j as usize]).sum();
+            assert!((yv - want).abs() < 1e-12, "row {i}");
+        }
+        let xt: Vec<f64> = (0..3000).map(|i| (i as f64 * 0.11).sin()).collect();
+        let yt = a.matvec_transpose(&xt);
+        let mut want = vec![0.0; 1500];
+        for (i, &xi) in xt.iter().enumerate() {
+            let (idx, val) = a.row(i);
+            for (&j, &v) in idx.iter().zip(val.iter()) {
+                want[j as usize] += v * xi;
+            }
+        }
+        for (got, w) in yt.iter().zip(want.iter()) {
+            assert!((got - w).abs() < 1e-10);
+        }
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //! * [`DiGraph`] — a directed graph as a deduplicated COO edge list;
 //! * [`CsrMatrix`] — compressed sparse row storage with dense-block
 //!   multiplication kernels (the `spmm` behind every PPR iteration and the
-//!   randomized SVD), parallelised over output rows with scoped threads;
+//!   randomized SVD), parallelised over output rows on the shared
+//!   `csrplus-par` worker pool with deterministic shape-based chunking;
 //! * [`TransitionMatrix`] — `Q` together with its transpose, implementing
 //!   [`csrplus_linalg::LinearOperator`] so it can be fed straight into the
 //!   truncated SVD;

@@ -1,9 +1,13 @@
 //! Row-major dense matrix with cache-aware kernels.
 //!
 //! `DenseMatrix` is the workhorse container of the workspace.  CSR+ only
-//! ever materialises tall-skinny (`n×r`) or tiny (`r×r`) dense matrices, so
-//! a flat row-major `Vec<f64>` with i-k-j multiplication order (which
-//! streams both operands row-wise) is fast without tiling heroics.
+//! ever materialises tall-skinny (`n×r`) or tiny (`r×r`) dense matrices,
+//! stored as a flat row-major `Vec<f64>`.  Multiplication dispatches
+//! (by shape alone) between an i-k-j axpy path with zero-skip and a
+//! cache-blocked 4×4 register-tiled micro-kernel over packed row panels;
+//! both run on the shared [`csrplus_par`] pool with chunk boundaries
+//! derived only from the problem shape, so every kernel here returns
+//! bitwise-identical results at any thread count.
 
 use crate::error::LinalgError;
 use crate::vector;
@@ -193,23 +197,25 @@ impl DenseMatrix {
         t
     }
 
-    /// `C = self · other`, i-k-j order (streams rows of both operands).
-    /// Output rows are split across scoped threads when the work is large
-    /// enough to amortise spawning.
+    /// `C = self · other` on the shared [`csrplus_par`] pool at the
+    /// current `csrplus_par::threads()` limit.
+    ///
+    /// Chunking is derived from the *per-output-row* work (see
+    /// [`matmul_row_chunk`]), so a tall matvec-shaped product (`n × k`
+    /// times `k × 1`) collapses to a handful of fat chunks instead of
+    /// fanning out on total-work alone — the old threshold compared
+    /// `rows·k·cols` against a spawn floor and could oversplit exactly
+    /// that case.
     pub fn matmul(&self, other: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
-        let work = self.rows.saturating_mul(self.cols).saturating_mul(other.cols);
-        const MIN_WORK_PER_THREAD: usize = 1 << 20;
-        let hw = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
-        let threads = if work < 2 * MIN_WORK_PER_THREAD {
-            1
-        } else {
-            hw.min(work / MIN_WORK_PER_THREAD).max(1)
-        };
-        self.matmul_with_threads(other, threads)
+        self.matmul_with_threads(other, csrplus_par::threads())
     }
 
-    /// [`DenseMatrix::matmul`] with an explicit thread count (exposed so
-    /// the threaded path stays testable on single-core CI).
+    /// [`DenseMatrix::matmul`] with an explicit parallelism cap (exposed
+    /// so the pooled path stays testable on single-core CI).
+    ///
+    /// Chunk boundaries and kernel dispatch depend only on the operand
+    /// shapes, never on `threads`, so the result is bitwise identical at
+    /// any cap.
     pub fn matmul_with_threads(
         &self,
         other: &DenseMatrix,
@@ -224,35 +230,45 @@ impl DenseMatrix {
         }
         let mut c = DenseMatrix::zeros(self.rows, other.cols);
         let kc = other.cols;
-        let row_block = |me: &DenseMatrix, out: &mut [f64], lo: usize| {
-            for (off, crow) in out.chunks_mut(kc).enumerate() {
-                let arow = me.row(lo + off);
-                for (k, &aik) in arow.iter().enumerate() {
-                    if aik != 0.0 {
-                        vector::axpy(aik, other.row(k), crow);
-                    }
-                }
-            }
-        };
         if self.rows == 0 || kc == 0 {
             return Ok(c); // empty result; chunking by 0 would panic
         }
-        if threads <= 1 {
-            row_block(self, &mut c.data, 0);
-            return Ok(c);
-        }
-        let chunk_rows = self.rows.div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (t, out_chunk) in c.data.chunks_mut(chunk_rows * kc).enumerate() {
-                let lo = t * chunk_rows;
-                scope.spawn(move || row_block(self, out_chunk, lo));
+        let chunk_rows = matmul_row_chunk(self.rows, self.cols, kc);
+        // Kernel dispatch is shape-only: the register-blocked micro-kernel
+        // wins once rows come in groups of 4 and the depth amortises the
+        // packing; the axpy path keeps its zero-skip for thin shapes.
+        let use_micro = kc >= MICRO_NR && self.cols >= 8;
+        csrplus_par::for_each_chunk_mut(&mut c.data, chunk_rows * kc, threads, |ci, out| {
+            let lo = ci * chunk_rows;
+            if use_micro {
+                matmul_panel_micro(self, other, out, lo);
+            } else {
+                for (off, crow) in out.chunks_mut(kc).enumerate() {
+                    let arow = self.row(lo + off);
+                    for (k, &aik) in arow.iter().enumerate() {
+                        if aik != 0.0 {
+                            vector::axpy(aik, other.row(k), crow);
+                        }
+                    }
+                }
             }
         });
         Ok(c)
     }
 
-    /// `C = self · otherᵀ` (each entry is a row-row dot product).
+    /// `C = self · otherᵀ` (each entry is a row-row dot product); output
+    /// rows are distributed over the shared pool.
     pub fn matmul_transpose_b(&self, other: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+        self.matmul_transpose_b_with_threads(other, csrplus_par::threads())
+    }
+
+    /// [`DenseMatrix::matmul_transpose_b`] with an explicit parallelism
+    /// cap; bitwise identical at any cap.
+    pub fn matmul_transpose_b_with_threads(
+        &self,
+        other: &DenseMatrix,
+        threads: usize,
+    ) -> Result<DenseMatrix, LinalgError> {
         if self.cols != other.cols {
             return Err(LinalgError::ShapeMismatch {
                 context: "matmul_transpose_b",
@@ -261,17 +277,41 @@ impl DenseMatrix {
             });
         }
         let mut c = DenseMatrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            for j in 0..other.rows {
-                c.data[i * other.rows + j] = vector::dot(arow, other.row(j));
-            }
+        let oc = other.rows;
+        if self.rows == 0 || oc == 0 {
+            return Ok(c);
         }
+        let chunk_rows = matmul_row_chunk(self.rows, self.cols, oc);
+        csrplus_par::for_each_chunk_mut(&mut c.data, chunk_rows * oc, threads, |ci, out| {
+            let lo = ci * chunk_rows;
+            for (off, crow) in out.chunks_mut(oc).enumerate() {
+                let arow = self.row(lo + off);
+                for (j, cv) in crow.iter_mut().enumerate() {
+                    *cv = vector::dot(arow, other.row(j));
+                }
+            }
+        });
         Ok(c)
     }
 
     /// `C = selfᵀ · other` (rank-1 accumulation over shared rows).
+    ///
+    /// Parallelised by splitting the shared `k` dimension into
+    /// shape-determined chunks, each accumulating a private partial that
+    /// is then reduced serially in chunk order — the partial structure is
+    /// identical at every thread count, so the sum order (and every
+    /// output bit) never changes.
     pub fn matmul_transpose_a(&self, other: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+        self.matmul_transpose_a_with_threads(other, csrplus_par::threads())
+    }
+
+    /// [`DenseMatrix::matmul_transpose_a`] with an explicit parallelism
+    /// cap; bitwise identical at any cap.
+    pub fn matmul_transpose_a_with_threads(
+        &self,
+        other: &DenseMatrix,
+        threads: usize,
+    ) -> Result<DenseMatrix, LinalgError> {
         if self.rows != other.rows {
             return Err(LinalgError::ShapeMismatch {
                 context: "matmul_transpose_a",
@@ -280,32 +320,97 @@ impl DenseMatrix {
             });
         }
         let mut c = DenseMatrix::zeros(self.cols, other.cols);
-        for k in 0..self.rows {
-            let arow = self.row(k);
-            let brow = other.row(k);
-            for (i, &aki) in arow.iter().enumerate() {
-                if aki != 0.0 {
-                    vector::axpy(aki, brow, &mut c.data[i * other.cols..(i + 1) * other.cols]);
+        let out_elems = self.cols * other.cols;
+        if self.rows == 0 || out_elems == 0 {
+            return Ok(c);
+        }
+        let accumulate = |c_data: &mut [f64], k_lo: usize, k_hi: usize| {
+            for k in k_lo..k_hi {
+                let arow = self.row(k);
+                let brow = other.row(k);
+                for (i, &aki) in arow.iter().enumerate() {
+                    if aki != 0.0 {
+                        vector::axpy(aki, brow, &mut c_data[i * other.cols..(i + 1) * other.cols]);
+                    }
                 }
             }
+        };
+        let chunk_k = reduction_chunk(self.rows, 2 * out_elems);
+        let n_chunks = csrplus_par::chunk_count(self.rows, chunk_k);
+        if n_chunks == 1 {
+            accumulate(&mut c.data, 0, self.rows);
+            return Ok(c);
+        }
+        let rows = self.rows;
+        let mut partials = vec![0.0f64; n_chunks * out_elems];
+        csrplus_par::for_each_chunk_mut(&mut partials, out_elems, threads, |ci, part| {
+            let k_lo = ci * chunk_k;
+            accumulate(part, k_lo, (k_lo + chunk_k).min(rows));
+        });
+        for part in partials.chunks(out_elems) {
+            vector::axpy(1.0, part, &mut c.data);
         }
         Ok(c)
     }
 
-    /// Matrix-vector product `self · x`.
+    /// Matrix-vector product `self · x`, rows distributed over the pool.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        self.matvec_with_threads(x, csrplus_par::threads())
+    }
+
+    /// [`DenseMatrix::matvec`] with an explicit parallelism cap; bitwise
+    /// identical at any cap.
+    pub fn matvec_with_threads(&self, x: &[f64], threads: usize) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "matvec: length mismatch");
-        (0..self.rows).map(|i| vector::dot(self.row(i), x)).collect()
+        let mut y = vec![0.0; self.rows];
+        let chunk_rows = matmul_row_chunk(self.rows, self.cols, 1);
+        csrplus_par::for_each_chunk_mut(&mut y, chunk_rows, threads, |ci, out| {
+            let lo = ci * chunk_rows;
+            for (off, yv) in out.iter_mut().enumerate() {
+                *yv = vector::dot(self.row(lo + off), x);
+            }
+        });
+        y
     }
 
     /// Transposed matrix-vector product `selfᵀ · x`.
+    ///
+    /// Accumulates over rows, so it uses the same fixed-chunk partial
+    /// scheme as [`DenseMatrix::matmul_transpose_a`]: private partials in
+    /// shape-determined chunks, reduced serially in chunk order.
     pub fn matvec_transpose(&self, x: &[f64]) -> Vec<f64> {
+        self.matvec_transpose_with_threads(x, csrplus_par::threads())
+    }
+
+    /// [`DenseMatrix::matvec_transpose`] with an explicit parallelism
+    /// cap; bitwise identical at any cap.
+    pub fn matvec_transpose_with_threads(&self, x: &[f64], threads: usize) -> Vec<f64> {
         assert_eq!(x.len(), self.rows, "matvec_transpose: length mismatch");
         let mut y = vec![0.0; self.cols];
-        for (i, &xi) in x.iter().enumerate() {
-            if xi != 0.0 {
-                vector::axpy(xi, self.row(i), &mut y);
+        if self.rows == 0 || self.cols == 0 {
+            return y;
+        }
+        let accumulate = |y: &mut [f64], lo: usize, hi: usize| {
+            for (i, &xi) in x[lo..hi].iter().enumerate() {
+                if xi != 0.0 {
+                    vector::axpy(xi, self.row(lo + i), y);
+                }
             }
+        };
+        let chunk_k = reduction_chunk(self.rows, 2 * self.cols);
+        let n_chunks = csrplus_par::chunk_count(self.rows, chunk_k);
+        if n_chunks == 1 {
+            accumulate(&mut y, 0, self.rows);
+            return y;
+        }
+        let rows = self.rows;
+        let mut partials = vec![0.0f64; n_chunks * self.cols];
+        csrplus_par::for_each_chunk_mut(&mut partials, self.cols, threads, |ci, part| {
+            let lo = ci * chunk_k;
+            accumulate(part, lo, (lo + chunk_k).min(rows));
+        });
+        for part in partials.chunks(self.cols) {
+            vector::axpy(1.0, part, &mut y);
         }
         y
     }
@@ -452,6 +557,98 @@ impl DenseMatrix {
     }
 }
 
+/// Work floor per parallel chunk (scalar flops) shared by the dense
+/// kernels.  Chunk sizing consults only this constant and the operand
+/// shapes — never the thread count — so chunk boundaries (and hence all
+/// floating-point sums) are reproducible at any parallelism.
+const MIN_CHUNK_WORK: usize = 1 << 20;
+
+/// Cap on partial buffers for the reduction kernels
+/// ([`DenseMatrix::matmul_transpose_a`], [`DenseMatrix::matvec_transpose`]):
+/// bounds the scratch memory at `MAX_PARTIALS · out_elems` no matter how
+/// tall the input is.  Shape-only, like every other chunking decision.
+const MAX_PARTIALS: usize = 64;
+
+/// Rows per chunk for kernels whose output rows are independent, sized so
+/// one chunk carries at least [`MIN_CHUNK_WORK`] flops at `2·k·n` flops
+/// per output row.  This is the fix for the old total-work threshold: a
+/// matvec-shaped product (`n = 1`) now yields few fat chunks because the
+/// per-row work is tiny, where `rows·k·n / MIN` used to oversplit it.
+fn matmul_row_chunk(rows: usize, k: usize, n: usize) -> usize {
+    csrplus_par::chunk_len(rows, 2 * k.max(1) * n.max(1), MIN_CHUNK_WORK)
+}
+
+/// Rows per chunk for reduction kernels (accumulation over the shared
+/// dimension): at least [`MIN_CHUNK_WORK`] flops per chunk and at most
+/// [`MAX_PARTIALS`] chunks total.
+fn reduction_chunk(rows: usize, work_per_row: usize) -> usize {
+    csrplus_par::chunk_len(rows, work_per_row, MIN_CHUNK_WORK)
+        .max(rows.div_ceil(MAX_PARTIALS))
+        .max(1)
+}
+
+/// Register-tile height (output rows) of the micro-kernel.
+const MICRO_MR: usize = 4;
+/// Register-tile width (output cols) of the micro-kernel.
+const MICRO_NR: usize = 4;
+/// Depth of one packed panel (k-block): `4 × 256` doubles = 8 KiB, so a
+/// panel stays L1-resident while the j-loop sweeps the full output width.
+const MICRO_KC: usize = 256;
+
+/// Cache-blocked GEBP-style kernel computing the output rows
+/// `row_lo .. row_lo + out.len()/b.cols` of `C = A·B`.
+///
+/// Packs [`MICRO_MR`]-row panels of `A` k-major (so the inner loop streams
+/// the panel and a row of `B` contiguously) and accumulates each
+/// `MICRO_MR × MICRO_NR` output tile in a register block.  Per output
+/// element the additions run in ascending `k` order — within a k-block in
+/// the register accumulator, across k-blocks via the flush into `out` —
+/// so the result depends only on the operand shapes and values.
+fn matmul_panel_micro(a: &DenseMatrix, b: &DenseMatrix, out: &mut [f64], row_lo: usize) {
+    let kdim = a.cols;
+    let n = b.cols;
+    let rows = out.len() / n;
+    let mut packed = [0.0f64; MICRO_MR * MICRO_KC];
+    let mut i = 0;
+    while i < rows {
+        let mr = MICRO_MR.min(rows - i);
+        let mut kb = 0;
+        while kb < kdim {
+            let kc_len = MICRO_KC.min(kdim - kb);
+            for kk in 0..kc_len {
+                let dst = &mut packed[kk * MICRO_MR..(kk + 1) * MICRO_MR];
+                for (r, d) in dst.iter_mut().enumerate() {
+                    *d = if r < mr { a.data[(row_lo + i + r) * kdim + kb + kk] } else { 0.0 };
+                }
+            }
+            let mut j = 0;
+            while j < n {
+                let nr = MICRO_NR.min(n - j);
+                let mut acc = [0.0f64; MICRO_MR * MICRO_NR];
+                for kk in 0..kc_len {
+                    let ap = &packed[kk * MICRO_MR..(kk + 1) * MICRO_MR];
+                    let brow = &b.data[(kb + kk) * n + j..(kb + kk) * n + j + nr];
+                    for (r, &av) in ap.iter().enumerate() {
+                        let accr = &mut acc[r * MICRO_NR..r * MICRO_NR + nr];
+                        for (cv, &bv) in accr.iter_mut().zip(brow) {
+                            *cv += av * bv;
+                        }
+                    }
+                }
+                for r in 0..mr {
+                    let orow = &mut out[(i + r) * n + j..(i + r) * n + j + nr];
+                    for (ov, &av) in orow.iter_mut().zip(&acc[r * MICRO_NR..r * MICRO_NR + nr]) {
+                        *ov += av;
+                    }
+                }
+                j += MICRO_NR;
+            }
+            kb += MICRO_KC;
+        }
+        i += MICRO_MR;
+    }
+}
+
 impl fmt::Debug for DenseMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "DenseMatrix {}x{} [", self.rows, self.cols)?;
@@ -535,6 +732,93 @@ mod tests {
         }
         // Auto path agrees too.
         assert!(a.matmul(&b).unwrap().approx_eq(&serial, 1e-12));
+    }
+
+    #[test]
+    fn threaded_matmul_bitwise_identical_across_caps() {
+        // Stronger than approx_eq: the determinism contract promises the
+        // exact same bits at any parallelism cap.
+        let mut rng = StdRng::seed_from_u64(77);
+        let a = DenseMatrix::random_gaussian(120, 64, &mut rng);
+        let b = DenseMatrix::random_gaussian(64, 48, &mut rng);
+        let serial = a.matmul_with_threads(&b, 1).unwrap();
+        for threads in [2usize, 4, 8] {
+            let par = a.matmul_with_threads(&b, threads).unwrap();
+            assert_eq!(par.as_slice(), serial.as_slice(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn matvec_shaped_matmul_regression() {
+        // Regression for the old total-work threshold: a tall 1-column
+        // product has tiny per-row work, so it must split into few fat
+        // chunks (not `total_work / MIN` threads' worth) and still agree
+        // with the serial path bit-for-bit.
+        let rows = 200_000;
+        let chunk = matmul_row_chunk(rows, 4, 1);
+        assert!(
+            csrplus_par::chunk_count(rows, chunk) <= 2,
+            "1-column product oversplit: {} chunks",
+            csrplus_par::chunk_count(rows, chunk)
+        );
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = DenseMatrix::random_gaussian(5000, 4, &mut rng);
+        let x = DenseMatrix::random_gaussian(4, 1, &mut rng);
+        let serial = a.matmul_with_threads(&x, 1).unwrap();
+        let par = a.matmul_with_threads(&x, 8).unwrap();
+        assert_eq!(par.as_slice(), serial.as_slice());
+        // And the matvec kernel agrees with the 1-column matmul.
+        let y = a.matvec(x.as_slice());
+        for (yi, si) in y.iter().zip(serial.as_slice()) {
+            assert!((yi - si).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn micro_kernel_matches_axpy_path() {
+        // Shapes that cross the micro-kernel dispatch threshold must agree
+        // with the reference axpy path (and with odd tails in every
+        // dimension: rows % 4, cols % 4, k % KC all nonzero).
+        let mut rng = StdRng::seed_from_u64(91);
+        let a = DenseMatrix::random_gaussian(35, 261, &mut rng);
+        let b = DenseMatrix::random_gaussian(261, 19, &mut rng);
+        let micro = a.matmul_with_threads(&b, 1).unwrap();
+        let mut reference = DenseMatrix::zeros(35, 19);
+        for i in 0..35 {
+            for j in 0..19 {
+                let mut s = 0.0;
+                for k in 0..261 {
+                    s += a.get(i, k) * b.get(k, j);
+                }
+                reference.set(i, j, s);
+            }
+        }
+        assert!(micro.approx_eq(&reference, 1e-10));
+    }
+
+    #[test]
+    fn transpose_kernels_bitwise_identical_across_caps() {
+        // Big enough to exceed the reduction work floor so the partial
+        // scheme actually engages (400 rows × 2·24·17 flops < 1 MiB of
+        // work would collapse to one chunk — use a taller input).
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = DenseMatrix::random_gaussian(3000, 24, &mut rng);
+        let b = DenseMatrix::random_gaussian(3000, 17, &mut rng);
+        let x: Vec<f64> = (0..3000).map(|i| (i as f64).sin()).collect();
+        let ta1 = a.matmul_transpose_a_with_threads(&b, 1).unwrap();
+        let tb1 = a.matmul_transpose_b_with_threads(&a, 1).unwrap();
+        let mt1 = a.matvec_transpose_with_threads(&x, 1);
+        let mv1 = a.matvec_with_threads(&x[..24], 1);
+        for threads in [2usize, 8] {
+            let ta = a.matmul_transpose_a_with_threads(&b, threads).unwrap();
+            let tb = a.matmul_transpose_b_with_threads(&a, threads).unwrap();
+            let mt = a.matvec_transpose_with_threads(&x, threads);
+            let mv = a.matvec_with_threads(&x[..24], threads);
+            assert_eq!(ta.as_slice(), ta1.as_slice(), "transpose_a threads={threads}");
+            assert_eq!(tb.as_slice(), tb1.as_slice(), "transpose_b threads={threads}");
+            assert_eq!(mt, mt1, "matvec_transpose threads={threads}");
+            assert_eq!(mv, mv1, "matvec threads={threads}");
+        }
     }
 
     #[test]

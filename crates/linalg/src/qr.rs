@@ -4,10 +4,19 @@
 //! power iterations.  For an `m × n` matrix with `m ≥ n` we return the thin
 //! factors: `Q` (`m × n`, orthonormal columns) and `R` (`n × n`, upper
 //! triangular) with `A = Q·R`.
+//!
+//! The panel sweep — applying each Householder reflector to the trailing
+//! columns — runs on the shared [`csrplus_par`] pool.  Columns are
+//! mutually independent under one reflector, so parallelising across them
+//! cannot change a single bit of the result.
 
 use crate::dense::DenseMatrix;
 use crate::error::LinalgError;
 use crate::vector;
+
+/// Work floor (flops) below which a reflector application stays on the
+/// calling thread; one column update costs `~4·(m-k)` flops.
+const MIN_PANEL_WORK: usize = 1 << 20;
 
 /// Result of a thin QR decomposition.
 #[derive(Debug, Clone)]
@@ -61,11 +70,23 @@ pub fn thin_qr(a: &DenseMatrix) -> Result<ThinQr, LinalgError> {
         vs.row_mut(k)[k..].copy_from_slice(&v);
         r.set(k, k, beta);
 
-        // Apply the reflector H = I - 2vvᵀ to the remaining columns.
-        for j in k + 1..n {
-            let colj = &mut work.row_mut(j)[k..];
-            let t = 2.0 * vector::dot(&v, colj);
-            vector::axpy(-t, &v, colj);
+        // Apply the reflector H = I - 2vvᵀ to the remaining columns (rows
+        // k+1.. of the column-major `work`), fanned out over the pool.
+        if k + 1 < n {
+            let chunk_cols = csrplus_par::chunk_len(n - k - 1, 4 * (m - k), MIN_PANEL_WORK);
+            let tail = &mut work.as_mut_slice()[(k + 1) * m..];
+            csrplus_par::for_each_chunk_mut(
+                tail,
+                chunk_cols * m,
+                csrplus_par::threads(),
+                |_, cols| {
+                    for row in cols.chunks_mut(m) {
+                        let colj = &mut row[k..];
+                        let t = 2.0 * vector::dot(&v, colj);
+                        vector::axpy(-t, &v, colj);
+                    }
+                },
+            );
         }
         // Record the new k-th row of R from the updated columns.
         for j in k + 1..n {
@@ -90,11 +111,19 @@ pub fn thin_qr(a: &DenseMatrix) -> Result<ThinQr, LinalgError> {
         if vector::norm2(v) == 0.0 {
             continue;
         }
-        for j in 0..n {
-            let col = &mut qt.row_mut(j)[k..];
-            let t = 2.0 * vector::dot(v, col);
-            vector::axpy(-t, v, col);
-        }
+        let chunk_cols = csrplus_par::chunk_len(n, 4 * (m - k), MIN_PANEL_WORK);
+        csrplus_par::for_each_chunk_mut(
+            qt.as_mut_slice(),
+            chunk_cols * m,
+            csrplus_par::threads(),
+            |_, cols| {
+                for row in cols.chunks_mut(m) {
+                    let col = &mut row[k..];
+                    let t = 2.0 * vector::dot(v, col);
+                    vector::axpy(-t, v, col);
+                }
+            },
+        );
     }
     Ok(ThinQr { q: qt.transpose(), r })
 }

@@ -12,6 +12,13 @@
 //! 2. repeat `p` times: `W = qr(Aᵀ·W).Q`, then `W = qr(A·W).Q`.
 //! 3. `Bᵀ = Aᵀ·W` (`n×l`), small exact SVD `Bᵀ = Ub Σ Vbᵀ`.
 //! 4. `U = W·Vb`, `V = Ub`, truncate to rank `r`.
+//!
+//! Every heavy step — the operator applies in the power iterations (the
+//! pooled SpMM of `csrplus-graph` / dense matmul here), the Householder
+//! panel sweeps inside `qr`, and the final `W·Vb` — runs on the shared
+//! `csrplus_par` worker pool with shape-only chunking, so the
+//! factorisation is bitwise reproducible at any thread count (on top of
+//! being deterministic given `seed`).
 
 use crate::dense::DenseMatrix;
 use crate::error::LinalgError;

@@ -1,0 +1,82 @@
+//! Deterministic chunk sizing.
+//!
+//! The one rule of the workspace's parallelism: chunk boundaries are a
+//! function of the problem shape alone.  Thread count decides *who*
+//! executes a chunk, never *where a chunk ends*, so floating-point
+//! accumulation order — and therefore every output bit — is independent
+//! of parallelism.
+
+/// Picks how many items each chunk should carry so a chunk amortises at
+/// least `min_work_per_chunk` scalar operations, given `work_per_item`
+/// operations per item.
+///
+/// Returns a value in `1..=total_items.max(1)`.  Small problems collapse
+/// to a single chunk (the serial path); the thread count never enters
+/// the computation.
+///
+/// This is also the fix for the old `matmul` threshold bug: the previous
+/// heuristic compared *total* work against a spawn threshold, so a
+/// million-row single-column (matvec-shaped) product could fan out into
+/// more threads than its per-row work justified.  Sizing chunks from
+/// per-item work makes the 1-column case produce few, fat chunks.
+pub fn chunk_len(total_items: usize, work_per_item: usize, min_work_per_chunk: usize) -> usize {
+    if total_items == 0 {
+        return 1;
+    }
+    let per_item = work_per_item.max(1);
+    let items = min_work_per_chunk.div_ceil(per_item);
+    items.clamp(1, total_items)
+}
+
+/// Number of chunks `total_items` splits into at `chunk_len` items each.
+pub fn chunk_count(total_items: usize, chunk_len: usize) -> usize {
+    total_items.div_ceil(chunk_len.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_problems_collapse_to_one_chunk() {
+        // 64×64 worth of work per row, 100 rows: everything below the
+        // floor lands in a single chunk.
+        assert_eq!(chunk_len(100, 64 * 64, 1 << 20), 100);
+        assert_eq!(chunk_count(100, 100), 1);
+    }
+
+    #[test]
+    fn matvec_shaped_products_get_fat_chunks() {
+        // The regression the old threshold logic missed: 4M rows with 1
+        // flop per row is only 4M total work — it must split into at most
+        // a handful of chunks, not hundreds.
+        let rows = 4_000_000;
+        let len = chunk_len(rows, 1, 1 << 20);
+        assert_eq!(len, 1 << 20);
+        assert_eq!(chunk_count(rows, len), 4);
+    }
+
+    #[test]
+    fn chunking_is_shape_only() {
+        // Same shape, same chunks — nothing else is consulted.
+        let a = chunk_len(12345, 67, 1 << 18);
+        let b = chunk_len(12345, 67, 1 << 18);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert_eq!(chunk_len(0, 10, 100), 1);
+        assert_eq!(chunk_len(5, 0, 100), 5);
+        assert_eq!(chunk_len(1, 1, 0), 1);
+        assert_eq!(chunk_count(0, 4), 0);
+        assert_eq!(chunk_count(10, 0), 10);
+    }
+
+    #[test]
+    fn heavy_rows_split_to_singles() {
+        // One row already exceeds the floor: every row is its own chunk.
+        assert_eq!(chunk_len(64, 1 << 21, 1 << 20), 1);
+        assert_eq!(chunk_count(64, 1), 64);
+    }
+}

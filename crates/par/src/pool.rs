@@ -1,0 +1,316 @@
+//! The persistent worker pool.
+//!
+//! One global instance (see [`crate::global`]) serves the whole process;
+//! [`Pool::new`] exists so tests can exercise isolated instances.
+//!
+//! Execution model: a call to [`Pool::run_with_limit`] publishes a
+//! *batch* — a task function plus an atomic claim counter — to a shared
+//! injector queue, wakes the workers, and then participates itself,
+//! claiming task indices until none remain.  Workers attach to batches
+//! (respecting each batch's concurrency cap), claim indices the same
+//! way, and move on.  The call returns only after **every** task index
+//! has finished executing, which is what makes lending stack references
+//! to the workers sound (see the safety notes on `TaskRef`).
+//!
+//! Caller participation doubles as the deadlock guard: a task may itself
+//! call back into the pool (the serving batcher evaluating a query that
+//! fans out dense kernels), and even if every worker is blocked waiting
+//! on a nested batch, each waiter can always claim and execute its own
+//! remaining tasks.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A lifetime-erased reference to the batch's task function.
+///
+/// # Safety
+///
+/// The pointee is a `&'call (dyn Fn(usize) + Sync)` borrowed from the
+/// stack frame of `run_with_limit`.  Erasing `'call` is sound because
+/// `run_with_limit` blocks until the batch's finished-counter reaches
+/// `n_tasks` — i.e. until no thread can ever dereference the pointer
+/// again — before its frame (and anything the closure borrows) unwinds.
+/// Every execution site goes through [`Batch::execute`], which counts
+/// each task exactly once, panics included.
+struct TaskRef(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls from many threads are
+// fine) and the pointer itself is only a capability to call it; the
+// lifetime argument is upheld by the blocking protocol above.
+unsafe impl Send for TaskRef {}
+unsafe impl Sync for TaskRef {}
+
+/// One `run_with_limit` call in flight.
+struct Batch {
+    task: TaskRef,
+    n_tasks: usize,
+    /// Concurrency cap for this batch, counting the submitting caller.
+    limit: usize,
+    /// Next unclaimed task index (may run past `n_tasks`).
+    next: AtomicUsize,
+    /// Executors currently attached; guarded by the pool's injector lock
+    /// for attach/detach so sleeping workers never miss a freed slot.
+    claimants: AtomicUsize,
+    /// Completion state: finished count + first captured panic.
+    state: Mutex<BatchState>,
+    done: Condvar,
+}
+
+struct BatchState {
+    finished: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl Batch {
+    fn exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.n_tasks
+    }
+
+    /// Claims and runs task indices until none remain.  Panics are
+    /// captured into the batch (first wins) so the count still advances.
+    fn execute(&self) {
+        // SAFETY: see `TaskRef` — the submitting caller is still blocked
+        // in `run_with_limit`, keeping the pointee alive.
+        let task = unsafe { &*self.task.0 };
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n_tasks {
+                return;
+            }
+            let result = catch_unwind(AssertUnwindSafe(|| task(i)));
+            let mut state = self.state.lock().expect("batch state poisoned");
+            state.finished += 1;
+            if let Err(payload) = result {
+                state.panic.get_or_insert(payload);
+            }
+            if state.finished == self.n_tasks {
+                self.done.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until every task index has finished, then rethrows the
+    /// first captured panic, if any.
+    fn wait(&self) {
+        let mut state = self.state.lock().expect("batch state poisoned");
+        while state.finished < self.n_tasks {
+            state = self.done.wait(state).expect("batch state poisoned");
+        }
+        if let Some(payload) = state.panic.take() {
+            drop(state);
+            resume_unwind(payload);
+        }
+    }
+}
+
+struct Shared {
+    /// Batches with unclaimed tasks.  Small (one entry per concurrent
+    /// `run_with_limit` call), so linear scans are free.
+    injector: Mutex<VecDeque<Arc<Batch>>>,
+    work_ready: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A persistent worker pool.  Workers are spawned lazily, on demand, up
+/// to whatever parallelism callers actually request — a pool that only
+/// ever serves serial work never spawns a thread.
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Pool {
+    /// Creates an empty pool; workers appear as calls demand them.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Pool {
+        Pool {
+            shared: Arc::new(Shared {
+                injector: Mutex::new(VecDeque::new()),
+                work_ready: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+            }),
+            workers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Worker threads currently alive (diagnostics).
+    pub fn spawned_workers(&self) -> usize {
+        self.workers.lock().expect("worker list poisoned").len()
+    }
+
+    /// Runs `task(i)` for every `i in 0..n_tasks`, with at most `limit`
+    /// threads (including the caller) executing concurrently.  Returns
+    /// when all tasks have finished; the first task panic is re-raised
+    /// on the caller after the batch drains.
+    ///
+    /// `limit <= 1` (or a single task) runs everything inline on the
+    /// caller, in index order, through the identical per-task code —
+    /// the serial and parallel paths cannot diverge.
+    pub fn run_with_limit(&self, n_tasks: usize, limit: usize, task: &(dyn Fn(usize) + Sync)) {
+        if n_tasks == 0 {
+            return;
+        }
+        if limit <= 1 || n_tasks == 1 {
+            for i in 0..n_tasks {
+                task(i);
+            }
+            return;
+        }
+        let helpers = limit.min(n_tasks) - 1;
+        self.ensure_workers(helpers);
+
+        // SAFETY: `TaskRef` erases the borrow's lifetime; `batch.wait()`
+        // below keeps this frame alive until the last dereference.
+        let task_ref = TaskRef(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(task)
+        });
+        let batch = Arc::new(Batch {
+            task: task_ref,
+            n_tasks,
+            limit,
+            next: AtomicUsize::new(0),
+            claimants: AtomicUsize::new(1), // the caller
+            state: Mutex::new(BatchState { finished: 0, panic: None }),
+            done: Condvar::new(),
+        });
+        {
+            let mut injector = self.shared.injector.lock().expect("injector poisoned");
+            injector.push_back(Arc::clone(&batch));
+        }
+        self.shared.work_ready.notify_all();
+
+        batch.execute();
+        self.detach(&batch);
+        batch.wait();
+    }
+
+    /// Detaches an executor from `batch` under the injector lock and
+    /// re-wakes sleepers: a freed concurrency slot may make another
+    /// queued batch attachable.
+    fn detach(&self, batch: &Batch) {
+        let _guard = self.shared.injector.lock().expect("injector poisoned");
+        batch.claimants.fetch_sub(1, Ordering::Relaxed);
+        self.shared.work_ready.notify_all();
+    }
+
+    /// Spawns workers until at least `wanted` exist.
+    fn ensure_workers(&self, wanted: usize) {
+        let mut workers = self.workers.lock().expect("worker list poisoned");
+        while workers.len() < wanted {
+            let shared = Arc::clone(&self.shared);
+            let id = workers.len();
+            let handle = std::thread::Builder::new()
+                .name(format!("csrplus-par-{id}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("failed to spawn pool worker");
+            workers.push(handle);
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.work_ready.notify_all();
+        for handle in self.workers.lock().expect("worker list poisoned").drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let batch: Arc<Batch> = {
+            let mut injector = shared.injector.lock().expect("injector poisoned");
+            loop {
+                // Purge batches with nothing left to claim.
+                injector.retain(|b| !b.exhausted());
+                // Attach to the first batch with both unclaimed tasks
+                // and a free concurrency slot.  Attach happens under the
+                // injector lock, so a sleeping worker can never miss a
+                // slot freed by `detach` (same lock, notify after).
+                let mut found = None;
+                for b in injector.iter() {
+                    if b.claimants.load(Ordering::Relaxed) < b.limit {
+                        b.claimants.fetch_add(1, Ordering::Relaxed);
+                        found = Some(Arc::clone(b));
+                        break;
+                    }
+                }
+                if let Some(b) = found {
+                    break b;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                injector = shared.work_ready.wait(injector).expect("injector poisoned");
+            }
+        };
+        batch.execute();
+        let _guard = shared.injector.lock().expect("injector poisoned");
+        batch.claimants.fetch_sub(1, Ordering::Relaxed);
+        shared.work_ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn private_pool_runs_and_drops_cleanly() {
+        let pool = Pool::new();
+        let count = AtomicUsize::new(0);
+        pool.run_with_limit(100, 4, &|_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 100);
+        assert!(pool.spawned_workers() >= 1, "parallel run must have spawned helpers");
+        drop(pool); // Drop joins workers — must not hang.
+    }
+
+    #[test]
+    fn serial_pool_never_spawns() {
+        let pool = Pool::new();
+        pool.run_with_limit(50, 1, &|_| {});
+        assert_eq!(pool.spawned_workers(), 0);
+    }
+
+    #[test]
+    fn limit_caps_concurrency() {
+        let pool = Pool::new();
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        pool.run_with_limit(64, 3, &|_| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            live.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 3, "peak {}", peak.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn two_batches_share_workers() {
+        let pool = Arc::new(Pool::new());
+        let count = Arc::new(AtomicUsize::new(0));
+        let mut joins = Vec::new();
+        for _ in 0..2 {
+            let pool = Arc::clone(&pool);
+            let count = Arc::clone(&count);
+            joins.push(std::thread::spawn(move || {
+                pool.run_with_limit(200, 4, &|_| {
+                    count.fetch_add(1, Ordering::SeqCst);
+                });
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 400);
+    }
+}

@@ -43,8 +43,12 @@ pub struct ServeConfig {
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        let workers =
-            std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(4);
+        // Size the HTTP worker pool from the shared `csrplus-par` limit
+        // (CSRPLUS_THREADS / --threads / available_parallelism) instead
+        // of an independent hardware read: batch evaluation fans its
+        // kernels out on that same pool, so an independent count would
+        // oversubscribe the cores the kernels are already using.
+        let workers = csrplus_par::threads();
         ServeConfig {
             workers,
             queue_depth: workers * 16,
@@ -362,6 +366,14 @@ mod tests {
         let code: u16 = response.split_whitespace().nth(1).unwrap().parse().unwrap();
         let body = response.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
         (code, body)
+    }
+
+    #[test]
+    fn default_workers_follow_the_shared_pool_limit() {
+        // Satellite contract: no independent `available_parallelism`
+        // read — the HTTP pool sizes itself from the same limit the
+        // compute kernels share.
+        assert_eq!(ServeConfig::default().workers, csrplus_par::threads());
     }
 
     #[test]

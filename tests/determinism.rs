@@ -1,0 +1,61 @@
+//! Determinism contract of the `csrplus-par` runtime: every pooled
+//! kernel chunks its work from the problem *shape* alone, never from the
+//! thread count, so the floating-point reduction order — and therefore
+//! every bit of every result — is identical at any pool width.
+//!
+//! This suite sweeps the global thread cap over {1, 2, 8} and asserts
+//! bitwise equality for the three layers the issue names: raw dense
+//! `matmul`, the full `precompute` pipeline (randomized SVD, repeated
+//! squaring, persisted model bytes), and the online `multi_source`
+//! query.  Everything runs inside one `#[test]` because the cap is a
+//! process-wide setting and the harness runs tests concurrently.
+
+use csrplus_core::{persist, CsrPlusConfig, CsrPlusModel};
+use csrplus_graph::generators::erdos_renyi::erdos_renyi;
+use csrplus_graph::TransitionMatrix;
+use csrplus_linalg::DenseMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const THREAD_CAPS: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn matmul_precompute_and_multi_source_are_bitwise_stable_across_thread_caps() {
+    let mut rng = StdRng::seed_from_u64(0xD57E);
+    // Large enough that the shape-based chunking splits every kernel into
+    // many chunks (the linalg threshold is ~1 MiFLOP per chunk).
+    let a = DenseMatrix::random_gaussian(512, 256, &mut rng);
+    let b = DenseMatrix::random_gaussian(256, 512, &mut rng);
+    let graph = erdos_renyi(3000, 30_000, 0xBEEF).expect("valid generator parameters");
+    let transition = TransitionMatrix::from_graph(&graph);
+    let config = CsrPlusConfig::with_rank(24);
+    let queries: Vec<usize> = (0..40).map(|i| (i * 71) % 3000).collect();
+
+    let dir = std::env::temp_dir().join(format!("csrplus_determinism_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir is writable");
+
+    let mut baseline: Option<(Vec<f64>, Vec<u8>, Vec<f64>)> = None;
+    for cap in THREAD_CAPS {
+        csrplus_par::set_threads(cap);
+
+        let product = a.matmul(&b).expect("conforming shapes").into_vec();
+
+        let model = CsrPlusModel::precompute(&transition, &config).expect("precompute succeeds");
+        let path = dir.join(format!("model_{cap}.csrp"));
+        persist::save_model(&model, &path).expect("model saves");
+        let model_bytes = std::fs::read(&path).expect("model readable");
+
+        let s = model.multi_source(&queries).expect("in-bounds queries").into_vec();
+
+        match &baseline {
+            None => baseline = Some((product, model_bytes, s)),
+            Some((p0, m0, s0)) => {
+                assert_eq!(p0, &product, "matmul diverged at {cap} threads");
+                assert_eq!(m0, &model_bytes, "precompute diverged at {cap} threads");
+                assert_eq!(s0, &s, "multi_source diverged at {cap} threads");
+            }
+        }
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
