@@ -55,9 +55,8 @@ impl CsrIt {
         ])?;
         let mut s = DenseMatrix::identity(n);
         for _ in 0..self.config.iterations {
-            // S is symmetric throughout, so S·Q = (Qᵀ·S)ᵀ.
-            let qts = t.qt().matmul_dense(&s);
-            let sq = qts.transpose();
+            // S·Q as a direct dense×sparse product — no transposed copy.
+            let sq = t.q().left_matmul_dense(&s);
             let mut next = t.qt().matmul_dense(&sq);
             next.scale_in_place(self.config.damping);
             next.add_diag(1.0)?;

@@ -97,10 +97,9 @@ pub fn all_pairs_iterative(t: &TransitionMatrix, c: f64, eps: f64) -> DenseMatri
     let k = linear_iterations(c, eps);
     let mut s = DenseMatrix::identity(n);
     for _ in 0..k {
-        // S ← c·Qᵀ(S·Q) + I.  S is symmetric throughout, so
-        // S·Q = (Qᵀ·Sᵀ)ᵀ = (Qᵀ·S)ᵀ.
-        let qts = t.qt().matmul_dense(&s); // Qᵀ·S
-        let sq = qts.transpose(); // S·Q
+        // S ← c·Qᵀ(S·Q) + I.  S·Q is a direct dense×sparse product (row i
+        // of S scattered over Q's rows) — no transposed materialisation.
+        let sq = t.q().left_matmul_dense(&s); // S·Q
         let mut next = t.qt().matmul_dense(&sq); // Qᵀ·S·Q
         next.scale_in_place(c);
         next.add_diag(1.0).expect("square");

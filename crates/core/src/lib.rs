@@ -37,6 +37,9 @@ pub mod model;
 pub mod persist;
 
 pub use config::{CsrPlusConfig, SvdBackend};
+// Re-exported because it appears throughout the public API (query blocks,
+// `_into` scratch buffers) — dependants need not name csrplus-linalg.
+pub use csrplus_linalg::DenseMatrix;
 pub use engine::{CoSimRankEngine, EngineOutcome};
 pub use error::CoSimRankError;
 pub use model::CsrPlusModel;

@@ -140,19 +140,23 @@ impl CsrPlusModel {
         let v = svd.u.clone();
         let sigma = svd.sigma.clone();
 
-        // Line 3: H₀ = Vᵀ U Σ  (r×r, via the n×r intermediates only).
+        // Line 3: H₀ = Vᵀ U Σ = (VᵀU)·Σ — scaling the r×r product by Σ
+        // on the right instead of materialising the n×r `UΣ` intermediate.
         let t1 = std::time::Instant::now();
-        let us = u.scale_columns(&sigma);
-        let h0 = v.matmul_transpose_a(&us)?;
+        let mut h0 = v.matmul_transpose_a(&u)?;
+        h0.scale_columns_mut(&sigma);
 
         // Lines 4–5: repeated squaring for P = c·H P Hᵀ + I_r.
         let iterations = config.squaring_iterations();
         let p = solve_subspace_fixed_point(&h0, config.damping, iterations)?;
         let subspace = t1.elapsed();
 
-        // Line 6: Z = U (Σ P Σ).
+        // Line 6: Z = U (Σ P Σ), the diagonal scalings applied in place on
+        // a single r×r copy.
         let t2 = std::time::Instant::now();
-        let sps = p.scale_rows(&sigma).scale_columns(&sigma);
+        let mut sps = p.clone();
+        sps.scale_rows_mut(&sigma);
+        sps.scale_columns_mut(&sigma);
         let z = u.matmul(&sps)?;
         let z_norms_desc = sorted_row_norms(&z);
         let z_split = split_row_bounds(&z);
@@ -247,19 +251,41 @@ impl CsrPlusModel {
     /// # Errors
     /// [`CoSimRankError::QueryOutOfBounds`] on an invalid node id.
     pub fn multi_source(&self, queries: &[usize]) -> Result<DenseMatrix, CoSimRankError> {
+        let mut s = DenseMatrix::zeros(0, 0);
+        self.multi_source_into(queries, &mut s)?;
+        Ok(s)
+    }
+
+    /// [`CsrPlusModel::multi_source`] writing into a caller-provided
+    /// matrix, which is resized to `n × |Q|` reusing its existing
+    /// allocation when capacity suffices — the steady-state query path
+    /// allocates nothing for the result block.
+    pub fn multi_source_into(
+        &self,
+        queries: &[usize],
+        out: &mut DenseMatrix,
+    ) -> Result<(), CoSimRankError> {
         for &q in queries {
             if q >= self.n {
                 return Err(CoSimRankError::QueryOutOfBounds { node: q, n: self.n });
             }
         }
         let uq = self.u.select_rows(queries); // |Q| × r
-        let mut s = self.z.matmul_transpose_b(&uq)?; // n × |Q|
-        s.scale_in_place(self.config.damping);
+        out.resize_zeroed(self.n, queries.len());
+        // S = Z·[U]_Qᵀ expressed by view transposition — the same pooled
+        // kernel (and bits) as the owned transpose-b product.
+        csrplus_linalg::matmul_into(
+            self.z.view(),
+            uq.view().t(),
+            out.view_mut(),
+            csrplus_par::threads(),
+        )?;
+        out.scale_in_place(self.config.damping);
         for (j, &q) in queries.iter().enumerate() {
-            let v = s.get(q, j) + 1.0;
-            s.set(q, j, v);
+            let v = out.get(q, j) + 1.0;
+            out.set(q, j, v);
         }
-        Ok(s)
+        Ok(())
     }
 
     /// Multi-source query evaluated in bounded-memory chunks: the query
@@ -329,14 +355,31 @@ impl CsrPlusModel {
     /// # Errors
     /// [`CoSimRankError::QueryOutOfBounds`] on an invalid node id.
     pub fn query_columns(&self, queries: &[usize]) -> Result<Vec<Vec<f64>>, CoSimRankError> {
-        if let [q] = queries {
+        let mut scratch = DenseMatrix::zeros(0, 0);
+        self.query_columns_into(queries, &mut scratch)
+    }
+
+    /// [`CsrPlusModel::query_columns`] evaluating through a caller-owned
+    /// scratch block: the `n × |Q|` similarity matrix is written into
+    /// `scratch` (resized in place, reusing its allocation) and only the
+    /// per-query output columns are freshly allocated — they are handed
+    /// off to the waiting requests, so they cannot be pooled here.  The
+    /// serving batcher keeps one scratch per worker and calls this in its
+    /// steady state.
+    pub fn query_columns_into(
+        &self,
+        queries: &[usize],
+        scratch: &mut DenseMatrix,
+    ) -> Result<Vec<Vec<f64>>, CoSimRankError> {
+        self.multi_source_into(queries, scratch)?;
+        if let [_] = queries {
             // |Q| = 1: the n×1 result block already is the column.
-            return Ok(vec![self.multi_source(&[*q])?.into_vec()]);
+            return Ok(vec![scratch.as_slice().to_vec()]);
         }
-        let s = self.multi_source(queries)?;
         // The strided column gather is memory-bound; split the query set
         // into shape-determined blocks over the shared pool.
         let n = self.n;
+        let s = &*scratch;
         let mut cols: Vec<Vec<f64>> = vec![Vec::new(); queries.len()];
         let chunk = csrplus_par::chunk_len(queries.len(), n.max(1), MIN_ONLINE_WORK);
         csrplus_par::for_each_chunk_mut(&mut cols, chunk, csrplus_par::threads(), |ci, block| {

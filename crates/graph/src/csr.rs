@@ -7,7 +7,7 @@
 //! so those two kernels are the hot path of the whole workspace.
 
 use crate::error::GraphError;
-use csrplus_linalg::{vector, DenseMatrix, LinearOperator};
+use csrplus_linalg::{par_row_bands, vector, DenseMatrix, LinearOperator, MatViewMut};
 
 /// Work floor (multiply-adds) per parallel chunk for the sparse kernels.
 /// Chunk sizing depends only on the matrix shape and nnz — never on the
@@ -229,23 +229,75 @@ impl CsrMatrix {
     /// testable on single-core CI).  Chunk boundaries depend only on the
     /// matrix shape/nnz, so the product is bitwise identical at any cap.
     pub fn matmul_dense_with_threads(&self, x: &DenseMatrix, threads: usize) -> DenseMatrix {
-        assert_eq!(x.rows(), self.cols, "matmul_dense: shape mismatch");
+        let mut y = DenseMatrix::zeros(self.rows, x.cols());
+        self.matmul_dense_into(x, y.view_mut(), threads);
+        y
+    }
+
+    /// Sparse · dense into a caller-provided destination: `Y = A·X`
+    /// overwriting `y` (which may be any row-contiguous window, e.g. a
+    /// column panel or row band of a larger buffer) without allocating.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or a destination with `col_stride ≠ 1`.
+    pub fn matmul_dense_into(&self, x: &DenseMatrix, y: MatViewMut<'_>, threads: usize) {
+        assert_eq!(x.rows(), self.cols, "matmul_dense_into: shape mismatch");
+        assert_eq!(y.shape(), (self.rows, x.cols()), "matmul_dense_into: destination shape");
         let k = x.cols();
-        let mut y = DenseMatrix::zeros(self.rows, k);
         if self.rows == 0 || k == 0 {
-            return y;
+            return;
         }
         let chunk_rows = csrplus_par::chunk_len(self.rows, self.mean_row_nnz() * k, MIN_CHUNK_WORK);
-        csrplus_par::for_each_chunk_mut(y.as_mut_slice(), chunk_rows * k, threads, |ci, out| {
-            let lo = ci * chunk_rows;
-            for (off, orow) in out.chunks_mut(k).enumerate() {
+        par_row_bands(y, chunk_rows, threads, |lo, mut band| {
+            for off in 0..band.rows() {
+                let orow = band.row_slice_mut(off).expect("par_row_bands is row-contiguous");
+                orow.fill(0.0);
                 let (idx, val) = self.row(lo + off);
                 for (&j, &v) in idx.iter().zip(val.iter()) {
                     vector::axpy(v, x.row(j as usize), orow);
                 }
             }
         });
+    }
+
+    /// Dense · sparse product `Y = X·A` (`X: k×rows`), the row-major way
+    /// to express `(Aᵀ·Xᵀ)ᵀ` without materialising either transpose: row
+    /// `i` of `Y` is `Σ_j X[i,j]·A.row(j)`, so each output row is an
+    /// independent sparse accumulation and the kernel parallelises over
+    /// `X`'s rows with shape-only chunking (bitwise reproducible).
+    pub fn left_matmul_dense(&self, x: &DenseMatrix) -> DenseMatrix {
+        let mut y = DenseMatrix::zeros(x.rows(), self.cols);
+        self.left_matmul_dense_into(x, y.view_mut(), csrplus_par::threads());
         y
+    }
+
+    /// [`Self::left_matmul_dense`] into a caller-provided destination view.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or a destination with `col_stride ≠ 1`.
+    pub fn left_matmul_dense_into(&self, x: &DenseMatrix, y: MatViewMut<'_>, threads: usize) {
+        assert_eq!(x.cols(), self.rows, "left_matmul_dense_into: shape mismatch");
+        assert_eq!(y.shape(), (x.rows(), self.cols), "left_matmul_dense_into: destination shape");
+        if x.rows() == 0 || self.cols == 0 {
+            return;
+        }
+        // Per output row: nnz scatter over the whole matrix.
+        let chunk_rows = csrplus_par::chunk_len(x.rows(), self.nnz().max(1), MIN_CHUNK_WORK);
+        par_row_bands(y, chunk_rows, threads, |lo, mut band| {
+            for off in 0..band.rows() {
+                let orow = band.row_slice_mut(off).expect("par_row_bands is row-contiguous");
+                orow.fill(0.0);
+                for (j, &xv) in x.row(lo + off).iter().enumerate() {
+                    if xv == 0.0 {
+                        continue;
+                    }
+                    let (idx, val) = self.row(j);
+                    for (&c, &v) in idx.iter().zip(val.iter()) {
+                        orow[c as usize] += xv * v;
+                    }
+                }
+            }
+        });
     }
 
     /// Reference serial kernel kept for the parallel-equivalence tests.
@@ -403,6 +455,44 @@ mod tests {
         let fast = a.apply_transpose(&x);
         let slow = a.to_dense().transpose().matmul(&x).unwrap();
         assert!(fast.approx_eq(&slow, 1e-12));
+    }
+
+    #[test]
+    fn left_matmul_matches_dense_reference() {
+        let a = random_sparse(30, 20, 150, 52);
+        let mut rng = StdRng::seed_from_u64(53);
+        let x = DenseMatrix::random_gaussian(9, 30, &mut rng);
+        let fast = a.left_matmul_dense(&x);
+        let slow = x.matmul(&a.to_dense()).unwrap();
+        assert!(fast.approx_eq(&slow, 1e-12));
+        // Pooled path bitwise-matches the serial one at every cap.
+        let mut serial = DenseMatrix::zeros(9, 20);
+        a.left_matmul_dense_into(&x, serial.view_mut(), 1);
+        for threads in [2usize, 4, 8] {
+            let mut y = DenseMatrix::zeros(9, 20);
+            a.left_matmul_dense_into(&x, y.view_mut(), threads);
+            assert_eq!(y.as_slice(), serial.as_slice(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn spmm_into_sub_block_leaves_rest_untouched() {
+        let a = random_sparse(6, 5, 18, 54);
+        let mut rng = StdRng::seed_from_u64(55);
+        let x = DenseMatrix::random_gaussian(5, 3, &mut rng);
+        let want = a.matmul_dense(&x);
+        // Write into columns 2..5 of a wider 6×8 buffer.
+        let mut big = DenseMatrix::from_fn(6, 8, |_, _| -3.0);
+        a.matmul_dense_into(&x, big.view_mut().block(0, 6, 2, 5), 4);
+        for i in 0..6 {
+            for j in 0..8 {
+                if (2..5).contains(&j) {
+                    assert!((big.get(i, j) - want.get(i, j - 2)).abs() < 1e-14);
+                } else {
+                    assert_eq!(big.get(i, j), -3.0, "({i},{j}) trampled");
+                }
+            }
+        }
     }
 
     #[test]

@@ -2,15 +2,21 @@
 //!
 //! `DenseMatrix` is the workhorse container of the workspace.  CSR+ only
 //! ever materialises tall-skinny (`n×r`) or tiny (`r×r`) dense matrices,
-//! stored as a flat row-major `Vec<f64>`.  Multiplication dispatches
-//! (by shape alone) between an i-k-j axpy path with zero-skip and a
-//! cache-blocked 4×4 register-tiled micro-kernel over packed row panels;
-//! both run on the shared [`csrplus_par`] pool with chunk boundaries
-//! derived only from the problem shape, so every kernel here returns
-//! bitwise-identical results at any thread count.
+//! stored as a flat row-major `Vec<f64>`.  Every product here is a thin
+//! wrapper over the unified strided-view kernels in [`crate::view`]
+//! ([`crate::view::matmul_into`] / [`crate::view::matvec_into`]): the
+//! transpose variants pass a stride-swapped [`MatView`] instead of
+//! materialising a transposed copy, and dispatch (by shape and stride
+//! alone) picks between an i-k-j axpy path with zero-skip, a
+//! cache-blocked 4×4 register-tiled micro-kernel over packed panels, and
+//! deterministic k-reduction.  All kernels run on the shared
+//! [`csrplus_par`] pool with chunk boundaries derived only from the
+//! problem shape, so every product returns bitwise-identical results at
+//! any thread count.
 
 use crate::error::LinalgError;
 use crate::vector;
+use crate::view::{self, MatView, MatViewMut};
 use rand::Rng;
 use std::fmt;
 
@@ -180,6 +186,31 @@ impl DenseMatrix {
         self.data
     }
 
+    /// A borrowed strided view of the whole matrix (row-major strides).
+    #[inline]
+    pub fn view(&self) -> MatView<'_> {
+        MatView::new(&self.data, self.rows, self.cols, self.cols.max(1), 1)
+            .expect("owned buffer always fits its own shape")
+    }
+
+    /// A mutable borrowed strided view of the whole matrix.
+    #[inline]
+    pub fn view_mut(&mut self) -> MatViewMut<'_> {
+        MatViewMut::new(&mut self.data, self.rows, self.cols, self.cols.max(1), 1)
+            .expect("owned buffer always fits its own shape")
+    }
+
+    /// Reshapes to `rows × cols` filled with zeros, reusing the existing
+    /// allocation whenever its capacity suffices.  This is what lets
+    /// long-lived callers (the query batcher, precompute stages) evaluate
+    /// into one persistent buffer instead of allocating per call.
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
     /// Returns the transpose as a new matrix.
     pub fn transpose(&self) -> DenseMatrix {
         let mut t = DenseMatrix::zeros(self.cols, self.rows);
@@ -200,12 +231,10 @@ impl DenseMatrix {
     /// `C = self · other` on the shared [`csrplus_par`] pool at the
     /// current `csrplus_par::threads()` limit.
     ///
-    /// Chunking is derived from the *per-output-row* work (see
-    /// [`matmul_row_chunk`]), so a tall matvec-shaped product (`n × k`
+    /// Delegates to [`view::matmul_into`]; chunking is derived from the
+    /// *per-output-row* work, so a tall matvec-shaped product (`n × k`
     /// times `k × 1`) collapses to a handful of fat chunks instead of
-    /// fanning out on total-work alone — the old threshold compared
-    /// `rows·k·cols` against a spawn floor and could oversplit exactly
-    /// that case.
+    /// fanning out on total-work alone.
     pub fn matmul(&self, other: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
         self.matmul_with_threads(other, csrplus_par::threads())
     }
@@ -229,35 +258,14 @@ impl DenseMatrix {
             });
         }
         let mut c = DenseMatrix::zeros(self.rows, other.cols);
-        let kc = other.cols;
-        if self.rows == 0 || kc == 0 {
-            return Ok(c); // empty result; chunking by 0 would panic
-        }
-        let chunk_rows = matmul_row_chunk(self.rows, self.cols, kc);
-        // Kernel dispatch is shape-only: the register-blocked micro-kernel
-        // wins once rows come in groups of 4 and the depth amortises the
-        // packing; the axpy path keeps its zero-skip for thin shapes.
-        let use_micro = kc >= MICRO_NR && self.cols >= 8;
-        csrplus_par::for_each_chunk_mut(&mut c.data, chunk_rows * kc, threads, |ci, out| {
-            let lo = ci * chunk_rows;
-            if use_micro {
-                matmul_panel_micro(self, other, out, lo);
-            } else {
-                for (off, crow) in out.chunks_mut(kc).enumerate() {
-                    let arow = self.row(lo + off);
-                    for (k, &aik) in arow.iter().enumerate() {
-                        if aik != 0.0 {
-                            vector::axpy(aik, other.row(k), crow);
-                        }
-                    }
-                }
-            }
-        });
+        view::matmul_into(self.view(), other.view(), c.view_mut(), threads)?;
         Ok(c)
     }
 
-    /// `C = self · otherᵀ` (each entry is a row-row dot product); output
-    /// rows are distributed over the shared pool.
+    /// `C = self · otherᵀ`, expressed as a stride-swapped view of `other`
+    /// — no transposed copy is ever materialised.  The view kernel
+    /// dispatches this to the dot-product path (each entry is a row-row
+    /// dot); output rows are distributed over the shared pool.
     pub fn matmul_transpose_b(&self, other: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
         self.matmul_transpose_b_with_threads(other, csrplus_par::threads())
     }
@@ -277,30 +285,17 @@ impl DenseMatrix {
             });
         }
         let mut c = DenseMatrix::zeros(self.rows, other.rows);
-        let oc = other.rows;
-        if self.rows == 0 || oc == 0 {
-            return Ok(c);
-        }
-        let chunk_rows = matmul_row_chunk(self.rows, self.cols, oc);
-        csrplus_par::for_each_chunk_mut(&mut c.data, chunk_rows * oc, threads, |ci, out| {
-            let lo = ci * chunk_rows;
-            for (off, crow) in out.chunks_mut(oc).enumerate() {
-                let arow = self.row(lo + off);
-                for (j, cv) in crow.iter_mut().enumerate() {
-                    *cv = vector::dot(arow, other.row(j));
-                }
-            }
-        });
+        view::matmul_into(self.view(), other.view().t(), c.view_mut(), threads)?;
         Ok(c)
     }
 
-    /// `C = selfᵀ · other` (rank-1 accumulation over shared rows).
+    /// `C = selfᵀ · other`, expressed as a stride-swapped view of `self`.
     ///
-    /// Parallelised by splitting the shared `k` dimension into
-    /// shape-determined chunks, each accumulating a private partial that
-    /// is then reduced serially in chunk order — the partial structure is
-    /// identical at every thread count, so the sum order (and every
-    /// output bit) never changes.
+    /// The view kernel dispatches this to the k-reduction path: the
+    /// shared dimension is split into shape-determined chunks, each
+    /// accumulating a private partial that is then reduced serially in
+    /// chunk order — the partial structure is identical at every thread
+    /// count, so the sum order (and every output bit) never changes.
     pub fn matmul_transpose_a(&self, other: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
         self.matmul_transpose_a_with_threads(other, csrplus_par::threads())
     }
@@ -320,36 +315,7 @@ impl DenseMatrix {
             });
         }
         let mut c = DenseMatrix::zeros(self.cols, other.cols);
-        let out_elems = self.cols * other.cols;
-        if self.rows == 0 || out_elems == 0 {
-            return Ok(c);
-        }
-        let accumulate = |c_data: &mut [f64], k_lo: usize, k_hi: usize| {
-            for k in k_lo..k_hi {
-                let arow = self.row(k);
-                let brow = other.row(k);
-                for (i, &aki) in arow.iter().enumerate() {
-                    if aki != 0.0 {
-                        vector::axpy(aki, brow, &mut c_data[i * other.cols..(i + 1) * other.cols]);
-                    }
-                }
-            }
-        };
-        let chunk_k = reduction_chunk(self.rows, 2 * out_elems);
-        let n_chunks = csrplus_par::chunk_count(self.rows, chunk_k);
-        if n_chunks == 1 {
-            accumulate(&mut c.data, 0, self.rows);
-            return Ok(c);
-        }
-        let rows = self.rows;
-        let mut partials = vec![0.0f64; n_chunks * out_elems];
-        csrplus_par::for_each_chunk_mut(&mut partials, out_elems, threads, |ci, part| {
-            let k_lo = ci * chunk_k;
-            accumulate(part, k_lo, (k_lo + chunk_k).min(rows));
-        });
-        for part in partials.chunks(out_elems) {
-            vector::axpy(1.0, part, &mut c.data);
-        }
+        view::matmul_into(self.view().t(), other.view(), c.view_mut(), threads)?;
         Ok(c)
     }
 
@@ -363,21 +329,17 @@ impl DenseMatrix {
     pub fn matvec_with_threads(&self, x: &[f64], threads: usize) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "matvec: length mismatch");
         let mut y = vec![0.0; self.rows];
-        let chunk_rows = matmul_row_chunk(self.rows, self.cols, 1);
-        csrplus_par::for_each_chunk_mut(&mut y, chunk_rows, threads, |ci, out| {
-            let lo = ci * chunk_rows;
-            for (off, yv) in out.iter_mut().enumerate() {
-                *yv = vector::dot(self.row(lo + off), x);
-            }
-        });
+        view::matvec_into(self.view(), x, &mut y, threads).expect("shapes checked above");
         y
     }
 
-    /// Transposed matrix-vector product `selfᵀ · x`.
+    /// Transposed matrix-vector product `selfᵀ · x`, expressed as a
+    /// stride-swapped view.
     ///
-    /// Accumulates over rows, so it uses the same fixed-chunk partial
-    /// scheme as [`DenseMatrix::matmul_transpose_a`]: private partials in
-    /// shape-determined chunks, reduced serially in chunk order.
+    /// Accumulates over rows, so the view kernel uses the same
+    /// fixed-chunk partial scheme as [`DenseMatrix::matmul_transpose_a`]:
+    /// private partials in shape-determined chunks, reduced serially in
+    /// chunk order.
     pub fn matvec_transpose(&self, x: &[f64]) -> Vec<f64> {
         self.matvec_transpose_with_threads(x, csrplus_par::threads())
     }
@@ -387,31 +349,7 @@ impl DenseMatrix {
     pub fn matvec_transpose_with_threads(&self, x: &[f64], threads: usize) -> Vec<f64> {
         assert_eq!(x.len(), self.rows, "matvec_transpose: length mismatch");
         let mut y = vec![0.0; self.cols];
-        if self.rows == 0 || self.cols == 0 {
-            return y;
-        }
-        let accumulate = |y: &mut [f64], lo: usize, hi: usize| {
-            for (i, &xi) in x[lo..hi].iter().enumerate() {
-                if xi != 0.0 {
-                    vector::axpy(xi, self.row(lo + i), y);
-                }
-            }
-        };
-        let chunk_k = reduction_chunk(self.rows, 2 * self.cols);
-        let n_chunks = csrplus_par::chunk_count(self.rows, chunk_k);
-        if n_chunks == 1 {
-            accumulate(&mut y, 0, self.rows);
-            return y;
-        }
-        let rows = self.rows;
-        let mut partials = vec![0.0f64; n_chunks * self.cols];
-        csrplus_par::for_each_chunk_mut(&mut partials, self.cols, threads, |ci, part| {
-            let lo = ci * chunk_k;
-            accumulate(part, lo, (lo + chunk_k).min(rows));
-        });
-        for part in partials.chunks(self.cols) {
-            vector::axpy(1.0, part, &mut y);
-        }
+        view::matvec_into(self.view().t(), x, &mut y, threads).expect("shapes checked above");
         y
     }
 
@@ -521,26 +459,44 @@ impl DenseMatrix {
         self.shape() == other.shape() && self.max_abs_diff(other) <= tol
     }
 
-    /// Returns `self · diag(s)` (column `j` scaled by `s[j]`).
-    pub fn scale_columns(&self, s: &[f64]) -> DenseMatrix {
-        assert_eq!(self.cols, s.len(), "scale_columns: length mismatch");
-        let mut out = self.clone();
-        for i in 0..out.rows {
-            let row = out.row_mut(i);
-            for (j, &sj) in s.iter().enumerate() {
-                row[j] *= sj;
+    /// `self ← self · diag(s)` (column `j` scaled by `s[j]`), in place —
+    /// no clone, no allocation.  This is what the precompute squaring
+    /// pipeline uses for the `Σ·P·Σ` sandwich and `(VᵀU)·Σ`.
+    pub fn scale_columns_mut(&mut self, s: &[f64]) {
+        assert_eq!(self.cols, s.len(), "scale_columns_mut: length mismatch");
+        for i in 0..self.rows {
+            let row = &mut self.data[i * self.cols..(i + 1) * self.cols];
+            for (v, &sj) in row.iter_mut().zip(s) {
+                *v *= sj;
             }
         }
+    }
+
+    /// `self ← diag(s) · self` (row `i` scaled by `s[i]`), in place.
+    pub fn scale_rows_mut(&mut self, s: &[f64]) {
+        assert_eq!(self.rows, s.len(), "scale_rows_mut: length mismatch");
+        for (i, &si) in s.iter().enumerate() {
+            vector::scale(si, self.row_mut(i));
+        }
+    }
+
+    /// Returns `self · diag(s)` (column `j` scaled by `s[j]`).
+    ///
+    /// Allocating variant of [`DenseMatrix::scale_columns_mut`]; prefer
+    /// the in-place form on hot paths.
+    pub fn scale_columns(&self, s: &[f64]) -> DenseMatrix {
+        let mut out = self.clone();
+        out.scale_columns_mut(s);
         out
     }
 
     /// Returns `diag(s) · self` (row `i` scaled by `s[i]`).
+    ///
+    /// Allocating variant of [`DenseMatrix::scale_rows_mut`]; prefer the
+    /// in-place form on hot paths.
     pub fn scale_rows(&self, s: &[f64]) -> DenseMatrix {
-        assert_eq!(self.rows, s.len(), "scale_rows: length mismatch");
         let mut out = self.clone();
-        for (i, &si) in s.iter().enumerate() {
-            vector::scale(si, out.row_mut(i));
-        }
+        out.scale_rows_mut(s);
         out
     }
 
@@ -554,98 +510,6 @@ impl DenseMatrix {
     /// Estimated heap footprint in bytes (used by the memory model).
     pub fn heap_bytes(&self) -> usize {
         self.data.capacity() * std::mem::size_of::<f64>()
-    }
-}
-
-/// Work floor per parallel chunk (scalar flops) shared by the dense
-/// kernels.  Chunk sizing consults only this constant and the operand
-/// shapes — never the thread count — so chunk boundaries (and hence all
-/// floating-point sums) are reproducible at any parallelism.
-const MIN_CHUNK_WORK: usize = 1 << 20;
-
-/// Cap on partial buffers for the reduction kernels
-/// ([`DenseMatrix::matmul_transpose_a`], [`DenseMatrix::matvec_transpose`]):
-/// bounds the scratch memory at `MAX_PARTIALS · out_elems` no matter how
-/// tall the input is.  Shape-only, like every other chunking decision.
-const MAX_PARTIALS: usize = 64;
-
-/// Rows per chunk for kernels whose output rows are independent, sized so
-/// one chunk carries at least [`MIN_CHUNK_WORK`] flops at `2·k·n` flops
-/// per output row.  This is the fix for the old total-work threshold: a
-/// matvec-shaped product (`n = 1`) now yields few fat chunks because the
-/// per-row work is tiny, where `rows·k·n / MIN` used to oversplit it.
-fn matmul_row_chunk(rows: usize, k: usize, n: usize) -> usize {
-    csrplus_par::chunk_len(rows, 2 * k.max(1) * n.max(1), MIN_CHUNK_WORK)
-}
-
-/// Rows per chunk for reduction kernels (accumulation over the shared
-/// dimension): at least [`MIN_CHUNK_WORK`] flops per chunk and at most
-/// [`MAX_PARTIALS`] chunks total.
-fn reduction_chunk(rows: usize, work_per_row: usize) -> usize {
-    csrplus_par::chunk_len(rows, work_per_row, MIN_CHUNK_WORK)
-        .max(rows.div_ceil(MAX_PARTIALS))
-        .max(1)
-}
-
-/// Register-tile height (output rows) of the micro-kernel.
-const MICRO_MR: usize = 4;
-/// Register-tile width (output cols) of the micro-kernel.
-const MICRO_NR: usize = 4;
-/// Depth of one packed panel (k-block): `4 × 256` doubles = 8 KiB, so a
-/// panel stays L1-resident while the j-loop sweeps the full output width.
-const MICRO_KC: usize = 256;
-
-/// Cache-blocked GEBP-style kernel computing the output rows
-/// `row_lo .. row_lo + out.len()/b.cols` of `C = A·B`.
-///
-/// Packs [`MICRO_MR`]-row panels of `A` k-major (so the inner loop streams
-/// the panel and a row of `B` contiguously) and accumulates each
-/// `MICRO_MR × MICRO_NR` output tile in a register block.  Per output
-/// element the additions run in ascending `k` order — within a k-block in
-/// the register accumulator, across k-blocks via the flush into `out` —
-/// so the result depends only on the operand shapes and values.
-fn matmul_panel_micro(a: &DenseMatrix, b: &DenseMatrix, out: &mut [f64], row_lo: usize) {
-    let kdim = a.cols;
-    let n = b.cols;
-    let rows = out.len() / n;
-    let mut packed = [0.0f64; MICRO_MR * MICRO_KC];
-    let mut i = 0;
-    while i < rows {
-        let mr = MICRO_MR.min(rows - i);
-        let mut kb = 0;
-        while kb < kdim {
-            let kc_len = MICRO_KC.min(kdim - kb);
-            for kk in 0..kc_len {
-                let dst = &mut packed[kk * MICRO_MR..(kk + 1) * MICRO_MR];
-                for (r, d) in dst.iter_mut().enumerate() {
-                    *d = if r < mr { a.data[(row_lo + i + r) * kdim + kb + kk] } else { 0.0 };
-                }
-            }
-            let mut j = 0;
-            while j < n {
-                let nr = MICRO_NR.min(n - j);
-                let mut acc = [0.0f64; MICRO_MR * MICRO_NR];
-                for kk in 0..kc_len {
-                    let ap = &packed[kk * MICRO_MR..(kk + 1) * MICRO_MR];
-                    let brow = &b.data[(kb + kk) * n + j..(kb + kk) * n + j + nr];
-                    for (r, &av) in ap.iter().enumerate() {
-                        let accr = &mut acc[r * MICRO_NR..r * MICRO_NR + nr];
-                        for (cv, &bv) in accr.iter_mut().zip(brow) {
-                            *cv += av * bv;
-                        }
-                    }
-                }
-                for r in 0..mr {
-                    let orow = &mut out[(i + r) * n + j..(i + r) * n + j + nr];
-                    for (ov, &av) in orow.iter_mut().zip(&acc[r * MICRO_NR..r * MICRO_NR + nr]) {
-                        *ov += av;
-                    }
-                }
-                j += MICRO_NR;
-            }
-            kb += MICRO_KC;
-        }
-        i += MICRO_MR;
     }
 }
 
@@ -678,6 +542,7 @@ impl fmt::Debug for DenseMatrix {
 #[allow(clippy::needless_range_loop)] // index loops mirror the matrix math
 mod tests {
     use super::*;
+    use crate::view::matmul_row_chunk;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -16,6 +16,7 @@ use crate::error::LinalgError;
 use crate::linop::LinearOperator;
 use crate::svd::{jacobi_svd, TruncatedSvd};
 use crate::vector;
+use crate::view;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -142,44 +143,51 @@ pub fn lanczos_svd<A: LinearOperator + ?Sized>(
     }
     let core = jacobi_svd(&bidiag)?;
 
-    // Lift: U = U_k·Ub, V = V_k·Vb, truncated to the target rank.  Each
-    // output column is accumulated contiguously in a transposed scratch
-    // (row `col` holds column `col`), then transposed once at the end.
+    // Lift: U = U_k·Ub, V = V_k·Vb, truncated to the target rank.  The
+    // Krylov rows are flattened once into a `steps × dim` basis and each
+    // lift is a single pooled transposed-view product — no transposed
+    // scratch matrices (earlier revisions accumulated column-major and
+    // transposed at the end).
     let rank_out = cfg.rank.min(steps);
-    let mut u_scratch = DenseMatrix::zeros(rank_out, m);
-    let mut v_scratch = DenseMatrix::zeros(rank_out, n);
-    for col in 0..rank_out {
-        for (t, ut) in us.iter().enumerate() {
-            let w = core.u.get(t, col);
-            if w != 0.0 {
-                vector::axpy(w, ut, u_scratch.row_mut(col));
-            }
-        }
-        for (t, vt) in vs.iter().enumerate() {
-            let w = core.v.get(t, col);
-            if w != 0.0 {
-                vector::axpy(w, vt, v_scratch.row_mut(col));
-            }
-        }
-    }
     let sigma: Vec<f64> = core.sigma.iter().copied().take(rank_out).collect();
-    Ok(TruncatedSvd { u: u_scratch.transpose(), sigma, v: v_scratch.transpose() })
+    Ok(TruncatedSvd { u: lift(&us, &core.u, rank_out)?, sigma, v: lift(&vs, &core.v, rank_out)? })
+}
+
+/// Lifts the small-core factor through the Krylov basis: returns
+/// `Kᵀ·C[:, ..r]` where the *rows* of `krylov` are the basis vectors —
+/// expressed as a transposed view, so no column-major copy is built.
+fn lift(krylov: &[Vec<f64>], coeffs: &DenseMatrix, r: usize) -> Result<DenseMatrix, LinalgError> {
+    let steps = krylov.len();
+    let dim = krylov.first().map_or(0, Vec::len);
+    let mut flat = Vec::with_capacity(steps * dim);
+    for basis_vec in krylov {
+        flat.extend_from_slice(basis_vec);
+    }
+    let basis = DenseMatrix::from_vec(steps, dim, flat)?;
+    let mut out = DenseMatrix::zeros(dim, r);
+    view::matmul_into(
+        basis.view().t(),
+        coeffs.view().block(0, steps, 0, r),
+        out.view_mut(),
+        csrplus_par::threads(),
+    )?;
+    Ok(out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::qr::orthonormalize;
-    use crate::svd::scale_cols;
 
     fn matrix_with_spectrum(m: usize, n: usize, sigma: &[f64], seed: u64) -> DenseMatrix {
         let mut rng = StdRng::seed_from_u64(seed);
         let k = sigma.len();
         let gu = DenseMatrix::random_gaussian(m, k, &mut rng);
         let gv = DenseMatrix::random_gaussian(n, k, &mut rng);
-        let u = orthonormalize(&gu).unwrap();
+        let mut u = orthonormalize(&gu).unwrap();
         let v = orthonormalize(&gv).unwrap();
-        scale_cols(&u, sigma).matmul_transpose_b(&v).unwrap()
+        u.scale_columns_mut(sigma);
+        u.matmul_transpose_b(&v).unwrap()
     }
 
     #[test]

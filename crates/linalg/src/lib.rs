@@ -41,8 +41,10 @@ pub mod randomized;
 pub mod svd;
 pub mod svd_update;
 pub mod vector;
+pub mod view;
 
 pub use dense::DenseMatrix;
 pub use error::LinalgError;
 pub use linop::LinearOperator;
 pub use svd::TruncatedSvd;
+pub use view::{matmul_into, matvec_into, par_row_bands, MatView, MatViewMut};

@@ -23,7 +23,7 @@
 use crate::dense::DenseMatrix;
 use crate::error::LinalgError;
 use crate::linop::LinearOperator;
-use crate::qr::orthonormalize;
+use crate::qr::{orthonormalize, thin_qr};
 use crate::svd::{jacobi_svd, TruncatedSvd, NULL_TRIPLE_TOL};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -102,13 +102,17 @@ pub fn randomized_svd<A: LinearOperator + ?Sized>(
         w = orthonormalize(&y2)?;
     }
 
-    // Stage 3: project. Bᵀ = AᵀW is n×l; its SVD gives the full answer.
+    // Stage 3: project. Bᵀ = AᵀW is n×l; QR-compress it first so the
+    // Jacobi sweeps run on the l×l triangle instead of the n×l panel:
+    // Bᵀ = Qb·Rb, Rb = Ur Σ Vrᵀ ⟹ Bᵀ = (Qb·Ur) Σ Vrᵀ.
     let bt = a.apply_transpose(&w); // n x l
-    let small = jacobi_svd(&bt)?; // Bᵀ = Ub Σ Vbᵀ  (Ub: n×l, Vb: l×l)
+    let qr = thin_qr(&bt)?;
+    let small = jacobi_svd(&qr.r)?; // Ur, Vr: l×l
 
-    // A ≈ W·B = W·(Vb Σ Ubᵀ) → U = W·Vb, V = Ub.
+    // A ≈ W·B = W·(Vr Σ (Qb·Ur)ᵀ) → U = W·Vr, V = Qb·Ur.
     let u = w.matmul(&small.v)?;
-    let svd = TruncatedSvd { u, sigma: small.sigma, v: small.u };
+    let v = qr.q.matmul(&small.u)?;
+    let svd = TruncatedSvd { u, sigma: small.sigma, v };
     // When A is rank-deficient the requested rank may exceed the numerical
     // rank; the surplus triples carry zeroed columns (jacobi's null-direction
     // contract) and would poison any consumer assuming orthonormal factors.
@@ -129,7 +133,8 @@ mod tests {
         let gv = DenseMatrix::random_gaussian(n, k, &mut rng);
         let u = orthonormalize(&gu).unwrap();
         let v = orthonormalize(&gv).unwrap();
-        let us = crate::svd::scale_cols(&u, sigma);
+        let mut us = u;
+        us.scale_columns_mut(sigma);
         us.matmul_transpose_b(&v).unwrap()
     }
 

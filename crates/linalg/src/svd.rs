@@ -42,7 +42,8 @@ impl TruncatedSvd {
 
     /// Reconstructs the (approximation of the) original matrix `U Σ Vᵀ`.
     pub fn reconstruct(&self) -> DenseMatrix {
-        let us = scale_cols(&self.u, &self.sigma);
+        let mut us = self.u.clone();
+        us.scale_columns_mut(&self.sigma);
         us.matmul_transpose_b(&self.v).expect("reconstruct: internal shape mismatch")
     }
 
@@ -99,49 +100,47 @@ impl TruncatedSvd {
     }
 }
 
-/// Multiplies column `j` of `m` by `s[j]` (returns a new matrix).
-pub(crate) fn scale_cols(m: &DenseMatrix, s: &[f64]) -> DenseMatrix {
-    assert_eq!(m.cols(), s.len(), "scale_cols: length mismatch");
-    let mut out = m.clone();
-    for i in 0..out.rows() {
-        let row = out.row_mut(i);
-        for (j, &sj) in s.iter().enumerate() {
-            row[j] *= sj;
-        }
-    }
-    out
-}
-
 /// Maximum number of one-sided Jacobi sweeps.
 const MAX_SWEEPS: usize = 60;
 
 /// Exact SVD of a dense matrix via one-sided Jacobi rotations.
 ///
 /// Returns the full factorisation with `k = min(m, n)`.  Singular values
-/// smaller than `~1e-14 · σ₁` come back as exact zeros with zeroed left
-/// singular vectors (callers that invert `Σ` must truncate first).
+/// smaller than `~1e-14 · σ₁` come back as exact zeros with zeroed
+/// singular-vector columns on one side (`U` for tall inputs, `V` for wide
+/// ones — callers that invert `Σ` must truncate first).
+///
+/// Both orientations work **in place on a single row-major copy** of the
+/// input: tall matrices orthogonalise columns (strided rotations), wide
+/// matrices orthogonalise rows while accumulating the left rotations into
+/// `U` directly.  Earlier revisions materialised `a.transpose()` (and for
+/// wide inputs recursed on it); no transposed copies remain.
 ///
 /// # Errors
 /// [`LinalgError::NoConvergence`] if column pairs fail to orthogonalise
 /// within the sweep budget.
 pub fn jacobi_svd(a: &DenseMatrix) -> Result<TruncatedSvd, LinalgError> {
     let (m, n) = a.shape();
-    if m < n {
-        // SVD(Aᵀ) = V Σ Uᵀ — swap factors.
-        let t = jacobi_svd(&a.transpose())?;
-        return Ok(TruncatedSvd { u: t.v, sigma: t.sigma, v: t.u });
-    }
-    if n == 0 {
+    if n == 0 || m == 0 {
         return Ok(TruncatedSvd {
             u: DenseMatrix::zeros(m, 0),
             sigma: vec![],
-            v: DenseMatrix::zeros(0, 0),
+            v: DenseMatrix::zeros(n, 0),
         });
     }
+    if m >= n {
+        jacobi_svd_tall(a)
+    } else {
+        jacobi_svd_wide(a)
+    }
+}
 
-    // Column-major working copies: row j of `w` is column j of A.
-    let mut w = a.transpose();
-    let mut v = DenseMatrix::identity(n).transpose(); // row j = column j of V
+/// One-sided Jacobi for `m ≥ n`: orthogonalises the *columns* of a working
+/// copy of `a`; the rotation product accumulated on an identity gives `V`.
+fn jacobi_svd_tall(a: &DenseMatrix) -> Result<TruncatedSvd, LinalgError> {
+    let (m, n) = a.shape();
+    let mut w = a.clone();
+    let mut v = DenseMatrix::identity(n);
 
     let eps = 1e-15;
     // Columns whose norm collapses below `null_cut` are numerically in the
@@ -159,11 +158,7 @@ pub fn jacobi_svd(a: &DenseMatrix) -> Result<TruncatedSvd, LinalgError> {
         converged = true;
         for p in 0..n {
             for q in p + 1..n {
-                let (alpha, beta, gamma) = {
-                    let wp = w.row(p);
-                    let wq = w.row(q);
-                    (vector::dot(wp, wp), vector::dot(wq, wq), vector::dot(wp, wq))
-                };
+                let (alpha, beta, gamma) = col_dots(&w, p, q);
                 if alpha.sqrt() <= null_cut || beta.sqrt() <= null_cut {
                     continue; // numerically zero column: σ = 0 territory
                 }
@@ -171,24 +166,16 @@ pub fn jacobi_svd(a: &DenseMatrix) -> Result<TruncatedSvd, LinalgError> {
                     continue;
                 }
                 converged = false;
-                let zeta = (beta - alpha) / (2.0 * gamma);
-                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
-                let c = 1.0 / (1.0 + t * t).sqrt();
-                let s = c * t;
-                rotate_rows(&mut w, p, q, c, s);
-                rotate_rows(&mut v, p, q, c, s);
+                let (c, s) = rotation(alpha, beta, gamma);
+                rotate_cols(&mut w, p, q, c, s);
+                rotate_cols(&mut v, p, q, c, s);
             }
         }
     }
 
     // Singular values are the column norms of the rotated matrix.
-    let mut sigma: Vec<f64> = (0..n).map(|j| vector::norm2(w.row(j))).collect();
-    let smax = sigma.iter().cloned().fold(0.0f64, f64::max);
-    let cut = smax * 1e-14;
-
-    // Sort descending.
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).unwrap_or(std::cmp::Ordering::Equal));
+    let sigma: Vec<f64> = (0..n).map(|j| col_norm2(&w, j)).collect();
+    let (order, cut) = null_aware_order(&sigma);
 
     let mut u = DenseMatrix::zeros(m, n);
     let mut v_sorted = DenseMatrix::zeros(n, n);
@@ -196,23 +183,135 @@ pub fn jacobi_svd(a: &DenseMatrix) -> Result<TruncatedSvd, LinalgError> {
     for (out_j, &j) in order.iter().enumerate() {
         let s = sigma[j];
         if s > cut {
-            let mut col = w.row(j).to_vec();
-            vector::scale(1.0 / s, &mut col);
-            u.set_col(out_j, &col);
+            let inv = 1.0 / s;
+            for i in 0..m {
+                u.set(i, out_j, w.get(i, j) * inv);
+            }
             sigma_sorted.push(s);
         } else {
             sigma_sorted.push(0.0);
             // zero U column (documented contract for null space)
         }
-        v_sorted.set_col(out_j, v.row(j));
+        for i in 0..n {
+            v_sorted.set(i, out_j, v.get(i, j));
+        }
     }
-    sigma = sigma_sorted;
 
-    Ok(TruncatedSvd { u, sigma, v: v_sorted })
+    Ok(TruncatedSvd { u, sigma: sigma_sorted, v: v_sorted })
 }
 
-/// Applies the Givens rotation to rows `p`, `q` of `m` (which represent
-/// columns of the logical matrix).
+/// One-sided Jacobi for `m < n`: orthogonalises the *rows* of a working
+/// copy of `a` (each rotation multiplies from the left), accumulating the
+/// transposed rotations into `U`.  After convergence row `i` equals
+/// `σᵢ·vᵢᵀ`, so `V`'s columns are the normalised rows.
+fn jacobi_svd_wide(a: &DenseMatrix) -> Result<TruncatedSvd, LinalgError> {
+    let (m, n) = a.shape();
+    let mut w = a.clone();
+    // U accumulates the product of transposed row rotations: each row
+    // rotation is W ← J·W, so A = (J₁ᵀ·…·J_kᵀ)·W_final and the running
+    // product right-multiplies by the newest Jᵀ — a column rotation with
+    // the same (c, s).
+    let mut u = DenseMatrix::identity(m);
+
+    let eps = 1e-15;
+    let frob = a.frobenius_norm();
+    let null_cut = (frob * 1e-14).max(f64::MIN_POSITIVE);
+    let mut converged = false;
+    let mut sweeps = 0;
+    while !converged {
+        if sweeps >= MAX_SWEEPS {
+            return Err(LinalgError::NoConvergence { context: "jacobi_svd", iterations: sweeps });
+        }
+        sweeps += 1;
+        converged = true;
+        for p in 0..m {
+            for q in p + 1..m {
+                let (alpha, beta, gamma) = {
+                    let wp = w.row(p);
+                    let wq = w.row(q);
+                    (vector::dot(wp, wp), vector::dot(wq, wq), vector::dot(wp, wq))
+                };
+                if alpha.sqrt() <= null_cut || beta.sqrt() <= null_cut {
+                    continue;
+                }
+                if gamma.abs() <= eps * (alpha * beta).sqrt() || gamma == 0.0 {
+                    continue;
+                }
+                converged = false;
+                let (c, s) = rotation(alpha, beta, gamma);
+                rotate_rows(&mut w, p, q, c, s);
+                rotate_cols(&mut u, p, q, c, s);
+            }
+        }
+    }
+
+    let sigma: Vec<f64> = (0..m).map(|i| vector::norm2(w.row(i))).collect();
+    let (order, cut) = null_aware_order(&sigma);
+
+    let mut u_sorted = DenseMatrix::zeros(m, m);
+    let mut v = DenseMatrix::zeros(n, m);
+    let mut sigma_sorted = Vec::with_capacity(m);
+    for (out_j, &j) in order.iter().enumerate() {
+        let s = sigma[j];
+        if s > cut {
+            let inv = 1.0 / s;
+            for (i, &x) in w.row(j).iter().enumerate() {
+                v.set(i, out_j, x * inv);
+            }
+            sigma_sorted.push(s);
+        } else {
+            sigma_sorted.push(0.0);
+            // zero V column (null-space contract, mirroring the tall case)
+        }
+        for i in 0..m {
+            u_sorted.set(i, out_j, u.get(i, j));
+        }
+    }
+
+    Ok(TruncatedSvd { u: u_sorted, sigma: sigma_sorted, v })
+}
+
+/// Jacobi rotation `(c, s)` annihilating the off-diagonal Gram entry for a
+/// column/row pair with self-products `alpha`, `beta` and cross `gamma`.
+fn rotation(alpha: f64, beta: f64, gamma: f64) -> (f64, f64) {
+    let zeta = (beta - alpha) / (2.0 * gamma);
+    let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+    let c = 1.0 / (1.0 + t * t).sqrt();
+    (c, c * t)
+}
+
+/// Descending order of `sigma` plus the relative null cut `σ₁·1e-14`.
+fn null_aware_order(sigma: &[f64]) -> (Vec<usize>, f64) {
+    let smax = sigma.iter().cloned().fold(0.0f64, f64::max);
+    let mut order: Vec<usize> = (0..sigma.len()).collect();
+    order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).unwrap_or(std::cmp::Ordering::Equal));
+    (order, smax * 1e-14)
+}
+
+/// Gram entries `(‖colₚ‖², ‖col_q‖², colₚ·col_q)` in one streaming pass
+/// over the rows (no transposed copy, no gather).
+fn col_dots(m: &DenseMatrix, p: usize, q: usize) -> (f64, f64, f64) {
+    let n = m.cols();
+    let data = m.as_slice();
+    let (mut alpha, mut beta, mut gamma) = (0.0f64, 0.0f64, 0.0f64);
+    let mut off = 0;
+    for _ in 0..m.rows() {
+        let a = data[off + p];
+        let b = data[off + q];
+        alpha += a * a;
+        beta += b * b;
+        gamma += a * b;
+        off += n;
+    }
+    (alpha, beta, gamma)
+}
+
+/// Overflow-safe L2 norm of column `j` (strided [`vector::norm2_iter`]).
+fn col_norm2(m: &DenseMatrix, j: usize) -> f64 {
+    vector::norm2_iter((0..m.rows()).map(|i| m.get(i, j)))
+}
+
+/// Applies the Givens rotation to rows `p`, `q` of `m`.
 fn rotate_rows(m: &mut DenseMatrix, p: usize, q: usize, c: f64, s: f64) {
     let cols = m.cols();
     debug_assert!(p < q);
@@ -225,6 +324,19 @@ fn rotate_rows(m: &mut DenseMatrix, p: usize, q: usize, c: f64, s: f64) {
         let b = rq[k];
         rp[k] = c * a - s * b;
         rq[k] = s * a + c * b;
+    }
+}
+
+/// Applies the Givens rotation to columns `p`, `q` of `m` in place — the
+/// strided twin of [`rotate_rows`], walking each row once.
+fn rotate_cols(m: &mut DenseMatrix, p: usize, q: usize, c: f64, s: f64) {
+    let cols = m.cols();
+    debug_assert!(p < q && q < cols);
+    for row in m.as_mut_slice().chunks_exact_mut(cols) {
+        let a = row[p];
+        let b = row[q];
+        row[p] = c * a - s * b;
+        row[q] = s * a + c * b;
     }
 }
 

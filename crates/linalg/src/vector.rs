@@ -51,9 +51,17 @@ pub fn scale(a: f64, x: &mut [f64]) {
 
 /// Euclidean (L2) norm, computed with scaling to avoid overflow/underflow.
 pub fn norm2(x: &[f64]) -> f64 {
+    norm2_iter(x.iter().copied())
+}
+
+/// [`norm2`] over any element stream — same scaled accumulation, element
+/// order defined by the iterator.  Lets callers take the norm of a strided
+/// matrix column (or any [`crate::MatView`] lane) without gathering it into
+/// a scratch buffer first.
+pub fn norm2_iter(x: impl Iterator<Item = f64>) -> f64 {
     let mut scale_acc = 0.0f64;
     let mut ssq = 1.0f64;
-    for &v in x {
+    for v in x {
         if v != 0.0 {
             let a = v.abs();
             if scale_acc < a {

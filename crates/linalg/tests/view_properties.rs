@@ -1,0 +1,215 @@
+//! Property-based tests for the strided view kernels.
+//!
+//! The view layer claims two things the unit tests only spot-check:
+//!
+//! 1. **Correctness over strides** — a kernel fed transposed, sub-block,
+//!    or otherwise strided operands computes the same product as the
+//!    serial owned reference on materialised copies of those operands.
+//! 2. **Determinism over threads** — for any operand strides and shapes
+//!    (including empty, one-row, one-column), the result is bitwise
+//!    identical at thread caps 1, 2, and 8.
+//!
+//! Stride dispatch can route the same logical product through different
+//! inner loops (forward axpy, chunked reduction, contiguous dot), whose
+//! accumulation orders legitimately differ in the last ulp, so the
+//! cross-*path* comparison uses a tight tolerance while the cross-*cap*
+//! comparison — same path, different parallelism — demands bitwise
+//! equality.
+
+use csrplus_linalg::{matmul_into, matvec_into, DenseMatrix, MatView};
+use proptest::prelude::*;
+
+/// Naive serial reference: ascending-k accumulation per output element.
+fn naive_matmul(a: MatView<'_>, b: MatView<'_>) -> DenseMatrix {
+    assert_eq!(a.cols(), b.rows());
+    DenseMatrix::from_fn(a.rows(), b.cols(), |i, j| {
+        let mut acc = 0.0;
+        for k in 0..a.cols() {
+            acc += a.get(i, k) * b.get(k, j);
+        }
+        acc
+    })
+}
+
+/// Runs `matmul_into` on the given operands at one thread cap.
+fn product(a: MatView<'_>, b: MatView<'_>, threads: usize) -> DenseMatrix {
+    let mut out = DenseMatrix::zeros(a.rows(), b.cols());
+    matmul_into(a, b, out.view_mut(), threads).expect("shapes agree by construction");
+    out
+}
+
+/// Asserts bitwise equality (`f64::to_bits`) of two same-shape matrices.
+fn assert_bitwise(x: &DenseMatrix, y: &DenseMatrix, what: &str) {
+    assert_eq!(x.shape(), y.shape(), "{what}: shape");
+    for (i, (xv, yv)) in x.as_slice().iter().zip(y.as_slice()).enumerate() {
+        assert_eq!(xv.to_bits(), yv.to_bits(), "{what}: element {i} differs: {xv} vs {yv}");
+    }
+}
+
+/// Tight agreement for cross-kernel-path comparisons: entries are drawn
+/// from [−1, 1] and depths are ≤ 12, so 1e-13 absolute is ~1000× the
+/// worst summation-reordering error.
+fn assert_close(x: &DenseMatrix, y: &DenseMatrix, what: &str) {
+    assert_eq!(x.shape(), y.shape(), "{what}: shape");
+    assert!(x.approx_eq(y, 1e-13), "{what}: max diff {}", x.max_abs_diff(y));
+}
+
+/// Strategy: a matrix with dims in 0..=dim_max — deliberately includes
+/// empty, one-row, and one-column shapes.
+fn arb_matrix(dim_max: usize) -> impl Strategy<Value = DenseMatrix> {
+    (0..=dim_max, 0..=dim_max).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-1.0f64..1.0, r * c)
+            .prop_map(move |data| DenseMatrix::from_vec(r, c, data).expect("len = r*c"))
+    })
+}
+
+/// Strategy: compatible (A: m×k, B: k×n) pair with dims in 0..=8.
+fn arb_pair() -> impl Strategy<Value = (DenseMatrix, DenseMatrix)> {
+    (0usize..=8, 0usize..=8, 0usize..=8).prop_flat_map(|(m, k, n)| {
+        (
+            proptest::collection::vec(-1.0f64..1.0, m * k)
+                .prop_map(move |d| DenseMatrix::from_vec(m, k, d).expect("len")),
+            proptest::collection::vec(-1.0f64..1.0, k * n)
+                .prop_map(move |d| DenseMatrix::from_vec(k, n, d).expect("len")),
+        )
+    })
+}
+
+const CAPS: [usize; 3] = [1, 2, 8];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Row-contiguous A·B matches the naive reference bitwise (the
+    /// forward path accumulates in the same ascending-k order) and is
+    /// bitwise stable across thread caps.
+    #[test]
+    fn contiguous_product_matches_reference((a, b) in arb_pair()) {
+        let expect = naive_matmul(a.view(), b.view());
+        let serial = product(a.view(), b.view(), 1);
+        assert_bitwise(&serial, &expect, "forward vs naive");
+        for caps in CAPS {
+            assert_bitwise(&product(a.view(), b.view(), caps), &serial, "cross-cap");
+        }
+    }
+
+    /// Aᵀ·B through a transposed view equals the serial owned reference
+    /// (materialised transpose) and is bitwise stable across caps.
+    /// `a` is k×m and `b` is k×n (shared leading dimension), so the
+    /// transposed product is always defined.
+    #[test]
+    fn transposed_view_matches_owned_transpose(
+        (k, m, n) in (0usize..=8, 0usize..=8, 0usize..=8),
+        seed in proptest::collection::vec(-1.0f64..1.0, 128usize),
+    ) {
+        let a = DenseMatrix::from_fn(k, m, |i, j| seed[(i * m + j) % seed.len()]);
+        let b = DenseMatrix::from_fn(k, n, |i, j| seed[(7 + i * n + j * 3) % seed.len()]);
+        let at_owned = a.transpose();          // m×k, row-contiguous
+        let serial_owned = product(at_owned.view(), b.view(), 1);
+        let via_view = product(a.view().t(), b.view(), 1);
+        assert_close(&via_view, &serial_owned, "reduction vs forward");
+        for caps in CAPS {
+            assert_bitwise(&product(a.view().t(), b.view(), caps), &via_view, "cross-cap (At*B)");
+        }
+    }
+
+    /// A·Bᵀ through a transposed view equals the serial owned reference
+    /// and is bitwise stable across caps.  `a` is m×k and `b` is n×k
+    /// (shared trailing dimension), so the product is always defined.
+    #[test]
+    fn transposed_b_matches_owned_transpose(
+        (m, k, n) in (0usize..=8, 0usize..=8, 0usize..=8),
+        seed in proptest::collection::vec(-1.0f64..1.0, 128usize),
+    ) {
+        let a = DenseMatrix::from_fn(m, k, |i, j| seed[(i * k + j) % seed.len()]);
+        let b = DenseMatrix::from_fn(n, k, |i, j| seed[(13 + i * k + j * 5) % seed.len()]);
+        let bt_owned = b.transpose();          // k×n, row-contiguous
+        let serial_owned = product(a.view(), bt_owned.view(), 1);
+        let via_view = product(a.view(), b.view().t(), 1);
+        assert_close(&via_view, &serial_owned, "dot vs forward");
+        for caps in CAPS {
+            assert_bitwise(&product(a.view(), b.view().t(), caps), &via_view, "cross-cap (A*Bt)");
+        }
+    }
+
+    /// Sub-block operands agree bitwise with the serial owned reference on
+    /// materialised copies of the blocks (both route through the forward
+    /// path: a block keeps `col_stride == 1`).
+    #[test]
+    fn sub_block_matches_owned_copy(
+        a in arb_matrix(8), b in arb_matrix(8),
+        cut in proptest::collection::vec(0.0f64..1.0, 6usize),
+    ) {
+        let clamp = |f: f64, hi: usize| (f * (hi as f64 + 1.0)) as usize;
+        // A block: rows [r0, r1), cols [c0, c1); the B block must have
+        // (c1 − c0) rows, so slice its rows to the same depth.
+        let (r0, r1) = { let x = clamp(cut[0], a.rows()); let y = clamp(cut[1], a.rows()); (x.min(y), x.max(y)) };
+        let (c0, c1) = { let x = clamp(cut[2], a.cols()); let y = clamp(cut[3], a.cols()); (x.min(y), x.max(y)) };
+        let depth = c1 - c0;
+        if depth <= b.rows() {
+            let (n0, n1) = { let x = clamp(cut[4], b.cols()); let y = clamp(cut[5], b.cols()); (x.min(y), x.max(y)) };
+            let ab = a.view().block(r0, r1, c0, c1);
+            let bb = b.view().block(0, depth, n0, n1);
+            let owned = product(ab.to_owned().view(), bb.to_owned().view(), 1);
+            let serial = product(ab, bb, 1);
+            assert_bitwise(&serial, &owned, "sub-block vs owned copy");
+            for caps in CAPS {
+                assert_bitwise(&product(ab, bb, caps), &serial, "cross-cap (blocks)");
+            }
+        }
+    }
+
+    /// Writing through a sub-block destination computes the same interior
+    /// as an owned destination and never touches surrounding elements.
+    #[test]
+    fn sub_block_destination_is_exact_and_contained((a, b) in arb_pair(), pad in 1usize..=3) {
+        let (m, n) = (a.rows(), b.cols());
+        let full = product(a.view(), b.view(), 1);
+        for caps in CAPS {
+            let mut buf = DenseMatrix::from_fn(m + 2 * pad, n + 2 * pad, |_, _| -7.0);
+            matmul_into(a.view(), b.view(), buf.view_mut().block(pad, pad + m, pad, pad + n), caps)
+                .expect("shapes agree");
+            for i in 0..buf.rows() {
+                for j in 0..buf.cols() {
+                    let inside = (pad..pad + m).contains(&i) && (pad..pad + n).contains(&j);
+                    if inside {
+                        assert_eq!(
+                            buf.get(i, j).to_bits(),
+                            full.get(i - pad, j - pad).to_bits(),
+                            "interior ({i}, {j}) at caps {caps}"
+                        );
+                    } else {
+                        assert_eq!(buf.get(i, j), -7.0, "trampled ({i}, {j})");
+                    }
+                }
+            }
+        }
+    }
+
+    /// matvec through plain and transposed views matches the naive
+    /// reference within tolerance and is bitwise stable across caps.
+    #[test]
+    fn matvec_views_are_deterministic(
+        a in arb_matrix(8),
+        seed in proptest::collection::vec(-1.0f64..1.0, 8usize),
+    ) {
+        let x: Vec<f64> = seed[..a.cols()].to_vec();
+        let xt: Vec<f64> = seed[..a.rows()].to_vec();
+        let mut serial = vec![0.0; a.rows()];
+        matvec_into(a.view(), &x, &mut serial, 1).expect("shape");
+        for (i, s) in serial.iter().enumerate() {
+            let naive = (0..a.cols()).fold(0.0, |acc, k| acc + a.get(i, k) * x[k]);
+            assert!((s - naive).abs() <= 1e-13, "matvec vs naive at {i}: {s} vs {naive}");
+        }
+        let mut serial_t = vec![0.0; a.cols()];
+        matvec_into(a.view().t(), &xt, &mut serial_t, 1).expect("shape");
+        for caps in CAPS {
+            let mut y = vec![0.0; a.rows()];
+            matvec_into(a.view(), &x, &mut y, caps).expect("shape");
+            assert_eq!(y, serial, "cross-cap matvec at {caps}");
+            let mut yt = vec![0.0; a.cols()];
+            matvec_into(a.view().t(), &xt, &mut yt, caps).expect("shape");
+            assert_eq!(yt, serial_t, "cross-cap transposed matvec at {caps}");
+        }
+    }
+}

@@ -35,6 +35,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 static CURRENT: AtomicUsize = AtomicUsize::new(0);
 /// High-water mark since the last [`reset_peak`].
 static PEAK: AtomicUsize = AtomicUsize::new(0);
+/// Monotone count of allocation events (`alloc` + growing `realloc`)
+/// since process start — the denominator of the zero-copy regression
+/// tests: byte peaks can hide allocator churn, the event count cannot.
+static ALLOC_COUNT: AtomicUsize = AtomicUsize::new(0);
 
 /// A [`GlobalAlloc`] wrapper around the system allocator that maintains
 /// live/peak byte counters.
@@ -52,6 +56,7 @@ unsafe impl GlobalAlloc for TrackingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let p = unsafe { System.alloc(layout) };
         if !p.is_null() {
+            ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
             let cur = CURRENT.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
             PEAK.fetch_max(cur, Ordering::Relaxed);
         }
@@ -67,6 +72,11 @@ unsafe impl GlobalAlloc for TrackingAllocator {
         let p = unsafe { System.realloc(ptr, layout, new_size) };
         if !p.is_null() {
             let old = layout.size();
+            if new_size > old {
+                // A growing realloc may move the block — count it as an
+                // allocation event (shrinks stay in place and are free).
+                ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+            }
             if new_size >= old {
                 let cur = CURRENT.fetch_add(new_size - old, Ordering::Relaxed) + (new_size - old);
                 PEAK.fetch_max(cur, Ordering::Relaxed);
@@ -100,6 +110,47 @@ pub fn reset_peak() -> usize {
 /// harness to decide between measured and modelled memory numbers.
 pub fn tracking_active() -> bool {
     peak_bytes() > 0
+}
+
+/// Total allocation events observed since process start (0 unless the
+/// tracking allocator is installed in this binary).
+pub fn alloc_count() -> usize {
+    ALLOC_COUNT.load(Ordering::Relaxed)
+}
+
+/// RAII scope counting the allocation events that happen inside it.
+///
+/// Unlike [`PeakScope`] this needs no reset of global state — the event
+/// counter is monotone, so a scope is just a start marker.
+///
+/// ```ignore
+/// let scope = CountScope::start();
+/// run_phase();
+/// let allocations = scope.finish();
+/// ```
+#[derive(Debug)]
+pub struct CountScope {
+    baseline: usize,
+}
+
+impl CountScope {
+    /// Starts a counting scope.
+    pub fn start() -> Self {
+        CountScope { baseline: alloc_count() }
+    }
+
+    /// Ends the scope, returning the allocation events since `start`.
+    pub fn finish(self) -> usize {
+        alloc_count().saturating_sub(self.baseline)
+    }
+}
+
+/// Runs `f`, returning its result together with the number of allocation
+/// events the call performed (0 without the tracking allocator installed).
+pub fn count_allocations<T>(f: impl FnOnce() -> T) -> (T, usize) {
+    let scope = CountScope::start();
+    let out = f();
+    (out, scope.finish())
 }
 
 /// RAII scope measuring the *additional* peak heap consumed inside it.

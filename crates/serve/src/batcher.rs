@@ -161,6 +161,10 @@ impl Drop for Batcher {
 }
 
 fn batcher_loop(shared: &Shared) {
+    // Worker-owned evaluation scratch: the n×|batch| similarity block is
+    // written into this buffer batch after batch, so steady-state serving
+    // allocates only the per-query output columns it hands to waiters.
+    let mut scratch = csrplus_core::DenseMatrix::zeros(0, 0);
     let mut state = shared.state.lock().expect("batcher state poisoned");
     loop {
         if state.pending.is_empty() {
@@ -179,7 +183,7 @@ fn batcher_loop(shared: &Shared) {
             state.deadline =
                 if state.pending.is_empty() { None } else { Some(now + shared.linger) };
             drop(state);
-            evaluate(shared, batch);
+            evaluate(shared, batch, &mut scratch);
             state = shared.state.lock().expect("batcher state poisoned");
         } else {
             let wait = state.deadline.expect("pending implies deadline") - now;
@@ -188,9 +192,10 @@ fn batcher_loop(shared: &Shared) {
     }
 }
 
-/// Runs one deduplicated multi-source evaluation and scatters the
-/// columns back to every waiter in the batch.
-fn evaluate(shared: &Shared, batch: Vec<Waiter>) {
+/// Runs one deduplicated multi-source evaluation (through the worker's
+/// reusable `scratch` block) and scatters the columns back to every
+/// waiter in the batch.
+fn evaluate(shared: &Shared, batch: Vec<Waiter>, scratch: &mut csrplus_core::DenseMatrix) {
     let mut nodes: Vec<usize> = Vec::with_capacity(batch.len());
     let mut slot: Vec<usize> = Vec::with_capacity(batch.len());
     for waiter in &batch {
@@ -203,7 +208,7 @@ fn evaluate(shared: &Shared, batch: Vec<Waiter>) {
         }
     }
     shared.metrics.batched_requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
-    match shared.model.query_columns(&nodes) {
+    match shared.model.query_columns_into(&nodes, scratch) {
         Ok(columns) => {
             shared.metrics.model_evaluations.fetch_add(1, Ordering::Relaxed);
             shared.metrics.batch_sizes.observe(nodes.len() as u64);
