@@ -153,10 +153,10 @@ fn main() {
     // owned column is a lower bound on the seed's true cost.
     let (owned, _) = measure(|| {
         let m = CsrPlusModel::precompute(&transition, &config).expect("precompute succeeds");
-        let extra = m.u().transpose(); // re-materialise the seed's copies
-        let mut us = m.u().clone();
+        let extra = m.u().to_dense().transpose(); // re-materialise the seed's copies
+        let mut us = m.u().to_dense();
         us.scale_columns_mut(m.sigma());
-        let sps = m.u().clone();
+        let sps = m.u().to_dense();
         (m, extra, us, sps)
     });
     let (view, model) =

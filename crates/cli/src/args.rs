@@ -16,6 +16,8 @@ usage:
   csrplus join       <model.csrp> --threshold T [--limit N]
   csrplus serve      <model.csrp> [--port P] [--workers N] [--batch B] [--linger-us U]
                      [--cache COLS] [--timeout-ms MS] [--max-requests N] [--legacy]
+  csrplus pack       <model.csrp> --out <packed.csrp>
+  csrplus inspect    <model.csrp> [--verify]
 
 global flags (any position):
   --threads N        cap the shared worker pool at N threads
@@ -101,6 +103,20 @@ pub enum Command {
         /// Use the original single-threaded sequential server.
         legacy: bool,
     },
+    /// Rewrite a model file in the current (v2, mmap-able) format.
+    Pack {
+        /// Input model path (any supported version).
+        input: PathBuf,
+        /// Output path for the repacked v2 artifact.
+        out: PathBuf,
+    },
+    /// Print a model file's version and section table.
+    Inspect {
+        /// Model path.
+        model: PathBuf,
+        /// Also verify every section checksum (reads the whole file).
+        verify: bool,
+    },
     /// Exact (iterative) multi-source CoSimRank straight off the graph.
     Exact {
         /// Graph path.
@@ -155,6 +171,14 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "exact" => parse_exact(&rest),
         "join" => parse_join(&rest),
         "serve" => parse_serve(&rest),
+        "pack" => Ok(Command::Pack {
+            input: positional(&rest, 0)?,
+            out: PathBuf::from(require(&rest, "--out")?),
+        }),
+        "inspect" => Ok(Command::Inspect {
+            model: positional(&rest, 0)?,
+            verify: has_flag(&rest, "--verify"),
+        }),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -485,6 +509,21 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(parse(&argv("serve m.csrp --workers lots")).unwrap_err().contains("workers"));
+    }
+
+    #[test]
+    fn parse_pack_and_inspect() {
+        let cmd = parse(&argv("pack old.csrp --out new.csrp")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Pack { input: PathBuf::from("old.csrp"), out: PathBuf::from("new.csrp") }
+        );
+        assert!(parse(&argv("pack old.csrp")).unwrap_err().contains("--out"));
+
+        let cmd = parse(&argv("inspect m.csrp")).unwrap();
+        assert_eq!(cmd, Command::Inspect { model: PathBuf::from("m.csrp"), verify: false });
+        let cmd = parse(&argv("inspect m.csrp --verify")).unwrap();
+        assert!(matches!(cmd, Command::Inspect { verify: true, .. }));
     }
 
     #[test]

@@ -131,7 +131,9 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
             max_requests,
             legacy,
         } => {
+            let t0 = Instant::now();
             let m = persist::load_model(&model)?;
+            let load_time = t0.elapsed();
             if legacy {
                 eprintln!(
                     "serving {} nodes at rank {} (legacy sequential; routes: /health /similarity /topk /query)",
@@ -151,17 +153,96 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
             config.timeout = std::time::Duration::from_millis(timeout_ms);
             config.max_requests = max_requests;
             eprintln!(
-                "serving {} nodes at rank {} ({} workers, batch ≤ {}, linger {}µs, cache {} cols; \
-                 routes: /health /similarity /topk /query /metrics)",
+                "serving {} nodes at rank {} ({} loaded in {:.1?}; {} workers, batch ≤ {}, \
+                 linger {}µs, cache {} cols; routes: /health /similarity /topk /query /metrics)",
                 m.n(),
                 m.rank(),
+                if m.is_mapped() { "mmap" } else { "owned" },
+                load_time,
                 config.workers,
                 config.max_batch,
                 linger_us,
                 cache
             );
+            let mapped = m.is_mapped();
             let handle = csrplus_serve::Server::start(m, port, config)?;
+            handle.metrics().record_boot(load_time, mapped);
             handle.join();
+            Ok(())
+        }
+        Command::Pack { input, out } => {
+            let t0 = Instant::now();
+            let m = persist::load_model(&input)?;
+            let read = t0.elapsed();
+            persist::save_model(&m, &out)?;
+            let in_bytes = std::fs::metadata(&input)?.len();
+            let out_bytes = std::fs::metadata(&out)?.len();
+            println!(
+                "packed {} ({in_bytes} bytes) → {} ({out_bytes} bytes, CSRP v{}) in {:.1?}",
+                input.display(),
+                out.display(),
+                csrplus_store::VERSION,
+                t0.elapsed()
+            );
+            eprintln!("(read {read:.1?}; {} nodes at rank {})", m.n(), m.rank());
+            Ok(())
+        }
+        Command::Inspect { model, verify } => {
+            // Sniff the version so legacy files get a useful report
+            // instead of an error.
+            let mut head = [0u8; 8];
+            {
+                use std::io::Read;
+                std::fs::File::open(&model)?.read_exact(&mut head)?;
+            }
+            if &head[..4] != b"CSRP" {
+                return Err("not a CSR+ model file (bad magic)".into());
+            }
+            let version = u32::from_le_bytes(head[4..8].try_into().expect("4 bytes"));
+            let bytes = std::fs::metadata(&model)?.len();
+            println!("{}: CSRP v{version}, {bytes} bytes", model.display());
+            if version == 1 {
+                println!("legacy streaming layout (no section table; not mmap-able)");
+                println!("repack as v2 with: csrplus pack {} <out.csrp>", model.display());
+                if verify {
+                    let t0 = Instant::now();
+                    let m = persist::load_model(&model)?;
+                    println!(
+                        "checksum OK ({} nodes at rank {}, verified in {:.1?})",
+                        m.n(),
+                        m.rank(),
+                        t0.elapsed()
+                    );
+                }
+                return Ok(());
+            }
+            let artifact =
+                csrplus_store::Artifact::open(&model, csrplus_store::Backend::from_env())?;
+            println!(
+                "opened {} ({} sections)",
+                if artifact.is_mapped() { "memory-mapped" } else { "owned" },
+                artifact.sections().len()
+            );
+            println!(
+                "{:<16} {:>6} {:>12} {:>12} {:>14}  crc",
+                "section", "dtype", "offset", "elements", "bytes"
+            );
+            for s in artifact.sections() {
+                println!(
+                    "{:<16} {:>6} {:>12} {:>12} {:>14}  {:#018x}",
+                    s.name,
+                    s.dtype.name(),
+                    s.offset,
+                    s.len,
+                    s.byte_len(),
+                    s.crc
+                );
+            }
+            if verify {
+                let t0 = Instant::now();
+                artifact.verify()?;
+                println!("all section checksums OK (verified in {:.1?})", t0.elapsed());
+            }
             Ok(())
         }
         Command::Exact { graph, nodes, damping, epsilon } => {

@@ -10,6 +10,8 @@
 //! csrplus join       <model.csrp> --threshold T [--limit N]
 //! csrplus serve      <model.csrp> [--port P] [--workers N] [--batch B] [--linger-us U]
 //!                    [--cache COLS] [--timeout-ms MS] [--max-requests N] [--legacy]
+//! csrplus pack       <model.csrp> --out <packed.csrp>
+//! csrplus inspect    <model.csrp> [--verify]
 //! ```
 //!
 //! Graphs are SNAP plain-text edge lists; models use the binary format of

@@ -14,7 +14,7 @@
 //!   memory: tiny graphs only, but entirely independent of any iteration.
 
 use crate::config::linear_iterations;
-use csrplus_graph::TransitionMatrix;
+use csrplus_graph::{TransitionMatrix, TransitionOps};
 use csrplus_linalg::kron::kron;
 use csrplus_linalg::lu::Lu;
 use csrplus_linalg::{DenseMatrix, LinalgError};
@@ -23,7 +23,7 @@ use csrplus_linalg::{DenseMatrix, LinalgError};
 /// tail is below `eps`.
 ///
 /// Cost: `2K` sparse matvecs with `K = linear_iterations(c, eps)`.
-pub fn single_source(t: &TransitionMatrix, q: usize, c: f64, eps: f64) -> Vec<f64> {
+pub fn single_source<T: TransitionOps + ?Sized>(t: &T, q: usize, c: f64, eps: f64) -> Vec<f64> {
     assert!(q < t.n(), "query {q} out of bounds");
     let k = linear_iterations(c, eps);
     single_source_k(t, q, c, k)
@@ -32,7 +32,7 @@ pub fn single_source(t: &TransitionMatrix, q: usize, c: f64, eps: f64) -> Vec<f6
 /// Exact single-source CoSimRank truncated at exactly `k` iterations
 /// (the primitive behind the CSR-RLS baseline, whose iteration count is
 /// pinned to `r` for fairness in the paper's experiments).
-pub fn single_source_k(t: &TransitionMatrix, q: usize, c: f64, k: usize) -> Vec<f64> {
+pub fn single_source_k<T: TransitionOps + ?Sized>(t: &T, q: usize, c: f64, k: usize) -> Vec<f64> {
     assert!(q < t.n(), "query {q} out of bounds");
     let mut e = vec![0.0; t.n()];
     e[q] = 1.0;
@@ -42,7 +42,12 @@ pub fn single_source_k(t: &TransitionMatrix, q: usize, c: f64, k: usize) -> Vec<
 /// Applies the K-truncated similarity operator to an arbitrary vector:
 /// `S_K·v` with `S_0 = I`, `S_k = I + c·Qᵀ S_{k-1} Q` — `2K` sparse
 /// matvecs and `O(n)` live memory.
-pub fn apply_similarity_operator(t: &TransitionMatrix, v: &[f64], c: f64, k: usize) -> Vec<f64> {
+pub fn apply_similarity_operator<T: TransitionOps + ?Sized>(
+    t: &T,
+    v: &[f64],
+    c: f64,
+    k: usize,
+) -> Vec<f64> {
     if k == 0 {
         return v.to_vec();
     }
@@ -60,7 +65,7 @@ pub fn apply_similarity_operator(t: &TransitionMatrix, v: &[f64], c: f64, k: usi
 /// are the iterated PPR vectors.  Two rolling vectors, `2K` sparse
 /// matvecs — the cheapest possible exact primitive, and an independent
 /// cross-check of the recursion used by [`single_source`].
-pub fn single_pair(t: &TransitionMatrix, a: usize, b: usize, c: f64, eps: f64) -> f64 {
+pub fn single_pair<T: TransitionOps + ?Sized>(t: &T, a: usize, b: usize, c: f64, eps: f64) -> f64 {
     assert!(a < t.n() && b < t.n(), "pair ({a},{b}) out of bounds");
     let k = linear_iterations(c, eps);
     let mut pa = vec![0.0; t.n()];
@@ -80,7 +85,12 @@ pub fn single_pair(t: &TransitionMatrix, a: usize, b: usize, c: f64, eps: f64) -
 
 /// Exact multi-source CoSimRank `[S]_{*,Q}` (column `j` answers
 /// `queries[j]`), by running the single-source recursion per query.
-pub fn multi_source(t: &TransitionMatrix, queries: &[usize], c: f64, eps: f64) -> DenseMatrix {
+pub fn multi_source<T: TransitionOps + ?Sized>(
+    t: &T,
+    queries: &[usize],
+    c: f64,
+    eps: f64,
+) -> DenseMatrix {
     let n = t.n();
     let mut out = DenseMatrix::zeros(n, queries.len());
     for (j, &q) in queries.iter().enumerate() {
@@ -196,6 +206,23 @@ mod tests {
             assert_eq!(m.get(i, 0), c1[i]);
             assert_eq!(m.get(i, 1), c3[i]);
         }
+    }
+
+    #[test]
+    fn compressed_transition_is_bitwise_interchangeable() {
+        // The exact algorithms are generic over `TransitionOps`; the
+        // gap-compressed backend stores bitwise-identical values and runs
+        // the same kernels, so every answer matches exactly.
+        let t = fig1();
+        let ct = csrplus_graph::CompressedTransition::from_transition(&t);
+        for q in 0..6 {
+            assert_eq!(single_source(&t, q, 0.6, 1e-10), single_source(&ct, q, 0.6, 1e-10));
+        }
+        assert_eq!(single_pair(&t, 0, 3, 0.6, 1e-10), single_pair(&ct, 0, 3, 0.6, 1e-10));
+        assert_eq!(
+            multi_source(&t, &[1, 4], 0.6, 1e-8).as_slice(),
+            multi_source(&ct, &[1, 4], 0.6, 1e-8).as_slice()
+        );
     }
 
     #[test]

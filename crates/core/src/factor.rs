@@ -1,0 +1,123 @@
+//! Dense factor storage that is either owned or memory-mapped.
+//!
+//! The model's large factors (`U`, `Z`, both `n × r`) dominate its
+//! footprint.  [`Factor`] lets them live either in owned heap buffers
+//! (computed fresh, or eagerly deserialised) or borrowed zero-copy from
+//! a mapped `CSRP` v2 artifact — the query paths only ever consume rows,
+//! slices and [`MatView`]s, all of which both representations provide
+//! with identical bit patterns.
+
+use csrplus_linalg::{DenseMatrix, MatView};
+use csrplus_store::MappedMatrix;
+
+/// An `n × r` dense factor: owned heap storage or a zero-copy window
+/// into a mapped artifact.
+#[derive(Debug, Clone)]
+pub enum Factor {
+    /// Owned row-major storage.
+    Owned(DenseMatrix),
+    /// Borrowed from a shared mapped region (page-cache backed).
+    Mapped(MappedMatrix),
+}
+
+impl Factor {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        match self {
+            Factor::Owned(m) => m.rows(),
+            Factor::Mapped(m) => m.rows(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        match self {
+            Factor::Owned(m) => m.cols(),
+            Factor::Mapped(m) => m.cols(),
+        }
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows(), self.cols())
+    }
+
+    /// The factor as a flat row-major slice.
+    pub fn as_slice(&self) -> &[f64] {
+        match self {
+            Factor::Owned(m) => m.as_slice(),
+            Factor::Mapped(m) => m.as_slice(),
+        }
+    }
+
+    /// Row `i` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        match self {
+            Factor::Owned(m) => m.row(i),
+            Factor::Mapped(m) => m.row(i),
+        }
+    }
+
+    /// Element `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        match self {
+            Factor::Owned(m) => m.get(i, j),
+            Factor::Mapped(m) => m.get(i, j),
+        }
+    }
+
+    /// A borrowing view — the common currency of the compute kernels, so
+    /// downstream products are bitwise identical across representations.
+    pub fn view(&self) -> MatView<'_> {
+        match self {
+            Factor::Owned(m) => m.view(),
+            Factor::Mapped(m) => m.view(),
+        }
+    }
+
+    /// Gathers the given rows into a fresh owned matrix.
+    pub fn select_rows(&self, rows: &[usize]) -> DenseMatrix {
+        match self {
+            Factor::Owned(m) => m.select_rows(rows),
+            Factor::Mapped(m) => {
+                let cols = m.cols();
+                let mut data = Vec::with_capacity(rows.len() * cols);
+                for &i in rows {
+                    data.extend_from_slice(m.row(i));
+                }
+                DenseMatrix::from_vec(rows.len(), cols, data).expect("consistent shape")
+            }
+        }
+    }
+
+    /// An owned copy (materialises mapped storage).
+    pub fn to_dense(&self) -> DenseMatrix {
+        match self {
+            Factor::Owned(m) => m.clone(),
+            Factor::Mapped(m) => DenseMatrix::from_vec(m.rows(), m.cols(), m.as_slice().to_vec())
+                .expect("consistent shape"),
+        }
+    }
+
+    /// True when the factor borrows mapped (page-cache) storage.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, Factor::Mapped(_))
+    }
+
+    /// Heap bytes owned by this factor — zero for mapped storage, whose
+    /// pages belong to the kernel page cache, not this process's heap.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Factor::Owned(m) => m.heap_bytes(),
+            Factor::Mapped(_) => 0,
+        }
+    }
+}
+
+impl From<DenseMatrix> for Factor {
+    fn from(m: DenseMatrix) -> Self {
+        Factor::Owned(m)
+    }
+}

@@ -32,6 +32,7 @@ pub mod dynamic;
 pub mod engine;
 pub mod error;
 pub mod exact;
+pub mod factor;
 pub mod metrics;
 pub mod model;
 pub mod persist;
@@ -42,4 +43,5 @@ pub use config::{CsrPlusConfig, SvdBackend};
 pub use csrplus_linalg::DenseMatrix;
 pub use engine::{CoSimRankEngine, EngineOutcome};
 pub use error::CoSimRankError;
+pub use factor::Factor;
 pub use model::CsrPlusModel;

@@ -3,6 +3,7 @@
 
 use crate::config::CsrPlusConfig;
 use crate::error::CoSimRankError;
+use crate::factor::Factor;
 use csrplus_graph::TransitionMatrix;
 use csrplus_linalg::randomized::randomized_svd;
 use csrplus_linalg::DenseMatrix;
@@ -43,10 +44,11 @@ impl PrecomputeStats {
 pub struct CsrPlusModel {
     config: CsrPlusConfig,
     n: usize,
-    /// Left singular vectors of `Q` (`n × r`).
-    u: DenseMatrix,
-    /// `Z = U·(Σ P Σ)` (`n × r`), memoised for the query phase.
-    z: DenseMatrix,
+    /// Left singular vectors of `Q` (`n × r`) — owned or mapped.
+    u: Factor,
+    /// `Z = U·(Σ P Σ)` (`n × r`), memoised for the query phase —
+    /// owned or mapped.
+    z: Factor,
     /// Singular values of `Q` (length `r`).
     sigma: Vec<f64>,
     /// Fixed point of `P = cHPHᵀ + I_r` (diagnostic / ablation access).
@@ -157,7 +159,8 @@ impl CsrPlusModel {
         let mut sps = p.clone();
         sps.scale_rows_mut(&sigma);
         sps.scale_columns_mut(&sigma);
-        let z = u.matmul(&sps)?;
+        let z = Factor::from(u.matmul(&sps)?);
+        let u = Factor::from(u);
         let z_norms_desc = sorted_row_norms(&z);
         let z_split = split_row_bounds(&z);
         let memoise = t2.elapsed();
@@ -185,6 +188,51 @@ impl CsrPlusModel {
         p: DenseMatrix,
         h0: DenseMatrix,
     ) -> Result<Self, CoSimRankError> {
+        Self::from_factors(config, n, Factor::from(u), Factor::from(z), sigma, p, h0)
+    }
+
+    /// [`CsrPlusModel::from_parts`] over [`Factor`] storage (owned or
+    /// mapped), recomputing the derived pruning tables — which touches
+    /// every row of `Z`, so artifact loads prefer
+    /// [`CsrPlusModel::from_factors_with_tables`].
+    ///
+    /// # Errors
+    /// [`CoSimRankError::InvalidConfig`] when the shapes are inconsistent.
+    pub fn from_factors(
+        config: CsrPlusConfig,
+        n: usize,
+        u: Factor,
+        z: Factor,
+        sigma: Vec<f64>,
+        p: DenseMatrix,
+        h0: DenseMatrix,
+    ) -> Result<Self, CoSimRankError> {
+        let z_norms_desc = sorted_row_norms(&z);
+        let z_split = split_row_bounds(&z);
+        Self::from_factors_with_tables(config, n, u, z, sigma, p, h0, z_norms_desc, z_split)
+    }
+
+    /// Reassembles a model from memoised factors *and* the derived
+    /// pruning tables (`Z` row norms, split bounds).  This is the
+    /// instant-boot entry point: with the tables supplied from the
+    /// artifact, nothing here reads a single row of `U` or `Z`, so a
+    /// mapped model materialises no factor pages until the first query.
+    ///
+    /// # Errors
+    /// [`CoSimRankError::InvalidConfig`] when shapes or table lengths are
+    /// inconsistent.
+    #[allow(clippy::too_many_arguments)] // deliberate: the full memoised state
+    pub fn from_factors_with_tables(
+        config: CsrPlusConfig,
+        n: usize,
+        u: Factor,
+        z: Factor,
+        sigma: Vec<f64>,
+        p: DenseMatrix,
+        h0: DenseMatrix,
+        z_norms_desc: Vec<(f64, u32)>,
+        z_split: Vec<(f64, f64)>,
+    ) -> Result<Self, CoSimRankError> {
         let r = sigma.len();
         let bad = |what: &str| CoSimRankError::InvalidConfig {
             message: format!("from_parts: inconsistent {what}"),
@@ -195,10 +243,24 @@ impl CsrPlusModel {
         if p.shape() != (r, r) || h0.shape() != (r, r) {
             return Err(bad("P/H₀ shapes"));
         }
+        if z_norms_desc.len() != n || z_split.len() != n {
+            return Err(bad("derived table lengths"));
+        }
         config.validate(n.max(1))?;
-        let z_norms_desc = sorted_row_norms(&z);
-        let z_split = split_row_bounds(&z);
         Ok(CsrPlusModel { config, n, u, z, sigma, p, h0, z_norms_desc, z_split })
+    }
+
+    /// The derived pruning tables `(Z row norms desc, Z split bounds)` —
+    /// persisted alongside the factors so loads skip their `O(n·r)`
+    /// recomputation.
+    #[allow(clippy::type_complexity)]
+    pub fn derived_tables(&self) -> (&[(f64, u32)], &[(f64, f64)]) {
+        (&self.z_norms_desc, &self.z_split)
+    }
+
+    /// True when any factor borrows mapped (page-cache) storage.
+    pub fn is_mapped(&self) -> bool {
+        self.u.is_mapped() || self.z.is_mapped()
     }
 
     /// Graph size `n`.
@@ -222,13 +284,13 @@ impl CsrPlusModel {
         &self.sigma
     }
 
-    /// The `n×r` left singular block `U`.
-    pub fn u(&self) -> &DenseMatrix {
+    /// The `n×r` left singular block `U` (owned or mapped).
+    pub fn u(&self) -> &Factor {
         &self.u
     }
 
-    /// The memoised `n×r` matrix `Z = U(ΣPΣ)`.
-    pub fn z(&self) -> &DenseMatrix {
+    /// The memoised `n×r` matrix `Z = U(ΣPΣ)` (owned or mapped).
+    pub fn z(&self) -> &Factor {
         &self.z
     }
 
@@ -583,7 +645,7 @@ impl CsrPlusModel {
 /// Row norms of `m` with their row ids, sorted descending.  The norm
 /// table fill runs on the shared pool (one slot per row); the sort stays
 /// serial and total order is unaffected by chunking.
-fn sorted_row_norms(m: &DenseMatrix) -> Vec<(f64, u32)> {
+fn sorted_row_norms(m: &Factor) -> Vec<(f64, u32)> {
     let mut norms: Vec<(f64, u32)> = vec![(0.0, 0); m.rows()];
     let chunk = csrplus_par::chunk_len(m.rows(), 2 * m.cols().max(1), MIN_ONLINE_WORK);
     csrplus_par::for_each_chunk_mut(&mut norms, chunk, csrplus_par::threads(), |ci, out| {
@@ -601,7 +663,7 @@ fn sorted_row_norms(m: &DenseMatrix) -> Vec<(f64, u32)> {
 /// norm of the tail, feeding the split retrieval bound of
 /// [`CsrPlusModel::top_k_pruned`].  Filled on the shared pool, one slot
 /// per row.
-fn split_row_bounds(m: &DenseMatrix) -> Vec<(f64, f64)> {
+fn split_row_bounds(m: &Factor) -> Vec<(f64, f64)> {
     let mut bounds: Vec<(f64, f64)> = vec![(0.0, 0.0); m.rows()];
     let chunk = csrplus_par::chunk_len(m.rows(), 2 * m.cols().max(1), MIN_ONLINE_WORK);
     csrplus_par::for_each_chunk_mut(&mut bounds, chunk, csrplus_par::threads(), |ci, out| {

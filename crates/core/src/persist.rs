@@ -4,34 +4,43 @@
 //! this module makes the memoised state durable so a service can load a
 //! model at startup and answer queries immediately.
 //!
-//! Format (all little-endian):
+//! Two format versions share the `CSRP` magic:
 //!
-//! ```text
-//! magic   b"CSRP"            4 bytes
-//! version u32                currently 1
-//! n, r    u64 × 2
-//! damping, epsilon  f64 × 2
-//! oversample, power_iterations, seed, backend  u64 × 4
-//! sigma   f64 × r
-//! U       f64 × n·r  (row-major)
-//! Z       f64 × n·r  (row-major)
-//! P       f64 × r·r  (row-major)
-//! H₀      f64 × r·r  (row-major)
-//! crc     u64  (FNV-1a over everything after the magic)
-//! ```
+//! * **v2** (written by [`write_model`] / [`save_model`]) is the
+//!   `csrplus-store` artifact layout: 64-byte-aligned little-endian
+//!   sections behind a checksummed section table (see
+//!   [`csrplus_store::format`]).  Sections: `meta` (u64 header fields),
+//!   `sigma`/`u`/`z`/`p`/`h0` (the factors), and the derived pruning
+//!   tables `zn.norm`/`zn.id`/`zs` so loads skip their `O(n·r)`
+//!   recomputation.  v2 files can be *memory-mapped*: [`load_model`]
+//!   borrows `U`/`Z` straight off the page cache (controlled by the
+//!   `CSRPLUS_STORE` env var — `mmap`, `owned`, or `auto`), making
+//!   time-to-first-query independent of model size.
+//! * **v1** is the legacy streaming layout (header + raw f64 payloads +
+//!   trailing FNV-1a).  v1 files still load — through the slow
+//!   fully-deserialising path — and `csrplus pack` rewrites them as v2.
 //!
-//! The checksum guards against truncated or bit-rotted files; versioning
-//! guards against silent format drift.
+//! The writer streams: payload bytes pass through fixed stack scratch
+//! buffers with checksums folded in on the way, so saving never buffers
+//! a payload and peak RSS stays O(1) in the model size (pinned by an
+//! allocation-regression test).
 
 use crate::config::CsrPlusConfig;
 use crate::error::CoSimRankError;
+use crate::factor::Factor;
 use crate::model::CsrPlusModel;
 use csrplus_linalg::DenseMatrix;
+use csrplus_store::{Artifact, ArtifactWriter, Backend, DType, StoreError};
 use std::io::{self, Read, Write};
 use std::path::Path;
 
 const MAGIC: [u8; 4] = *b"CSRP";
-const VERSION: u32 = 1;
+const VERSION_V1: u32 = 1;
+const VERSION: u32 = 2;
+
+/// Sanity bound on element counts before allocating: a corrupt header
+/// must not OOM us.
+const MAX_ELEMENTS: usize = 1 << 36;
 
 /// Errors specific to model (de)serialisation.
 #[derive(Debug)]
@@ -58,7 +67,11 @@ impl std::fmt::Display for PersistError {
         match self {
             PersistError::Io(e) => write!(f, "io error: {e}"),
             PersistError::BadMagic => write!(f, "not a CSR+ model file (bad magic)"),
-            PersistError::UnsupportedVersion(v) => write!(f, "unsupported model version {v}"),
+            PersistError::UnsupportedVersion(v) => write!(
+                f,
+                "unsupported model version {v}: rewrite the file as the current format \
+                 with `csrplus pack <model> <out>` on a build that reads version {v}"
+            ),
             PersistError::ChecksumMismatch { expected, actual } => {
                 write!(f, "checksum mismatch: stored {expected:#x}, computed {actual:#x}")
             }
@@ -82,6 +95,20 @@ impl From<io::Error> for PersistError {
     }
 }
 
+impl From<StoreError> for PersistError {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::Io(e) => PersistError::Io(e),
+            StoreError::BadMagic => PersistError::BadMagic,
+            StoreError::UnsupportedVersion(v) => PersistError::UnsupportedVersion(v),
+            StoreError::ChecksumMismatch { expected, actual, .. } => {
+                PersistError::ChecksumMismatch { expected, actual }
+            }
+            StoreError::Malformed(m) => PersistError::Malformed(m),
+        }
+    }
+}
+
 /// FNV-1a, the integrity (not security) checksum of the format.
 struct Fnv1a(u64);
 
@@ -98,7 +125,7 @@ impl Fnv1a {
     }
 }
 
-/// A writer that checksums everything passing through it.
+/// A writer that checksums everything passing through it (v1 format).
 struct HashingWriter<W: Write> {
     inner: W,
     hash: Fnv1a,
@@ -134,7 +161,7 @@ impl<W: Write> HashingWriter<W> {
     }
 }
 
-/// A reader that checksums everything passing through it.
+/// A reader that checksums everything passing through it (v1 format).
 struct HashingReader<R: Read> {
     inner: R,
     hash: Fnv1a,
@@ -178,7 +205,26 @@ impl<R: Read> HashingReader<R> {
     }
 }
 
-/// Serialises a model to any writer.
+fn backend_tag(backend: crate::config::SvdBackend) -> u64 {
+    match backend {
+        crate::config::SvdBackend::Randomized => 0,
+        crate::config::SvdBackend::Lanczos => 1,
+    }
+}
+
+fn backend_from_tag(tag: u64) -> Result<crate::config::SvdBackend, PersistError> {
+    match tag {
+        0 => Ok(crate::config::SvdBackend::Randomized),
+        1 => Ok(crate::config::SvdBackend::Lanczos),
+        other => Err(PersistError::Malformed(format!("unknown SVD backend tag {other}"))),
+    }
+}
+
+/// Serialises a model to any writer in the current (v2, mmap-able)
+/// format.
+///
+/// The payload streams through fixed stack buffers — nothing is
+/// buffered, so saving a model allocates O(1) memory regardless of size.
 ///
 /// ```
 /// use csrplus_core::{persist, CsrPlusConfig, CsrPlusModel};
@@ -193,9 +239,72 @@ impl<R: Read> HashingReader<R> {
 /// # Ok::<(), csrplus_core::persist::PersistError>(())
 /// ```
 pub fn write_model<W: Write>(model: &CsrPlusModel, writer: W) -> Result<(), PersistError> {
+    let mut w = ArtifactWriter::new(writer)?;
+    let cfg = model.config();
+    let (n, r) = (model.n(), model.rank());
+    w.section_u64s(
+        "meta",
+        &[
+            n as u64,
+            r as u64,
+            cfg.oversample as u64,
+            cfg.power_iterations as u64,
+            cfg.seed,
+            backend_tag(cfg.backend),
+            cfg.damping.to_bits(),
+            cfg.epsilon.to_bits(),
+        ],
+    )?;
+    w.section_f64s("sigma", model.sigma())?;
+    w.section_f64s("u", model.u().as_slice())?;
+    w.section_f64s("z", model.z().as_slice())?;
+    w.section_f64s("p", model.p().as_slice())?;
+    w.section_f64s("h0", model.h0().as_slice())?;
+
+    // Derived pruning tables, streamed through stack chunks so loads can
+    // skip their O(n·r) recomputation without the writer materialising
+    // columnar copies.
+    let (z_norms_desc, z_split) = model.derived_tables();
+    let mut f64s = [0f64; 512];
+    let mut u32s = [0u32; 512];
+    w.begin_section("zn.norm", DType::F64)?;
+    for chunk in z_norms_desc.chunks(512) {
+        for (slot, &(norm, _)) in f64s.iter_mut().zip(chunk.iter()) {
+            *slot = norm;
+        }
+        w.put_f64s(&f64s[..chunk.len()])?;
+    }
+    w.end_section()?;
+    w.begin_section("zn.id", DType::U32)?;
+    for chunk in z_norms_desc.chunks(512) {
+        for (slot, &(_, id)) in u32s.iter_mut().zip(chunk.iter()) {
+            *slot = id;
+        }
+        w.put_u32s(&u32s[..chunk.len()])?;
+    }
+    w.end_section()?;
+    w.begin_section("zs", DType::F64)?;
+    for chunk in z_split.chunks(256) {
+        let mut k = 0;
+        for &(head, rest) in chunk {
+            f64s[k] = head;
+            f64s[k + 1] = rest;
+            k += 2;
+        }
+        w.put_f64s(&f64s[..k])?;
+    }
+    w.end_section()?;
+    w.finish()?;
+    Ok(())
+}
+
+/// Serialises a model in the legacy v1 streaming format (kept for
+/// migration tests and cross-version tooling; new files should use
+/// [`write_model`]).
+pub fn write_model_v1<W: Write>(model: &CsrPlusModel, writer: W) -> Result<(), PersistError> {
     let mut w = HashingWriter::new(writer);
     w.inner.write_all(&MAGIC)?;
-    w.put_u32(VERSION)?;
+    w.put_u32(VERSION_V1)?;
     let cfg = model.config();
     let (n, r) = (model.n(), model.rank());
     w.put_u64(n as u64)?;
@@ -205,10 +314,7 @@ pub fn write_model<W: Write>(model: &CsrPlusModel, writer: W) -> Result<(), Pers
     w.put_u64(cfg.oversample as u64)?;
     w.put_u64(cfg.power_iterations as u64)?;
     w.put_u64(cfg.seed)?;
-    w.put_u64(match cfg.backend {
-        crate::config::SvdBackend::Randomized => 0,
-        crate::config::SvdBackend::Lanczos => 1,
-    })?;
+    w.put_u64(backend_tag(cfg.backend))?;
     w.put_f64_slice(model.sigma())?;
     w.put_f64_slice(model.u().as_slice())?;
     w.put_f64_slice(model.z().as_slice())?;
@@ -220,22 +326,39 @@ pub fn write_model<W: Write>(model: &CsrPlusModel, writer: W) -> Result<(), Pers
     Ok(())
 }
 
-/// Deserialises a model from any reader (with integrity verification).
-pub fn read_model<R: Read>(reader: R) -> Result<CsrPlusModel, PersistError> {
-    let mut r = HashingReader::new(reader);
+/// Deserialises a model from any reader, accepting both the current v2
+/// artifact layout and legacy v1 files (with integrity verification —
+/// reader-based loads always fully deserialise; use [`load_model`] for
+/// the zero-copy mmap path).
+pub fn read_model<R: Read>(mut reader: R) -> Result<CsrPlusModel, PersistError> {
     let mut magic = [0u8; 4];
-    r.inner.read_exact(&mut magic)?;
+    reader.read_exact(&mut magic)?;
     if magic != MAGIC {
         return Err(PersistError::BadMagic);
     }
+    let mut r = HashingReader::new(reader);
     let version = r.get_u32()?;
-    if version != VERSION {
-        return Err(PersistError::UnsupportedVersion(version));
+    match version {
+        VERSION_V1 => read_model_v1_body(r),
+        VERSION => {
+            // Reassemble the full byte stream and hand it to the store's
+            // eagerly-verifying parser.
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(&magic);
+            bytes.extend_from_slice(&VERSION.to_le_bytes());
+            r.inner.read_to_end(&mut bytes)?;
+            let artifact = Artifact::from_bytes(&bytes)?;
+            model_from_artifact(&artifact)
+        }
+        other => Err(PersistError::UnsupportedVersion(other)),
     }
+}
+
+/// The v1 body (everything after the version field), `r`'s hash already
+/// primed with the version bytes as the v1 checksum expects.
+fn read_model_v1_body<R: Read>(mut r: HashingReader<R>) -> Result<CsrPlusModel, PersistError> {
     let n = r.get_u64()? as usize;
     let rank = r.get_u64()? as usize;
-    // Sanity bounds before allocating: a corrupt header must not OOM us.
-    const MAX_ELEMENTS: usize = 1 << 36;
     if rank == 0 || rank > n || n.saturating_mul(rank) > MAX_ELEMENTS {
         return Err(PersistError::Malformed(format!("implausible sizes n={n} r={rank}")));
     }
@@ -244,11 +367,7 @@ pub fn read_model<R: Read>(reader: R) -> Result<CsrPlusModel, PersistError> {
     let oversample = r.get_u64()? as usize;
     let power_iterations = r.get_u64()? as usize;
     let seed = r.get_u64()?;
-    let backend = match r.get_u64()? {
-        0 => crate::config::SvdBackend::Randomized,
-        1 => crate::config::SvdBackend::Lanczos,
-        other => return Err(PersistError::Malformed(format!("unknown SVD backend tag {other}"))),
-    };
+    let backend = backend_from_tag(r.get_u64()?)?;
     let sigma = r.get_f64_vec(rank)?;
     let u = r.get_f64_vec(n * rank)?;
     let z = r.get_f64_vec(n * rank)?;
@@ -279,16 +398,114 @@ pub fn read_model<R: Read>(reader: R) -> Result<CsrPlusModel, PersistError> {
     .map_err(|e: CoSimRankError| PersistError::Malformed(e.to_string()))
 }
 
-/// Saves a model to a file path.
+/// Builds a model from a parsed v2 artifact.  Owned artifacts decode the
+/// factors into heap buffers; mapped artifacts borrow `U` and `Z`
+/// zero-copy, leaving their pages untouched until the first query.
+pub fn model_from_artifact(artifact: &Artifact) -> Result<CsrPlusModel, PersistError> {
+    let meta = artifact.decode_u64s("meta")?;
+    if meta.len() != 8 {
+        return Err(PersistError::Malformed(format!(
+            "meta section has {} fields, expected 8",
+            meta.len()
+        )));
+    }
+    let n = meta[0] as usize;
+    let rank = meta[1] as usize;
+    if rank == 0 || rank > n || n.saturating_mul(rank) > MAX_ELEMENTS {
+        return Err(PersistError::Malformed(format!("implausible sizes n={n} r={rank}")));
+    }
+    let config = CsrPlusConfig {
+        damping: f64::from_bits(meta[6]),
+        rank,
+        epsilon: f64::from_bits(meta[7]),
+        oversample: meta[2] as usize,
+        power_iterations: meta[3] as usize,
+        seed: meta[4],
+        backend: backend_from_tag(meta[5])?,
+    };
+    let sigma = artifact.decode_f64s("sigma")?;
+    if sigma.len() != rank {
+        return Err(PersistError::Malformed(format!(
+            "sigma holds {} values, expected rank {rank}",
+            sigma.len()
+        )));
+    }
+    let mk = |rows: usize, cols: usize, data: Vec<f64>| -> Result<DenseMatrix, PersistError> {
+        DenseMatrix::from_vec(rows, cols, data).map_err(|e| PersistError::Malformed(e.to_string()))
+    };
+    let p = mk(rank, rank, artifact.decode_f64s("p")?)?;
+    let h0 = mk(rank, rank, artifact.decode_f64s("h0")?)?;
+    // Derived pruning tables (O(n), small next to the n·r factors).
+    let norms = artifact.decode_f64s("zn.norm")?;
+    let ids = artifact.decode_u32s("zn.id")?;
+    let zs = artifact.decode_f64s("zs")?;
+    if norms.len() != n || ids.len() != n || zs.len() != 2 * n {
+        return Err(PersistError::Malformed("derived table lengths disagree with n".into()));
+    }
+    if ids.iter().any(|&id| id as usize >= n.max(1)) {
+        return Err(PersistError::Malformed("zn.id entry out of range".into()));
+    }
+    let z_norms_desc: Vec<(f64, u32)> = norms.into_iter().zip(ids).collect();
+    let z_split: Vec<(f64, f64)> = zs.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+    // The big factors: zero-copy off a mapped region, owned otherwise.
+    let (u, z) = if artifact.is_mapped() {
+        (
+            Factor::Mapped(artifact.matrix("u", n, rank)?),
+            Factor::Mapped(artifact.matrix("z", n, rank)?),
+        )
+    } else {
+        (
+            Factor::Owned(mk(n, rank, artifact.decode_f64s("u")?)?),
+            Factor::Owned(mk(n, rank, artifact.decode_f64s("z")?)?),
+        )
+    };
+    CsrPlusModel::from_factors_with_tables(config, n, u, z, sigma, p, h0, z_norms_desc, z_split)
+        .map_err(|e: CoSimRankError| PersistError::Malformed(e.to_string()))
+}
+
+/// Saves a model to a file path (v2 format, streaming).
 pub fn save_model<P: AsRef<Path>>(model: &CsrPlusModel, path: P) -> Result<(), PersistError> {
     let file = std::fs::File::create(path)?;
     write_model(model, io::BufWriter::new(file))
 }
 
-/// Loads a model from a file path.
+/// Loads a model from a file path with the backend chosen by the
+/// `CSRPLUS_STORE` environment variable (`mmap`, `owned`, or `auto`).
+///
+/// v2 files honour the backend — under `mmap` (the `auto` default on
+/// Unix) the dense factors are borrowed from the page cache and
+/// time-to-first-query is independent of model size.  v1 files take the
+/// legacy fully-deserialising path; repack them with `csrplus pack`.
 pub fn load_model<P: AsRef<Path>>(path: P) -> Result<CsrPlusModel, PersistError> {
-    let file = std::fs::File::open(path)?;
-    read_model(io::BufReader::new(file))
+    load_model_with(path, Backend::from_env())
+}
+
+/// [`load_model`] with an explicit [`Backend`] choice.
+pub fn load_model_with<P: AsRef<Path>>(
+    path: P,
+    backend: Backend,
+) -> Result<CsrPlusModel, PersistError> {
+    let path = path.as_ref();
+    // Sniff the version to route v1 files to the legacy reader.
+    let mut head = [0u8; 8];
+    {
+        let mut f = std::fs::File::open(path)?;
+        f.read_exact(&mut head)?;
+    }
+    if head[..4] != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    match u32::from_le_bytes(head[4..8].try_into().expect("4 bytes")) {
+        VERSION_V1 => {
+            let file = std::fs::File::open(path)?;
+            read_model(io::BufReader::new(file))
+        }
+        VERSION => {
+            let artifact = Artifact::open(path, backend)?;
+            model_from_artifact(&artifact)
+        }
+        other => Err(PersistError::UnsupportedVersion(other)),
+    }
 }
 
 #[cfg(test)]
@@ -316,6 +533,24 @@ mod tests {
     }
 
     #[test]
+    fn v1_files_still_load() {
+        let m = model();
+        let mut buf = Vec::new();
+        write_model_v1(&m, &mut buf).unwrap();
+        let loaded = read_model(buf.as_slice()).unwrap();
+        let a = m.multi_source(&[1, 3]).unwrap();
+        let b = loaded.multi_source(&[1, 3]).unwrap();
+        assert!(a.approx_eq(&b, 0.0), "v1 model must answer identically");
+        assert_eq!(loaded.config(), m.config());
+        // And re-saving goes out as v2 — the `pack` migration.
+        let mut repacked = Vec::new();
+        write_model(&loaded, &mut repacked).unwrap();
+        assert_eq!(u32::from_le_bytes(repacked[4..8].try_into().unwrap()), VERSION);
+        let re = read_model(repacked.as_slice()).unwrap();
+        assert!(re.multi_source(&[1, 3]).unwrap().approx_eq(&a, 0.0));
+    }
+
+    #[test]
     fn file_round_trip() {
         let m = model();
         let dir = std::env::temp_dir().join("csrplus_persist_test");
@@ -324,6 +559,30 @@ mod tests {
         save_model(&m, &path).unwrap();
         let loaded = load_model(&path).unwrap();
         assert_eq!(loaded.n(), 6);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapped_and_owned_loads_answer_bitwise_identically() {
+        let m = model();
+        let dir = std::env::temp_dir().join("csrplus_persist_test_mmap");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.csrp");
+        save_model(&m, &path).unwrap();
+        let owned = load_model_with(&path, Backend::Owned).unwrap();
+        let mapped = load_model_with(&path, Backend::Mmap).unwrap();
+        if cfg!(unix) {
+            assert!(mapped.is_mapped(), "mmap backend must map on unix");
+        }
+        assert!(!owned.is_mapped());
+        assert_eq!(owned.u().as_slice(), mapped.u().as_slice());
+        assert_eq!(owned.z().as_slice(), mapped.z().as_slice());
+        let a = owned.multi_source(&[1, 3]).unwrap();
+        let b = mapped.multi_source(&[1, 3]).unwrap();
+        assert!(a.approx_eq(&b, 0.0), "mapped answers must be bitwise identical");
+        // Derived tables were persisted, not recomputed: they match too.
+        assert_eq!(owned.derived_tables().0, mapped.derived_tables().0);
+        assert_eq!(owned.derived_tables().1, mapped.derived_tables().1);
         std::fs::remove_file(&path).ok();
     }
 
@@ -340,7 +599,15 @@ mod tests {
         write_model(&m, &mut buf).unwrap();
         buf.truncate(buf.len() - 12);
         let err = read_model(buf.as_slice()).unwrap_err();
-        assert!(matches!(err, PersistError::Io(_)), "{err}");
+        assert!(
+            matches!(
+                err,
+                PersistError::Io(_)
+                    | PersistError::Malformed(_)
+                    | PersistError::ChecksumMismatch { .. }
+            ),
+            "{err}"
+        );
     }
 
     #[test]
@@ -358,18 +625,19 @@ mod tests {
     }
 
     #[test]
-    fn wrong_version_rejected() {
+    fn wrong_version_rejected_with_repack_hint() {
         let m = model();
         let mut buf = Vec::new();
         write_model(&m, &mut buf).unwrap();
         buf[4] = 99; // bump the version field
         let err = read_model(buf.as_slice()).unwrap_err();
         assert!(matches!(err, PersistError::UnsupportedVersion(_)), "{err}");
+        assert!(err.to_string().contains("csrplus pack"), "{err}");
     }
 
     #[test]
     fn implausible_header_rejected_before_allocation() {
-        // Hand-craft a header claiming n = u64::MAX.
+        // Hand-craft a v1 header claiming n = u64::MAX.
         let mut buf = Vec::new();
         buf.extend_from_slice(b"CSRP");
         buf.extend_from_slice(&1u32.to_le_bytes());

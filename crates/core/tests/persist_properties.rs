@@ -1,9 +1,11 @@
 //! Property tests for the binary model format: round-trips are exact for
 //! *arbitrary* models (not just precomputed ones), and every corruption —
 //! truncation at any offset, any single bit flip — is reported as the
-//! right [`PersistError`] variant, never as a panic.
+//! right [`PersistError`] variant, never as a panic.  Covers both the
+//! current v2 artifact layout and the legacy v1 stream (which must keep
+//! loading until everyone has repacked).
 
-use csrplus_core::persist::{read_model, write_model, PersistError};
+use csrplus_core::persist::{read_model, write_model, write_model_v1, PersistError};
 use csrplus_core::{CsrPlusConfig, CsrPlusModel, SvdBackend};
 use csrplus_linalg::DenseMatrix;
 use proptest::prelude::*;
@@ -57,21 +59,38 @@ fn encode(model: &CsrPlusModel) -> Vec<u8> {
     buf
 }
 
+fn assert_same_model(loaded: &CsrPlusModel, model: &CsrPlusModel) {
+    assert_eq!(loaded.n(), model.n());
+    assert_eq!(loaded.rank(), model.rank());
+    assert_eq!(loaded.config(), model.config());
+    assert_eq!(loaded.sigma(), model.sigma());
+    assert_eq!(loaded.u().as_slice(), model.u().as_slice());
+    assert_eq!(loaded.z().as_slice(), model.z().as_slice());
+    assert_eq!(loaded.p().as_slice(), model.p().as_slice());
+    assert_eq!(loaded.h0().as_slice(), model.h0().as_slice());
+    assert_eq!(loaded.derived_tables().0, model.derived_tables().0);
+    assert_eq!(loaded.derived_tables().1, model.derived_tables().1);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Write → read reproduces every field bit-for-bit.
+    /// Write → read reproduces every field bit-for-bit, including the
+    /// persisted pruning tables.
     #[test]
     fn round_trip_is_bitwise_exact(model in arb_model()) {
         let loaded = read_model(encode(&model).as_slice()).unwrap();
-        prop_assert_eq!(loaded.n(), model.n());
-        prop_assert_eq!(loaded.rank(), model.rank());
-        prop_assert_eq!(loaded.config(), model.config());
-        prop_assert_eq!(loaded.sigma(), model.sigma());
-        prop_assert_eq!(loaded.u().as_slice(), model.u().as_slice());
-        prop_assert_eq!(loaded.z().as_slice(), model.z().as_slice());
-        prop_assert_eq!(loaded.p().as_slice(), model.p().as_slice());
-        prop_assert_eq!(loaded.h0().as_slice(), model.h0().as_slice());
+        assert_same_model(&loaded, &model);
+    }
+
+    /// Legacy v1 files keep loading (through the slow path) and agree
+    /// bit-for-bit with the model they encoded.
+    #[test]
+    fn v1_round_trip_is_bitwise_exact(model in arb_model()) {
+        let mut buf = Vec::new();
+        write_model_v1(&model, &mut buf).unwrap();
+        let loaded = read_model(buf.as_slice()).unwrap();
+        assert_same_model(&loaded, &model);
     }
 
     /// Truncating the file at ANY offset yields an error, never a panic
@@ -81,11 +100,16 @@ proptest! {
         let buf = encode(&model);
         let cut = ((buf.len() - 1) as f64 * frac) as usize;
         let err = read_model(&buf[..cut]).unwrap_err();
-        // Cutting inside the payload surfaces as unexpected EOF; cutting
-        // exactly before the trailing checksum still reads the payload
-        // but must then fail the integrity check.
+        // Cutting inside the magic surfaces as unexpected EOF; anywhere
+        // later, the structural validation (missing or displaced footer,
+        // short sections) or the table checksum reports it.
         prop_assert!(
-            matches!(err, PersistError::Io(_) | PersistError::ChecksumMismatch { .. }),
+            matches!(
+                err,
+                PersistError::Io(_)
+                    | PersistError::Malformed(_)
+                    | PersistError::ChecksumMismatch { .. }
+            ),
             "cut at {cut}/{} gave {err}", buf.len()
         );
     }
@@ -93,17 +117,42 @@ proptest! {
     /// Flipping ANY single bit is reported as the right error class for
     /// the region hit — and never as a panic.
     #[test]
-    fn single_bit_flip_is_detected(model in arb_model(), pos in 0usize..4096, bit in 0u8..8) {
+    fn single_bit_flip_is_detected(model in arb_model(), pos in 0usize..16384, bit in 0u8..8) {
         let mut buf = encode(&model);
         let pos = pos % buf.len();
         buf[pos] ^= 1 << bit;
         let err = read_model(buf.as_slice()).unwrap_err();
         match pos {
             0..=3 => prop_assert!(matches!(err, PersistError::BadMagic), "{err}"),
+            // No single bit flip of version 2 produces version 1, so the
+            // version field always reports UnsupportedVersion.
             4..=7 => prop_assert!(matches!(err, PersistError::UnsupportedVersion(_)), "{err}"),
-            // n/r: a flipped size either fails the plausibility check,
-            // runs off the end of the buffer, or (smaller sizes) fails
-            // the checksum over the re-framed payload.
+            // The rest of the 64-byte header is reserved-must-be-zero.
+            8..=63 => prop_assert!(matches!(err, PersistError::Malformed(_)), "{err}"),
+            // Payload, padding, table, or footer: caught by a section or
+            // table checksum, or by the structural validation (padding
+            // must stay zero, the layout canonical, the footer intact).
+            _ => prop_assert!(
+                matches!(
+                    err,
+                    PersistError::ChecksumMismatch { .. } | PersistError::Malformed(_)
+                ),
+                "{err}"
+            ),
+        }
+    }
+
+    /// The same corruption guarantees hold for legacy v1 streams.
+    #[test]
+    fn v1_single_bit_flip_is_detected(model in arb_model(), pos in 0usize..4096, bit in 0u8..8) {
+        let mut buf = Vec::new();
+        write_model_v1(&model, &mut buf).unwrap();
+        let pos = pos % buf.len();
+        buf[pos] ^= 1 << bit;
+        let err = read_model(buf.as_slice()).unwrap_err();
+        match pos {
+            0..=3 => prop_assert!(matches!(err, PersistError::BadMagic), "{err}"),
+            4..=7 => prop_assert!(matches!(err, PersistError::UnsupportedVersion(_)), "{err}"),
             8..=23 => prop_assert!(
                 matches!(
                     err,
@@ -113,8 +162,6 @@ proptest! {
                 ),
                 "{err}"
             ),
-            // Config, payload, or the stored crc itself: the checksum
-            // catches it (the backend tag is validated even earlier).
             _ => prop_assert!(
                 matches!(
                     err,

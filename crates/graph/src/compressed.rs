@@ -1,0 +1,934 @@
+//! Compressed sparse-row storage: delta-gapped adjacency with Elias–Fano
+//! row offsets, in the style of webgraph's BVGraph backends.
+//!
+//! The raw [`crate::CsrMatrix`] spends ~12–20 bytes per edge (8-byte row
+//! pointers amortised over rows, 4-byte column ids, 8-byte values).  For
+//! the transition matrices CoSimRank actually consumes, almost all of
+//! that is redundant:
+//!
+//! * column ids within a row are sorted, so they compress to LEB128
+//!   varint *gaps* (one–two bytes per edge on real graphs);
+//! * row boundaries are a monotone sequence, which Elias–Fano encodes in
+//!   `2 + ⌈log₂(bytes/row)⌉` bits per row while keeping O(1) random
+//!   access — sequential *and* random-access decode;
+//! * the values of `Q` / `Qᵀ` are not free-form: every row of `Qᵀ` is
+//!   constant (`1/indeg(row)`), and every column of `Q` is
+//!   (`1/indeg(col)`), so a [`ValueModel`] stores one f64 per node
+//!   instead of one per edge — detected *bitwise* from the source matrix
+//!   so products stay bit-identical to the uncompressed kernels.
+//!
+//! [`CompressedCsr`] implements [`GraphStorage`], so the shared spmm /
+//! matvec kernels of [`crate::storage`] (and everything built on them)
+//! run unchanged over it.  [`CompressedTransition`] packages `Q`/`Qᵀ`
+//! for the query scans and the SVD.
+//!
+//! The serialised form ([`CompressedCsr::to_bytes`]) carries its own
+//! FNV-1a checksum; [`CompressedCsr::from_bytes`] verifies it and fully
+//! validates the structure, so truncation or bit rot surfaces as a typed
+//! [`CodecError`] — never a panic, never silently wrong data.
+
+use crate::csr::CsrMatrix;
+use crate::storage::{self, GraphStorage};
+use crate::transition::{TransitionMatrix, TransitionOps};
+use csrplus_linalg::{DenseMatrix, LinearOperator};
+
+/// Select sample spacing for the Elias–Fano high-bits bitvector: one
+/// sampled position per this many set bits bounds `get` to a short scan.
+const SAMPLE_EVERY: usize = 64;
+
+const MAGIC: [u8; 4] = *b"CSRZ";
+const VERSION: u32 = 1;
+
+/// Errors from decoding a serialised [`CompressedCsr`].
+#[derive(Debug)]
+pub enum CodecError {
+    /// The byte stream ends before the declared structure does.
+    Truncated,
+    /// Not a compressed-CSR blob (bad magic).
+    BadMagic,
+    /// The blob uses an unsupported codec version.
+    UnsupportedVersion(u32),
+    /// The embedded checksum did not match the payload.
+    ChecksumMismatch {
+        /// Checksum stored in the blob.
+        expected: u64,
+        /// Checksum of the bytes actually present.
+        actual: u64,
+    },
+    /// The payload is internally inconsistent.
+    Malformed(String),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "compressed CSR blob is truncated"),
+            CodecError::BadMagic => write!(f, "not a compressed CSR blob (bad magic)"),
+            CodecError::UnsupportedVersion(v) => {
+                write!(f, "unsupported compressed CSR version {v}")
+            }
+            CodecError::ChecksumMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "compressed CSR checksum mismatch: stored {expected:#x}, computed {actual:#x}"
+                )
+            }
+            CodecError::Malformed(m) => write!(f, "malformed compressed CSR blob: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// FNV-1a — the same integrity checksum the persist layer uses.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+// --- LEB128 varints ------------------------------------------------------
+
+fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &b = bytes.get(*pos).ok_or(CodecError::Truncated)?;
+        *pos += 1;
+        if shift == 63 && b > 1 {
+            return Err(CodecError::Malformed("varint overflows u64".into()));
+        }
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(CodecError::Malformed("varint longer than 10 bytes".into()));
+        }
+    }
+}
+
+// --- Elias–Fano ----------------------------------------------------------
+
+/// Elias–Fano encoding of a monotone non-decreasing `u64` sequence:
+/// `2 + ⌈log₂(u/n)⌉` bits per element with O(1)-ish random access via
+/// select samples on the unary high-bits vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EliasFano {
+    len: usize,
+    low_bits: u32,
+    low: Vec<u64>,
+    high: Vec<u64>,
+    samples: Vec<u64>,
+}
+
+impl EliasFano {
+    /// Encodes a monotone non-decreasing sequence.
+    ///
+    /// # Panics
+    /// Panics if the sequence decreases (programmer error — untrusted
+    /// input is validated before reaching this constructor).
+    pub fn encode(values: &[u64]) -> Self {
+        let len = values.len();
+        if len == 0 {
+            return EliasFano {
+                len: 0,
+                low_bits: 0,
+                low: Vec::new(),
+                high: Vec::new(),
+                samples: Vec::new(),
+            };
+        }
+        let ub = *values.last().expect("non-empty");
+        let per = ub / len as u64;
+        let low_bits = if per >= 2 { 63 - per.leading_zeros() } else { 0 };
+        let low_words = ((len as u64 * low_bits as u64).div_ceil(64)) as usize;
+        let mut low = vec![0u64; low_words];
+        let high_bits = (ub >> low_bits) as usize + len + 1;
+        let mut high = vec![0u64; high_bits.div_ceil(64)];
+        let mut samples = Vec::with_capacity(len / SAMPLE_EVERY + 1);
+        let mut prev = 0u64;
+        for (i, &v) in values.iter().enumerate() {
+            assert!(v >= prev, "EliasFano::encode: sequence must be non-decreasing");
+            prev = v;
+            if low_bits > 0 {
+                let lo = v & ((1u64 << low_bits) - 1);
+                let bit = i as u64 * low_bits as u64;
+                let (w, o) = ((bit / 64) as usize, (bit % 64) as u32);
+                low[w] |= lo << o;
+                if o + low_bits > 64 {
+                    low[w + 1] |= lo >> (64 - o);
+                }
+            }
+            let pos = (v >> low_bits) as usize + i;
+            high[pos / 64] |= 1u64 << (pos % 64);
+            if i % SAMPLE_EVERY == 0 {
+                samples.push(pos as u64);
+            }
+        }
+        EliasFano { len, low_bits, low, high, samples }
+    }
+
+    /// Number of encoded values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no values are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn low_get(&self, i: usize) -> u64 {
+        if self.low_bits == 0 {
+            return 0;
+        }
+        let bit = i as u64 * self.low_bits as u64;
+        let (w, o) = ((bit / 64) as usize, (bit % 64) as u32);
+        let mut v = self.low[w] >> o;
+        if o + self.low_bits > 64 {
+            v |= self.low[w + 1] << (64 - o);
+        }
+        v & ((1u64 << self.low_bits) - 1)
+    }
+
+    /// The `i`-th value.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> u64 {
+        assert!(i < self.len, "EliasFano::get({i}) out of bounds (len {})", self.len);
+        let start = self.samples[i / SAMPLE_EVERY] as usize;
+        let mut remaining = i % SAMPLE_EVERY;
+        let mut word_idx = start / 64;
+        let mut w = self.high[word_idx] & (!0u64 << (start % 64));
+        loop {
+            let cnt = w.count_ones() as usize;
+            if cnt > remaining {
+                let mut ww = w;
+                for _ in 0..remaining {
+                    ww &= ww - 1; // clear lowest set bit
+                }
+                let pos = word_idx * 64 + ww.trailing_zeros() as usize;
+                return (((pos - i) as u64) << self.low_bits) | self.low_get(i);
+            }
+            remaining -= cnt;
+            word_idx += 1;
+            w = self.high[word_idx];
+        }
+    }
+
+    /// Estimated heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        (self.low.capacity() + self.high.capacity() + self.samples.capacity())
+            * std::mem::size_of::<u64>()
+    }
+}
+
+// --- Value models --------------------------------------------------------
+
+/// How the per-edge `f64` values are represented.
+///
+/// Detected bitwise from the source matrix, so decoded values are
+/// bit-identical to the originals and every downstream product matches
+/// the uncompressed kernels exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueModel {
+    /// Every non-zero in row `i` equals `c[i]` (e.g. the rows of `Qᵀ`,
+    /// which all hold `1/indeg(row)`).
+    RowConstant(Vec<f64>),
+    /// Every non-zero in column `j` equals `t[j]` (e.g. `Q`, whose
+    /// columns hold `1/indeg(col)`).
+    ColumnScaled(Vec<f64>),
+    /// Free-form values, one per edge in row-major order.
+    Explicit(Vec<f64>),
+}
+
+impl ValueModel {
+    fn tag(&self) -> u32 {
+        match self {
+            ValueModel::RowConstant(_) => 0,
+            ValueModel::ColumnScaled(_) => 1,
+            ValueModel::Explicit(_) => 2,
+        }
+    }
+
+    fn table(&self) -> &[f64] {
+        match self {
+            ValueModel::RowConstant(t) | ValueModel::ColumnScaled(t) | ValueModel::Explicit(t) => t,
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        match self {
+            ValueModel::RowConstant(t) | ValueModel::ColumnScaled(t) | ValueModel::Explicit(t) => {
+                t.capacity() * std::mem::size_of::<f64>()
+            }
+        }
+    }
+}
+
+/// Detects the cheapest value model that reproduces `csr`'s values
+/// bit-for-bit.
+fn detect_value_model(csr: &CsrMatrix) -> ValueModel {
+    let rows = csr.rows();
+    let cols = csr.cols();
+    // Row-constant?
+    let mut rc = vec![0.0f64; rows];
+    let mut row_constant = true;
+    'rows: for (i, slot) in rc.iter_mut().enumerate() {
+        let (_, vals) = csr.row(i);
+        if let Some((&first, rest)) = vals.split_first() {
+            for &v in rest {
+                if v.to_bits() != first.to_bits() {
+                    row_constant = false;
+                    break 'rows;
+                }
+            }
+            *slot = first;
+        }
+    }
+    if row_constant {
+        return ValueModel::RowConstant(rc);
+    }
+    // Column-scaled?
+    let mut table = vec![0.0f64; cols];
+    let mut seen = vec![false; cols];
+    let mut column_scaled = true;
+    'scan: for i in 0..rows {
+        let (idx, vals) = csr.row(i);
+        for (&j, &v) in idx.iter().zip(vals.iter()) {
+            let j = j as usize;
+            if seen[j] {
+                if table[j].to_bits() != v.to_bits() {
+                    column_scaled = false;
+                    break 'scan;
+                }
+            } else {
+                seen[j] = true;
+                table[j] = v;
+            }
+        }
+    }
+    if column_scaled {
+        return ValueModel::ColumnScaled(table);
+    }
+    // Explicit fallback: row-major edge order.
+    let mut vals = Vec::with_capacity(csr.nnz());
+    for i in 0..rows {
+        vals.extend_from_slice(csr.row(i).1);
+    }
+    ValueModel::Explicit(vals)
+}
+
+// --- CompressedCsr -------------------------------------------------------
+
+/// A sparse matrix stored as gap-compressed adjacency plus a value model:
+/// the second [`GraphStorage`] backend.
+///
+/// Per row the byte stream holds `varint(nnz)`, then `varint(first_col)`
+/// and `varint(gap − 1)` for each subsequent column; [`EliasFano`] indexes
+/// both the per-row byte offsets (random access into the stream) and the
+/// cumulative non-zero counts (value lookup for [`ValueModel::Explicit`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedCsr {
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+    stream: Vec<u8>,
+    offsets: EliasFano,
+    indptr: EliasFano,
+    values: ValueModel,
+}
+
+impl CompressedCsr {
+    /// Compresses an in-memory CSR matrix (exact: decoding reproduces the
+    /// original bit-for-bit, see [`CompressedCsr::to_csr`]).
+    pub fn from_csr(csr: &CsrMatrix) -> Self {
+        let rows = csr.rows();
+        let mut stream = Vec::new();
+        let mut offsets = Vec::with_capacity(rows + 1);
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut total = 0u64;
+        for i in 0..rows {
+            offsets.push(stream.len() as u64);
+            indptr.push(total);
+            let (idx, _) = csr.row(i);
+            write_varint(&mut stream, idx.len() as u64);
+            let mut prev: Option<u32> = None;
+            for &c in idx {
+                match prev {
+                    None => write_varint(&mut stream, c as u64),
+                    Some(p) => write_varint(&mut stream, (c - p - 1) as u64),
+                }
+                prev = Some(c);
+            }
+            total += idx.len() as u64;
+        }
+        offsets.push(stream.len() as u64);
+        indptr.push(total);
+        CompressedCsr {
+            rows,
+            cols: csr.cols(),
+            nnz: csr.nnz(),
+            stream,
+            offsets: EliasFano::encode(&offsets),
+            indptr: EliasFano::encode(&indptr),
+            values: detect_value_model(csr),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// The value model in use (diagnostics / bench reporting).
+    pub fn value_model(&self) -> &ValueModel {
+        &self.values
+    }
+
+    /// Decompresses back to an owned [`CsrMatrix`]; the exact inverse of
+    /// [`CompressedCsr::from_csr`].
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut triples = Vec::with_capacity(self.nnz);
+        for i in 0..self.rows {
+            GraphStorage::for_each_in_row(self, i, |j, v| triples.push((i as u32, j, v)));
+        }
+        CsrMatrix::from_coo(self.rows, self.cols, triples).expect("indices validated")
+    }
+
+    /// Estimated heap footprint in bytes — the numerator of the
+    /// bytes-per-edge metric.
+    pub fn heap_bytes(&self) -> usize {
+        self.stream.capacity()
+            + self.offsets.heap_bytes()
+            + self.indptr.heap_bytes()
+            + self.values.heap_bytes()
+    }
+
+    /// Serialises to a self-describing, checksummed blob.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let table = self.values.table();
+        let mut buf = Vec::with_capacity(48 + table.len() * 8 + self.stream.len() + 8);
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&(self.rows as u64).to_le_bytes());
+        buf.extend_from_slice(&(self.cols as u64).to_le_bytes());
+        buf.extend_from_slice(&(self.nnz as u64).to_le_bytes());
+        buf.extend_from_slice(&self.values.tag().to_le_bytes());
+        buf.extend_from_slice(&(table.len() as u64).to_le_bytes());
+        for &v in table {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        buf.extend_from_slice(&(self.stream.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&self.stream);
+        let crc = fnv1a(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    /// Deserialises and fully validates a blob produced by
+    /// [`CompressedCsr::to_bytes`].
+    ///
+    /// # Errors
+    /// Any corruption — truncation at any offset, any bit flip — yields a
+    /// typed [`CodecError`]; this function never panics on untrusted
+    /// input and never returns silently wrong data (the trailing FNV-1a
+    /// checksum covers every byte).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        if bytes.len() < 4 {
+            return Err(CodecError::Truncated);
+        }
+        if bytes[..4] != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        if bytes.len() < 8 {
+            return Err(CodecError::Truncated);
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(CodecError::UnsupportedVersion(version));
+        }
+        // Fixed header (through slen) + trailing crc.
+        const HEAD: usize = 4 + 4 + 8 + 8 + 8 + 4 + 8;
+        if bytes.len() < HEAD + 8 + 8 {
+            return Err(CodecError::Truncated);
+        }
+        // Verify the checksum before trusting any length field.
+        let body = &bytes[..bytes.len() - 8];
+        let expected = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8 bytes"));
+        let actual = fnv1a(body);
+        if expected != actual {
+            return Err(CodecError::ChecksumMismatch { expected, actual });
+        }
+        let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().expect("8 bytes"));
+        let rows = u64_at(8) as usize;
+        let cols = u64_at(16) as usize;
+        let nnz = u64_at(24) as usize;
+        let tag = u32::from_le_bytes(bytes[32..36].try_into().expect("4 bytes"));
+        let vlen = u64_at(36) as usize;
+        let mut cursor = HEAD;
+        if cols > u32::MAX as usize + 1 {
+            return Err(CodecError::Malformed(format!("cols {cols} exceeds u32 index space")));
+        }
+        let avail = body.len().saturating_sub(cursor);
+        let table_fits = match vlen.checked_mul(8) {
+            Some(b) => b.saturating_add(8) <= avail,
+            None => false,
+        };
+        if !table_fits {
+            return Err(CodecError::Malformed(format!("value table {vlen} overruns blob")));
+        }
+        let mut table = Vec::with_capacity(vlen);
+        for k in 0..vlen {
+            table.push(f64::from_le_bytes(
+                bytes[cursor + k * 8..cursor + k * 8 + 8].try_into().expect("8 bytes"),
+            ));
+        }
+        cursor += vlen * 8;
+        let slen = u64_at(cursor) as usize;
+        cursor += 8;
+        if body.len() - cursor != slen {
+            return Err(CodecError::Malformed(format!(
+                "stream length {slen} disagrees with blob ({} bytes left)",
+                body.len() - cursor
+            )));
+        }
+        let stream = bytes[cursor..cursor + slen].to_vec();
+        // Cheap plausibility bounds before the O(rows + nnz) decode walk:
+        // every row costs at least one stream byte, every edge at least
+        // one more past the first.
+        if rows > slen && rows != 0 && slen == 0 && nnz != 0 {
+            return Err(CodecError::Malformed("non-empty matrix with empty stream".into()));
+        }
+        if rows > slen {
+            return Err(CodecError::Malformed(format!(
+                "{rows} rows cannot fit in {slen} stream bytes"
+            )));
+        }
+        if nnz > slen {
+            return Err(CodecError::Malformed(format!(
+                "{nnz} edges cannot fit in {slen} stream bytes"
+            )));
+        }
+        let expect_vlen = match tag {
+            0 => rows,
+            1 => cols,
+            2 => nnz,
+            other => return Err(CodecError::UnsupportedVersion(other)),
+        };
+        if vlen != expect_vlen {
+            return Err(CodecError::Malformed(format!(
+                "value table length {vlen} does not match model tag {tag} (want {expect_vlen})"
+            )));
+        }
+        let values = match tag {
+            0 => ValueModel::RowConstant(table),
+            1 => ValueModel::ColumnScaled(table),
+            _ => ValueModel::Explicit(table),
+        };
+        // Full structural decode: row boundaries, monotone columns in
+        // range, exact stream consumption.
+        let mut offsets = Vec::with_capacity(rows + 1);
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut pos = 0usize;
+        let mut total = 0u64;
+        for i in 0..rows {
+            offsets.push(pos as u64);
+            indptr.push(total);
+            let k = read_varint(&stream, &mut pos)?;
+            if k as usize > cols {
+                return Err(CodecError::Malformed(format!(
+                    "row {i} claims {k} non-zeros in {cols} columns"
+                )));
+            }
+            let mut prev: Option<u64> = None;
+            for _ in 0..k {
+                let col = match prev {
+                    None => read_varint(&stream, &mut pos)?,
+                    Some(p) => {
+                        let gap = read_varint(&stream, &mut pos)?;
+                        p.checked_add(gap).and_then(|v| v.checked_add(1)).ok_or_else(|| {
+                            CodecError::Malformed(format!("row {i} column overflow"))
+                        })?
+                    }
+                };
+                if col >= cols as u64 {
+                    return Err(CodecError::Malformed(format!(
+                        "row {i} column {col} out of bounds ({cols} columns)"
+                    )));
+                }
+                prev = Some(col);
+            }
+            total += k;
+        }
+        if pos != stream.len() {
+            return Err(CodecError::Malformed(format!(
+                "{} trailing stream bytes after the last row",
+                stream.len() - pos
+            )));
+        }
+        if total as usize != nnz {
+            return Err(CodecError::Malformed(format!(
+                "header claims {nnz} non-zeros, stream holds {total}"
+            )));
+        }
+        offsets.push(pos as u64);
+        indptr.push(total);
+        Ok(CompressedCsr {
+            rows,
+            cols,
+            nnz,
+            stream,
+            offsets: EliasFano::encode(&offsets),
+            indptr: EliasFano::encode(&indptr),
+            values,
+        })
+    }
+}
+
+impl GraphStorage for CompressedCsr {
+    #[inline]
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    fn row_nnz(&self, i: usize) -> usize {
+        (self.indptr.get(i + 1) - self.indptr.get(i)) as usize
+    }
+
+    fn for_each_in_row<F: FnMut(u32, f64)>(&self, i: usize, mut f: F) {
+        let mut pos = self.offsets.get(i) as usize;
+        let k = read_varint(&self.stream, &mut pos).expect("validated at construction");
+        if k == 0 {
+            return;
+        }
+        let mut col = 0u64;
+        match &self.values {
+            ValueModel::RowConstant(rc) => {
+                let v = rc[i];
+                for e in 0..k {
+                    let d = read_varint(&self.stream, &mut pos).expect("validated at construction");
+                    col = if e == 0 { d } else { col + d + 1 };
+                    f(col as u32, v);
+                }
+            }
+            ValueModel::ColumnScaled(t) => {
+                for e in 0..k {
+                    let d = read_varint(&self.stream, &mut pos).expect("validated at construction");
+                    col = if e == 0 { d } else { col + d + 1 };
+                    f(col as u32, t[col as usize]);
+                }
+            }
+            ValueModel::Explicit(vals) => {
+                let base = self.indptr.get(i) as usize;
+                for e in 0..k {
+                    let d = read_varint(&self.stream, &mut pos).expect("validated at construction");
+                    col = if e == 0 { d } else { col + d + 1 };
+                    f(col as u32, vals[base + e as usize]);
+                }
+            }
+        }
+    }
+}
+
+impl LinearOperator for CompressedCsr {
+    fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    fn apply(&self, x: &DenseMatrix) -> DenseMatrix {
+        storage::spmm(self, x)
+    }
+
+    fn apply_transpose(&self, x: &DenseMatrix) -> DenseMatrix {
+        // Serial scatter fallback, mirroring `CsrMatrix::apply_transpose`
+        // (transpose products are always wrapped by a transition pair
+        // that caches the transposed structure).
+        assert_eq!(x.rows(), self.rows, "apply_transpose: shape mismatch");
+        let k = x.cols();
+        let mut y = DenseMatrix::zeros(self.cols, k);
+        for i in 0..self.rows {
+            let xrow = x.row(i);
+            GraphStorage::for_each_in_row(self, i, |j, v| {
+                csrplus_linalg::vector::axpy(
+                    v,
+                    xrow,
+                    &mut y.as_mut_slice()[j as usize * k..(j as usize + 1) * k],
+                );
+            });
+        }
+        y
+    }
+}
+
+/// `Q` and `Qᵀ` both gap-compressed: the compressed counterpart of
+/// [`TransitionMatrix`].  Implements [`TransitionOps`] (the query scans)
+/// and [`LinearOperator`] (the SVD), running the same shared kernels —
+/// products are bitwise identical to the uncompressed pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedTransition {
+    q: CompressedCsr,
+    qt: CompressedCsr,
+}
+
+impl CompressedTransition {
+    /// Compresses both directions of an existing transition matrix.
+    pub fn from_transition(t: &TransitionMatrix) -> Self {
+        CompressedTransition {
+            q: CompressedCsr::from_csr(t.q()),
+            qt: CompressedCsr::from_csr(t.qt()),
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.q.rows()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.q.nnz()
+    }
+
+    /// The compressed forward matrix `Q`.
+    pub fn q(&self) -> &CompressedCsr {
+        &self.q
+    }
+
+    /// The compressed transpose `Qᵀ`.
+    pub fn qt(&self) -> &CompressedCsr {
+        &self.qt
+    }
+
+    /// Estimated heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.q.heap_bytes() + self.qt.heap_bytes()
+    }
+}
+
+impl TransitionOps for CompressedTransition {
+    fn n(&self) -> usize {
+        self.q.rows()
+    }
+
+    fn propagate(&self, x: &[f64]) -> Vec<f64> {
+        storage::matvec(&self.q, x)
+    }
+
+    fn propagate_transpose(&self, x: &[f64]) -> Vec<f64> {
+        storage::matvec(&self.qt, x)
+    }
+}
+
+impl LinearOperator for CompressedTransition {
+    fn nrows(&self) -> usize {
+        self.q.rows()
+    }
+
+    fn ncols(&self) -> usize {
+        self.q.cols()
+    }
+
+    fn apply(&self, x: &DenseMatrix) -> DenseMatrix {
+        storage::spmm(&self.q, x)
+    }
+
+    fn apply_transpose(&self, x: &DenseMatrix) -> DenseMatrix {
+        storage::spmm(&self.qt, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::paper_example::figure1_graph;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_sparse(rows: usize, cols: usize, nnz: usize, seed: u64) -> CsrMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let triples: Vec<(u32, u32, f64)> = (0..nnz)
+            .map(|_| {
+                (
+                    rng.gen_range(0..rows as u32),
+                    rng.gen_range(0..cols as u32),
+                    rng.gen_range(-1.0..1.0),
+                )
+            })
+            .collect();
+        CsrMatrix::from_coo(rows, cols, triples).unwrap()
+    }
+
+    #[test]
+    fn elias_fano_random_access() {
+        let values: Vec<u64> = (0..500u64).map(|i| i * i / 3).collect();
+        let ef = EliasFano::encode(&values);
+        assert_eq!(ef.len(), 500);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(ef.get(i), v, "index {i}");
+        }
+        // Degenerate shapes.
+        assert!(EliasFano::encode(&[]).is_empty());
+        let flat = EliasFano::encode(&[7, 7, 7, 7]);
+        for i in 0..4 {
+            assert_eq!(flat.get(i), 7);
+        }
+        let sparse = EliasFano::encode(&[0, 1, 1 << 40]);
+        assert_eq!(sparse.get(0), 0);
+        assert_eq!(sparse.get(1), 1);
+        assert_eq!(sparse.get(2), 1 << 40);
+    }
+
+    #[test]
+    fn round_trip_exact_for_random_matrices() {
+        for seed in [1u64, 2, 3] {
+            let a = random_sparse(60, 45, 400, seed);
+            let c = CompressedCsr::from_csr(&a);
+            assert_eq!(c.nnz(), a.nnz());
+            assert_eq!(c.to_csr(), a);
+            assert!(matches!(c.value_model(), ValueModel::Explicit(_)));
+        }
+    }
+
+    #[test]
+    fn transition_matrices_use_cheap_value_models() {
+        let t = TransitionMatrix::from_graph(&figure1_graph());
+        let q = CompressedCsr::from_csr(t.q());
+        let qt = CompressedCsr::from_csr(t.qt());
+        // Q's values depend only on the column; Qᵀ's only on the row.
+        assert!(matches!(q.value_model(), ValueModel::ColumnScaled(_)), "{:?}", q.value_model());
+        assert!(matches!(qt.value_model(), ValueModel::RowConstant(_)));
+        assert_eq!(q.to_csr(), *t.q());
+        assert_eq!(qt.to_csr(), *t.qt());
+    }
+
+    #[test]
+    fn kernels_bitwise_match_uncompressed() {
+        let a = random_sparse(800, 700, 12_000, 9);
+        let c = CompressedCsr::from_csr(&a);
+        let x: Vec<f64> = (0..700).map(|i| (i as f64 * 0.17).sin()).collect();
+        assert_eq!(storage::matvec(&c, &x), a.matvec(&x));
+        let xt: Vec<f64> = (0..800).map(|i| (i as f64 * 0.29).cos()).collect();
+        assert_eq!(storage::matvec_transpose(&c, &xt), a.matvec_transpose(&xt));
+        let mut rng = StdRng::seed_from_u64(10);
+        let dense = DenseMatrix::random_gaussian(700, 5, &mut rng);
+        for threads in [1usize, 4] {
+            let mut want = DenseMatrix::zeros(800, 5);
+            a.matmul_dense_into(&dense, want.view_mut(), threads);
+            let mut got = DenseMatrix::zeros(800, 5);
+            storage::spmm_into(&c, &dense, got.view_mut(), threads);
+            assert_eq!(got.as_slice(), want.as_slice(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn compressed_transition_propagates_bitwise() {
+        let t = TransitionMatrix::from_graph(&figure1_graph());
+        let ct = CompressedTransition::from_transition(&t);
+        assert_eq!(ct.n(), t.n());
+        assert_eq!(ct.nnz(), t.nnz());
+        let x: Vec<f64> = (0..t.n()).map(|i| 1.0 / (i + 1) as f64).collect();
+        assert_eq!(ct.propagate(&x), t.propagate(&x));
+        assert_eq!(ct.propagate_transpose(&x), t.propagate_transpose(&x));
+    }
+
+    #[test]
+    fn serialised_round_trip() {
+        let a = random_sparse(30, 40, 150, 21);
+        let c = CompressedCsr::from_csr(&a);
+        let blob = c.to_bytes();
+        let back = CompressedCsr::from_bytes(&blob).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.to_csr(), a);
+    }
+
+    #[test]
+    fn empty_and_edge_shapes_round_trip() {
+        for a in [
+            CsrMatrix::from_coo(0, 0, vec![]).unwrap(),
+            CsrMatrix::from_coo(5, 3, vec![]).unwrap(), // all-empty rows
+            CsrMatrix::from_coo(1, 1, vec![(0, 0, 2.5)]).unwrap(), // singleton
+            // One max-degree row among empties.
+            CsrMatrix::from_coo(4, 64, (0..64).map(|j| (2u32, j as u32, j as f64)).collect())
+                .unwrap(),
+        ] {
+            let c = CompressedCsr::from_csr(&a);
+            assert_eq!(c.to_csr(), a);
+            let back = CompressedCsr::from_bytes(&c.to_bytes()).unwrap();
+            assert_eq!(back.to_csr(), a);
+        }
+    }
+
+    #[test]
+    fn corruption_yields_typed_errors() {
+        let a = random_sparse(20, 20, 80, 33);
+        let blob = CompressedCsr::from_csr(&a).to_bytes();
+        // Truncations.
+        assert!(matches!(CompressedCsr::from_bytes(&[]), Err(CodecError::Truncated)));
+        assert!(matches!(
+            CompressedCsr::from_bytes(&blob[..blob.len() - 1]),
+            Err(CodecError::Truncated | CodecError::ChecksumMismatch { .. })
+        ));
+        // Bad magic / version.
+        let mut b = blob.clone();
+        b[0] ^= 0xff;
+        assert!(matches!(CompressedCsr::from_bytes(&b), Err(CodecError::BadMagic)));
+        let mut b = blob.clone();
+        b[4] = 99;
+        assert!(matches!(CompressedCsr::from_bytes(&b), Err(CodecError::UnsupportedVersion(99))));
+        // A flip anywhere else trips the checksum.
+        let mut b = blob.clone();
+        let mid = b.len() / 2;
+        b[mid] ^= 0x10;
+        assert!(matches!(CompressedCsr::from_bytes(&b), Err(CodecError::ChecksumMismatch { .. })));
+    }
+}

@@ -7,17 +7,15 @@
 //! so those two kernels are the hot path of the whole workspace.
 
 use crate::error::GraphError;
+use crate::storage::{self, GraphStorage};
 use csrplus_linalg::{par_row_bands, vector, DenseMatrix, LinearOperator, MatViewMut};
 
 /// Work floor (multiply-adds) per parallel chunk for the sparse kernels.
 /// Chunk sizing depends only on the matrix shape and nnz — never on the
 /// thread count — so sparse products are bitwise reproducible at any
 /// parallelism (each chunk owns a disjoint slice of output rows).
-const MIN_CHUNK_WORK: usize = 1 << 18;
-
-/// Cap on partial buffers for the scatter kernel
-/// ([`CsrMatrix::matvec_transpose`]); bounds scratch at `8 × cols` floats.
-const MAX_PARTIALS: usize = 8;
+/// Shared with the storage-generic kernels in [`crate::storage`].
+const MIN_CHUNK_WORK: usize = storage::MIN_CHUNK_WORK;
 
 /// Rows×cols sparse matrix in CSR format (`f64` values, `u32` indices).
 #[derive(Debug, Clone, PartialEq)]
@@ -144,78 +142,22 @@ impl CsrMatrix {
         d
     }
 
-    /// Average non-zeros per row, used as the per-row work estimate when
-    /// sizing parallel chunks (shape-only, so chunking is reproducible).
-    fn mean_row_nnz(&self) -> usize {
-        self.nnz().checked_div(self.rows).unwrap_or(1).max(1)
-    }
-
     /// Sparse · vector: `y = A·x`, output rows distributed over the
-    /// shared [`csrplus_par`] pool.
+    /// shared [`csrplus_par`] pool (the storage-generic kernel of
+    /// [`crate::storage::matvec`], specialised to CSR slices).
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "matvec: length mismatch");
-        let mut y = vec![0.0; self.rows];
-        let chunk_rows = csrplus_par::chunk_len(self.rows, self.mean_row_nnz(), MIN_CHUNK_WORK);
-        csrplus_par::for_each_chunk_mut(&mut y, chunk_rows, csrplus_par::threads(), |ci, out| {
-            let lo = ci * chunk_rows;
-            for (off, yv) in out.iter_mut().enumerate() {
-                let (idx, val) = self.row(lo + off);
-                let mut acc = 0.0;
-                for (&j, &v) in idx.iter().zip(val.iter()) {
-                    acc += v * x[j as usize];
-                }
-                *yv = acc;
-            }
-        });
-        y
+        storage::matvec(self, x)
     }
 
     /// Sparseᵀ · vector: `y = Aᵀ·x` (scatter over rows).
     ///
     /// The scatter accumulates into shared output columns, so the pool
-    /// version splits the rows into at most [`MAX_PARTIALS`]
-    /// shape-determined chunks, each scattering into a private partial,
-    /// reduced serially in chunk order — the summation order is fixed
-    /// regardless of thread count.
+    /// version splits the rows into shape-determined chunks, each
+    /// scattering into a private partial, reduced serially in chunk
+    /// order — the summation order is fixed regardless of thread count.
+    /// See [`crate::storage::matvec_transpose`].
     pub fn matvec_transpose(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.rows, "matvec_transpose: length mismatch");
-        let mut y = vec![0.0; self.cols];
-        if self.rows == 0 || self.cols == 0 {
-            return y;
-        }
-        let scatter = |y: &mut [f64], lo: usize, hi: usize| {
-            for (i, &xi) in x[lo..hi].iter().enumerate() {
-                if xi == 0.0 {
-                    continue;
-                }
-                let (idx, val) = self.row(lo + i);
-                for (&j, &v) in idx.iter().zip(val.iter()) {
-                    y[j as usize] += v * xi;
-                }
-            }
-        };
-        let chunk_rows = csrplus_par::chunk_len(self.rows, self.mean_row_nnz(), MIN_CHUNK_WORK)
-            .max(self.rows.div_ceil(MAX_PARTIALS));
-        let n_chunks = csrplus_par::chunk_count(self.rows, chunk_rows);
-        if n_chunks == 1 {
-            scatter(&mut y, 0, self.rows);
-            return y;
-        }
-        let rows = self.rows;
-        let mut partials = vec![0.0f64; n_chunks * self.cols];
-        csrplus_par::for_each_chunk_mut(
-            &mut partials,
-            self.cols,
-            csrplus_par::threads(),
-            |ci, part| {
-                let lo = ci * chunk_rows;
-                scatter(part, lo, (lo + chunk_rows).min(rows));
-            },
-        );
-        for part in partials.chunks(self.cols) {
-            vector::axpy(1.0, part, &mut y);
-        }
-        y
+        storage::matvec_transpose(self, x)
     }
 
     /// Sparse · dense block: `Y = A·X` (`X: cols×k`), output row chunks
@@ -241,23 +183,7 @@ impl CsrMatrix {
     /// # Panics
     /// Panics on shape mismatch or a destination with `col_stride ≠ 1`.
     pub fn matmul_dense_into(&self, x: &DenseMatrix, y: MatViewMut<'_>, threads: usize) {
-        assert_eq!(x.rows(), self.cols, "matmul_dense_into: shape mismatch");
-        assert_eq!(y.shape(), (self.rows, x.cols()), "matmul_dense_into: destination shape");
-        let k = x.cols();
-        if self.rows == 0 || k == 0 {
-            return;
-        }
-        let chunk_rows = csrplus_par::chunk_len(self.rows, self.mean_row_nnz() * k, MIN_CHUNK_WORK);
-        par_row_bands(y, chunk_rows, threads, |lo, mut band| {
-            for off in 0..band.rows() {
-                let orow = band.row_slice_mut(off).expect("par_row_bands is row-contiguous");
-                orow.fill(0.0);
-                let (idx, val) = self.row(lo + off);
-                for (&j, &v) in idx.iter().zip(val.iter()) {
-                    vector::axpy(v, x.row(j as usize), orow);
-                }
-            }
-        });
+        storage::spmm_into(self, x, y, threads);
     }
 
     /// Dense · sparse product `Y = X·A` (`X: k×rows`), the row-major way
@@ -323,6 +249,36 @@ impl CsrMatrix {
         self.indptr.capacity() * std::mem::size_of::<usize>()
             + self.indices.capacity() * std::mem::size_of::<u32>()
             + self.values.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+impl GraphStorage for CsrMatrix {
+    #[inline]
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    #[inline]
+    fn row_nnz(&self, i: usize) -> usize {
+        self.indptr[i + 1] - self.indptr[i]
+    }
+
+    #[inline]
+    fn for_each_in_row<F: FnMut(u32, f64)>(&self, i: usize, mut f: F) {
+        let (idx, val) = self.row(i);
+        for (&j, &v) in idx.iter().zip(val.iter()) {
+            f(j, v);
+        }
     }
 }
 

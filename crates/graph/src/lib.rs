@@ -15,6 +15,13 @@
 //! * [`TransitionMatrix`] — `Q` together with its transpose, implementing
 //!   [`csrplus_linalg::LinearOperator`] so it can be fed straight into the
 //!   truncated SVD;
+//! * [`storage`] — the [`GraphStorage`] trait plus spmm/matvec kernels
+//!   generic over it, so every backend runs identical deterministic
+//!   chunking and accumulation order;
+//! * [`compressed`] — a gap-compressed backend ([`CompressedCsr`],
+//!   [`CompressedTransition`]): LEB128 delta-gapped adjacency with
+//!   Elias–Fano row offsets and bitwise-detected value models, for graphs
+//!   whose raw CSR does not fit in RAM;
 //! * [`io`] — the SNAP plain-text edge-list format (comments, arbitrary
 //!   node ids, relabeling) so the real datasets drop in unchanged;
 //! * [`generators`] — deterministic random-graph models used to synthesise
@@ -25,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod components;
+pub mod compressed;
 pub mod csr;
 pub mod degree;
 pub mod digraph;
@@ -32,9 +40,12 @@ pub mod error;
 pub mod generators;
 pub mod io;
 pub mod sample;
+pub mod storage;
 pub mod transition;
 
+pub use compressed::{CompressedCsr, CompressedTransition};
 pub use csr::CsrMatrix;
 pub use digraph::DiGraph;
 pub use error::GraphError;
-pub use transition::TransitionMatrix;
+pub use storage::GraphStorage;
+pub use transition::{TransitionMatrix, TransitionOps};

@@ -1,0 +1,200 @@
+//! The [`GraphStorage`] abstraction: sparse kernels generic over how the
+//! adjacency structure is stored.
+//!
+//! The paper's algorithms only ever consume a sparse matrix through two
+//! access patterns — "visit the non-zeros of row `i` in ascending column
+//! order" and shape/nnz queries for work estimation.  Everything else
+//! (spmm, matvec, the PPR query scans) is derived.  This module captures
+//! that contract as a trait so the in-memory [`crate::CsrMatrix`] and the
+//! compressed [`crate::compressed::CompressedCsr`] backend run the *same*
+//! kernels: identical deterministic chunking, identical per-row
+//! accumulation order, and therefore bitwise-identical products whenever
+//! the stored values are bitwise equal.
+
+use csrplus_linalg::{par_row_bands, vector, DenseMatrix, MatViewMut};
+
+/// Work floor (multiply-adds) per parallel chunk for the sparse kernels.
+/// Must match the historical `CsrMatrix` constant: chunk geometry is part
+/// of the bitwise-reproducibility contract across storage backends.
+pub(crate) const MIN_CHUNK_WORK: usize = 1 << 18;
+
+/// Cap on partial buffers for the transpose-scatter kernel; bounds
+/// scratch at `8 × cols` floats.
+pub(crate) const MAX_PARTIALS: usize = 8;
+
+/// Row-major sparse adjacency storage.
+///
+/// Implementors must visit each row's non-zeros in **ascending column
+/// order** — the kernels' floating-point accumulation order (and thus
+/// their exact bit patterns) depends on it.
+pub trait GraphStorage: Sync {
+    /// Number of rows.
+    fn rows(&self) -> usize;
+
+    /// Number of columns.
+    fn cols(&self) -> usize;
+
+    /// Number of stored non-zeros.
+    fn nnz(&self) -> usize;
+
+    /// Non-zeros in row `i`.
+    fn row_nnz(&self, i: usize) -> usize;
+
+    /// Calls `f(col, value)` for every non-zero of row `i`, in ascending
+    /// column order.
+    fn for_each_in_row<F: FnMut(u32, f64)>(&self, i: usize, f: F);
+}
+
+/// Average non-zeros per row — the shape-only per-row work estimate used
+/// when sizing parallel chunks (identical across backends by design).
+fn mean_row_nnz<G: GraphStorage>(a: &G) -> usize {
+    a.nnz().checked_div(a.rows()).unwrap_or(1).max(1)
+}
+
+/// Sparse · vector `y = A·x`, output rows distributed over the shared
+/// [`csrplus_par`] pool.  Bitwise identical to the historical
+/// `CsrMatrix::matvec` for any backend storing the same values.
+pub fn matvec<G: GraphStorage>(a: &G, x: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), a.cols(), "matvec: length mismatch");
+    let mut y = vec![0.0; a.rows()];
+    let chunk_rows = csrplus_par::chunk_len(a.rows(), mean_row_nnz(a), MIN_CHUNK_WORK);
+    csrplus_par::for_each_chunk_mut(&mut y, chunk_rows, csrplus_par::threads(), |ci, out| {
+        let lo = ci * chunk_rows;
+        for (off, yv) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            a.for_each_in_row(lo + off, |j, v| acc += v * x[j as usize]);
+            *yv = acc;
+        }
+    });
+    y
+}
+
+/// Sparseᵀ · vector `y = Aᵀ·x` (scatter over rows, partials reduced in
+/// chunk order so the summation order is independent of thread count).
+pub fn matvec_transpose<G: GraphStorage>(a: &G, x: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), a.rows(), "matvec_transpose: length mismatch");
+    let mut y = vec![0.0; a.cols()];
+    if a.rows() == 0 || a.cols() == 0 {
+        return y;
+    }
+    let scatter = |y: &mut [f64], lo: usize, hi: usize| {
+        for (i, &xi) in x[lo..hi].iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            a.for_each_in_row(lo + i, |j, v| y[j as usize] += v * xi);
+        }
+    };
+    let chunk_rows = csrplus_par::chunk_len(a.rows(), mean_row_nnz(a), MIN_CHUNK_WORK)
+        .max(a.rows().div_ceil(MAX_PARTIALS));
+    let n_chunks = csrplus_par::chunk_count(a.rows(), chunk_rows);
+    if n_chunks == 1 {
+        scatter(&mut y, 0, a.rows());
+        return y;
+    }
+    let rows = a.rows();
+    let cols = a.cols();
+    let mut partials = vec![0.0f64; n_chunks * cols];
+    csrplus_par::for_each_chunk_mut(&mut partials, cols, csrplus_par::threads(), |ci, part| {
+        let lo = ci * chunk_rows;
+        scatter(part, lo, (lo + chunk_rows).min(rows));
+    });
+    for part in partials.chunks(cols) {
+        vector::axpy(1.0, part, &mut y);
+    }
+    y
+}
+
+/// Sparse · dense block `Y = A·X` into a caller-provided destination —
+/// the spmm behind every PPR iteration and the randomized SVD, generic
+/// over the storage backend.
+///
+/// # Panics
+/// Panics on shape mismatch or a destination with `col_stride ≠ 1`.
+pub fn spmm_into<G: GraphStorage>(a: &G, x: &DenseMatrix, y: MatViewMut<'_>, threads: usize) {
+    assert_eq!(x.rows(), a.cols(), "spmm_into: shape mismatch");
+    assert_eq!(y.shape(), (a.rows(), x.cols()), "spmm_into: destination shape");
+    let k = x.cols();
+    if a.rows() == 0 || k == 0 {
+        return;
+    }
+    let chunk_rows = csrplus_par::chunk_len(a.rows(), mean_row_nnz(a) * k, MIN_CHUNK_WORK);
+    par_row_bands(y, chunk_rows, threads, |lo, mut band| {
+        for off in 0..band.rows() {
+            let orow = band.row_slice_mut(off).expect("par_row_bands is row-contiguous");
+            orow.fill(0.0);
+            a.for_each_in_row(lo + off, |j, v| vector::axpy(v, x.row(j as usize), orow));
+        }
+    });
+}
+
+/// Allocating convenience wrapper over [`spmm_into`].
+pub fn spmm<G: GraphStorage>(a: &G, x: &DenseMatrix) -> DenseMatrix {
+    let mut y = DenseMatrix::zeros(a.rows(), x.cols());
+    spmm_into(a, x, y.view_mut(), csrplus_par::threads());
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsrMatrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_sparse(rows: usize, cols: usize, nnz: usize, seed: u64) -> CsrMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let triples: Vec<(u32, u32, f64)> = (0..nnz)
+            .map(|_| {
+                (
+                    rng.gen_range(0..rows as u32),
+                    rng.gen_range(0..cols as u32),
+                    rng.gen_range(-1.0..1.0),
+                )
+            })
+            .collect();
+        CsrMatrix::from_coo(rows, cols, triples).unwrap()
+    }
+
+    #[test]
+    fn trait_surface_matches_csr_accessors() {
+        let a = random_sparse(40, 30, 200, 7);
+        assert_eq!(GraphStorage::rows(&a), 40);
+        assert_eq!(GraphStorage::cols(&a), 30);
+        assert_eq!(GraphStorage::nnz(&a), a.nnz());
+        for i in 0..40 {
+            assert_eq!(a.row_nnz(i), a.row(i).0.len());
+            let mut seen: Vec<(u32, f64)> = Vec::new();
+            a.for_each_in_row(i, |j, v| seen.push((j, v)));
+            let (idx, val) = a.row(i);
+            let want: Vec<(u32, f64)> = idx.iter().copied().zip(val.iter().copied()).collect();
+            assert_eq!(seen, want, "row {i}");
+        }
+    }
+
+    #[test]
+    fn generic_kernels_bitwise_match_csr_methods() {
+        let a = random_sparse(500, 400, 6_000, 11);
+        let x: Vec<f64> = (0..400).map(|i| (i as f64 * 0.13).sin()).collect();
+        assert_eq!(matvec(&a, &x), a.matvec(&x));
+        let xt: Vec<f64> = (0..500).map(|i| (i as f64 * 0.21).cos()).collect();
+        assert_eq!(matvec_transpose(&a, &xt), a.matvec_transpose(&xt));
+        let mut rng = StdRng::seed_from_u64(12);
+        let dense = DenseMatrix::random_gaussian(400, 6, &mut rng);
+        assert_eq!(spmm(&a, &dense).as_slice(), a.matmul_dense(&dense).as_slice());
+    }
+
+    #[test]
+    fn spmm_bitwise_identical_across_thread_caps() {
+        let a = random_sparse(1200, 1200, 40_000, 13);
+        let mut rng = StdRng::seed_from_u64(14);
+        let x = DenseMatrix::random_gaussian(1200, 8, &mut rng);
+        let mut serial = DenseMatrix::zeros(1200, 8);
+        spmm_into(&a, &x, serial.view_mut(), 1);
+        for threads in [2usize, 4, 8] {
+            let mut y = DenseMatrix::zeros(1200, 8);
+            spmm_into(&a, &x, y.view_mut(), threads);
+            assert_eq!(y.as_slice(), serial.as_slice(), "threads={threads}");
+        }
+    }
+}

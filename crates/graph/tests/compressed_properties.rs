@@ -1,0 +1,108 @@
+//! Property tests for the compressed CSR codec, mirroring the model
+//! format's guarantees (`crates/core/tests/persist_properties.rs`):
+//! round-trips are bitwise exact for *arbitrary* sparse matrices —
+//! including empty rows, singleton nodes, and maximum-degree rows — and
+//! every corruption (truncation at any offset, any single bit flip) is
+//! reported as a typed [`CodecError`], never as a panic.
+
+use csrplus_graph::compressed::CodecError;
+use csrplus_graph::{CompressedCsr, CsrMatrix};
+use proptest::prelude::*;
+
+/// An arbitrary sparse matrix: random shape, random density — plus the
+/// shapes the shrinker gravitates to (empty rows everywhere, single
+/// cells).  Duplicate coordinates collapse via `from_coo`'s summing.
+fn arb_csr() -> impl Strategy<Value = CsrMatrix> {
+    (1usize..24, 1usize..24).prop_flat_map(|(rows, cols)| {
+        let triple = (0u32..rows as u32, 0u32..cols as u32, -4.0f64..4.0);
+        proptest::collection::vec(triple, 0..96)
+            .prop_map(move |t| CsrMatrix::from_coo(rows, cols, t).unwrap())
+    })
+}
+
+fn assert_csr_eq(a: &CsrMatrix, b: &CsrMatrix) {
+    assert_eq!(a.rows(), b.rows());
+    assert_eq!(a.cols(), b.cols());
+    assert_eq!(a.nnz(), b.nnz());
+    for i in 0..a.rows() {
+        let (ia, va) = a.row(i);
+        let (ib, vb) = b.row(i);
+        assert_eq!(ia, ib, "row {i} indices");
+        assert_eq!(va, vb, "row {i} values");
+    }
+}
+
+/// A row of maximum degree (every column occupied) next to empty rows
+/// and a singleton — the codec's boundary shapes, pinned explicitly in
+/// addition to whatever the random strategy finds.
+#[test]
+fn boundary_shapes_round_trip() {
+    let mut triples: Vec<(u32, u32, f64)> = Vec::new();
+    // Row 1: full (max-degree).  Rows 0, 2, 4: empty.  Row 3: singleton.
+    for c in 0..17u32 {
+        triples.push((1, c, 0.25 * (c as f64 + 1.0)));
+    }
+    triples.push((3, 9, -1.5));
+    let csr = CsrMatrix::from_coo(5, 17, triples).unwrap();
+    let compressed = CompressedCsr::from_csr(&csr);
+    assert_csr_eq(&compressed.to_csr(), &csr);
+    let bytes = compressed.to_bytes();
+    let decoded = CompressedCsr::from_bytes(&bytes).unwrap();
+    assert_csr_eq(&decoded.to_csr(), &csr);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Compress → decompress reproduces every row bit-for-bit.
+    #[test]
+    fn round_trip_is_bitwise_exact(csr in arb_csr()) {
+        let compressed = CompressedCsr::from_csr(&csr);
+        assert_csr_eq(&compressed.to_csr(), &csr);
+    }
+
+    /// Serialise → deserialise round-trips through bytes, too.
+    #[test]
+    fn serialised_round_trip_is_bitwise_exact(csr in arb_csr()) {
+        let compressed = CompressedCsr::from_csr(&csr);
+        let decoded = CompressedCsr::from_bytes(&compressed.to_bytes()).unwrap();
+        prop_assert_eq!(decoded.rows(), csr.rows());
+        prop_assert_eq!(decoded.cols(), csr.cols());
+        prop_assert_eq!(decoded.nnz(), csr.nnz());
+        assert_csr_eq(&decoded.to_csr(), &csr);
+    }
+
+    /// Truncating the blob at ANY offset yields a typed error, never a
+    /// panic and never a silently short matrix.
+    #[test]
+    fn truncation_at_any_offset_errors(csr in arb_csr(), frac in 0.0f64..1.0) {
+        let bytes = CompressedCsr::from_csr(&csr).to_bytes();
+        let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+        let err = CompressedCsr::from_bytes(&bytes[..cut]).unwrap_err();
+        prop_assert!(
+            matches!(
+                err,
+                CodecError::Truncated | CodecError::ChecksumMismatch { .. } | CodecError::Malformed(_)
+            ),
+            "cut at {cut}/{} gave {err}", bytes.len()
+        );
+    }
+
+    /// Flipping ANY single bit is detected — by the magic/version fields
+    /// up front, by the whole-blob checksum everywhere else.
+    #[test]
+    fn single_bit_flip_is_detected(csr in arb_csr(), pos in 0usize..8192, bit in 0u8..8) {
+        let mut bytes = CompressedCsr::from_csr(&csr).to_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        let err = CompressedCsr::from_bytes(&bytes).unwrap_err();
+        match pos {
+            0..=3 => prop_assert!(matches!(err, CodecError::BadMagic), "{err}"),
+            4..=7 => prop_assert!(matches!(err, CodecError::UnsupportedVersion(_)), "{err}"),
+            _ => prop_assert!(
+                matches!(err, CodecError::ChecksumMismatch { .. } | CodecError::Malformed(_)),
+                "{err}"
+            ),
+        }
+    }
+}

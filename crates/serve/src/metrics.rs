@@ -147,6 +147,12 @@ pub struct Metrics {
     pub cache_misses: AtomicU64,
     /// Column-cache evictions.
     pub cache_evictions: AtomicU64,
+    /// Model load → ready-to-serve time in microseconds (0 until
+    /// recorded).
+    pub cold_start_us: AtomicU64,
+    /// 1 when the model was memory-mapped from a v2 artifact, 0 when it
+    /// was fully deserialised into owned buffers.
+    pub model_mapped: AtomicU64,
 }
 
 impl Metrics {
@@ -159,6 +165,14 @@ impl Metrics {
     pub fn record_request(&self, route: Route, latency: Duration) {
         self.requests[route.index()].fetch_add(1, Ordering::Relaxed);
         self.latency_us[route.index()].observe_duration(latency);
+    }
+
+    /// Records the cold-start cost: how long loading the model took and
+    /// whether it booted zero-copy off a mapped artifact.
+    pub fn record_boot(&self, load_time: Duration, mapped: bool) {
+        let us = load_time.as_micros().min(u64::MAX as u128) as u64;
+        self.cold_start_us.store(us, Ordering::Relaxed);
+        self.model_mapped.store(mapped as u64, Ordering::Relaxed);
     }
 
     /// Requests served on `route` so far.
@@ -190,7 +204,8 @@ impl Metrics {
                 "\"routes\":{{{}}},",
                 "\"errors\":{{\"client\":{},\"io\":{},\"queue_rejections\":{}}},",
                 "\"batcher\":{{\"model_evaluations\":{},\"batched_requests\":{},\"batch_sizes\":{}}},",
-                "\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{}}}}}"
+                "\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{}}},",
+                "\"boot\":{{\"cold_start_us\":{},\"model_mapped\":{}}}}}"
             ),
             self.total_requests(),
             routes.join(","),
@@ -203,6 +218,8 @@ impl Metrics {
             load(&self.cache_hits),
             load(&self.cache_misses),
             load(&self.cache_evictions),
+            load(&self.cold_start_us),
+            load(&self.model_mapped),
         )
     }
 }
@@ -245,5 +262,15 @@ mod tests {
         assert!(json.contains("\"batch_sizes\":{\"count\":1"), "{json}");
         assert_eq!(m.requests(Route::TopK), 1);
         assert_eq!(m.total_requests(), 2);
+    }
+
+    #[test]
+    fn boot_metrics_render() {
+        let m = Metrics::new();
+        assert!(m.render_json().contains("\"boot\":{\"cold_start_us\":0,\"model_mapped\":0}"));
+        m.record_boot(Duration::from_micros(1234), true);
+        let json = m.render_json();
+        assert!(json.contains("\"cold_start_us\":1234"), "{json}");
+        assert!(json.contains("\"model_mapped\":1"), "{json}");
     }
 }

@@ -1,0 +1,58 @@
+//! Typed errors for artifact reading and writing.
+
+use std::fmt;
+
+/// Errors from the artifact store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure (open, read, map, write).
+    Io(std::io::Error),
+    /// The file does not start with the `CSRP` magic.
+    BadMagic,
+    /// The file uses a format version this build cannot read.
+    UnsupportedVersion(u32),
+    /// A section (or the section table) failed its checksum.
+    ChecksumMismatch {
+        /// Which section failed (`"table"` for the section table).
+        section: String,
+        /// Checksum recorded in the file.
+        expected: u64,
+        /// Checksum of the bytes actually present.
+        actual: u64,
+    },
+    /// The file is structurally inconsistent (truncated, overlapping
+    /// sections, non-canonical layout, missing section, …).
+    Malformed(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "artifact I/O error: {e}"),
+            StoreError::BadMagic => write!(f, "not a CSRP artifact (bad magic)"),
+            StoreError::UnsupportedVersion(v) => {
+                write!(f, "unsupported CSRP artifact version {v}")
+            }
+            StoreError::ChecksumMismatch { section, expected, actual } => write!(
+                f,
+                "artifact section '{section}' checksum mismatch: stored {expected:#x}, computed {actual:#x}"
+            ),
+            StoreError::Malformed(m) => write!(f, "malformed CSRP artifact: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

@@ -1,0 +1,43 @@
+//! # csrplus-store
+//!
+//! Versioned, checksummed, memory-mappable on-disk storage for CSR+
+//! artifacts — the `CSRP` v2 format.
+//!
+//! The persist layer used to deserialise every factor into owned heap
+//! buffers, so boot time and resident memory both scaled with model
+//! size.  v2 lays the model out as 64-byte-aligned little-endian
+//! sections behind a checksummed section table, which allows two ways
+//! in:
+//!
+//! * **owned** — read the file, eagerly verify every section checksum,
+//!   decode into heap buffers (the old behaviour, still the safest for
+//!   untrusted files);
+//! * **mmap** — map the file, validate *structure only* (header, footer,
+//!   table checksum, canonical layout, zero padding), and borrow the
+//!   dense factors straight off the page cache as
+//!   [`MappedMatrix`]/[`csrplus_linalg::MatView`] — zero-copy,
+//!   milliseconds to first query, one physical copy shared across every
+//!   process serving the same artifact.
+//!
+//! The crate is deliberately low in the dependency stack (only
+//! `csrplus-linalg` for the view types): `csrplus-core` builds its model
+//! I/O on top, `csrplus-cli` exposes `pack`/`inspect`, and
+//! `csrplus-serve` reports which backend a model booted from.
+//!
+//! Unlike the rest of the workspace, this crate contains `unsafe`: the
+//! `mmap(2)` FFI in [`mmap`] and the alignment-checked byte→f64 casts in
+//! [`matrix`] (see DESIGN.md for the audit surface).
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod error;
+pub mod format;
+pub mod matrix;
+pub mod mmap;
+
+pub use backend::Backend;
+pub use error::StoreError;
+pub use format::{Artifact, ArtifactWriter, DType, SectionDesc, VERSION};
+pub use matrix::MappedMatrix;
+pub use mmap::Region;

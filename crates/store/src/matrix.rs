@@ -1,0 +1,82 @@
+//! Zero-copy dense matrices borrowed straight from an artifact region.
+
+use crate::mmap::Region;
+use csrplus_linalg::MatView;
+use std::sync::Arc;
+
+#[cfg(target_endian = "big")]
+compile_error!(
+    "csrplus-store requires a little-endian target: CSRP sections are \
+     little-endian f64 and are reinterpreted in place"
+);
+
+/// A row-major `rows × cols` f64 matrix whose storage lives inside a
+/// shared [`Region`] — typically kernel page cache under an `mmap`.
+///
+/// Constructed by `Artifact::matrix`, which validates bounds, 8-byte
+/// alignment and element count, so every accessor here is infallible.
+/// Cloning is `Arc`-cheap; the underlying pages are shared.
+#[derive(Debug, Clone)]
+pub struct MappedMatrix {
+    region: Arc<Region>,
+    offset: usize,
+    rows: usize,
+    cols: usize,
+}
+
+impl MappedMatrix {
+    pub(crate) fn new(region: Arc<Region>, offset: usize, rows: usize, cols: usize) -> Self {
+        debug_assert!(offset & 7 == 0);
+        debug_assert!(offset + rows * cols * 8 <= region.len());
+        MappedMatrix { region, offset, rows, cols }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The matrix as a flat row-major slice, borrowed from the region.
+    pub fn as_slice(&self) -> &[f64] {
+        let bytes = &self.region.bytes()[self.offset..self.offset + self.rows * self.cols * 8];
+        debug_assert_eq!(bytes.as_ptr() as usize % std::mem::align_of::<f64>(), 0);
+        // SAFETY: the range is in bounds and 8-byte aligned (section
+        // offsets are 64-aligned within the file and the region base is
+        // 8-aligned); on little-endian targets every byte pattern is a
+        // valid f64.
+        unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const f64, self.rows * self.cols) }
+    }
+
+    /// Row `i` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.as_slice()[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Element `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.as_slice()[i * self.cols + j]
+    }
+
+    /// A borrowing [`MatView`] over the mapped storage — the same view
+    /// type the owned `DenseMatrix` produces, so downstream kernels do
+    /// not care where the bytes live.
+    pub fn view(&self) -> MatView<'_> {
+        MatView::new(self.as_slice(), self.rows, self.cols, self.cols, 1)
+            .expect("bounds validated at construction")
+    }
+}

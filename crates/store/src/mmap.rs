@@ -1,0 +1,212 @@
+//! Read-only byte regions: memory-mapped when the platform allows it,
+//! owned heap buffers otherwise.
+//!
+//! This is the only place in the workspace (outside `csrplus-par`) that
+//! uses `unsafe`: one FFI pair (`mmap`/`munmap`, declared directly so the
+//! build stays dependency-free) and the slice casts over the resulting
+//! immutable, page-cache-backed memory.
+
+use std::fs::File;
+use std::io;
+use std::path::Path;
+
+/// A contiguous read-only byte region backing an artifact.
+///
+/// Mapped regions borrow the kernel page cache: opening one costs a few
+/// syscalls regardless of file size, and the physical pages are shared
+/// between every process mapping the same artifact.  Owned regions hold
+/// the bytes in `Vec<u64>` storage (8-byte aligned, so the same section
+/// casts work on both backings).
+#[derive(Debug)]
+pub struct Region {
+    byte_len: usize,
+    backing: Backing,
+}
+
+#[derive(Debug)]
+enum Backing {
+    /// Heap copy; `Vec<u64>` so the base pointer is 8-byte aligned.
+    Owned(Vec<u64>),
+    /// `mmap(2)` mapping, unmapped on drop.
+    #[cfg(unix)]
+    Mapped { ptr: *mut u8, len: usize },
+}
+
+// SAFETY: the region is immutable for its whole lifetime — `PROT_READ`
+// mappings and never-mutated owned buffers are safe to share and send.
+unsafe impl Send for Region {}
+// SAFETY: as above — shared `&Region` access only ever reads.
+unsafe impl Sync for Region {}
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    pub fn map_failed() -> *mut c_void {
+        usize::MAX as *mut c_void // MAP_FAILED = (void *)-1
+    }
+}
+
+impl Region {
+    /// Maps `path` read-only into the address space (page-cache backed,
+    /// zero-copy).  Falls back to [`Region::read_file`] on non-Unix
+    /// targets; empty files become empty owned regions (`mmap` rejects
+    /// zero-length mappings).
+    pub fn map_file(path: &Path) -> io::Result<Region> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            let file = File::open(path)?;
+            let len = file.metadata()?.len();
+            if len == 0 {
+                return Ok(Region { byte_len: 0, backing: Backing::Owned(Vec::new()) });
+            }
+            let len = usize::try_from(len)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file exceeds usize"))?;
+            // SAFETY: a fresh read-only private mapping of a file we hold
+            // open; the result is checked against MAP_FAILED before use.
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr == sys::map_failed() {
+                return Err(io::Error::last_os_error());
+            }
+            // The fd can close now: the mapping keeps the pages alive.
+            Ok(Region { byte_len: len, backing: Backing::Mapped { ptr: ptr as *mut u8, len } })
+        }
+        #[cfg(not(unix))]
+        {
+            Region::read_file(path)
+        }
+    }
+
+    /// Reads `path` fully into an owned (8-byte-aligned) heap buffer.
+    pub fn read_file(path: &Path) -> io::Result<Region> {
+        use std::io::Read;
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file exceeds usize"))?;
+        let mut buf = vec![0u64; len.div_ceil(8)];
+        // SAFETY: u64 → u8 reinterpretation of an initialised, exclusively
+        // borrowed buffer; every byte pattern is a valid u8.
+        let bytes =
+            unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut u8, buf.len() * 8) };
+        file.read_exact(&mut bytes[..len])?;
+        Ok(Region { byte_len: len, backing: Backing::Owned(buf) })
+    }
+
+    /// Copies `bytes` into an owned region (used by in-memory decode
+    /// paths and tests).
+    pub fn from_bytes(bytes: &[u8]) -> Region {
+        let mut buf = vec![0u64; bytes.len().div_ceil(8)];
+        // SAFETY: as in `read_file` — aligned, initialised, exclusive.
+        let dst =
+            unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut u8, buf.len() * 8) };
+        dst[..bytes.len()].copy_from_slice(bytes);
+        Region { byte_len: bytes.len(), backing: Backing::Owned(buf) }
+    }
+
+    /// The region's bytes.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.backing {
+            Backing::Owned(v) => {
+                // SAFETY: u64 → u8 reinterpretation of initialised memory;
+                // byte_len ≤ 8·v.len() by construction.
+                unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u8, self.byte_len) }
+            }
+            #[cfg(unix)]
+            Backing::Mapped { ptr, .. } => {
+                // SAFETY: the mapping is PROT_READ, lives until drop, and
+                // spans exactly `byte_len` bytes.
+                unsafe { std::slice::from_raw_parts(*ptr, self.byte_len) }
+            }
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.byte_len
+    }
+
+    /// True when the region holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.byte_len == 0
+    }
+
+    /// True when backed by a memory mapping rather than a heap copy.
+    pub fn is_mapped(&self) -> bool {
+        match &self.backing {
+            Backing::Owned(_) => false,
+            #[cfg(unix)]
+            Backing::Mapped { .. } => true,
+        }
+    }
+}
+
+impl Drop for Region {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Backing::Mapped { ptr, len } = self.backing {
+            // SAFETY: exactly the pointer and length returned by mmap;
+            // dropped once, and no borrow of the bytes can outlive `self`.
+            unsafe {
+                sys::munmap(ptr as *mut std::ffi::c_void, len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_round_trip() {
+        let r = Region::from_bytes(&[1, 2, 3, 4, 5]);
+        assert_eq!(r.bytes(), &[1, 2, 3, 4, 5]);
+        assert_eq!(r.len(), 5);
+        assert!(!r.is_mapped());
+        assert!(Region::from_bytes(&[]).is_empty());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn mapped_file_matches_read_file() {
+        let path = std::env::temp_dir().join("csrplus_store_region_test.bin");
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::write(&path, &data).unwrap();
+        let mapped = Region::map_file(&path).unwrap();
+        let owned = Region::read_file(&path).unwrap();
+        assert!(mapped.is_mapped());
+        assert!(!owned.is_mapped());
+        assert_eq!(mapped.bytes(), owned.bytes());
+        assert_eq!(mapped.bytes(), &data[..]);
+        // The base must be 8-byte aligned for section casts.
+        assert_eq!(mapped.bytes().as_ptr() as usize % 8, 0);
+        assert_eq!(owned.bytes().as_ptr() as usize % 8, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the `CSRP` v2 artifact container: arbitrary
+//! section sets round-trip bit-for-bit, and corrupted or truncated files
+//! always surface as a typed [`StoreError`] — never a panic — under both
+//! the eager (owned) and structural (mmap-style) validation paths.
+
+use csrplus_store::{Artifact, ArtifactWriter, StoreError};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Payload {
+    F64s(Vec<f64>),
+    U64s(Vec<u64>),
+    U32s(Vec<u32>),
+    Bytes(Vec<u8>),
+}
+
+fn arb_payload() -> impl Strategy<Value = Payload> {
+    (0u8..4, proptest::collection::vec(0u64..u64::MAX, 0..40)).prop_map(|(kind, raw)| match kind {
+        // f64::from_bits of arbitrary words covers NaNs, infinities and
+        // subnormals; round-trips compare raw bits, so all are fair game.
+        0 => Payload::F64s(raw.iter().map(|&x| f64::from_bits(x)).collect()),
+        1 => Payload::U64s(raw),
+        2 => Payload::U32s(raw.iter().map(|&x| x as u32).collect()),
+        _ => Payload::Bytes(raw.iter().flat_map(|&x| x.to_le_bytes()).collect()),
+    })
+}
+
+/// 1–6 sections with distinct single-letter names and arbitrary typed
+/// payloads (including empty ones).
+fn arb_sections() -> impl Strategy<Value = Vec<(String, Payload)>> {
+    proptest::collection::vec(arb_payload(), 1..7).prop_map(|payloads| {
+        payloads.into_iter().enumerate().map(|(i, p)| (format!("s{i}"), p)).collect()
+    })
+}
+
+fn encode(sections: &[(String, Payload)]) -> Vec<u8> {
+    let mut w = ArtifactWriter::new(Vec::new()).unwrap();
+    for (name, payload) in sections {
+        match payload {
+            Payload::F64s(v) => w.section_f64s(name, v).unwrap(),
+            Payload::U64s(v) => w.section_u64s(name, v).unwrap(),
+            Payload::U32s(v) => w.section_u32s(name, v).unwrap(),
+            Payload::Bytes(v) => w.section_bytes(name, v).unwrap(),
+        }
+    }
+    w.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every section decodes back to exactly the written payload.
+    #[test]
+    fn round_trip_is_bitwise_exact(sections in arb_sections()) {
+        let bytes = encode(&sections);
+        let artifact = Artifact::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(artifact.sections().len(), sections.len());
+        for (name, payload) in &sections {
+            match payload {
+                Payload::F64s(v) => {
+                    let got = artifact.decode_f64s(name).unwrap();
+                    prop_assert_eq!(got.len(), v.len());
+                    for (a, b) in got.iter().zip(v) {
+                        prop_assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                }
+                Payload::U64s(v) => prop_assert_eq!(&artifact.decode_u64s(name).unwrap(), v),
+                Payload::U32s(v) => prop_assert_eq!(&artifact.decode_u32s(name).unwrap(), v),
+                Payload::Bytes(v) => {
+                    prop_assert_eq!(artifact.section_bytes(name).unwrap(), v.as_slice())
+                }
+            }
+        }
+        artifact.verify().unwrap();
+    }
+
+    /// Truncating the file at ANY offset is a typed error, never a panic.
+    #[test]
+    fn truncation_at_any_offset_errors(sections in arb_sections(), frac in 0.0f64..1.0) {
+        let bytes = encode(&sections);
+        let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+        let err = Artifact::from_bytes(&bytes[..cut]).unwrap_err();
+        prop_assert!(
+            matches!(
+                err,
+                StoreError::Malformed(_)
+                    | StoreError::ChecksumMismatch { .. }
+                    | StoreError::BadMagic
+            ),
+            "cut at {cut}/{} gave {err}", bytes.len()
+        );
+    }
+
+    /// Flipping ANY single bit is caught by the right layer: magic,
+    /// version, reserved header bytes, a section checksum, the padding
+    /// rule, the table checksum, or the footer structure.
+    #[test]
+    fn single_bit_flip_is_detected(sections in arb_sections(), pos in 0usize..65536, bit in 0u8..8) {
+        let mut bytes = encode(&sections);
+        let pos = pos % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        let err = Artifact::from_bytes(&bytes).unwrap_err();
+        match pos {
+            0..=3 => prop_assert!(matches!(err, StoreError::BadMagic), "{err}"),
+            4..=7 => prop_assert!(matches!(err, StoreError::UnsupportedVersion(_)), "{err}"),
+            8..=63 => prop_assert!(matches!(err, StoreError::Malformed(_)), "{err}"),
+            _ => prop_assert!(
+                matches!(
+                    err,
+                    StoreError::ChecksumMismatch { .. } | StoreError::Malformed(_)
+                ),
+                "{err}"
+            ),
+        }
+    }
+}

@@ -63,3 +63,45 @@ fn precompute_and_query_allocate_less_than_seed() {
 
     csrplus_par::set_threads(prior);
 }
+
+/// Saving a model streams: payload bytes pass through fixed stack
+/// scratch with the checksum folded in on the way, so the allocation
+/// count is a small constant — *independent of model size* — rather than
+/// a buffered copy of the payload.
+#[test]
+fn save_model_streams_with_constant_allocations() {
+    use csrplus_core::persist::write_model;
+
+    fn synthetic(n: usize, r: usize) -> CsrPlusModel {
+        let seq = |len: usize| (0..len).map(|i| 0.5 + (i % 7) as f64 * 0.125).collect::<Vec<_>>();
+        let mut sigma: Vec<f64> = (0..r).map(|i| 2.0 - i as f64 * 0.25).collect();
+        sigma.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        CsrPlusModel::from_parts(
+            CsrPlusConfig { rank: r, ..Default::default() },
+            n,
+            DenseMatrix::from_vec(n, r, seq(n * r)).unwrap(),
+            DenseMatrix::from_vec(n, r, seq(n * r)).unwrap(),
+            sigma,
+            DenseMatrix::from_vec(r, r, seq(r * r)).unwrap(),
+            DenseMatrix::from_vec(r, r, seq(r * r)).unwrap(),
+        )
+        .unwrap()
+    }
+
+    let small = synthetic(32, 4);
+    let large = synthetic(512, 4); // 16× the payload
+
+    // Warm-up takes any lazy one-time initialisation.
+    write_model(&small, std::io::sink()).unwrap();
+
+    let (_, small_allocs) = count_allocations(|| write_model(&small, std::io::sink()).unwrap());
+    let (_, large_allocs) = count_allocations(|| write_model(&large, std::io::sink()).unwrap());
+
+    // The writer's bookkeeping (section table, names) is a fixed handful
+    // of events; a buffered implementation would scale with n·r.
+    assert!(small_allocs <= 64, "save allocates too much: {small_allocs} events");
+    assert_eq!(
+        small_allocs, large_allocs,
+        "save allocations must not scale with model size ({small_allocs} → {large_allocs})"
+    );
+}
