@@ -21,7 +21,11 @@ usage:
 
 global flags (any position):
   --threads N        cap the shared worker pool at N threads
-                     (default: CSRPLUS_THREADS or available parallelism)";
+                     (default: CSRPLUS_THREADS or available parallelism)
+  --precision f64|f32
+                     storage precision for newly built models: f32 halves
+                     the U/Z footprint, accumulation stays f64
+                     (default: CSRPLUS_PRECISION or f64)";
 
 /// A fully parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -152,6 +156,29 @@ pub fn extract_threads(argv: &[String]) -> Result<(Option<usize>, Vec<String>), 
         }
     }
     Ok((threads, rest))
+}
+
+/// Strips a global `--precision f64|f32` flag (valid in any position) out
+/// of `argv`, mirroring [`extract_threads`].
+pub fn extract_precision(
+    argv: &[String],
+) -> Result<(Option<csrplus_core::Precision>, Vec<String>), String> {
+    let mut precision = None;
+    let mut rest = Vec::with_capacity(argv.len());
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--precision" {
+            let v = it.next().ok_or("missing value for --precision")?;
+            precision = Some(match v.as_str() {
+                "f64" | "double" => csrplus_core::Precision::F64,
+                "f32" | "single" | "mixed" => csrplus_core::Precision::F32,
+                other => return Err(format!("unknown precision {other:?}")),
+            });
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    Ok((precision, rest))
 }
 
 /// Parses `argv` (without the program name).
@@ -554,6 +581,27 @@ mod tests {
         let (threads, rest) = extract_threads(&argv("topk m.csrp --node 4")).unwrap();
         assert_eq!(threads, None);
         assert_eq!(rest, argv("topk m.csrp --node 4"));
+    }
+
+    #[test]
+    fn precision_flag_is_stripped_in_any_position() {
+        let (p, rest) = extract_precision(&argv("--precision f32 stats g.txt")).unwrap();
+        assert_eq!(p, Some(csrplus_core::Precision::F32));
+        assert_eq!(parse(&rest).unwrap(), Command::Stats { graph: PathBuf::from("g.txt") });
+
+        let (p, rest) =
+            extract_precision(&argv("precompute g.txt --precision f64 --out m")).unwrap();
+        assert_eq!(p, Some(csrplus_core::Precision::F64));
+        assert!(matches!(parse(&rest).unwrap(), Command::Precompute { .. }));
+
+        let (p, rest) = extract_precision(&argv("stats g.txt")).unwrap();
+        assert_eq!(p, None);
+        assert_eq!(rest, argv("stats g.txt"));
+
+        assert!(extract_precision(&argv("stats g.txt --precision")).unwrap_err().contains("value"));
+        assert!(extract_precision(&argv("--precision f16 stats g.txt"))
+            .unwrap_err()
+            .contains("unknown precision"));
     }
 
     #[test]

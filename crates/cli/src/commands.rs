@@ -165,8 +165,9 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
                 cache
             );
             let mapped = m.is_mapped();
+            let f32_storage = m.precision() == csrplus_core::Precision::F32;
             let handle = csrplus_serve::Server::start(m, port, config)?;
-            handle.metrics().record_boot(load_time, mapped);
+            handle.metrics().record_boot(load_time, mapped, f32_storage);
             handle.join();
             Ok(())
         }

@@ -23,7 +23,10 @@
 //!
 //! The global `--threads N` flag (any position) caps the shared
 //! `csrplus-par` worker pool that every compute kernel runs on; it
-//! overrides the `CSRPLUS_THREADS` environment variable.
+//! overrides the `CSRPLUS_THREADS` environment variable.  The global
+//! `--precision f64|f32` flag selects the storage precision newly built
+//! models use (`precompute`); it overrides `CSRPLUS_PRECISION`.  Loading
+//! always follows the file's own dtype, whatever the flag says.
 
 mod args;
 mod commands;
@@ -36,6 +39,19 @@ fn main() -> ExitCode {
         Ok((threads, rest)) => {
             if let Some(n) = threads {
                 csrplus_par::set_threads(n);
+            }
+            rest
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", args::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    let argv = match args::extract_precision(&argv) {
+        Ok((precision, rest)) => {
+            if let Some(p) = precision {
+                csrplus_core::set_storage_precision(p);
             }
             rest
         }

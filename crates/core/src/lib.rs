@@ -36,6 +36,7 @@ pub mod factor;
 pub mod metrics;
 pub mod model;
 pub mod persist;
+pub mod precision;
 
 pub use config::{CsrPlusConfig, SvdBackend};
 // Re-exported because it appears throughout the public API (query blocks,
@@ -43,5 +44,6 @@ pub use config::{CsrPlusConfig, SvdBackend};
 pub use csrplus_linalg::DenseMatrix;
 pub use engine::{CoSimRankEngine, EngineOutcome};
 pub use error::CoSimRankError;
-pub use factor::Factor;
+pub use factor::{DenseMatrixF32, Factor, FactorView, RowRef};
 pub use model::CsrPlusModel;
+pub use precision::{set_storage_precision, storage_precision, Precision};

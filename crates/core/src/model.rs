@@ -3,7 +3,8 @@
 
 use crate::config::CsrPlusConfig;
 use crate::error::CoSimRankError;
-use crate::factor::Factor;
+use crate::factor::{DenseMatrixF32, Factor, FactorView};
+use crate::precision::Precision;
 use csrplus_graph::TransitionMatrix;
 use csrplus_linalg::randomized::randomized_svd;
 use csrplus_linalg::DenseMatrix;
@@ -159,8 +160,18 @@ impl CsrPlusModel {
         let mut sps = p.clone();
         sps.scale_rows_mut(&sigma);
         sps.scale_columns_mut(&sigma);
-        let z = Factor::from(u.matmul(&sps)?);
-        let u = Factor::from(u);
+        let z = u.matmul(&sps)?;
+        // Storage demotion happens here, *after* the full-precision
+        // computation and *before* the derived pruning tables — the
+        // tables must describe the factors as stored, or the retrieval
+        // bounds would not be sound against the widened f32 values.
+        let (u, z) = match crate::precision::storage_precision() {
+            Precision::F64 => (Factor::from(u), Factor::from(z)),
+            Precision::F32 => (
+                Factor::from(DenseMatrixF32::from_f64(&u)),
+                Factor::from(DenseMatrixF32::from_f64(&z)),
+            ),
+        };
         let z_norms_desc = sorted_row_norms(&z);
         let z_split = split_row_bounds(&z);
         let memoise = t2.elapsed();
@@ -263,6 +274,11 @@ impl CsrPlusModel {
         self.u.is_mapped() || self.z.is_mapped()
     }
 
+    /// Storage precision of the dense factors (`U` and `Z` always agree).
+    pub fn precision(&self) -> Precision {
+        self.u.precision()
+    }
+
     /// Graph size `n`.
     pub fn n(&self) -> usize {
         self.n
@@ -332,16 +348,23 @@ impl CsrPlusModel {
                 return Err(CoSimRankError::QueryOutOfBounds { node: q, n: self.n });
             }
         }
-        let uq = self.u.select_rows(queries); // |Q| × r
-        out.resize_zeroed(self.n, queries.len());
+        let uq = self.u.select_rows(queries); // |Q| × r, same precision as U
+                                              // The kernels below overwrite every element of the result block,
+                                              // so the warm scratch skips the O(n·|Q|) zeroing memset that made
+                                              // the view path trail the owned path on wide batches.
+        out.resize_for_overwrite(self.n, queries.len());
         // S = Z·[U]_Qᵀ expressed by view transposition — the same pooled
-        // kernel (and bits) as the owned transpose-b product.
-        csrplus_linalg::matmul_into(
-            self.z.view(),
-            uq.view().t(),
-            out.view_mut(),
-            csrplus_par::threads(),
-        )?;
+        // kernel (and bits) as the owned transpose-b product.  f32-stored
+        // factors take the mixed kernel (f64 accumulation).
+        match (self.z.factor_view(), uq.factor_view()) {
+            (FactorView::F64(z), FactorView::F64(u)) => {
+                csrplus_linalg::matmul_into(z, u.t(), out.view_mut(), csrplus_par::threads())?
+            }
+            (FactorView::F32(z), FactorView::F32(u)) => {
+                csrplus_linalg::matmul_into_mixed(z, u.t(), out.view_mut(), csrplus_par::threads())?
+            }
+            _ => unreachable!("U and Z always share one storage precision"),
+        }
         out.scale_in_place(self.config.damping);
         for (j, &q) in queries.iter().enumerate() {
             let v = out.get(q, j) + 1.0;
@@ -389,7 +412,16 @@ impl CsrPlusModel {
         }
         let za = self.z.select_rows(rows); // |A| × r
         let ub = self.u.select_rows(cols); // |B| × r
-        let mut s = za.matmul_transpose_b(&ub)?; // |A| × |B|
+        let mut s = DenseMatrix::zeros(rows.len(), cols.len()); // |A| × |B|
+        match (za.factor_view(), ub.factor_view()) {
+            (FactorView::F64(a), FactorView::F64(b)) => {
+                csrplus_linalg::matmul_into(a, b.t(), s.view_mut(), csrplus_par::threads())?
+            }
+            (FactorView::F32(a), FactorView::F32(b)) => {
+                csrplus_linalg::matmul_into_mixed(a, b.t(), s.view_mut(), csrplus_par::threads())?
+            }
+            _ => unreachable!("U and Z always share one storage precision"),
+        }
         s.scale_in_place(self.config.damping);
         for (i, &a) in rows.iter().enumerate() {
             for (j, &b) in cols.iter().enumerate() {
@@ -463,7 +495,7 @@ impl CsrPlusModel {
             return Err(CoSimRankError::QueryOutOfBounds { node: b, n: self.n });
         }
         let base = if a == b { 1.0 } else { 0.0 };
-        Ok(base + self.config.damping * csrplus_linalg::vector::dot(self.z.row(a), self.u.row(b)))
+        Ok(base + self.config.damping * self.z.row_ref(a).dot(self.u.row_ref(b)))
     }
 
     /// All-pairs similarity `S = Iₙ + c·Z·Uᵀ` — an `n × n` dense matrix,
@@ -525,9 +557,9 @@ impl CsrPlusModel {
             return Ok((Vec::new(), 0));
         }
         let c = self.config.damping;
-        let uq = self.u.row(q);
-        let uq0 = uq.first().copied().unwrap_or(0.0);
-        let uq_rest = csrplus_linalg::vector::norm2(uq.get(1..).unwrap_or(&[]));
+        let uq = self.u.row_ref(q);
+        let uq0 = uq.first();
+        let uq_rest = uq.tail_norm2();
         // Per-query candidate order: descending split bound.  O(n log n)
         // in cheap O(1)-per-node bounds, traded for skipping O(r) exact
         // dot products on everything past the break point.  The bound
@@ -558,7 +590,7 @@ impl CsrPlusModel {
                 continue; // top_k excludes the query itself
             }
             scanned += 1;
-            let score = c * csrplus_linalg::vector::dot(self.z.row(x), uq);
+            let score = c * self.z.row_ref(x).dot(uq);
             if best.len() < k || score > kth_score {
                 best.push((x, score));
                 best.sort_by(|a, b| {
@@ -611,7 +643,7 @@ impl CsrPlusModel {
                 if x == y {
                     continue;
                 }
-                let score = c * csrplus_linalg::vector::dot(self.z.row(x), self.u.row(y));
+                let score = c * self.z.row_ref(x).dot(self.u.row_ref(y));
                 if score >= threshold {
                     out.push((x, y, score));
                     // Guard unbounded result sets (dense near-clique
@@ -652,7 +684,7 @@ fn sorted_row_norms(m: &Factor) -> Vec<(f64, u32)> {
         let lo = ci * chunk;
         for (off, slot) in out.iter_mut().enumerate() {
             let i = lo + off;
-            *slot = (csrplus_linalg::vector::norm2(m.row(i)), i as u32);
+            *slot = (m.row_ref(i).norm2(), i as u32);
         }
     });
     norms.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
@@ -669,10 +701,8 @@ fn split_row_bounds(m: &Factor) -> Vec<(f64, f64)> {
     csrplus_par::for_each_chunk_mut(&mut bounds, chunk, csrplus_par::threads(), |ci, out| {
         let lo = ci * chunk;
         for (off, slot) in out.iter_mut().enumerate() {
-            let row = m.row(lo + off);
-            let head = row.first().copied().unwrap_or(0.0);
-            let rest = csrplus_linalg::vector::norm2(row.get(1..).unwrap_or(&[]));
-            *slot = (head, rest);
+            let row = m.row_ref(lo + off);
+            *slot = (row.first(), row.tail_norm2());
         }
     });
     bounds

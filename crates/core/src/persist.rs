@@ -27,8 +27,9 @@
 
 use crate::config::CsrPlusConfig;
 use crate::error::CoSimRankError;
-use crate::factor::Factor;
+use crate::factor::{DenseMatrixF32, Factor};
 use crate::model::CsrPlusModel;
+use crate::precision::Precision;
 use csrplus_linalg::DenseMatrix;
 use csrplus_store::{Artifact, ArtifactWriter, Backend, DType, StoreError};
 use std::io::{self, Read, Write};
@@ -256,8 +257,8 @@ pub fn write_model<W: Write>(model: &CsrPlusModel, writer: W) -> Result<(), Pers
         ],
     )?;
     w.section_f64s("sigma", model.sigma())?;
-    w.section_f64s("u", model.u().as_slice())?;
-    w.section_f64s("z", model.z().as_slice())?;
+    write_factor(&mut w, "u", model.u())?;
+    write_factor(&mut w, "z", model.z())?;
     w.section_f64s("p", model.p().as_slice())?;
     w.section_f64s("h0", model.h0().as_slice())?;
 
@@ -298,6 +299,21 @@ pub fn write_model<W: Write>(model: &CsrPlusModel, writer: W) -> Result<(), Pers
     Ok(())
 }
 
+/// Writes a dense factor section in its storage precision — the section
+/// dtype (`F64` / `F32`) is what tells the loader which precision the
+/// model was built with.
+fn write_factor<W: Write>(
+    w: &mut ArtifactWriter<W>,
+    name: &str,
+    f: &Factor,
+) -> Result<(), PersistError> {
+    match f.precision() {
+        Precision::F64 => w.section_f64s(name, f.as_slice())?,
+        Precision::F32 => w.section_f32s(name, f.as_f32_slice())?,
+    }
+    Ok(())
+}
+
 /// Serialises a model in the legacy v1 streaming format (kept for
 /// migration tests and cross-version tooling; new files should use
 /// [`write_model`]).
@@ -316,13 +332,31 @@ pub fn write_model_v1<W: Write>(model: &CsrPlusModel, writer: W) -> Result<(), P
     w.put_u64(cfg.seed)?;
     w.put_u64(backend_tag(cfg.backend))?;
     w.put_f64_slice(model.sigma())?;
-    w.put_f64_slice(model.u().as_slice())?;
-    w.put_f64_slice(model.z().as_slice())?;
+    // v1 stays an f64-only format: f32-storage factors are widened on the
+    // way out (lossless — every f32 is exactly representable in f64).
+    put_factor_widened(&mut w, model.u())?;
+    put_factor_widened(&mut w, model.z())?;
     w.put_f64_slice(model.p().as_slice())?;
     w.put_f64_slice(model.h0().as_slice())?;
     let crc = w.hash.0;
     w.inner.write_all(&crc.to_le_bytes())?;
     w.inner.flush()?;
+    Ok(())
+}
+
+fn put_factor_widened<W: Write>(w: &mut HashingWriter<W>, f: &Factor) -> Result<(), PersistError> {
+    match f.precision() {
+        Precision::F64 => w.put_f64_slice(f.as_slice())?,
+        Precision::F32 => {
+            let mut buf = [0f64; 256];
+            for chunk in f.as_f32_slice().chunks(256) {
+                for (slot, &v) in buf.iter_mut().zip(chunk.iter()) {
+                    *slot = f64::from(v);
+                }
+                w.put_f64_slice(&buf[..chunk.len()])?;
+            }
+        }
+    }
     Ok(())
 }
 
@@ -448,16 +482,33 @@ pub fn model_from_artifact(artifact: &Artifact) -> Result<CsrPlusModel, PersistE
     let z_norms_desc: Vec<(f64, u32)> = norms.into_iter().zip(ids).collect();
     let z_split: Vec<(f64, f64)> = zs.chunks_exact(2).map(|c| (c[0], c[1])).collect();
     // The big factors: zero-copy off a mapped region, owned otherwise.
-    let (u, z) = if artifact.is_mapped() {
-        (
+    // The section dtype — not any process-global setting — decides the
+    // in-memory precision, so a file always loads the way it was built.
+    let f32_factors = match artifact.section("u") {
+        Some(s) => s.dtype == DType::F32,
+        None => false,
+    };
+    let mk32 = |rows: usize, cols: usize, data: Vec<f32>| -> Result<DenseMatrixF32, PersistError> {
+        DenseMatrixF32::from_vec(rows, cols, data)
+            .map_err(|e| PersistError::Malformed(e.to_string()))
+    };
+    let (u, z) = match (artifact.is_mapped(), f32_factors) {
+        (true, false) => (
             Factor::Mapped(artifact.matrix("u", n, rank)?),
             Factor::Mapped(artifact.matrix("z", n, rank)?),
-        )
-    } else {
-        (
+        ),
+        (true, true) => (
+            Factor::MappedF32(artifact.matrix_f32("u", n, rank)?),
+            Factor::MappedF32(artifact.matrix_f32("z", n, rank)?),
+        ),
+        (false, false) => (
             Factor::Owned(mk(n, rank, artifact.decode_f64s("u")?)?),
             Factor::Owned(mk(n, rank, artifact.decode_f64s("z")?)?),
-        )
+        ),
+        (false, true) => (
+            Factor::OwnedF32(mk32(n, rank, artifact.decode_f32s("u")?)?),
+            Factor::OwnedF32(mk32(n, rank, artifact.decode_f32s("z")?)?),
+        ),
     };
     CsrPlusModel::from_factors_with_tables(config, n, u, z, sigma, p, h0, z_norms_desc, z_split)
         .map_err(|e: CoSimRankError| PersistError::Malformed(e.to_string()))

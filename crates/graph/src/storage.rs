@@ -10,6 +10,15 @@
 //! kernels: identical deterministic chunking, identical per-row
 //! accumulation order, and therefore bitwise-identical products whenever
 //! the stored values are bitwise equal.
+//!
+//! Every *dense* inner loop here (the spmm row accumulation, the
+//! transpose-scatter partial reduction) goes through
+//! [`csrplus_linalg::vector`] — `axpy`/`norm2` — so the SIMD dispatch in
+//! `csrplus_linalg::simd` is inherited without any `unsafe` in this
+//! crate.  The loops that stay scalar are the indexed sparse
+//! gather/scatter ones (`acc += v·x[j]`, `y[j] += v·x_i`): their access
+//! pattern is data-dependent, so a fixed-stride vector kernel does not
+//! apply.
 
 use csrplus_linalg::{par_row_bands, vector, DenseMatrix, MatViewMut};
 

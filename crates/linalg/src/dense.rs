@@ -211,6 +211,27 @@ impl DenseMatrix {
         self.cols = cols;
     }
 
+    /// Reshapes to `rows × cols` *without* zeroing elements that were
+    /// already in the buffer — only growth beyond the current length is
+    /// zero-filled.  For a warm buffer that is about to be fully
+    /// overwritten (every `matmul_into` destination is), the memset in
+    /// [`Self::resize_zeroed`] is pure overhead that scales with the
+    /// output size; skipping it is what keeps the view-path query scratch
+    /// at parity with a freshly zeroed allocation.
+    ///
+    /// Callers must overwrite every element before reading any back:
+    /// stale values from the previous shape are visible otherwise.
+    pub fn resize_for_overwrite(&mut self, rows: usize, cols: usize) {
+        let len = rows * cols;
+        if len > self.data.len() {
+            self.data.resize(len, 0.0);
+        } else {
+            self.data.truncate(len);
+        }
+        self.rows = rows;
+        self.cols = cols;
+    }
+
     /// Returns the transpose as a new matrix.
     pub fn transpose(&self) -> DenseMatrix {
         let mut t = DenseMatrix::zeros(self.cols, self.rows);
@@ -568,6 +589,18 @@ mod tests {
     #[test]
     fn from_rows_rejects_ragged() {
         assert!(DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0]]).is_err());
+    }
+
+    #[test]
+    fn resize_for_overwrite_grows_zeroed_and_shrinks_in_place() {
+        let mut m = mat(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        // Shrink: shape updates, no reallocation, stale prefix retained.
+        m.resize_for_overwrite(2, 2);
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        // Grow past the previous length: new tail is zeroed.
+        m.resize_for_overwrite(3, 2);
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0, 0.0, 0.0]);
     }
 
     #[test]

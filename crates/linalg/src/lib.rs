@@ -22,11 +22,22 @@
 //! * [`lu`] — LU decomposition with partial pivoting for small solves and
 //!   inverses (the `Λ` matrix of Li et al.'s Eq. (6b)).
 //!
-//! Everything is `f64`; matrices the algorithms keep around are either
+//! Computation is `f64`; matrices the algorithms keep around are either
 //! `O(n·r)` tall-skinny or `O(r²)` small, so a simple row-major layout with
-//! cache-blocked kernels is the right trade-off.
+//! cache-blocked kernels is the right trade-off.  Storage may optionally
+//! be `f32` ([`MatView`] is generic over the element type): the mixed
+//! kernels ([`view::matmul_into_mixed`], [`vector::dot_f32`]) widen every
+//! element to `f64` before multiplying, halving factor memory while
+//! keeping full-precision accumulation.
+//!
+//! The dense hot paths dispatch at runtime to explicitly vectorised
+//! kernels ([`simd`]) that replay the scalar accumulation order exactly
+//! (no FMA), so results stay bitwise identical across the scalar/SIMD
+//! switch *and* across thread caps.  `unsafe` is denied crate-wide and
+//! allowed only inside [`simd`], whose intrinsic blocks are individually
+//! justified and run under `deny(unsafe_op_in_unsafe_fn)`.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dense;
@@ -38,6 +49,9 @@ pub mod linop;
 pub mod lu;
 pub mod qr;
 pub mod randomized;
+#[allow(unsafe_code)]
+#[deny(unsafe_op_in_unsafe_fn)]
+pub mod simd;
 pub mod svd;
 pub mod svd_update;
 pub mod vector;
@@ -47,4 +61,4 @@ pub use dense::DenseMatrix;
 pub use error::LinalgError;
 pub use linop::LinearOperator;
 pub use svd::TruncatedSvd;
-pub use view::{matmul_into, matvec_into, par_row_bands, MatView, MatViewMut};
+pub use view::{matmul_into, matmul_into_mixed, matvec_into, par_row_bands, MatView, MatViewMut};

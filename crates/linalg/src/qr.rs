@@ -159,8 +159,13 @@ pub fn thin_qr(a: &DenseMatrix) -> Result<ThinQr, LinalgError> {
     }
 
     // Assemble thin Q by applying the reflectors in reverse to the first n
-    // columns of the identity, directly in row-major order.
-    let mut q = DenseMatrix::zeros(m, n);
+    // columns of the identity, directly in row-major order.  Every row of
+    // R was extracted during the sweep, so the working copy is dead here:
+    // reuse its m×n buffer for Q instead of allocating a second one —
+    // this is what keeps peak scratch at two m×n matrices (`work`/Q and
+    // the reflector panel `vs`) rather than three.
+    let mut q = work;
+    q.as_mut_slice().fill(0.0);
     for j in 0..n {
         q.set(j, j, 1.0);
     }

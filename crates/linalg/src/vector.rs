@@ -6,12 +6,19 @@
 
 /// Dot product `xᵀy`.
 ///
+/// Dispatches to the runtime-detected SIMD kernel ([`crate::simd`]) when
+/// one is active; the vector lanes replay the exact accumulation order of
+/// the scalar path below, so the result is bitwise identical either way.
+///
 /// # Panics
 /// Panics if the slices have different lengths (programming error, not a
 /// recoverable condition).
 #[inline]
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    if let Some(v) = crate::simd::dot(x, y) {
+        return v;
+    }
     // Four-way unrolled accumulation: keeps independent dependency chains so
     // the compiler can vectorise without `-ffast-math`-style reassociation.
     let mut acc0 = 0.0;
@@ -32,10 +39,50 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     (acc0 + acc1) + (acc2 + acc3)
 }
 
+/// Mixed-precision dot product `xᵀy` over `f32` storage with `f64`
+/// accumulation — every element is widened *before* the multiply, so the
+/// only precision loss is the storage rounding of the inputs themselves.
+///
+/// Lane structure (and therefore every output bit) matches [`dot`]; the
+/// SIMD kernels replay the same order.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot_f32(x: &[f32], y: &[f32]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot_f32: length mismatch");
+    if let Some(v) = crate::simd::dot_f32(x, y) {
+        return v;
+    }
+    let mut acc0 = 0.0;
+    let mut acc1 = 0.0;
+    let mut acc2 = 0.0;
+    let mut acc3 = 0.0;
+    let chunks = x.len() / 4;
+    for i in 0..chunks {
+        let b = i * 4;
+        acc0 += x[b] as f64 * y[b] as f64;
+        acc1 += x[b + 1] as f64 * y[b + 1] as f64;
+        acc2 += x[b + 2] as f64 * y[b + 2] as f64;
+        acc3 += x[b + 3] as f64 * y[b + 3] as f64;
+    }
+    for i in chunks * 4..x.len() {
+        acc0 += x[i] as f64 * y[i] as f64;
+    }
+    (acc0 + acc1) + (acc2 + acc3)
+}
+
 /// `y ← y + a·x`.
+///
+/// Element-wise multiply-then-add; the SIMD kernels perform the identical
+/// per-element operation (no FMA), so results are bitwise identical
+/// across the scalar/SIMD switch.
 #[inline]
 pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    if crate::simd::axpy(a, x, y) {
+        return;
+    }
     for (yi, xi) in y.iter_mut().zip(x.iter()) {
         *yi += a * *xi;
     }
@@ -119,6 +166,15 @@ mod tests {
     #[test]
     fn dot_empty_is_zero() {
         assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn dot_f32_widens_before_multiplying() {
+        let x: Vec<f32> = (0..53).map(|i| (i as f32 * 0.3).sin()).collect();
+        let y: Vec<f32> = (0..53).map(|i| (i as f32 * 0.7).cos()).collect();
+        let naive: f64 = x.iter().zip(&y).map(|(&a, &b)| a as f64 * b as f64).sum();
+        assert!((dot_f32(&x, &y) - naive).abs() < 1e-12 * naive.abs().max(1.0));
+        assert_eq!(dot_f32(&[], &[]), 0.0);
     }
 
     #[test]

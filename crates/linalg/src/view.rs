@@ -32,33 +32,45 @@
 //! same contract the owned-matrix kernels had before this layer existed.
 //! Output parallelism splits the destination into disjoint
 //! [`MatViewMut`] row bands via [`par_row_bands`], which builds directly
-//! on [`csrplus_par::for_each_chunk_mut`].
+//! on [`csrplus_par::for_each_chunk_mut`].  The innermost loops dispatch
+//! at runtime to the vectorised kernels in [`crate::simd`], which replay
+//! the same per-element order with wider registers (no FMA), so the
+//! scalar/SIMD switch never changes a bit of the output either.
+//!
+//! [`matmul_into_mixed`] is the `f32`-storage / `f64`-accumulation
+//! sibling of [`matmul_into`] used by the opt-in reduced-precision factor
+//! mode.
 
 use crate::error::LinalgError;
 use crate::vector;
 
-/// A borrowed, read-only strided view of a dense `f64` matrix.
+/// A borrowed, read-only strided view of a dense matrix.
+///
+/// Generic over the element type (`f64` by default; `f32` for the
+/// storage-halved factor mode, consumed by the mixed-precision kernels
+/// that widen each element to `f64` before multiplying).
 ///
 /// `data[0]` is element `(0, 0)`; element `(i, j)` lives at
 /// `i·row_stride + j·col_stride`.  Construction validates that the last
 /// addressable element is in bounds, so all accessors are panic-free for
 /// in-shape indices.
 #[derive(Clone, Copy)]
-pub struct MatView<'a> {
-    data: &'a [f64],
+pub struct MatView<'a, E = f64> {
+    data: &'a [E],
     rows: usize,
     cols: usize,
     row_stride: usize,
     col_stride: usize,
 }
 
-/// A borrowed, mutable strided view of a dense `f64` matrix.
+/// A borrowed, mutable strided view of a dense matrix (element type `f64`
+/// by default, like [`MatView`]).
 ///
 /// Same addressing rule as [`MatView`].  Used as the *destination* of the
 /// view kernels; parallel kernels split it into disjoint row bands with
 /// [`par_row_bands`].
-pub struct MatViewMut<'a> {
-    data: &'a mut [f64],
+pub struct MatViewMut<'a, E = f64> {
+    data: &'a mut [E],
     rows: usize,
     cols: usize,
     row_stride: usize,
@@ -91,14 +103,14 @@ fn check_bounds(
     Ok(())
 }
 
-impl<'a> MatView<'a> {
+impl<'a, E: Copy> MatView<'a, E> {
     /// Wraps `data` as a `rows × cols` view with explicit strides.
     ///
     /// # Errors
     /// [`LinalgError::InvalidParameter`] if the last element of the view
     /// falls outside `data`.
     pub fn new(
-        data: &'a [f64],
+        data: &'a [E],
         rows: usize,
         cols: usize,
         row_stride: usize,
@@ -140,14 +152,14 @@ impl<'a> MatView<'a> {
 
     /// Element accessor.
     #[inline]
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    pub fn get(&self, i: usize, j: usize) -> E {
         debug_assert!(i < self.rows && j < self.cols);
         self.data[i * self.row_stride + j * self.col_stride]
     }
 
     /// The transposed view — a stride swap, no data movement.
     #[inline]
-    pub fn t(self) -> MatView<'a> {
+    pub fn t(self) -> MatView<'a, E> {
         MatView {
             data: self.data,
             rows: self.cols,
@@ -163,7 +175,7 @@ impl<'a> MatView<'a> {
     /// # Panics
     /// Panics if the range is out of shape (`r0 <= r1 <= rows`,
     /// `c0 <= c1 <= cols`).
-    pub fn block(self, r0: usize, r1: usize, c0: usize, c1: usize) -> MatView<'a> {
+    pub fn block(self, r0: usize, r1: usize, c0: usize, c1: usize) -> MatView<'a, E> {
         assert!(r0 <= r1 && r1 <= self.rows, "block: row range out of bounds");
         assert!(c0 <= c1 && c1 <= self.cols, "block: col range out of bounds");
         let offset = if r1 > r0 && c1 > c0 {
@@ -181,12 +193,12 @@ impl<'a> MatView<'a> {
     }
 
     /// The column panel `[c0, c1)` (all rows).
-    pub fn col_panel(self, c0: usize, c1: usize) -> MatView<'a> {
+    pub fn col_panel(self, c0: usize, c1: usize) -> MatView<'a, E> {
         self.block(0, self.rows, c0, c1)
     }
 
     /// The row panel `[r0, r1)` (all columns).
-    pub fn row_panel(self, r0: usize, r1: usize) -> MatView<'a> {
+    pub fn row_panel(self, r0: usize, r1: usize) -> MatView<'a, E> {
         self.block(r0, r1, 0, self.cols)
     }
 
@@ -205,7 +217,7 @@ impl<'a> MatView<'a> {
 
     /// Row `i` as a contiguous slice, when `col_stride == 1`.
     #[inline]
-    pub fn row_slice(&self, i: usize) -> Option<&'a [f64]> {
+    pub fn row_slice(&self, i: usize) -> Option<&'a [E]> {
         if self.col_stride == 1 {
             if self.cols == 0 {
                 // A zero-column view may sit on an empty buffer where even
@@ -221,7 +233,7 @@ impl<'a> MatView<'a> {
 
     /// Column `j` as a contiguous slice, when `row_stride == 1`.
     #[inline]
-    pub fn col_slice(&self, j: usize) -> Option<&'a [f64]> {
+    pub fn col_slice(&self, j: usize) -> Option<&'a [E]> {
         if self.row_stride == 1 {
             if self.rows == 0 {
                 return Some(&[]);
@@ -232,7 +244,9 @@ impl<'a> MatView<'a> {
             None
         }
     }
+}
 
+impl<'a> MatView<'a, f64> {
     /// Copies the view into a fresh owned [`crate::DenseMatrix`].
     pub fn to_owned(&self) -> crate::DenseMatrix {
         let mut out = crate::DenseMatrix::zeros(self.rows, self.cols);
@@ -250,14 +264,14 @@ impl<'a> MatView<'a> {
     }
 }
 
-impl<'a> MatViewMut<'a> {
+impl<'a, E: Copy> MatViewMut<'a, E> {
     /// Wraps `data` as a mutable `rows × cols` view with explicit strides.
     ///
     /// # Errors
     /// [`LinalgError::InvalidParameter`] if the last element of the view
     /// falls outside `data`.
     pub fn new(
-        data: &'a mut [f64],
+        data: &'a mut [E],
         rows: usize,
         cols: usize,
         row_stride: usize,
@@ -299,21 +313,21 @@ impl<'a> MatViewMut<'a> {
 
     /// Element accessor.
     #[inline]
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    pub fn get(&self, i: usize, j: usize) -> E {
         debug_assert!(i < self.rows && j < self.cols);
         self.data[i * self.row_stride + j * self.col_stride]
     }
 
     /// Element mutator.
     #[inline]
-    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+    pub fn set(&mut self, i: usize, j: usize, v: E) {
         debug_assert!(i < self.rows && j < self.cols);
         self.data[i * self.row_stride + j * self.col_stride] = v;
     }
 
     /// The transposed mutable view — a stride swap, no data movement.
     #[inline]
-    pub fn t(self) -> MatViewMut<'a> {
+    pub fn t(self) -> MatViewMut<'a, E> {
         MatViewMut {
             data: self.data,
             rows: self.cols,
@@ -327,7 +341,7 @@ impl<'a> MatViewMut<'a> {
     ///
     /// # Panics
     /// Panics if the range is out of shape.
-    pub fn block(self, r0: usize, r1: usize, c0: usize, c1: usize) -> MatViewMut<'a> {
+    pub fn block(self, r0: usize, r1: usize, c0: usize, c1: usize) -> MatViewMut<'a, E> {
         assert!(r0 <= r1 && r1 <= self.rows, "block: row range out of bounds");
         assert!(c0 <= c1 && c1 <= self.cols, "block: col range out of bounds");
         let offset =
@@ -344,7 +358,7 @@ impl<'a> MatViewMut<'a> {
 
     /// A read-only view of the same window.
     #[inline]
-    pub fn as_view(&self) -> MatView<'_> {
+    pub fn as_view(&self) -> MatView<'_, E> {
         MatView {
             data: self.data,
             rows: self.rows,
@@ -362,7 +376,7 @@ impl<'a> MatViewMut<'a> {
 
     /// Row `i` as a contiguous mutable slice, when `col_stride == 1`.
     #[inline]
-    pub fn row_slice_mut(&mut self, i: usize) -> Option<&mut [f64]> {
+    pub fn row_slice_mut(&mut self, i: usize) -> Option<&mut [E]> {
         if self.col_stride == 1 {
             if self.cols == 0 {
                 // See `MatView::row_slice`: avoid offset arithmetic on a
@@ -378,7 +392,7 @@ impl<'a> MatViewMut<'a> {
 
     /// Sets every element of the view to `v` (gaps between rows are left
     /// untouched).
-    pub fn fill(&mut self, v: f64) {
+    pub fn fill(&mut self, v: E) {
         for i in 0..self.rows {
             if let Some(row) = self.row_slice_mut(i) {
                 row.fill(v);
@@ -389,7 +403,9 @@ impl<'a> MatViewMut<'a> {
             }
         }
     }
+}
 
+impl<'a> MatViewMut<'a, f64> {
     /// `self ← a · self` over the viewed window.
     pub fn scale(&mut self, a: f64) {
         for i in 0..self.rows {
@@ -524,8 +540,10 @@ pub(crate) fn reduction_chunk(depth: usize, work_per_step: usize) -> usize {
         .max(1)
 }
 
-/// Register-tile height (output rows) of the micro-kernel.
-const MICRO_MR: usize = 4;
+/// Register-tile height (output rows) of the micro-kernel.  Shared with
+/// the vectorised panel sweep in [`crate::simd`], which consumes the same
+/// k-major packed-`A` layout.
+pub(crate) const MICRO_MR: usize = 4;
 /// Register-tile width (output cols) of the micro-kernel.
 const MICRO_NR: usize = 4;
 /// Depth of one packed panel (k-block): `4 × 256` doubles = 8 KiB, so a
@@ -664,7 +682,10 @@ fn axpy_b_row(v: f64, b: &MatView<'_>, k: usize, crow: &mut [f64]) {
 /// so every stride combination reaches the same register block.  Per
 /// output element the additions run in ascending `k` order — within a
 /// k-block in the register accumulator, across k-blocks via the flush —
-/// so the result depends only on the operand shapes and values.
+/// so the result depends only on the operand shapes and values.  When a
+/// vectorised kernel set is active and `B` is row-contiguous, the j-sweep
+/// runs through [`crate::simd::forward_panel`], which replays this exact
+/// order with wider registers (bitwise-identical output).
 fn matmul_band_micro(a: &MatView<'_>, b: &MatView<'_>, band: &mut MatViewMut<'_>, row_lo: usize) {
     let kdim = a.cols;
     let n = b.cols;
@@ -685,17 +706,37 @@ fn matmul_band_micro(a: &MatView<'_>, b: &MatView<'_>, band: &mut MatViewMut<'_>
                     *d = if r < mr { a.get(row_lo + i + r, kb + kk) } else { 0.0 };
                 }
             }
-            let mut j = 0;
-            while j < n {
-                let nr = MICRO_NR.min(n - j);
-                let mut acc = [0.0f64; MICRO_MR * MICRO_NR];
-                if b.col_stride == 1 {
-                    for kk in 0..kc_len {
-                        let ap = &packed_a[kk * MICRO_MR..(kk + 1) * MICRO_MR];
-                        let off = (kb + kk) * b.row_stride + j;
-                        micro_accumulate(&mut acc, ap, &b.data[off..off + nr]);
+            if b.col_stride == 1 {
+                if !crate::simd::forward_panel(
+                    &packed_a,
+                    kc_len,
+                    mr,
+                    b.data,
+                    b.row_stride,
+                    kb,
+                    n,
+                    out,
+                    out_rs,
+                    i,
+                ) {
+                    let mut j = 0;
+                    while j < n {
+                        let nr = MICRO_NR.min(n - j);
+                        let mut acc = [0.0f64; MICRO_MR * MICRO_NR];
+                        for kk in 0..kc_len {
+                            let ap = &packed_a[kk * MICRO_MR..(kk + 1) * MICRO_MR];
+                            let off = (kb + kk) * b.row_stride + j;
+                            micro_accumulate(&mut acc, ap, &b.data[off..off + nr]);
+                        }
+                        micro_flush(out, &acc, i, j, mr, nr, out_rs);
+                        j += MICRO_NR;
                     }
-                } else {
+                }
+            } else {
+                let mut j = 0;
+                while j < n {
+                    let nr = MICRO_NR.min(n - j);
+                    let mut acc = [0.0f64; MICRO_MR * MICRO_NR];
                     for kk in 0..kc_len {
                         let dst = &mut packed_b[kk * MICRO_NR..kk * MICRO_NR + nr];
                         for (jj, d) in dst.iter_mut().enumerate() {
@@ -710,19 +751,34 @@ fn matmul_band_micro(a: &MatView<'_>, b: &MatView<'_>, band: &mut MatViewMut<'_>
                             &packed_b[kk * MICRO_NR..kk * MICRO_NR + nr],
                         );
                     }
+                    micro_flush(out, &acc, i, j, mr, nr, out_rs);
+                    j += MICRO_NR;
                 }
-                for r in 0..mr {
-                    let off = (i + r) * out_rs + j;
-                    let orow = &mut out[off..off + nr];
-                    for (ov, &av) in orow.iter_mut().zip(&acc[r * MICRO_NR..r * MICRO_NR + nr]) {
-                        *ov += av;
-                    }
-                }
-                j += MICRO_NR;
             }
             kb += MICRO_KC;
         }
         i += MICRO_MR;
+    }
+}
+
+/// Adds the register block `acc` (rows `0..mr`, `nr` columns) into the
+/// band at tile origin `(i, j)`.
+#[inline]
+fn micro_flush(
+    out: &mut [f64],
+    acc: &[f64; MICRO_MR * MICRO_NR],
+    i: usize,
+    j: usize,
+    mr: usize,
+    nr: usize,
+    out_rs: usize,
+) {
+    for r in 0..mr {
+        let off = (i + r) * out_rs + j;
+        let orow = &mut out[off..off + nr];
+        for (ov, &av) in orow.iter_mut().zip(&acc[r * MICRO_NR..r * MICRO_NR + nr]) {
+            *ov += av;
+        }
     }
 }
 
@@ -793,6 +849,97 @@ fn matmul_dot(a: MatView<'_>, b: MatView<'_>, out: MatViewMut<'_>, threads: usiz
             }
         }
     });
+}
+
+/// Mixed-precision `out ← a · b`: `f32` storage, `f64` accumulation and
+/// destination.  Every element is widened to `f64` *before* its multiply,
+/// so the only deviation from the all-`f64` product is the storage
+/// rounding already present in the operands.
+///
+/// Dispatch is stride-only, like [`matmul_into`]:
+///
+/// 1. `a` row-contiguous and `b` column-contiguous → parallel **dot**
+///    kernel over [`vector::dot_f32`] (the `Z·[U]_{Q,*}ᵀ` multi-source
+///    shape, SIMD-dispatched).
+/// 2. a column-contiguous destination → the `Cᵀ = Bᵀ·Aᵀ` identity.
+/// 3. anything else → strided per-element accumulation in ascending `k`
+///    order over parallel row bands.
+///
+/// Both paths are bitwise deterministic at any thread cap and across the
+/// scalar/SIMD switch (per-element accumulation order is fixed).
+///
+/// # Errors
+/// [`LinalgError::ShapeMismatch`] unless `a` is `m×k`, `b` is `k×n` and
+/// `out` is `m×n`.
+pub fn matmul_into_mixed(
+    a: MatView<'_, f32>,
+    b: MatView<'_, f32>,
+    out: MatViewMut<'_, f64>,
+    threads: usize,
+) -> Result<(), LinalgError> {
+    if a.cols != b.rows {
+        return Err(LinalgError::ShapeMismatch {
+            context: "matmul_into_mixed",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    if out.shape() != (a.rows, b.cols) {
+        return Err(LinalgError::ShapeMismatch {
+            context: "matmul_into_mixed (destination)",
+            lhs: out.shape(),
+            rhs: (a.rows, b.cols),
+        });
+    }
+    if out.rows == 0 || out.cols == 0 {
+        return Ok(());
+    }
+    if !out.is_row_contig() {
+        if out.row_stride == 1 {
+            return matmul_into_mixed(b.t(), a.t(), out.t(), threads);
+        }
+        // Fully strided destination: cold path, serial by construction.
+        let mut out = out;
+        for i in 0..a.rows {
+            for j in 0..b.cols {
+                let mut s = 0.0f64;
+                for k in 0..a.cols {
+                    s += a.get(i, k) as f64 * b.get(k, j) as f64;
+                }
+                out.set(i, j, s);
+            }
+        }
+        return Ok(());
+    }
+    let (k, n) = (a.cols, b.cols);
+    let chunk_rows = matmul_row_chunk(a.rows, k, n);
+    if a.is_row_contig() && b.is_col_contig() {
+        par_row_bands(out, chunk_rows, threads, |lo, mut band| {
+            for off in 0..band.rows() {
+                let arow = a.row_slice(lo + off).expect("a is row-contiguous");
+                let crow = band.row_slice_mut(off).expect("band is row-contiguous");
+                for (j, cv) in crow.iter_mut().enumerate() {
+                    let bcol = b.col_slice(j).expect("b is column-contiguous");
+                    *cv = vector::dot_f32(arow, bcol);
+                }
+            }
+        });
+    } else {
+        par_row_bands(out, chunk_rows, threads, |lo, mut band| {
+            for off in 0..band.rows() {
+                let i = lo + off;
+                let crow = band.row_slice_mut(off).expect("band is row-contiguous");
+                for (j, cv) in crow.iter_mut().enumerate() {
+                    let mut s = 0.0f64;
+                    for kk in 0..k {
+                        s += a.get(i, kk) as f64 * b.get(kk, j) as f64;
+                    }
+                    *cv = s;
+                }
+            }
+        });
+    }
+    Ok(())
 }
 
 /// `y ← a · x` on the shared pool, dispatching on `a`'s strides: a
@@ -1007,6 +1154,79 @@ mod tests {
             let want: f64 = (0..37).map(|k| a.get(k, j) * z[k]).sum();
             assert!((wv - want).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn matmul_scalar_and_simd_bitwise_identical() {
+        // Shapes chosen to cross the micro-kernel threshold with ragged
+        // tails in every dimension (rows % 4, cols % 8, k % 256 nonzero),
+        // so the 8-wide, 4-wide and scalar strips all execute.
+        let mut rng = StdRng::seed_from_u64(1234);
+        let a = DenseMatrix::random_gaussian(37, 300, &mut rng);
+        let b = DenseMatrix::random_gaussian(300, 43, &mut rng);
+        let _guard = crate::simd::test_lock();
+        crate::simd::set_enabled(false);
+        let scalar = a.matmul_with_threads(&b, 1).unwrap();
+        crate::simd::set_enabled(true);
+        let simd = a.matmul_with_threads(&b, 1).unwrap();
+        let simd4 = a.matmul_with_threads(&b, 4).unwrap();
+        assert_eq!(
+            scalar.as_slice(),
+            simd.as_slice(),
+            "scalar vs simd ({})",
+            crate::simd::active()
+        );
+        assert_eq!(scalar.as_slice(), simd4.as_slice(), "scalar vs simd at 4 threads");
+    }
+
+    #[test]
+    fn matmul_mixed_matches_f64_within_storage_rounding() {
+        let _guard = crate::simd::test_lock();
+        let mut rng = StdRng::seed_from_u64(91);
+        let a = DenseMatrix::random_gaussian(23, 31, &mut rng);
+        let b = DenseMatrix::random_gaussian(31, 19, &mut rng);
+        let af: Vec<f32> = a.as_slice().iter().map(|&v| v as f32).collect();
+        let bf: Vec<f32> = b.as_slice().iter().map(|&v| v as f32).collect();
+        // Reference: exact product of the *rounded* operands in f64.
+        let a64 = DenseMatrix::from_vec(23, 31, af.iter().map(|&v| v as f64).collect()).unwrap();
+        let b64 = DenseMatrix::from_vec(31, 19, bf.iter().map(|&v| v as f64).collect()).unwrap();
+        let want = reference_matmul(&a64, &b64);
+        let av = MatView::<f32>::new(&af, 23, 31, 31, 1).unwrap();
+        let bv = MatView::<f32>::new(&bf, 31, 19, 19, 1).unwrap();
+        // Dot path: b as a transposed (column-contiguous) view.
+        let bt: Vec<f32> = (0..19 * 31).map(|i| bf[(i % 31) * 19 + i / 31]).collect();
+        let btv = MatView::<f32>::new(&bt, 19, 31, 31, 1).unwrap();
+        let mut c = DenseMatrix::zeros(23, 19);
+        matmul_into_mixed(av, btv.t(), c.view_mut(), 2).unwrap();
+        assert!(c.approx_eq(&want, 1e-12), "dot path");
+        // Generic strided path: plain row-major b.
+        let mut c2 = DenseMatrix::zeros(23, 19);
+        matmul_into_mixed(av, bv, c2.view_mut(), 2).unwrap();
+        assert!(c2.approx_eq(&want, 1e-12), "generic path");
+        // Transposed destination exercises the Cᵀ identity.
+        let mut ct = DenseMatrix::zeros(19, 23);
+        matmul_into_mixed(av, bv, ct.view_mut().t(), 2).unwrap();
+        assert!(ct.transpose().approx_eq(&want, 1e-12), "transposed destination");
+        // Thread caps and the scalar/SIMD switch agree bitwise.
+        let mut c3 = DenseMatrix::zeros(23, 19);
+        matmul_into_mixed(av, btv.t(), c3.view_mut(), 1).unwrap();
+        assert_eq!(c.as_slice(), c3.as_slice());
+        crate::simd::set_enabled(false);
+        let mut c4 = DenseMatrix::zeros(23, 19);
+        matmul_into_mixed(av, btv.t(), c4.view_mut(), 2).unwrap();
+        crate::simd::set_enabled(true);
+        assert_eq!(c.as_slice(), c4.as_slice());
+    }
+
+    #[test]
+    fn f32_views_address_like_f64_views() {
+        let data: Vec<f32> = (0..30).map(|v| v as f32).collect();
+        let v = MatView::<f32>::new(&data, 6, 5, 5, 1).unwrap();
+        assert_eq!(v.get(2, 3), 13.0);
+        assert_eq!(v.t().get(3, 2), 13.0);
+        assert_eq!(v.block(1, 4, 2, 5).get(0, 0), 7.0);
+        assert_eq!(v.row_slice(1).unwrap(), &data[5..10]);
+        assert!(v.t().col_slice(2).is_some());
     }
 
     #[test]

@@ -153,6 +153,9 @@ pub struct Metrics {
     /// 1 when the model was memory-mapped from a v2 artifact, 0 when it
     /// was fully deserialised into owned buffers.
     pub model_mapped: AtomicU64,
+    /// 1 when the model stores its factors in f32 (mixed-precision
+    /// kernels), 0 for full f64 storage.
+    pub model_f32: AtomicU64,
 }
 
 impl Metrics {
@@ -167,12 +170,14 @@ impl Metrics {
         self.latency_us[route.index()].observe_duration(latency);
     }
 
-    /// Records the cold-start cost: how long loading the model took and
-    /// whether it booted zero-copy off a mapped artifact.
-    pub fn record_boot(&self, load_time: Duration, mapped: bool) {
+    /// Records the cold-start cost: how long loading the model took,
+    /// whether it booted zero-copy off a mapped artifact, and whether its
+    /// factors are stored in f32.
+    pub fn record_boot(&self, load_time: Duration, mapped: bool, f32_storage: bool) {
         let us = load_time.as_micros().min(u64::MAX as u128) as u64;
         self.cold_start_us.store(us, Ordering::Relaxed);
         self.model_mapped.store(mapped as u64, Ordering::Relaxed);
+        self.model_f32.store(f32_storage as u64, Ordering::Relaxed);
     }
 
     /// Requests served on `route` so far.
@@ -205,7 +210,8 @@ impl Metrics {
                 "\"errors\":{{\"client\":{},\"io\":{},\"queue_rejections\":{}}},",
                 "\"batcher\":{{\"model_evaluations\":{},\"batched_requests\":{},\"batch_sizes\":{}}},",
                 "\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{}}},",
-                "\"boot\":{{\"cold_start_us\":{},\"model_mapped\":{}}}}}"
+                "\"boot\":{{\"cold_start_us\":{},\"model_mapped\":{},",
+                "\"model_precision\":\"{}\"}}}}"
             ),
             self.total_requests(),
             routes.join(","),
@@ -220,6 +226,7 @@ impl Metrics {
             load(&self.cache_evictions),
             load(&self.cold_start_us),
             load(&self.model_mapped),
+            if load(&self.model_f32) == 1 { "f32" } else { "f64" },
         )
     }
 }
@@ -267,10 +274,13 @@ mod tests {
     #[test]
     fn boot_metrics_render() {
         let m = Metrics::new();
-        assert!(m.render_json().contains("\"boot\":{\"cold_start_us\":0,\"model_mapped\":0}"));
-        m.record_boot(Duration::from_micros(1234), true);
+        assert!(m.render_json().contains(
+            "\"boot\":{\"cold_start_us\":0,\"model_mapped\":0,\"model_precision\":\"f64\"}"
+        ));
+        m.record_boot(Duration::from_micros(1234), true, true);
         let json = m.render_json();
         assert!(json.contains("\"cold_start_us\":1234"), "{json}");
         assert!(json.contains("\"model_mapped\":1"), "{json}");
+        assert!(json.contains("\"model_precision\":\"f32\""), "{json}");
     }
 }

@@ -35,7 +35,7 @@
 
 use crate::backend::Backend;
 use crate::error::StoreError;
-use crate::matrix::MappedMatrix;
+use crate::matrix::{MappedMatrix, MappedMatrixF32};
 use crate::mmap::Region;
 use std::io::Write;
 use std::path::Path;
@@ -84,6 +84,8 @@ pub enum DType {
     U32,
     /// Opaque bytes (nested blobs, e.g. a compressed graph).
     Bytes,
+    /// Little-endian IEEE-754 singles (the f32-storage precision mode).
+    F32,
 }
 
 impl DType {
@@ -93,6 +95,7 @@ impl DType {
             DType::U64 => 2,
             DType::U32 => 3,
             DType::Bytes => 4,
+            DType::F32 => 5,
         }
     }
 
@@ -102,6 +105,7 @@ impl DType {
             2 => Some(DType::U64),
             3 => Some(DType::U32),
             4 => Some(DType::Bytes),
+            5 => Some(DType::F32),
             _ => None,
         }
     }
@@ -110,7 +114,7 @@ impl DType {
     pub fn elem_bytes(self) -> usize {
         match self {
             DType::F64 | DType::U64 => 8,
-            DType::U32 => 4,
+            DType::U32 | DType::F32 => 4,
             DType::Bytes => 1,
         }
     }
@@ -122,6 +126,7 @@ impl DType {
             DType::U64 => "u64",
             DType::U32 => "u32",
             DType::Bytes => "bytes",
+            DType::F32 => "f32",
         }
     }
 }
@@ -238,6 +243,21 @@ impl<W: Write> ArtifactWriter<W> {
         Ok(())
     }
 
+    /// Appends singles to the open section (dtype must be [`DType::F32`]).
+    pub fn put_f32s(&mut self, vals: &[f32]) -> std::io::Result<()> {
+        assert_eq!(self.cur.as_ref().expect("no open section").dtype, DType::F32);
+        let mut scratch = [0u8; 8192];
+        for chunk in vals.chunks(scratch.len() / 4) {
+            let mut n = 0;
+            for &v in chunk {
+                scratch[n..n + 4].copy_from_slice(&v.to_le_bytes());
+                n += 4;
+            }
+            self.put_raw(&scratch[..n], chunk.len() as u64)?;
+        }
+        Ok(())
+    }
+
     /// Appends u64s to the open section (dtype must be [`DType::U64`]).
     pub fn put_u64s(&mut self, vals: &[u64]) -> std::io::Result<()> {
         assert_eq!(self.cur.as_ref().expect("no open section").dtype, DType::U64);
@@ -292,6 +312,13 @@ impl<W: Write> ArtifactWriter<W> {
     pub fn section_f64s(&mut self, name: &str, vals: &[f64]) -> std::io::Result<()> {
         self.begin_section(name, DType::F64)?;
         self.put_f64s(vals)?;
+        self.end_section()
+    }
+
+    /// Convenience: a whole f32 section in one call.
+    pub fn section_f32s(&mut self, name: &str, vals: &[f32]) -> std::io::Result<()> {
+        self.begin_section(name, DType::F32)?;
+        self.put_f32s(vals)?;
         self.end_section()
     }
 
@@ -536,6 +563,16 @@ impl Artifact {
         Ok(bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().expect("8"))).collect())
     }
 
+    /// Decodes an f32 section into an owned vector.
+    pub fn decode_f32s(&self, name: &str) -> Result<Vec<f32>, StoreError> {
+        let s = self.require(name)?;
+        if s.dtype != DType::F32 {
+            return Err(StoreError::Malformed(format!("section '{name}' is not f32")));
+        }
+        let bytes = self.section_bytes(name)?;
+        Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().expect("4"))).collect())
+    }
+
     /// Decodes a u64 section into an owned vector.
     pub fn decode_u64s(&self, name: &str) -> Result<Vec<u64>, StoreError> {
         let s = self.require(name)?;
@@ -573,6 +610,30 @@ impl Artifact {
             )));
         }
         Ok(MappedMatrix::new(Arc::clone(&self.region), s.offset as usize, rows, cols))
+    }
+
+    /// Borrows an f32 section as a zero-copy `rows × cols` matrix.
+    ///
+    /// # Errors
+    /// [`StoreError::Malformed`] when the section is missing, not f32, or
+    /// its element count differs from `rows × cols`.
+    pub fn matrix_f32(
+        &self,
+        name: &str,
+        rows: usize,
+        cols: usize,
+    ) -> Result<MappedMatrixF32, StoreError> {
+        let s = self.require(name)?;
+        if s.dtype != DType::F32 {
+            return Err(StoreError::Malformed(format!("section '{name}' is not f32")));
+        }
+        if s.len != (rows as u64) * (cols as u64) {
+            return Err(StoreError::Malformed(format!(
+                "section '{name}' holds {} elements, expected {rows}×{cols}",
+                s.len
+            )));
+        }
+        Ok(MappedMatrixF32::new(Arc::clone(&self.region), s.offset as usize, rows, cols))
     }
 
     /// Checksums every section payload against the table.
@@ -629,6 +690,30 @@ mod tests {
         assert_eq!(m.row(1), &[0.0, 4.0, 5.0]);
         assert_eq!(m.view().get(0, 1), 2.5);
         a.verify().unwrap();
+    }
+
+    #[test]
+    fn f32_sections_round_trip_and_map() {
+        let mut w = ArtifactWriter::new(Vec::new()).unwrap();
+        w.section_f32s("uf32", &[1.5, -2.25, 0.0, 8.0, -0.5, 3.75]).unwrap();
+        w.section_f64s("uf64", &[1.0]).unwrap();
+        let bytes = w.finish().unwrap();
+        let a = Artifact::from_bytes(&bytes).unwrap();
+        let s = a.section("uf32").unwrap();
+        assert_eq!(s.dtype, DType::F32);
+        assert_eq!(s.dtype.name(), "f32");
+        assert_eq!(s.byte_len(), 24);
+        assert_eq!(a.decode_f32s("uf32").unwrap(), vec![1.5, -2.25, 0.0, 8.0, -0.5, 3.75]);
+        let m = a.matrix_f32("uf32", 2, 3).unwrap();
+        assert_eq!(m.row(1), &[8.0, -0.5, 3.75]);
+        assert_eq!(m.view().get(0, 1), -2.25);
+        // dtype confusion is a typed error in both directions.
+        assert!(a.decode_f32s("uf64").is_err());
+        assert!(a.decode_f64s("uf32").is_err());
+        assert!(a.matrix("uf32", 2, 3).is_err());
+        assert!(a.matrix_f32("uf64", 1, 1).is_err());
+        // Shape mismatch too.
+        assert!(a.matrix_f32("uf32", 3, 3).is_err());
     }
 
     #[test]

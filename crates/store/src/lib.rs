@@ -24,9 +24,10 @@
 //! I/O on top, `csrplus-cli` exposes `pack`/`inspect`, and
 //! `csrplus-serve` reports which backend a model booted from.
 //!
-//! Unlike the rest of the workspace, this crate contains `unsafe`: the
-//! `mmap(2)` FFI in [`mmap`] and the alignment-checked byte→f64 casts in
-//! [`matrix`] (see DESIGN.md for the audit surface).
+//! This crate is one of the workspace's three audited `unsafe` islands
+//! (with `csrplus-par` and `csrplus_linalg::simd`): the `mmap(2)` FFI in
+//! [`mmap`] and the alignment-checked byte→f64/f32 casts in [`matrix`]
+//! (see DESIGN.md for the audit surface).
 
 #![warn(missing_docs)]
 
@@ -39,5 +40,5 @@ pub mod mmap;
 pub use backend::Backend;
 pub use error::StoreError;
 pub use format::{Artifact, ArtifactWriter, DType, SectionDesc, VERSION};
-pub use matrix::MappedMatrix;
+pub use matrix::{MappedMatrix, MappedMatrixF32};
 pub use mmap::Region;

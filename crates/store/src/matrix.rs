@@ -80,3 +80,74 @@ impl MappedMatrix {
             .expect("bounds validated at construction")
     }
 }
+
+/// The f32 counterpart of [`MappedMatrix`]: a row-major `rows × cols`
+/// single-precision matrix borrowed from a shared [`Region`].
+///
+/// Constructed by `Artifact::matrix_f32` against an [`crate::DType::F32`]
+/// section, which validates bounds, alignment and element count.  The
+/// mixed-precision kernels in `csrplus-linalg` consume its
+/// [`MatView<f32>`] directly, widening to f64 per element — the mapped
+/// bytes are never converted wholesale.
+#[derive(Debug, Clone)]
+pub struct MappedMatrixF32 {
+    region: Arc<Region>,
+    offset: usize,
+    rows: usize,
+    cols: usize,
+}
+
+impl MappedMatrixF32 {
+    pub(crate) fn new(region: Arc<Region>, offset: usize, rows: usize, cols: usize) -> Self {
+        debug_assert!(offset & 3 == 0);
+        debug_assert!(offset + rows * cols * 4 <= region.len());
+        MappedMatrixF32 { region, offset, rows, cols }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The matrix as a flat row-major slice, borrowed from the region.
+    pub fn as_slice(&self) -> &[f32] {
+        let bytes = &self.region.bytes()[self.offset..self.offset + self.rows * self.cols * 4];
+        debug_assert_eq!(bytes.as_ptr() as usize % std::mem::align_of::<f32>(), 0);
+        // SAFETY: the range is in bounds and 4-byte aligned (section
+        // offsets are 64-aligned within the file and the region base is
+        // 8-aligned); on little-endian targets every byte pattern is a
+        // valid f32.
+        unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const f32, self.rows * self.cols) }
+    }
+
+    /// Row `i` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.as_slice()[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Element `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        self.as_slice()[i * self.cols + j]
+    }
+
+    /// A borrowing [`MatView<f32>`] over the mapped storage.
+    pub fn view(&self) -> MatView<'_, f32> {
+        MatView::new(self.as_slice(), self.rows, self.cols, self.cols, 1)
+            .expect("bounds validated at construction")
+    }
+}

@@ -1,10 +1,10 @@
 //! Read-only byte regions: memory-mapped when the platform allows it,
 //! owned heap buffers otherwise.
 //!
-//! This is the only place in the workspace (outside `csrplus-par`) that
-//! uses `unsafe`: one FFI pair (`mmap`/`munmap`, declared directly so the
-//! build stays dependency-free) and the slice casts over the resulting
-//! immutable, page-cache-backed memory.
+//! One of the workspace's audited `unsafe` islands (with `csrplus-par`
+//! and `csrplus_linalg::simd`): one FFI pair (`mmap`/`munmap`, declared
+//! directly so the build stays dependency-free) and the slice casts over
+//! the resulting immutable, page-cache-backed memory.
 
 use std::fs::File;
 use std::io;

@@ -12,15 +12,17 @@ enum Payload {
     U64s(Vec<u64>),
     U32s(Vec<u32>),
     Bytes(Vec<u8>),
+    F32s(Vec<f32>),
 }
 
 fn arb_payload() -> impl Strategy<Value = Payload> {
-    (0u8..4, proptest::collection::vec(0u64..u64::MAX, 0..40)).prop_map(|(kind, raw)| match kind {
+    (0u8..5, proptest::collection::vec(0u64..u64::MAX, 0..40)).prop_map(|(kind, raw)| match kind {
         // f64::from_bits of arbitrary words covers NaNs, infinities and
         // subnormals; round-trips compare raw bits, so all are fair game.
         0 => Payload::F64s(raw.iter().map(|&x| f64::from_bits(x)).collect()),
         1 => Payload::U64s(raw),
         2 => Payload::U32s(raw.iter().map(|&x| x as u32).collect()),
+        3 => Payload::F32s(raw.iter().map(|&x| f32::from_bits(x as u32)).collect()),
         _ => Payload::Bytes(raw.iter().flat_map(|&x| x.to_le_bytes()).collect()),
     })
 }
@@ -41,6 +43,7 @@ fn encode(sections: &[(String, Payload)]) -> Vec<u8> {
             Payload::U64s(v) => w.section_u64s(name, v).unwrap(),
             Payload::U32s(v) => w.section_u32s(name, v).unwrap(),
             Payload::Bytes(v) => w.section_bytes(name, v).unwrap(),
+            Payload::F32s(v) => w.section_f32s(name, v).unwrap(),
         }
     }
     w.finish().unwrap()
@@ -68,6 +71,13 @@ proptest! {
                 Payload::U32s(v) => prop_assert_eq!(&artifact.decode_u32s(name).unwrap(), v),
                 Payload::Bytes(v) => {
                     prop_assert_eq!(artifact.section_bytes(name).unwrap(), v.as_slice())
+                }
+                Payload::F32s(v) => {
+                    let got = artifact.decode_f32s(name).unwrap();
+                    prop_assert_eq!(got.len(), v.len());
+                    for (a, b) in got.iter().zip(v) {
+                        prop_assert_eq!(a.to_bits(), b.to_bits());
+                    }
                 }
             }
         }

@@ -64,6 +64,32 @@ fn precompute_and_query_allocate_less_than_seed() {
     csrplus_par::set_threads(prior);
 }
 
+/// Thin QR assembles `Q` in the spent working copy instead of a third
+/// `m × n` panel, so peak scratch is two `m × n` matrices (working
+/// copy / `Q` and the reflector panel) plus `R` and small vectors.  Pin
+/// that with a byte budget; a reintroduced third panel blows it.
+#[test]
+fn thin_qr_peak_scratch_stays_within_two_panels() {
+    use csrplus_linalg::qr::thin_qr;
+    use csrplus_memtrack::{measure_peak, model, MemoryBudget};
+
+    let prior = csrplus_par::threads();
+    csrplus_par::set_threads(1);
+
+    let (m, n) = (1024usize, 64usize);
+    let a = DenseMatrix::from_fn(m, n, |i, j| ((i * 31 + j * 17) % 97) as f64 / 97.0 - 0.5);
+    let _ = thin_qr(&a).unwrap(); // warm-up: one-time lazy initialisation
+
+    let (qr, peak) = measure_peak(|| thin_qr(&a).unwrap());
+    assert_eq!(qr.q.shape(), (m, n));
+
+    // Two m×n panels + R + 256 KiB of slack for w/partials/bookkeeping.
+    let budget = MemoryBudget::new(2 * model::dense(m, n) + model::dense(n, n) + 256 * 1024);
+    budget.check("thin_qr scratch", peak).unwrap_or_else(|e| panic!("{e}"));
+
+    csrplus_par::set_threads(prior);
+}
+
 /// Saving a model streams: payload bytes pass through fixed stack
 /// scratch with the checksum folded in on the way, so the allocation
 /// count is a small constant — *independent of model size* — rather than
