@@ -95,6 +95,7 @@ fn bench_serving(c: &mut Criterion) {
                 cache_shards: 8,
                 timeout: Duration::from_secs(5),
                 max_requests: Some(TOTAL),
+                ..ServeConfig::default()
             };
             let handle = Server::start(m.clone(), 0, config).unwrap();
             let addr = handle.addr();

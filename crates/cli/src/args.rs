@@ -1,6 +1,7 @@
 //! Hand-rolled argument parsing (no external CLI crates).
 
 use csrplus_datasets::{DatasetId, Scale};
+use csrplus_graph::partition::Reordering;
 use std::path::PathBuf;
 
 /// Usage text printed on parse errors.
@@ -9,13 +10,17 @@ usage:
   csrplus generate   --dataset <fb|p2p|yt|wt|tw|wb> [--scale test|bench] --out <graph.txt>
   csrplus stats      <graph.txt>
   csrplus precompute <graph.txt> [--rank R] [--damping C] [--epsilon E]
-                     [--backend randomized|lanczos] --out <model.csrp>
+                     [--backend randomized|lanczos]
+                     [--reorder identity|degree|rcm|labelprop] --out <model.csrp>
   csrplus query      <model.csrp> --nodes 1,3,5 [--top K]
   csrplus topk       <model.csrp> --node N [--k K]
   csrplus exact      <graph.txt> --nodes 1,3 [--damping C] [--epsilon E]
   csrplus join       <model.csrp> --threshold T [--limit N]
   csrplus serve      <model.csrp> [--port P] [--workers N] [--batch B] [--linger-us U]
                      [--cache COLS] [--timeout-ms MS] [--max-requests N] [--legacy]
+                     [--shards host:port,host:port [--shard-timeout-ms MS] [--hedge-ms MS]]
+  csrplus shard      <model.csrp> --rows LO:HI [--port P] [--workers N] [--batch B]
+                     [--linger-us U] [--cache COLS] [--timeout-ms MS] [--max-requests N]
   csrplus pack       <model.csrp> --out <packed.csrp>
   csrplus inspect    <model.csrp> [--verify]
 
@@ -56,6 +61,8 @@ pub enum Command {
         epsilon: f64,
         /// Truncated-SVD backend.
         backend: csrplus_core::SvdBackend,
+        /// Locality-aware node reordering applied before precompute.
+        reorder: Reordering,
         /// Output model path.
         out: PathBuf,
     },
@@ -106,6 +113,34 @@ pub enum Command {
         max_requests: Option<usize>,
         /// Use the original single-threaded sequential server.
         legacy: bool,
+        /// Coordinator mode: scatter-gather over these shard servers.
+        shards: Vec<String>,
+        /// Coordinator: per-shard request budget in milliseconds.
+        shard_timeout_ms: u64,
+        /// Coordinator: straggler hedge delay in milliseconds (0 = off).
+        hedge_ms: u64,
+    },
+    /// Serve one contiguous internal row range of a model (shard mode).
+    Shard {
+        /// Model path (the same artifact every shard and the coordinator
+        /// open; mmap keeps the resident cost at the slice actually read).
+        model: PathBuf,
+        /// Internal row range `lo..hi` this shard owns.
+        rows: (usize, usize),
+        /// TCP port (0 = ephemeral; the bound address is printed).
+        port: u16,
+        /// Worker threads (default: available parallelism).
+        workers: Option<usize>,
+        /// Maximum coalesced batch size `|Q|`.
+        batch: usize,
+        /// Micro-batch linger window in microseconds.
+        linger_us: u64,
+        /// Column-cache capacity in columns (0 disables).
+        cache: usize,
+        /// Per-request timeout in milliseconds.
+        timeout_ms: u64,
+        /// Serve this many connections then exit.
+        max_requests: Option<usize>,
     },
     /// Rewrite a model file in the current (v2, mmap-able) format.
     Pack {
@@ -198,6 +233,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "exact" => parse_exact(&rest),
         "join" => parse_join(&rest),
         "serve" => parse_serve(&rest),
+        "shard" => parse_shard(&rest),
         "pack" => Ok(Command::Pack {
             input: positional(&rest, 0)?,
             out: PathBuf::from(require(&rest, "--out")?),
@@ -241,6 +277,27 @@ fn parse_nodes(v: &str) -> Result<Vec<usize>, String> {
         return Err("empty node list".to_string());
     }
     Ok(nodes)
+}
+
+/// Parses a `LO:HI` internal row range (half-open, `LO < HI`).
+fn parse_rows(v: &str) -> Result<(usize, usize), String> {
+    let (lo, hi) = v.split_once(':').ok_or_else(|| format!("invalid rows {v:?}: want LO:HI"))?;
+    let lo: usize = parse_num(lo, "rows")?;
+    let hi: usize = parse_num(hi, "rows")?;
+    if lo >= hi {
+        return Err(format!("invalid rows {v:?}: LO must be below HI"));
+    }
+    Ok((lo, hi))
+}
+
+/// Parses a comma-separated `host:port` list.
+fn parse_shards(v: &str) -> Result<Vec<String>, String> {
+    let shards: Vec<String> =
+        v.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from).collect();
+    if shards.is_empty() {
+        return Err(format!("empty shard list {v:?}"));
+    }
+    Ok(shards)
 }
 
 fn parse_dataset(v: &str) -> Result<DatasetId, String> {
@@ -290,6 +347,10 @@ fn parse_precompute(rest: &[&String]) -> Result<Command, String> {
             None | Some("randomized") => csrplus_core::SvdBackend::Randomized,
             Some("lanczos") => csrplus_core::SvdBackend::Lanczos,
             Some(other) => return Err(format!("unknown backend {other:?}")),
+        },
+        reorder: match flag_value(rest, "--reorder") {
+            None => Reordering::Identity,
+            Some(v) => Reordering::parse(v).ok_or_else(|| format!("unknown reordering {v:?}"))?,
         },
         out: PathBuf::from(require(rest, "--out")?),
     })
@@ -360,6 +421,53 @@ fn parse_serve(rest: &[&String]) -> Result<Command, String> {
             None => None,
         },
         legacy: has_flag(rest, "--legacy"),
+        shards: match flag_value(rest, "--shards") {
+            Some(v) => parse_shards(v)?,
+            None => Vec::new(),
+        },
+        shard_timeout_ms: match flag_value(rest, "--shard-timeout-ms") {
+            Some(v) => parse_num(v, "shard-timeout-ms")?,
+            None => 2000,
+        },
+        hedge_ms: match flag_value(rest, "--hedge-ms") {
+            Some(v) => parse_num(v, "hedge-ms")?,
+            None => 50,
+        },
+    })
+}
+
+fn parse_shard(rest: &[&String]) -> Result<Command, String> {
+    Ok(Command::Shard {
+        model: positional(rest, 0)?,
+        rows: parse_rows(require(rest, "--rows")?)?,
+        port: match flag_value(rest, "--port") {
+            Some(v) => parse_num(v, "port")?,
+            None => 8100,
+        },
+        workers: match flag_value(rest, "--workers") {
+            Some(v) => Some(parse_num(v, "workers")?),
+            None => None,
+        },
+        batch: match flag_value(rest, "--batch") {
+            Some(v) => parse_num(v, "batch")?,
+            None => 32,
+        },
+        linger_us: match flag_value(rest, "--linger-us") {
+            Some(v) => parse_num(v, "linger-us")?,
+            None => 200,
+        },
+        cache: match flag_value(rest, "--cache") {
+            Some(v) => parse_num(v, "cache")?,
+            None => 1024,
+        },
+        timeout_ms: match flag_value(rest, "--timeout-ms") {
+            Some(v) => parse_num(v, "timeout-ms")?,
+            None => 5000,
+        },
+        max_requests: match flag_value(rest, "--max-requests") {
+            Some(v) => Some(parse_num(v, "max-requests")?),
+            None => None,
+        },
     })
 }
 
@@ -613,6 +721,69 @@ mod tests {
         assert!(extract_threads(&argv("--threads 0 stats g.txt"))
             .unwrap_err()
             .contains("at least 1"));
+    }
+
+    #[test]
+    fn precompute_parses_reorder_flag() {
+        let cmd = parse(&argv("precompute g.txt --reorder rcm --out m.csrp")).unwrap();
+        assert!(matches!(cmd, Command::Precompute { reorder: Reordering::Rcm, .. }));
+        let cmd = parse(&argv("precompute g.txt --out m.csrp")).unwrap();
+        assert!(matches!(cmd, Command::Precompute { reorder: Reordering::Identity, .. }));
+        for name in ["identity", "degree", "rcm", "labelprop"] {
+            let cmd = parse(&argv(&format!("precompute g.txt --reorder {name} --out m"))).unwrap();
+            assert!(matches!(cmd, Command::Precompute { reorder, .. }
+                if reorder == Reordering::parse(name).unwrap()));
+        }
+        assert!(parse(&argv("precompute g.txt --reorder hilbert --out m"))
+            .unwrap_err()
+            .contains("unknown reordering"));
+    }
+
+    #[test]
+    fn shard_parses_rows_and_serve_flags() {
+        let cmd = parse(&argv("shard m.csrp --rows 0:512 --port 8101 --cache 0")).unwrap();
+        match cmd {
+            Command::Shard { model, rows, port, cache, batch, .. } => {
+                assert_eq!(model, PathBuf::from("m.csrp"));
+                assert_eq!(rows, (0, 512));
+                assert_eq!(port, 8101);
+                assert_eq!(cache, 0);
+                assert_eq!(batch, 32);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("shard m.csrp")).unwrap_err().contains("--rows"));
+        assert!(parse(&argv("shard m.csrp --rows 5")).unwrap_err().contains("LO:HI"));
+        assert!(parse(&argv("shard m.csrp --rows 5:5")).unwrap_err().contains("below"));
+        assert!(parse(&argv("shard m.csrp --rows a:b")).unwrap_err().contains("invalid rows"));
+    }
+
+    #[test]
+    fn serve_parses_coordinator_flags() {
+        let cmd = parse(&argv(
+            "serve m.csrp --shards 127.0.0.1:8101,127.0.0.1:8102 \
+             --shard-timeout-ms 750 --hedge-ms 0",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Serve { shards, shard_timeout_ms, hedge_ms, .. } => {
+                assert_eq!(shards, vec!["127.0.0.1:8101", "127.0.0.1:8102"]);
+                assert_eq!(shard_timeout_ms, 750);
+                assert_eq!(hedge_ms, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+        // No --shards ⇒ local serving with the documented defaults.
+        let cmd = parse(&argv("serve m.csrp")).unwrap();
+        match cmd {
+            Command::Serve { shards, shard_timeout_ms, hedge_ms, .. } => {
+                assert!(shards.is_empty());
+                assert_eq!(shard_timeout_ms, 2000);
+                assert_eq!(hedge_ms, 50);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("serve m.csrp --shards ,")).unwrap_err().contains("empty shard"));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::args::Command;
 use csrplus_core::{exact, persist, CsrPlusConfig, CsrPlusModel};
 use csrplus_graph::io::{read_snap_file, write_snap_file};
+use csrplus_graph::partition::{Partitioner, Reordering};
 use csrplus_graph::TransitionMatrix;
 use std::error::Error;
 use std::time::Instant;
@@ -44,21 +45,38 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
             );
             Ok(())
         }
-        Command::Precompute { graph, rank, damping, epsilon, backend, out } => {
+        Command::Precompute { graph, rank, damping, epsilon, backend, reorder, out } => {
             let loaded = read_snap_file(&graph)?;
-            let transition = TransitionMatrix::from_graph(&loaded.graph);
             let config = CsrPlusConfig { rank, damping, epsilon, backend, ..Default::default() };
             let t0 = Instant::now();
-            let model = CsrPlusModel::precompute(&transition, &config)?;
+            // Locality-aware reordering happens *before* precompute: the
+            // factors are built over relabeled internal rows, and the
+            // permutation rides along in the artifact so every public
+            // answer still speaks original node ids.
+            let perm = Partitioner::new(reorder).permutation(&loaded.graph);
+            let model = if perm.is_identity() {
+                let transition = TransitionMatrix::from_graph(&loaded.graph);
+                CsrPlusModel::precompute(&transition, &config)?
+            } else {
+                let relabeled = perm.apply(&loaded.graph);
+                let transition = TransitionMatrix::from_graph(&relabeled);
+                CsrPlusModel::precompute(&transition, &config)?
+                    .with_permutation(perm.into_order(), reorder)?
+            };
             let pre = t0.elapsed();
             persist::save_model(&model, &out)?;
             println!(
-                "precomputed rank-{} model over {} nodes in {:.1?} → {} ({} bytes memoised)",
+                "precomputed rank-{} model over {} nodes in {:.1?} → {} ({} bytes memoised{})",
                 model.rank(),
                 model.n(),
                 pre,
                 out.display(),
-                model.heap_bytes()
+                model.heap_bytes(),
+                if reorder == Reordering::Identity {
+                    String::new()
+                } else {
+                    format!(", {} ordering", reorder.name())
+                }
             );
             Ok(())
         }
@@ -130,7 +148,13 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
             timeout_ms,
             max_requests,
             legacy,
+            shards,
+            shard_timeout_ms,
+            hedge_ms,
         } => {
+            if legacy && !shards.is_empty() {
+                return Err("--legacy and --shards are mutually exclusive".into());
+            }
             let t0 = Instant::now();
             let m = persist::load_model(&model)?;
             let load_time = t0.elapsed();
@@ -152,17 +176,83 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
             config.cache_capacity = cache;
             config.timeout = std::time::Duration::from_millis(timeout_ms);
             config.max_requests = max_requests;
+            config.shards = shards.clone();
+            config.shard_timeout = std::time::Duration::from_millis(shard_timeout_ms);
+            config.hedge = std::time::Duration::from_millis(hedge_ms);
+            if shards.is_empty() {
+                eprintln!(
+                    "serving {} nodes at rank {} ({} loaded in {:.1?}; {} workers, batch ≤ {}, \
+                     linger {}µs, cache {} cols; routes: /health /similarity /topk /query /metrics)",
+                    m.n(),
+                    m.rank(),
+                    if m.is_mapped() { "mmap" } else { "owned" },
+                    load_time,
+                    config.workers,
+                    config.max_batch,
+                    linger_us,
+                    cache
+                );
+            } else {
+                eprintln!(
+                    "coordinating {} nodes at rank {} over {} shards [{}] ({} loaded in {:.1?}; \
+                     shard timeout {}ms, hedge {}ms, cache {} cols; routes: /health /similarity \
+                     /topk /query /metrics)",
+                    m.n(),
+                    m.rank(),
+                    shards.len(),
+                    shards.join(" "),
+                    if m.is_mapped() { "mmap" } else { "owned" },
+                    load_time,
+                    shard_timeout_ms,
+                    hedge_ms,
+                    cache
+                );
+            }
+            let mapped = m.is_mapped();
+            let f32_storage = m.precision() == csrplus_core::Precision::F32;
+            let handle = csrplus_serve::Server::start(m, port, config)?;
+            handle.metrics().record_boot(load_time, mapped, f32_storage);
+            handle.join();
+            Ok(())
+        }
+        Command::Shard {
+            model,
+            rows,
+            port,
+            workers,
+            batch,
+            linger_us,
+            cache,
+            timeout_ms,
+            max_requests,
+        } => {
+            let t0 = Instant::now();
+            let m = persist::load_model(&model)?;
+            let load_time = t0.elapsed();
+            let (lo, hi) = rows;
+            if hi > m.n() {
+                return Err(format!("--rows {lo}:{hi} exceeds the model's {} rows", m.n()).into());
+            }
+            let mut config = csrplus_serve::ServeConfig::default();
+            if let Some(w) = workers {
+                config.workers = w.max(1);
+                config.queue_depth = config.workers * 16;
+            }
+            config.max_batch = batch.max(1);
+            config.linger = std::time::Duration::from_micros(linger_us);
+            config.cache_capacity = cache;
+            config.timeout = std::time::Duration::from_millis(timeout_ms);
+            config.max_requests = max_requests;
+            config.shard_rows = Some(rows);
             eprintln!(
-                "serving {} nodes at rank {} ({} loaded in {:.1?}; {} workers, batch ≤ {}, \
-                 linger {}µs, cache {} cols; routes: /health /similarity /topk /query /metrics)",
+                "shard serving internal rows {lo}..{hi} of {} nodes at rank {} ({} loaded in \
+                 {:.1?}; {} workers; routes: /health /shard/range /shard/columns /shard/topk \
+                 /metrics)",
                 m.n(),
                 m.rank(),
                 if m.is_mapped() { "mmap" } else { "owned" },
                 load_time,
-                config.workers,
-                config.max_batch,
-                linger_us,
-                cache
+                config.workers
             );
             let mapped = m.is_mapped();
             let f32_storage = m.precision() == csrplus_core::Precision::F32;
@@ -238,6 +328,28 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
                     s.byte_len(),
                     s.crc
                 );
+            }
+            match artifact.section("perm") {
+                None => {
+                    println!("permutation      none (identity ordering; answers = internal rows)")
+                }
+                Some(desc) => {
+                    let order = artifact.decode_u32s("perm")?;
+                    let meta = artifact.decode_u64s("perm.meta")?;
+                    let kind = meta
+                        .first()
+                        .copied()
+                        .and_then(Reordering::from_tag)
+                        .map(Reordering::name)
+                        .unwrap_or("unknown");
+                    let identity = order.iter().enumerate().all(|(i, &o)| i as u32 == o);
+                    println!(
+                        "permutation      {kind} ordering over {} nodes ({}, crc {:#018x})",
+                        order.len(),
+                        if identity { "identity" } else { "non-identity" },
+                        desc.crc
+                    );
+                }
             }
             if verify {
                 let t0 = Instant::now();

@@ -3,13 +3,16 @@
 //! ```text
 //! csrplus generate   --dataset fb [--scale test|bench] --out graph.txt
 //! csrplus stats      <graph.txt>
-//! csrplus precompute <graph.txt> [--rank R] [--damping C] [--epsilon E] --out model.csrp
+//! csrplus precompute <graph.txt> [--rank R] [--damping C] [--epsilon E]
+//!                    [--reorder identity|degree|rcm|labelprop] --out model.csrp
 //! csrplus query      <model.csrp> --nodes 1,3,5 [--top K]
 //! csrplus topk       <model.csrp> --node N [--k K]
 //! csrplus exact      <graph.txt> --nodes 1,3 [--damping C] [--epsilon E]
 //! csrplus join       <model.csrp> --threshold T [--limit N]
 //! csrplus serve      <model.csrp> [--port P] [--workers N] [--batch B] [--linger-us U]
 //!                    [--cache COLS] [--timeout-ms MS] [--max-requests N] [--legacy]
+//!                    [--shards host:port,... [--shard-timeout-ms MS] [--hedge-ms MS]]
+//! csrplus shard      <model.csrp> --rows LO:HI [serve flags]
 //! csrplus pack       <model.csrp> --out <packed.csrp>
 //! csrplus inspect    <model.csrp> [--verify]
 //! ```
@@ -20,6 +23,13 @@
 //! admission queue, a micro-batcher coalescing concurrent queries into
 //! multi-source evaluations, a sharded LRU column cache, and `/metrics`.
 //! `--legacy` falls back to the original sequential accept loop.
+//!
+//! Scatter-gather deployments split the internal row space over `shard`
+//! processes (each serving one `--rows LO:HI` slice of the same mmap'd
+//! artifact) behind a `serve --shards` coordinator that merges partial
+//! columns and per-shard top-k heaps; `precompute --reorder` applies a
+//! locality-aware node reordering first so each query's top-k candidates
+//! concentrate in few shards.
 //!
 //! The global `--threads N` flag (any position) caps the shared
 //! `csrplus-par` worker pool that every compute kernel runs on; it

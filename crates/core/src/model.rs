@@ -5,10 +5,12 @@ use crate::config::CsrPlusConfig;
 use crate::error::CoSimRankError;
 use crate::factor::{DenseMatrixF32, Factor, FactorView};
 use crate::precision::Precision;
+use csrplus_graph::partition::Reordering;
 use csrplus_graph::TransitionMatrix;
 use csrplus_linalg::randomized::randomized_svd;
 use csrplus_linalg::DenseMatrix;
 use csrplus_memtrack::MemoryBudget;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Work floor per parallel chunk for the cheap per-node online sweeps
@@ -37,10 +39,41 @@ impl PrecomputeStats {
     }
 }
 
+/// The node permutation a reordered model carries: the factors' rows
+/// live in *internal* (reordered) id space, and every public query entry
+/// point translates between original node ids and internal rows through
+/// this map, so callers never observe the reordering.
+///
+/// Persisted as the `perm`/`perm.meta` sections of CSRP v2 artifacts.
+#[derive(Debug, Clone)]
+pub struct ModelPermutation {
+    /// Scatter map `order[internal] = original`.
+    order: Vec<u32>,
+    /// Gather map `rank[original] = internal`.
+    rank: Vec<u32>,
+    /// The reordering strategy that produced the map.
+    kind: Reordering,
+}
+
+impl ModelPermutation {
+    /// The scatter map `order[internal] = original`.
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// The reordering strategy that produced the map.
+    pub fn kind(&self) -> Reordering {
+        self.kind
+    }
+}
+
 /// The memoised state of Algorithm 1 after precomputation.
 ///
 /// Holds only `O(rn)` data: the left singular block `U` (`n×r`) and
 /// `Z = U(ΣPΣ)` (`n×r`), plus the `r×r` diagnostics (`P`, `H₀`, `Σ`).
+///
+/// A model precomputed over a reordered graph additionally carries a
+/// [`ModelPermutation`]; see [`CsrPlusModel::with_permutation`].
 #[derive(Debug, Clone)]
 pub struct CsrPlusModel {
     config: CsrPlusConfig,
@@ -64,6 +97,10 @@ pub struct CsrPlusModel {
     /// the bound as an exact signed term; Cauchy–Schwarz only covers the
     /// remainder — see [`CsrPlusModel::top_k_pruned`].
     z_split: Vec<(f64, f64)>,
+    /// `Some` when the factor rows are a reordering of the original node
+    /// ids; `None` is the identity fast path (byte-for-byte the
+    /// historical behaviour).
+    perm: Option<Arc<ModelPermutation>>,
 }
 
 impl CsrPlusModel {
@@ -182,7 +219,21 @@ impl CsrPlusModel {
             memoise,
             squaring_iterations: iterations,
         };
-        Ok((CsrPlusModel { config: *config, n, u, z, sigma, p, h0, z_norms_desc, z_split }, stats))
+        Ok((
+            CsrPlusModel {
+                config: *config,
+                n,
+                u,
+                z,
+                sigma,
+                p,
+                h0,
+                z_norms_desc,
+                z_split,
+                perm: None,
+            },
+            stats,
+        ))
     }
 
     /// Reassembles a model from previously memoised parts (used by
@@ -258,7 +309,68 @@ impl CsrPlusModel {
             return Err(bad("derived table lengths"));
         }
         config.validate(n.max(1))?;
-        Ok(CsrPlusModel { config, n, u, z, sigma, p, h0, z_norms_desc, z_split })
+        Ok(CsrPlusModel { config, n, u, z, sigma, p, h0, z_norms_desc, z_split, perm: None })
+    }
+
+    /// Attaches the node permutation under which this model's factors
+    /// were precomputed: `order[internal] = original`.  Queries keep
+    /// using original node ids and results come back in original ids —
+    /// the translation happens inside the model.  An identity `order`
+    /// leaves the model permutation-free (the fast path).
+    ///
+    /// # Errors
+    /// [`CoSimRankError::InvalidConfig`] when `order` is not a
+    /// permutation of `0..n`.
+    pub fn with_permutation(
+        mut self,
+        order: Vec<u32>,
+        kind: Reordering,
+    ) -> Result<Self, CoSimRankError> {
+        if order.len() != self.n {
+            return Err(CoSimRankError::InvalidConfig {
+                message: format!(
+                    "permutation length {} does not match n = {}",
+                    order.len(),
+                    self.n
+                ),
+            });
+        }
+        let mut rank = vec![u32::MAX; self.n];
+        for (new, &old) in order.iter().enumerate() {
+            if old as usize >= self.n || rank[old as usize] != u32::MAX {
+                return Err(CoSimRankError::InvalidConfig {
+                    message: format!("permutation is not a bijection on 0..{}", self.n),
+                });
+            }
+            rank[old as usize] = new as u32;
+        }
+        let identity = order.iter().enumerate().all(|(new, &old)| new as u32 == old);
+        self.perm =
+            if identity { None } else { Some(Arc::new(ModelPermutation { order, rank, kind })) };
+        Ok(self)
+    }
+
+    /// The attached node permutation, if the model is reordered.
+    pub fn permutation(&self) -> Option<&ModelPermutation> {
+        self.perm.as_deref()
+    }
+
+    /// Maps an original node id to its internal factor row.
+    #[inline]
+    pub fn internal_row(&self, node: usize) -> usize {
+        match &self.perm {
+            Some(p) => p.rank[node] as usize,
+            None => node,
+        }
+    }
+
+    /// Maps an internal factor row back to its original node id.
+    #[inline]
+    pub fn original_id(&self, row: usize) -> usize {
+        match &self.perm {
+            Some(p) => p.order[row] as usize,
+            None => row,
+        }
     }
 
     /// The derived pruning tables `(Z row norms desc, Z split bounds)` —
@@ -343,34 +455,121 @@ impl CsrPlusModel {
         queries: &[usize],
         out: &mut DenseMatrix,
     ) -> Result<(), CoSimRankError> {
+        let internal = self.internal_queries(queries)?;
+        match &self.perm {
+            None => self.multi_source_internal_into(&internal, 0, self.n, out),
+            Some(p) => {
+                // Evaluate in internal row order, then scatter each row
+                // to its original id — a pure reordering of bitwise
+                // untouched values.
+                let mut block = DenseMatrix::zeros(0, 0);
+                self.multi_source_internal_into(&internal, 0, self.n, &mut block)?;
+                let w = queries.len();
+                out.resize_for_overwrite(self.n, w);
+                let dst = out.as_mut_slice();
+                for (i, &orig) in p.order.iter().enumerate() {
+                    dst[orig as usize * w..(orig as usize + 1) * w].copy_from_slice(block.row(i));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Bounds-checks `queries` (original ids) and maps them to internal
+    /// factor rows.  For permutation-free models the mapping is the
+    /// identity and the input slice is borrowed back allocation-free —
+    /// the steady-state query path must not pay for a feature it does
+    /// not use.
+    fn internal_queries<'q>(
+        &self,
+        queries: &'q [usize],
+    ) -> Result<std::borrow::Cow<'q, [usize]>, CoSimRankError> {
         for &q in queries {
             if q >= self.n {
                 return Err(CoSimRankError::QueryOutOfBounds { node: q, n: self.n });
             }
         }
-        let uq = self.u.select_rows(queries); // |Q| × r, same precision as U
-                                              // The kernels below overwrite every element of the result block,
-                                              // so the warm scratch skips the O(n·|Q|) zeroing memset that made
-                                              // the view path trail the owned path on wide batches.
-        out.resize_for_overwrite(self.n, queries.len());
+        Ok(match &self.perm {
+            None => std::borrow::Cow::Borrowed(queries),
+            Some(_) => queries.iter().map(|&q| self.internal_row(q)).collect(),
+        })
+    }
+
+    /// The shared evaluation core: rows `lo..hi` (internal order) of
+    /// `[S]_{*,Q} = [Iₙ]_{*,Q} + c·Z·[U]_{Q,*}ᵀ` for already-translated
+    /// internal query rows, written to a `(hi-lo) × |Q|` block.
+    ///
+    /// Every output element is an independent row·row dot product in the
+    /// dispatched kernel, so a range evaluation is bitwise identical to
+    /// the same rows of the full evaluation — the property that lets a
+    /// shard coordinator reassemble exactly the single-process answer.
+    fn multi_source_internal_into(
+        &self,
+        internal: &[usize],
+        lo: usize,
+        hi: usize,
+        out: &mut DenseMatrix,
+    ) -> Result<(), CoSimRankError> {
+        debug_assert!(lo <= hi && hi <= self.n);
+        let uq = self.u.select_rows(internal); // |Q| × r, same precision as U
+                                               // The kernels below overwrite every element of the result block,
+                                               // so the warm scratch skips the O(n·|Q|) zeroing memset that made
+                                               // the view path trail the owned path on wide batches.
+        out.resize_for_overwrite(hi - lo, internal.len());
         // S = Z·[U]_Qᵀ expressed by view transposition — the same pooled
         // kernel (and bits) as the owned transpose-b product.  f32-stored
         // factors take the mixed kernel (f64 accumulation).
+        let r = self.rank();
         match (self.z.factor_view(), uq.factor_view()) {
-            (FactorView::F64(z), FactorView::F64(u)) => {
-                csrplus_linalg::matmul_into(z, u.t(), out.view_mut(), csrplus_par::threads())?
-            }
-            (FactorView::F32(z), FactorView::F32(u)) => {
-                csrplus_linalg::matmul_into_mixed(z, u.t(), out.view_mut(), csrplus_par::threads())?
-            }
+            (FactorView::F64(z), FactorView::F64(u)) => csrplus_linalg::matmul_into(
+                z.block(lo, hi, 0, r),
+                u.t(),
+                out.view_mut(),
+                csrplus_par::threads(),
+            )?,
+            (FactorView::F32(z), FactorView::F32(u)) => csrplus_linalg::matmul_into_mixed(
+                z.block(lo, hi, 0, r),
+                u.t(),
+                out.view_mut(),
+                csrplus_par::threads(),
+            )?,
             _ => unreachable!("U and Z always share one storage precision"),
         }
         out.scale_in_place(self.config.damping);
-        for (j, &q) in queries.iter().enumerate() {
-            let v = out.get(q, j) + 1.0;
-            out.set(q, j, v);
+        for (j, &q) in internal.iter().enumerate() {
+            if q >= lo && q < hi {
+                let v = out.get(q - lo, j) + 1.0;
+                out.set(q - lo, j, v);
+            }
         }
         Ok(())
+    }
+
+    /// Rows `lo..hi` — in *internal* (reordered) row order — of the
+    /// multi-source block, the per-shard unit of evaluation.  Queries are
+    /// original node ids as everywhere else; only the output rows are
+    /// internal, because a contiguous internal range is what a shard
+    /// owns.  Concatenating the blocks of a partition of `0..n` and
+    /// scattering rows through the permutation reproduces
+    /// [`CsrPlusModel::multi_source_into`] bitwise.
+    ///
+    /// # Errors
+    /// [`CoSimRankError::QueryOutOfBounds`] on an invalid node id,
+    /// [`CoSimRankError::InvalidConfig`] on an invalid range.
+    pub fn multi_source_range_into(
+        &self,
+        queries: &[usize],
+        lo: usize,
+        hi: usize,
+        out: &mut DenseMatrix,
+    ) -> Result<(), CoSimRankError> {
+        if lo > hi || hi > self.n {
+            return Err(CoSimRankError::InvalidConfig {
+                message: format!("row range {lo}..{hi} invalid for n = {}", self.n),
+            });
+        }
+        let internal = self.internal_queries(queries)?;
+        self.multi_source_internal_into(&internal, lo, hi, out)
     }
 
     /// Multi-source query evaluated in bounded-memory chunks: the query
@@ -410,8 +609,10 @@ impl CsrPlusModel {
                 return Err(CoSimRankError::QueryOutOfBounds { node: x, n: self.n });
             }
         }
-        let za = self.z.select_rows(rows); // |A| × r
-        let ub = self.u.select_rows(cols); // |B| × r
+        let internal_rows = self.internal_queries(rows)?;
+        let internal_cols = self.internal_queries(cols)?;
+        let za = self.z.select_rows(&internal_rows); // |A| × r
+        let ub = self.u.select_rows(&internal_cols); // |B| × r
         let mut s = DenseMatrix::zeros(rows.len(), cols.len()); // |A| × |B|
         match (za.factor_view(), ub.factor_view()) {
             (FactorView::F64(a), FactorView::F64(b)) => {
@@ -465,22 +666,71 @@ impl CsrPlusModel {
         queries: &[usize],
         scratch: &mut DenseMatrix,
     ) -> Result<Vec<Vec<f64>>, CoSimRankError> {
-        self.multi_source_into(queries, scratch)?;
+        match &self.perm {
+            None => {
+                self.multi_source_into(queries, scratch)?;
+                if let [_] = queries {
+                    // |Q| = 1: the n×1 result block already is the column.
+                    return Ok(vec![scratch.as_slice().to_vec()]);
+                }
+                Self::gather_columns(scratch, self.n, queries.len(), None)
+            }
+            Some(p) => {
+                // Evaluate internally, gather columns scattering each row
+                // to its original id in one pass (no row-scatter
+                // intermediate).
+                let internal = self.internal_queries(queries)?;
+                self.multi_source_internal_into(&internal, 0, self.n, scratch)?;
+                Self::gather_columns(scratch, self.n, queries.len(), Some(&p.order))
+            }
+        }
+    }
+
+    /// Partial columns for a contiguous internal row range `lo..hi` — the
+    /// per-shard sibling of [`CsrPlusModel::query_columns_into`].  Entry
+    /// `i` of a returned column is internal row `lo + i` (use
+    /// [`CsrPlusModel::original_id`] to translate); the values are
+    /// bitwise equal to the corresponding entries of the full column.
+    pub fn query_columns_range_into(
+        &self,
+        queries: &[usize],
+        lo: usize,
+        hi: usize,
+        scratch: &mut DenseMatrix,
+    ) -> Result<Vec<Vec<f64>>, CoSimRankError> {
+        self.multi_source_range_into(queries, lo, hi, scratch)?;
         if let [_] = queries {
-            // |Q| = 1: the n×1 result block already is the column.
             return Ok(vec![scratch.as_slice().to_vec()]);
         }
-        // The strided column gather is memory-bound; split the query set
-        // into shape-determined blocks over the shared pool.
-        let n = self.n;
-        let s = &*scratch;
-        let mut cols: Vec<Vec<f64>> = vec![Vec::new(); queries.len()];
-        let chunk = csrplus_par::chunk_len(queries.len(), n.max(1), MIN_ONLINE_WORK);
+        Self::gather_columns(scratch, hi - lo, queries.len(), None)
+    }
+
+    /// Gathers the `w` columns of the `rows × w` block `s` into owned
+    /// vectors, optionally scattering row `i` to `order[i]`.  The strided
+    /// gather is memory-bound; the query set is split into
+    /// shape-determined blocks over the shared pool.
+    fn gather_columns(
+        s: &DenseMatrix,
+        rows: usize,
+        w: usize,
+        order: Option<&[u32]>,
+    ) -> Result<Vec<Vec<f64>>, CoSimRankError> {
+        let mut cols: Vec<Vec<f64>> = vec![Vec::new(); w];
+        let chunk = csrplus_par::chunk_len(w, rows.max(1), MIN_ONLINE_WORK);
         csrplus_par::for_each_chunk_mut(&mut cols, chunk, csrplus_par::threads(), |ci, block| {
             let j0 = ci * chunk;
             for (off, col) in block.iter_mut().enumerate() {
                 let j = j0 + off;
-                *col = (0..n).map(|i| s.get(i, j)).collect();
+                match order {
+                    None => *col = (0..rows).map(|i| s.get(i, j)).collect(),
+                    Some(order) => {
+                        let mut v = vec![0.0; rows];
+                        for (i, &orig) in order.iter().enumerate() {
+                            v[orig as usize] = s.get(i, j);
+                        }
+                        *col = v;
+                    }
+                }
             }
         });
         Ok(cols)
@@ -495,7 +745,8 @@ impl CsrPlusModel {
             return Err(CoSimRankError::QueryOutOfBounds { node: b, n: self.n });
         }
         let base = if a == b { 1.0 } else { 0.0 };
-        Ok(base + self.config.damping * self.z.row_ref(a).dot(self.u.row_ref(b)))
+        let (ia, ib) = (self.internal_row(a), self.internal_row(b));
+        Ok(base + self.config.damping * self.z.row_ref(ia).dot(self.u.row_ref(ib)))
     }
 
     /// All-pairs similarity `S = Iₙ + c·Z·Uᵀ` — an `n × n` dense matrix,
@@ -537,7 +788,9 @@ impl CsrPlusModel {
     /// stops as soon as `bound` cannot beat the current k-th best score —
     /// typically touching a small fraction of the nodes on skewed
     /// (real-world) score distributions.  Returns exactly what
-    /// [`CsrPlusModel::top_k`] returns.
+    /// [`CsrPlusModel::top_k`] returns: score ties break by ascending
+    /// *original* node id, so reordered and identity models agree on the
+    /// result set.
     pub fn top_k_pruned(&self, q: usize, k: usize) -> Result<Vec<(usize, f64)>, CoSimRankError> {
         Ok(self.top_k_pruned_with_stats(q, k)?.0)
     }
@@ -550,14 +803,50 @@ impl CsrPlusModel {
         q: usize,
         k: usize,
     ) -> Result<(Vec<(usize, f64)>, usize), CoSimRankError> {
+        self.top_k_pruned_range_with_stats(q, k, 0, self.n)
+    }
+
+    /// Pruned top-`k` restricted to candidates in the contiguous
+    /// *internal* row range `lo..hi` — what one shard contributes to a
+    /// scatter-gather query.  Returned ids are original node ids.  The
+    /// full range `0..n` is [`CsrPlusModel::top_k_pruned`] itself.
+    pub fn top_k_pruned_range(
+        &self,
+        q: usize,
+        k: usize,
+        lo: usize,
+        hi: usize,
+    ) -> Result<Vec<(usize, f64)>, CoSimRankError> {
+        Ok(self.top_k_pruned_range_with_stats(q, k, lo, hi)?.0)
+    }
+
+    /// [`CsrPlusModel::top_k_pruned_range`] with the scanned-candidates
+    /// count.
+    ///
+    /// # Errors
+    /// [`CoSimRankError::QueryOutOfBounds`] on an invalid query node,
+    /// [`CoSimRankError::InvalidConfig`] on an invalid range.
+    pub fn top_k_pruned_range_with_stats(
+        &self,
+        q: usize,
+        k: usize,
+        lo: usize,
+        hi: usize,
+    ) -> Result<(Vec<(usize, f64)>, usize), CoSimRankError> {
         if q >= self.n {
             return Err(CoSimRankError::QueryOutOfBounds { node: q, n: self.n });
         }
-        if k == 0 {
+        if lo > hi || hi > self.n {
+            return Err(CoSimRankError::InvalidConfig {
+                message: format!("row range {lo}..{hi} invalid for n = {}", self.n),
+            });
+        }
+        if k == 0 || lo == hi {
             return Ok((Vec::new(), 0));
         }
         let c = self.config.damping;
-        let uq = self.u.row_ref(q);
+        let q_internal = self.internal_row(q);
+        let uq = self.u.row_ref(q_internal);
         let uq0 = uq.first();
         let uq_rest = uq.tail_norm2();
         // Per-query candidate order: descending split bound.  O(n log n)
@@ -566,13 +855,14 @@ impl CsrPlusModel {
         // map fill is embarrassingly parallel (one slot per node), so it
         // runs on the shared pool; the early-break scan below stays
         // sequential by construction.
-        let mut order: Vec<(f64, u32)> = vec![(0.0, 0); self.n];
-        let chunk = csrplus_par::chunk_len(self.n, 4, MIN_ONLINE_WORK);
+        let rows = hi - lo;
+        let mut order: Vec<(f64, u32)> = vec![(0.0, 0); rows];
+        let chunk = csrplus_par::chunk_len(rows, 4, MIN_ONLINE_WORK);
         let z_split = &self.z_split;
         csrplus_par::for_each_chunk_mut(&mut order, chunk, csrplus_par::threads(), |ci, out| {
-            let lo = ci * chunk;
+            let base = lo + ci * chunk;
             for (off, slot) in out.iter_mut().enumerate() {
-                let x = lo + off;
+                let x = base + off;
                 let (z0, zrest) = z_split[x];
                 *slot = (c * (z0 * uq0 + zrest * uq_rest), x as u32);
             }
@@ -583,16 +873,20 @@ impl CsrPlusModel {
         let mut scanned = 0usize;
         for &(bound, x) in &order {
             let x = x as usize;
-            if best.len() == k && bound <= kth_score {
+            if best.len() == k && bound < kth_score {
                 break; // no remaining candidate can beat the k-th best
             }
-            if x == q {
+            if x == q_internal {
                 continue; // top_k excludes the query itself
             }
             scanned += 1;
             let score = c * self.z.row_ref(x).dot(uq);
-            if best.len() < k || score > kth_score {
-                best.push((x, score));
+            // `>=`, not `>`: an equal score can still displace the
+            // current k-th best on the original-id tie-break, so ties at
+            // the threshold must enter the candidate set for the result
+            // to be independent of the (bound-driven) scan order.
+            if best.len() < k || score >= kth_score {
+                best.push((self.original_id(x), score));
                 best.sort_by(|a, b| {
                     b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
                 });
@@ -645,7 +939,8 @@ impl CsrPlusModel {
                 }
                 let score = c * self.z.row_ref(x).dot(self.u.row_ref(y));
                 if score >= threshold {
-                    out.push((x, y, score));
+                    // Norm-table ids are internal rows; report originals.
+                    out.push((self.original_id(x), self.original_id(y), score));
                     // Guard unbounded result sets (dense near-clique
                     // graphs at tiny thresholds).
                     budget.check(
@@ -666,11 +961,16 @@ impl CsrPlusModel {
 
     /// Measured heap footprint of the memoised state (bytes).
     pub fn heap_bytes(&self) -> usize {
+        let perm_bytes = self
+            .perm
+            .as_ref()
+            .map_or(0, |p| (p.order.capacity() + p.rank.capacity()) * std::mem::size_of::<u32>());
         self.u.heap_bytes()
             + self.z.heap_bytes()
             + self.p.heap_bytes()
             + self.h0.heap_bytes()
             + self.sigma.capacity() * std::mem::size_of::<f64>()
+            + perm_bytes
     }
 }
 
@@ -1056,6 +1356,184 @@ mod tests {
         }
         assert!(m.top_k_pruned(9, 3).is_err());
         assert!(m.top_k_pruned(0, 0).unwrap().is_empty());
+    }
+
+    /// The fig-1 model relabeled under `order[internal] = original`:
+    /// factors built by gathering the identity model's rows, so permuted
+    /// answers must match the identity model's *bitwise*.
+    fn permuted_fig1_model(rank: usize, order: Vec<u32>) -> (CsrPlusModel, CsrPlusModel) {
+        let identity = fig1_model(rank);
+        let r = identity.rank();
+        let gather =
+            |f: &Factor| f.select_rows(&order.iter().map(|&o| o as usize).collect::<Vec<_>>());
+        let n = identity.n();
+        let permuted = CsrPlusModel::from_factors(
+            *identity.config(),
+            n,
+            gather(identity.u()),
+            gather(identity.z()),
+            identity.sigma().to_vec(),
+            identity.p().clone(),
+            identity.h0().clone(),
+        )
+        .unwrap()
+        .with_permutation(order, Reordering::Rcm)
+        .unwrap();
+        assert_eq!(permuted.rank(), r);
+        (identity, permuted)
+    }
+
+    #[test]
+    fn permuted_model_answers_in_original_ids() {
+        let (identity, permuted) = permuted_fig1_model(3, vec![5, 3, 0, 1, 4, 2]);
+        assert!(identity.permutation().is_none());
+        assert_eq!(permuted.permutation().unwrap().kind(), Reordering::Rcm);
+        // Whole multi-source block, row-scattered back to original ids.
+        let a = identity.multi_source(&[1, 3]).unwrap();
+        let b = permuted.multi_source(&[1, 3]).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+        // Batched columns, single columns, pairs.
+        assert_eq!(
+            identity.query_columns(&[0, 4, 2]).unwrap(),
+            permuted.query_columns(&[0, 4, 2]).unwrap()
+        );
+        assert_eq!(identity.single_source(5).unwrap(), permuted.single_source(5).unwrap());
+        for a in 0..6 {
+            for b in 0..6 {
+                assert_eq!(
+                    identity.similarity(a, b).unwrap().to_bits(),
+                    permuted.similarity(a, b).unwrap().to_bits()
+                );
+            }
+        }
+        let pa = identity.partial_pairs(&[0, 3], &[1, 5]).unwrap();
+        let pb = permuted.partial_pairs(&[0, 3], &[1, 5]).unwrap();
+        assert_eq!(pa.as_slice(), pb.as_slice());
+        // Top-k and the join report original ids.
+        for q in 0..6 {
+            assert_eq!(identity.top_k_pruned(q, 3).unwrap(), permuted.top_k_pruned(q, 3).unwrap());
+        }
+        assert_eq!(
+            identity.similarity_join(0.3, &MemoryBudget::unlimited()).unwrap(),
+            permuted.similarity_join(0.3, &MemoryBudget::unlimited()).unwrap()
+        );
+    }
+
+    #[test]
+    fn with_permutation_validates_and_normalises() {
+        let m = fig1_model(3);
+        assert!(m.clone().with_permutation(vec![0, 1], Reordering::Rcm).is_err());
+        assert!(m.clone().with_permutation(vec![0, 0, 1, 2, 3, 4], Reordering::Rcm).is_err());
+        assert!(m.clone().with_permutation(vec![0, 1, 2, 3, 4, 9], Reordering::Rcm).is_err());
+        // Identity order normalises to the permutation-free fast path.
+        let id = m.with_permutation(vec![0, 1, 2, 3, 4, 5], Reordering::Rcm).unwrap();
+        assert!(id.permutation().is_none());
+    }
+
+    #[test]
+    fn range_evaluation_bitwise_matches_full() {
+        let (_, permuted) = permuted_fig1_model(3, vec![5, 3, 0, 1, 4, 2]);
+        for m in [fig1_model(3), permuted] {
+            let queries = [1usize, 4];
+            let mut full = DenseMatrix::zeros(0, 0);
+            m.multi_source_range_into(&queries, 0, 6, &mut full).unwrap();
+            for (lo, hi) in [(0usize, 2usize), (2, 5), (5, 6), (3, 3)] {
+                let mut part = DenseMatrix::zeros(0, 0);
+                m.multi_source_range_into(&queries, lo, hi, &mut part).unwrap();
+                assert_eq!(part.shape(), (hi - lo, 2));
+                for i in lo..hi {
+                    for j in 0..2 {
+                        assert_eq!(part.get(i - lo, j).to_bits(), full.get(i, j).to_bits());
+                    }
+                }
+                // Partial columns agree with the full block too.
+                let mut scratch = DenseMatrix::zeros(0, 0);
+                let cols = m.query_columns_range_into(&queries, lo, hi, &mut scratch).unwrap();
+                for (j, col) in cols.iter().enumerate() {
+                    assert_eq!(col.len(), hi - lo);
+                    for i in lo..hi {
+                        assert_eq!(col[i - lo].to_bits(), full.get(i, j).to_bits());
+                    }
+                }
+            }
+            assert!(m.multi_source_range_into(&queries, 4, 2, &mut full).is_err());
+            assert!(m.multi_source_range_into(&queries, 0, 9, &mut full).is_err());
+        }
+    }
+
+    #[test]
+    fn range_top_k_unions_to_global_top_k() {
+        let m = fig1_model(3);
+        for q in 0..6 {
+            for k in [1usize, 2, 4] {
+                let global = m.top_k_pruned(q, k).unwrap();
+                let mut merged: Vec<(usize, f64)> = Vec::new();
+                for (lo, hi) in [(0usize, 2usize), (2, 4), (4, 6)] {
+                    merged.extend(m.top_k_pruned_range(q, k, lo, hi).unwrap());
+                }
+                merged.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+                });
+                merged.truncate(k);
+                assert_eq!(global, merged, "q={q} k={k}");
+            }
+        }
+        assert!(m.top_k_pruned_range(0, 3, 5, 2).is_err());
+        assert!(m.top_k_pruned_range(0, 3, 0, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn top_k_ties_break_by_original_id_under_permutation() {
+        // Hand-built factors with duplicate scores: U identical for all
+        // queries, Z rows engineered so nodes {1, 2, 4} tie exactly.
+        let n = 6;
+        let r = 2;
+        let mk = |order: Option<Vec<u32>>| {
+            let ident: Vec<u32> = (0..n as u32).collect();
+            let ord = order.clone().unwrap_or(ident);
+            // Internal row i holds original node ord[i]'s data.
+            let score_of = |orig: u32| match orig {
+                1 | 2 | 4 => 0.5,
+                3 => 0.9,
+                _ => 0.1,
+            };
+            let u = DenseMatrix::from_vec(n, r, [1.0, 0.0].repeat(n)).unwrap();
+            let mut zdata = Vec::with_capacity(n * r);
+            for &orig in &ord {
+                zdata.extend_from_slice(&[score_of(orig), 0.0]);
+            }
+            let z = DenseMatrix::from_vec(n, r, zdata).unwrap();
+            let cfg = CsrPlusConfig { rank: r, ..Default::default() };
+            let m = CsrPlusModel::from_parts(
+                cfg,
+                n,
+                u,
+                z,
+                vec![1.0; r],
+                DenseMatrix::identity(r),
+                DenseMatrix::identity(r),
+            )
+            .unwrap();
+            match order {
+                Some(ord) => m.with_permutation(ord, Reordering::DegreeSort).unwrap(),
+                None => m,
+            }
+        };
+        let identity = mk(None);
+        let shuffled = mk(Some(vec![4, 0, 2, 5, 1, 3]));
+        // k = 2 cuts through the three-way tie at 0.5: the winner set
+        // must be {3, 1} (highest score, then smallest original id) for
+        // both orderings, for every query node.
+        for q in 0..n {
+            let a = identity.top_k_pruned(q, 2).unwrap();
+            let b = shuffled.top_k_pruned(q, 2).unwrap();
+            assert_eq!(a, b, "q={q}");
+            let naive = identity.top_k(q, 2).unwrap();
+            assert_eq!(a, naive, "q={q} pruned vs naive");
+            let want: Vec<usize> = [3usize, 1, 2].into_iter().filter(|&x| x != q).take(2).collect();
+            let got: Vec<usize> = a.iter().map(|&(x, _)| x).collect();
+            assert_eq!(got, want, "q={q}");
+        }
     }
 
     #[test]

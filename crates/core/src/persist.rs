@@ -30,6 +30,7 @@ use crate::error::CoSimRankError;
 use crate::factor::{DenseMatrixF32, Factor};
 use crate::model::CsrPlusModel;
 use crate::precision::Precision;
+use csrplus_graph::partition::Reordering;
 use csrplus_linalg::DenseMatrix;
 use csrplus_store::{Artifact, ArtifactWriter, Backend, DType, StoreError};
 use std::io::{self, Read, Write};
@@ -295,6 +296,18 @@ pub fn write_model<W: Write>(model: &CsrPlusModel, writer: W) -> Result<(), Pers
         w.put_f64s(&f64s[..k])?;
     }
     w.end_section()?;
+    // Node permutation (only when the model was built on a reordered
+    // graph): `perm` holds `order[internal] = original` and `perm.meta`
+    // the reordering strategy tag.  Absent sections mean identity, so
+    // permutation-free artifacts stay byte-identical to older writers.
+    if let Some(perm) = model.permutation() {
+        w.begin_section("perm", DType::U32)?;
+        for chunk in perm.order().chunks(512) {
+            w.put_u32s(chunk)?;
+        }
+        w.end_section()?;
+        w.section_u64s("perm.meta", &[perm.kind().tag()])?;
+    }
     w.finish()?;
     Ok(())
 }
@@ -318,6 +331,13 @@ fn write_factor<W: Write>(
 /// migration tests and cross-version tooling; new files should use
 /// [`write_model`]).
 pub fn write_model_v1<W: Write>(model: &CsrPlusModel, writer: W) -> Result<(), PersistError> {
+    if model.permutation().is_some() {
+        // v1 has no place for the id mapping; silently dropping it would
+        // make every answer come back in the wrong id space.
+        return Err(PersistError::Malformed(
+            "v1 format cannot carry a node permutation; save as v2 with write_model".into(),
+        ));
+    }
     let mut w = HashingWriter::new(writer);
     w.inner.write_all(&MAGIC)?;
     w.put_u32(VERSION_V1)?;
@@ -510,8 +530,35 @@ pub fn model_from_artifact(artifact: &Artifact) -> Result<CsrPlusModel, PersistE
             Factor::OwnedF32(mk32(n, rank, artifact.decode_f32s("z")?)?),
         ),
     };
-    CsrPlusModel::from_factors_with_tables(config, n, u, z, sigma, p, h0, z_norms_desc, z_split)
-        .map_err(|e: CoSimRankError| PersistError::Malformed(e.to_string()))
+    let model = CsrPlusModel::from_factors_with_tables(
+        config,
+        n,
+        u,
+        z,
+        sigma,
+        p,
+        h0,
+        z_norms_desc,
+        z_split,
+    )
+    .map_err(|e: CoSimRankError| PersistError::Malformed(e.to_string()))?;
+    // Optional node permutation (reordered-graph artifacts).
+    match artifact.section("perm") {
+        None => Ok(model),
+        Some(_) => {
+            let order = artifact.decode_u32s("perm")?;
+            let meta = artifact.decode_u64s("perm.meta")?;
+            let &[tag] = meta.as_slice() else {
+                return Err(PersistError::Malformed(format!(
+                    "perm.meta has {} fields, expected 1",
+                    meta.len()
+                )));
+            };
+            let kind = Reordering::from_tag(tag)
+                .ok_or_else(|| PersistError::Malformed(format!("unknown reordering tag {tag}")))?;
+            model.with_permutation(order, kind).map_err(|e| PersistError::Malformed(e.to_string()))
+        }
+    }
 }
 
 /// Saves a model to a file path (v2 format, streaming).
@@ -635,6 +682,48 @@ mod tests {
         assert_eq!(owned.derived_tables().0, mapped.derived_tables().0);
         assert_eq!(owned.derived_tables().1, mapped.derived_tables().1);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn permutation_round_trips_through_v2() {
+        let m = model().with_permutation(vec![5, 3, 0, 1, 4, 2], Reordering::Rcm).unwrap();
+        let mut buf = Vec::new();
+        write_model(&m, &mut buf).unwrap();
+        let loaded = read_model(buf.as_slice()).unwrap();
+        let p = loaded.permutation().expect("permutation survives the round trip");
+        assert_eq!(p.kind(), Reordering::Rcm);
+        assert_eq!(p.order(), &[5, 3, 0, 1, 4, 2]);
+        let a = m.multi_source(&[1, 3]).unwrap();
+        let b = loaded.multi_source(&[1, 3]).unwrap();
+        assert!(a.approx_eq(&b, 0.0), "permuted model must answer identically after reload");
+        assert_eq!(m.top_k_pruned(0, 3).unwrap(), loaded.top_k_pruned(0, 3).unwrap());
+        // Mapped and owned loads agree on the permuted model too.
+        let dir = std::env::temp_dir().join("csrplus_persist_test_perm");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.csrp");
+        save_model(&m, &path).unwrap();
+        let mapped = load_model_with(&path, Backend::Mmap).unwrap();
+        assert_eq!(mapped.permutation().unwrap().order(), p.order());
+        assert!(mapped.multi_source(&[1, 3]).unwrap().approx_eq(&a, 0.0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_writer_rejects_permuted_models() {
+        let m = model().with_permutation(vec![5, 3, 0, 1, 4, 2], Reordering::Rcm).unwrap();
+        let err = write_model_v1(&m, Vec::new()).unwrap_err();
+        assert!(matches!(err, PersistError::Malformed(_)), "{err}");
+        assert!(err.to_string().contains("permutation"), "{err}");
+    }
+
+    #[test]
+    fn identity_models_write_no_perm_section() {
+        let m = model();
+        let mut buf = Vec::new();
+        write_model(&m, &mut buf).unwrap();
+        let artifact = Artifact::from_bytes(&buf).unwrap();
+        assert!(artifact.section("perm").is_none());
+        assert!(artifact.section("perm.meta").is_none());
     }
 
     #[test]

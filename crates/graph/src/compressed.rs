@@ -688,23 +688,7 @@ impl LinearOperator for CompressedCsr {
     }
 
     fn apply_transpose(&self, x: &DenseMatrix) -> DenseMatrix {
-        // Serial scatter fallback, mirroring `CsrMatrix::apply_transpose`
-        // (transpose products are always wrapped by a transition pair
-        // that caches the transposed structure).
-        assert_eq!(x.rows(), self.rows, "apply_transpose: shape mismatch");
-        let k = x.cols();
-        let mut y = DenseMatrix::zeros(self.cols, k);
-        for i in 0..self.rows {
-            let xrow = x.row(i);
-            GraphStorage::for_each_in_row(self, i, |j, v| {
-                csrplus_linalg::vector::axpy(
-                    v,
-                    xrow,
-                    &mut y.as_mut_slice()[j as usize * k..(j as usize + 1) * k],
-                );
-            });
-        }
-        y
+        storage::spmm_transpose(self, x)
     }
 }
 

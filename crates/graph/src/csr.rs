@@ -296,21 +296,10 @@ impl LinearOperator for CsrMatrix {
     }
 
     fn apply_transpose(&self, x: &DenseMatrix) -> DenseMatrix {
-        // Gather via the explicit transpose would cost a rebuild per call;
-        // instead scatter row contributions serially (transpose products
-        // in this workspace are always wrapped by TransitionMatrix, which
-        // caches the transposed CSR — this path is a correct fallback).
-        assert_eq!(x.rows(), self.rows, "apply_transpose: shape mismatch");
-        let k = x.cols();
-        let mut y = DenseMatrix::zeros(self.cols, k);
-        for i in 0..self.rows {
-            let (idx, val) = self.row(i);
-            let xrow = x.row(i);
-            for (&j, &v) in idx.iter().zip(val.iter()) {
-                vector::axpy(v, xrow, &mut y.as_mut_slice()[j as usize * k..(j as usize + 1) * k]);
-            }
-        }
-        y
+        // Gather via the explicit transpose would cost a rebuild per
+        // call; the shared transpose-scatter kernel parallelises over row
+        // chunks with chunk-ordered partial reduction instead.
+        crate::storage::spmm_transpose(self, x)
     }
 }
 

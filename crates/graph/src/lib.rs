@@ -39,6 +39,7 @@ pub mod digraph;
 pub mod error;
 pub mod generators;
 pub mod io;
+pub mod partition;
 pub mod sample;
 pub mod storage;
 pub mod transition;
@@ -47,5 +48,6 @@ pub use compressed::{CompressedCsr, CompressedTransition};
 pub use csr::CsrMatrix;
 pub use digraph::DiGraph;
 pub use error::GraphError;
+pub use partition::{shard_ranges, Partitioner, Permutation, Reordering};
 pub use storage::GraphStorage;
 pub use transition::{TransitionMatrix, TransitionOps};

@@ -144,6 +144,62 @@ pub fn spmm<G: GraphStorage>(a: &G, x: &DenseMatrix) -> DenseMatrix {
     y
 }
 
+/// Sparseᵀ · dense block `Y = Aᵀ·X` — the block generalisation of
+/// [`matvec_transpose`]: input rows are scattered into per-chunk partial
+/// blocks on the shared pool and reduced serially in chunk order, so the
+/// summation order (and hence every output bit) is independent of the
+/// thread count.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn spmm_transpose_into<G: GraphStorage>(
+    a: &G,
+    x: &DenseMatrix,
+    y: &mut DenseMatrix,
+    threads: usize,
+) {
+    assert_eq!(x.rows(), a.rows(), "spmm_transpose_into: shape mismatch");
+    assert_eq!(y.shape(), (a.cols(), x.cols()), "spmm_transpose_into: destination shape");
+    let k = x.cols();
+    y.as_mut_slice().fill(0.0);
+    if a.rows() == 0 || a.cols() == 0 || k == 0 {
+        return;
+    }
+    let scatter = |y: &mut [f64], lo: usize, hi: usize| {
+        for i in lo..hi {
+            let xrow = x.row(i);
+            a.for_each_in_row(i, |j, v| {
+                let j = j as usize;
+                vector::axpy(v, xrow, &mut y[j * k..(j + 1) * k]);
+            });
+        }
+    };
+    let chunk_rows = csrplus_par::chunk_len(a.rows(), mean_row_nnz(a) * k, MIN_CHUNK_WORK)
+        .max(a.rows().div_ceil(MAX_PARTIALS));
+    let n_chunks = csrplus_par::chunk_count(a.rows(), chunk_rows);
+    if n_chunks == 1 {
+        scatter(y.as_mut_slice(), 0, a.rows());
+        return;
+    }
+    let rows = a.rows();
+    let block = a.cols() * k;
+    let mut partials = vec![0.0f64; n_chunks * block];
+    csrplus_par::for_each_chunk_mut(&mut partials, block, threads, |ci, part| {
+        let lo = ci * chunk_rows;
+        scatter(part, lo, (lo + chunk_rows).min(rows));
+    });
+    for part in partials.chunks(block) {
+        vector::axpy(1.0, part, y.as_mut_slice());
+    }
+}
+
+/// Allocating convenience wrapper over [`spmm_transpose_into`].
+pub fn spmm_transpose<G: GraphStorage>(a: &G, x: &DenseMatrix) -> DenseMatrix {
+    let mut y = DenseMatrix::zeros(a.cols(), x.cols());
+    spmm_transpose_into(a, x, &mut y, csrplus_par::threads());
+    y
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +247,34 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         let dense = DenseMatrix::random_gaussian(400, 6, &mut rng);
         assert_eq!(spmm(&a, &dense).as_slice(), a.matmul_dense(&dense).as_slice());
+    }
+
+    #[test]
+    fn spmm_transpose_matches_dense_reference() {
+        let a = random_sparse(60, 45, 500, 21);
+        let mut rng = StdRng::seed_from_u64(22);
+        let x = DenseMatrix::random_gaussian(60, 5, &mut rng);
+        let fast = spmm_transpose(&a, &x);
+        let slow = a.to_dense().transpose().matmul(&x).unwrap();
+        assert!(fast.approx_eq(&slow, 1e-12));
+    }
+
+    #[test]
+    fn compressed_spmm_transpose_bitwise_matches_owned_at_caps_1_and_4() {
+        let a = random_sparse(1500, 1100, 60_000, 23);
+        let c = crate::CompressedCsr::from_csr(&a);
+        let mut rng = StdRng::seed_from_u64(24);
+        let x = DenseMatrix::random_gaussian(1500, 6, &mut rng);
+        let mut owned_serial = DenseMatrix::zeros(1100, 6);
+        spmm_transpose_into(&a, &x, &mut owned_serial, 1);
+        for threads in [1usize, 4] {
+            let mut owned = DenseMatrix::zeros(1100, 6);
+            let mut compressed = DenseMatrix::zeros(1100, 6);
+            spmm_transpose_into(&a, &x, &mut owned, threads);
+            spmm_transpose_into(&c, &x, &mut compressed, threads);
+            assert_eq!(owned.as_slice(), owned_serial.as_slice(), "threads={threads}");
+            assert_eq!(compressed.as_slice(), owned_serial.as_slice(), "threads={threads}");
+        }
     }
 
     #[test]

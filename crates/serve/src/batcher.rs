@@ -66,6 +66,10 @@ struct Shared {
     metrics: Arc<Metrics>,
     max_batch: usize,
     linger: Duration,
+    /// When set, evaluations are restricted to internal rows `lo..hi`:
+    /// columns have `hi - lo` entries (what a shard server publishes)
+    /// instead of `n`.
+    rows: Option<(usize, usize)>,
 }
 
 /// The batcher: owns the background evaluation thread.
@@ -85,6 +89,20 @@ impl Batcher {
         max_batch: usize,
         linger: Duration,
     ) -> Self {
+        Self::for_rows(model, cache, metrics, max_batch, linger, None)
+    }
+
+    /// [`Batcher::new`] restricted to internal rows `lo..hi` — the
+    /// per-shard engine of the scatter-gather server.  `None` serves the
+    /// full `0..n` range and is exactly [`Batcher::new`].
+    pub fn for_rows(
+        model: Arc<CsrPlusModel>,
+        cache: Arc<ColumnCache>,
+        metrics: Arc<Metrics>,
+        max_batch: usize,
+        linger: Duration,
+        rows: Option<(usize, usize)>,
+    ) -> Self {
         let shared = Arc::new(Shared {
             state: Mutex::new(State { pending: Vec::new(), deadline: None, shutdown: false }),
             wake: Condvar::new(),
@@ -93,6 +111,7 @@ impl Batcher {
             metrics,
             max_batch: max_batch.max(1),
             linger,
+            rows,
         });
         let worker = {
             let shared = Arc::clone(&shared);
@@ -208,7 +227,14 @@ fn evaluate(shared: &Shared, batch: Vec<Waiter>, scratch: &mut csrplus_core::Den
         }
     }
     shared.metrics.batched_requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
-    match shared.model.query_columns_into(&nodes, scratch) {
+    let columns = match shared.rows {
+        // A shard evaluates (and caches) only its own row slice; each
+        // partial entry is the same dot product the full path computes,
+        // so slices concatenate bitwise into the single-process column.
+        Some((lo, hi)) => shared.model.query_columns_range_into(&nodes, lo, hi, scratch),
+        None => shared.model.query_columns_into(&nodes, scratch),
+    };
+    match columns {
         Ok(columns) => {
             shared.metrics.model_evaluations.fetch_add(1, Ordering::Relaxed);
             shared.metrics.batch_sizes.observe(nodes.len() as u64);

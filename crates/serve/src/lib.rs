@@ -24,18 +24,33 @@
 //! per-request socket timeouts and graceful, queue-draining shutdown.
 //! [`legacy`] preserves that original sequential server for comparison
 //! benchmarks and as a `--legacy` escape hatch.
+//!
+//! For horizontal scale-out the same server runs in two more roles:
+//! a **shard** (`ServeConfig::shard_rows`) serving one contiguous slice
+//! of internal rows off a shared mmap'd artifact via the [`wire`]
+//! protocol (`/shard/topk`, `/shard/columns`, `/shard/range`), and a
+//! **coordinator** (`ServeConfig::shards`) that scatters public queries
+//! across shards and gathers the partial answers.  The [`coordinator`]
+//! keeps per-shard split Cauchy–Schwarz bound summaries so top-k
+//! queries contact shards in descending bound order and *skip* shards
+//! that cannot beat the current kth score, hedges stragglers, and
+//! K-way-merges partial heaps — byte-for-byte identical to the
+//! single-process answer at any shard count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batcher;
 pub mod cache;
+pub mod coordinator;
 pub mod http;
 pub mod legacy;
 pub mod metrics;
 pub mod pool;
 pub mod render;
 pub mod server;
+pub mod wire;
 
+pub use coordinator::{Coordinator, ShardSpec};
 pub use metrics::Metrics;
 pub use server::{ServeConfig, Server, ServerHandle};

@@ -18,12 +18,26 @@ pub enum Route {
     TopK,
     /// `GET /query`
     Query,
+    /// `GET /shard/range` (shard servers only)
+    ShardRange,
+    /// `GET /shard/columns` (shard servers only)
+    ShardColumns,
+    /// `GET /shard/topk` (shard servers only)
+    ShardTopK,
 }
 
 impl Route {
     /// All instrumented routes, in render order.
-    pub const ALL: [Route; 5] =
-        [Route::Health, Route::Metrics, Route::Similarity, Route::TopK, Route::Query];
+    pub const ALL: [Route; 8] = [
+        Route::Health,
+        Route::Metrics,
+        Route::Similarity,
+        Route::TopK,
+        Route::Query,
+        Route::ShardRange,
+        Route::ShardColumns,
+        Route::ShardTopK,
+    ];
 
     fn index(self) -> usize {
         match self {
@@ -32,6 +46,9 @@ impl Route {
             Route::Similarity => 2,
             Route::TopK => 3,
             Route::Query => 4,
+            Route::ShardRange => 5,
+            Route::ShardColumns => 6,
+            Route::ShardTopK => 7,
         }
     }
 
@@ -42,6 +59,9 @@ impl Route {
             Route::Similarity => "similarity",
             Route::TopK => "topk",
             Route::Query => "query",
+            Route::ShardRange => "shard_range",
+            Route::ShardColumns => "shard_columns",
+            Route::ShardTopK => "shard_topk",
         }
     }
 }
@@ -124,9 +144,9 @@ impl Default for Histogram {
 #[derive(Debug, Default)]
 pub struct Metrics {
     /// Requests per route (indexed by [`Route`]).
-    requests: [AtomicU64; 5],
+    requests: [AtomicU64; 8],
     /// Per-route latency, microseconds (indexed by [`Route`]).
-    latency_us: [Histogram; 5],
+    latency_us: [Histogram; 8],
     /// 4xx responses (bad parameters, unknown routes, …).
     pub client_errors: AtomicU64,
     /// I/O failures while reading/answering a request.

@@ -9,10 +9,12 @@
 
 use crate::batcher::{Batcher, ColumnError};
 use crate::cache::{Column, ColumnCache};
+use crate::coordinator::Coordinator;
 use crate::http::{self, Target};
 use crate::metrics::{Metrics, Route};
 use crate::pool::WorkerPool;
 use crate::render;
+use crate::wire;
 use csrplus_core::CsrPlusModel;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -39,6 +41,17 @@ pub struct ServeConfig {
     pub timeout: Duration,
     /// Serve this many connections then exit (used by tests/benches).
     pub max_requests: Option<usize>,
+    /// Shard mode: serve only internal rows `lo..hi` and expose the
+    /// `/shard/*` routes (one shard of a scatter-gather deployment).
+    pub shard_rows: Option<(usize, usize)>,
+    /// Coordinator mode: fan queries out to these shard servers
+    /// (`host:port`) instead of evaluating locally.  Empty ⇒ local.
+    pub shards: Vec<String>,
+    /// Coordinator: per-shard request budget.
+    pub shard_timeout: Duration,
+    /// Coordinator: delay before hedging a straggling shard request
+    /// with a second identical one (zero disables hedging).
+    pub hedge: Duration,
 }
 
 impl Default for ServeConfig {
@@ -58,16 +71,29 @@ impl Default for ServeConfig {
             cache_shards: 8,
             timeout: Duration::from_secs(5),
             max_requests: None,
+            shard_rows: None,
+            shards: Vec::new(),
+            shard_timeout: Duration::from_secs(2),
+            hedge: Duration::from_millis(50),
         }
     }
+}
+
+/// How queries are answered: locally (optionally over one row slice) or
+/// by scatter-gathering over shard servers.
+enum Engine {
+    Local(Batcher),
+    Sharded(Box<Coordinator>),
 }
 
 /// Everything a worker needs to answer one connection.
 struct Ctx {
     model: Arc<CsrPlusModel>,
-    batcher: Batcher,
+    engine: Engine,
     metrics: Arc<Metrics>,
     timeout: Duration,
+    /// Set in shard mode: the internal row range this server owns.
+    shard_rows: Option<(usize, usize)>,
 }
 
 /// The pooled, batching server.  [`Server::start`] binds and returns a
@@ -93,18 +119,41 @@ impl Server {
             config.cache_shards,
             Arc::clone(&metrics),
         ));
-        let batcher = Batcher::new(
-            Arc::clone(&model),
-            cache,
-            Arc::clone(&metrics),
-            config.max_batch,
-            config.linger,
-        );
+        if let Some((lo, hi)) = config.shard_rows {
+            if lo > hi || hi > model.n() {
+                return Err(std::io::Error::other(format!(
+                    "shard row range {lo}..{hi} invalid for n = {}",
+                    model.n()
+                )));
+            }
+        }
+        let engine = if config.shards.is_empty() {
+            Engine::Local(Batcher::for_rows(
+                Arc::clone(&model),
+                cache,
+                Arc::clone(&metrics),
+                config.max_batch,
+                config.linger,
+                config.shard_rows,
+            ))
+        } else {
+            Engine::Sharded(Box::new(
+                Coordinator::connect(
+                    Arc::clone(&model),
+                    &config.shards,
+                    config.shard_timeout,
+                    config.hedge,
+                    cache,
+                )
+                .map_err(std::io::Error::other)?,
+            ))
+        };
         let ctx = Arc::new(Ctx {
             model,
-            batcher,
+            engine,
             metrics: Arc::clone(&metrics),
             timeout: config.timeout,
+            shard_rows: config.shard_rows,
         });
         let pool = Arc::new(WorkerPool::new(config.workers, config.queue_depth));
         let stop = Arc::new(AtomicBool::new(false));
@@ -285,6 +334,9 @@ fn dispatch(
         "/similarity" => Route::Similarity,
         "/topk" => Route::TopK,
         "/query" => Route::Query,
+        "/shard/range" => Route::ShardRange,
+        "/shard/columns" => Route::ShardColumns,
+        "/shard/topk" => Route::ShardTopK,
         other => return (None, Err((404, format!("no route {other:?}")))),
     };
     (Some(route), answer(ctx, route, &target, start))
@@ -299,22 +351,58 @@ fn answer(
     let parse_usize = |v: &str, key: &str| -> Result<usize, (u16, String)> {
         v.parse().map_err(|_| (400, format!("invalid {key}: {v:?}")))
     };
-    // The column wait shares the request budget with socket I/O.
+    let parse_nodes = |target: &Target| -> Result<Vec<usize>, (u16, String)> {
+        target
+            .require("nodes")?
+            .split(',')
+            .map(|v| v.parse::<usize>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| (400, "invalid node list".to_string()))
+    };
+    // The column wait shares the request budget with socket I/O.  In
+    // shard mode this hands back the server's partial (lo..hi) column.
     let column = |node: usize| -> Result<Column, (u16, String)> {
+        let Engine::Local(batcher) = &ctx.engine else {
+            unreachable!("column() is only called on local engines")
+        };
         let remaining = ctx.timeout.saturating_sub(start.elapsed());
-        ctx.batcher.column(node, remaining).map_err(|e| match e {
+        batcher.column(node, remaining).map_err(|e| match e {
             ColumnError::Timeout => (408, e.to_string()),
             ColumnError::ShuttingDown => (503, e.to_string()),
             ColumnError::Failed(msg) => (400, msg),
         })
     };
+    // A shard server owns one row slice; its partial columns cannot
+    // answer the public query routes, and a coordinator has no slice of
+    // its own to publish.
+    let public = matches!(route, Route::Similarity | Route::TopK | Route::Query);
+    if public && matches!(ctx.engine, Engine::Local(_)) && ctx.shard_rows.is_some() {
+        return Err((400, "this is a shard server; query the coordinator".to_string()));
+    }
+    let shard_route = matches!(route, Route::ShardRange | Route::ShardColumns | Route::ShardTopK);
+    if shard_route && matches!(ctx.engine, Engine::Sharded(_)) {
+        return Err((400, "this is a coordinator; shard routes live on shard servers".to_string()));
+    }
+    // A plain local server doubles as the 1-shard degenerate case: its
+    // "slice" is all of 0..n.
+    let (lo, hi) = ctx.shard_rows.unwrap_or((0, ctx.model.n()));
 
     match route {
         Route::Health => Ok(render::health(ctx.model.n(), ctx.model.rank())),
-        Route::Metrics => Ok(ctx.metrics.render_json()),
+        Route::Metrics => {
+            let mut body = ctx.metrics.render_json();
+            if let Engine::Sharded(coord) = &ctx.engine {
+                body.pop();
+                body.push_str(&format!(",\"coordinator\":{}}}", coord.metrics.render_json()));
+            }
+            Ok(body)
+        }
         Route::Similarity => {
             let a = parse_usize(target.require("a")?, "a")?;
             let b = parse_usize(target.require("b")?, "b")?;
+            if let Engine::Sharded(coord) = &ctx.engine {
+                return Ok(render::similarity(a, b, coord.similarity(a, b)?));
+            }
             if a >= ctx.model.n() {
                 let e =
                     csrplus_core::CoSimRankError::QueryOutOfBounds { node: a, n: ctx.model.n() };
@@ -331,17 +419,85 @@ fn answer(
                 Some(v) => parse_usize(v, "k")?,
                 None => 10,
             };
+            if let Engine::Sharded(coord) = &ctx.engine {
+                return Ok(render::topk(node, &coord.top_k(node, k)?));
+            }
             let col = column(node)?;
             Ok(render::topk(node, &render::top_k_from_column(&col, node, k)))
         }
         Route::Query => {
-            let nodes: Result<Vec<usize>, _> =
-                target.require("nodes")?.split(',').map(|v| v.parse::<usize>()).collect();
-            let nodes = nodes.map_err(|_| (400, "invalid node list".to_string()))?;
+            let nodes = parse_nodes(target)?;
+            if let Engine::Sharded(coord) = &ctx.engine {
+                let columns = coord.columns(&nodes)?;
+                let views: Vec<&[f64]> = columns.iter().map(|c| &c[..]).collect();
+                return Ok(render::query(&nodes, &views));
+            }
             let columns: Vec<Column> =
                 nodes.iter().map(|&q| column(q)).collect::<Result<_, _>>()?;
             let views: Vec<&[f64]> = columns.iter().map(|c| &c[..]).collect();
             Ok(render::query(&nodes, &views))
+        }
+        Route::ShardRange => Ok(format!("{{\"lo\":{lo},\"hi\":{hi},\"n\":{}}}", ctx.model.n())),
+        Route::ShardColumns => {
+            let nodes = parse_nodes(target)?;
+            let columns: Vec<Column> =
+                nodes.iter().map(|&q| column(q)).collect::<Result<_, _>>()?;
+            // Shard batchers hand back internal-row slices already; a
+            // plain server's batcher columns are in original-id space
+            // and must be re-gathered into internal order (what the
+            // wire protocol speaks) for the 1-shard degenerate case.
+            let cols: Vec<String> = columns
+                .iter()
+                .map(|c| {
+                    let hex = if ctx.shard_rows.is_some() {
+                        wire::encode_f64s(c)
+                    } else {
+                        let mut hex = String::with_capacity(c.len() * 16);
+                        for row in lo..hi {
+                            wire::encode_f64_into(c[ctx.model.original_id(row)], &mut hex);
+                        }
+                        hex
+                    };
+                    format!("\"{hex}\"")
+                })
+                .collect();
+            let q: Vec<String> = nodes.iter().map(usize::to_string).collect();
+            Ok(format!(
+                "{{\"lo\":{lo},\"hi\":{hi},\"queries\":[{}],\"cols\":[{}]}}",
+                q.join(","),
+                cols.join(",")
+            ))
+        }
+        Route::ShardTopK => {
+            let node = parse_usize(target.require("node")?, "node")?;
+            let k = match target.get("k") {
+                Some(v) => parse_usize(v, "k")?,
+                None => 10,
+            };
+            let col = column(node)?;
+            // This slice's top-k candidates in original-id space, ranked
+            // exactly as `render::top_k_from_column` ranks the full
+            // column, so the coordinator's k-way merge reproduces the
+            // single-process answer score-bit for score-bit.  As above,
+            // a plain server's column is indexed by original id, a shard
+            // batcher's by internal row offset.
+            let mut scored: Vec<(usize, f64)> = (lo..hi)
+                .map(|row| {
+                    let id = ctx.model.original_id(row);
+                    let v = if ctx.shard_rows.is_some() { col[row - lo] } else { col[id] };
+                    (id, v)
+                })
+                .filter(|&(id, _)| id != node)
+                .collect();
+            scored.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+            });
+            scored.truncate(k);
+            let results: Vec<String> = scored
+                .iter()
+                .map(|&(id, s)| format!("\"{id}:{}\"", wire::encode_f64s(&[s])))
+                .collect();
+            Ok(format!("{{\"node\":{node},\"results\":[{}]}}", results.join(",")))
         }
     }
 }
@@ -445,6 +601,116 @@ mod tests {
         // All three served connections counted; join() returns because
         // the accept loop exited on its own.
         handle.join();
+    }
+
+    /// Boots `ranges.len()` shard servers plus a coordinator over them
+    /// and a plain single-process server on the same model.
+    fn sharded_fixture(
+        m: CsrPlusModel,
+        ranges: &[(usize, usize)],
+    ) -> (Vec<ServerHandle>, ServerHandle, ServerHandle) {
+        let shards: Vec<ServerHandle> = ranges
+            .iter()
+            .map(|&r| {
+                let config = ServeConfig { shard_rows: Some(r), ..ServeConfig::default() };
+                Server::start(m.clone(), 0, config).unwrap()
+            })
+            .collect();
+        let single = Server::start(m.clone(), 0, ServeConfig::default()).unwrap();
+        let config = ServeConfig {
+            shards: shards.iter().map(|s| s.addr().to_string()).collect(),
+            ..ServeConfig::default()
+        };
+        let coordinator = Server::start(m, 0, config).unwrap();
+        (shards, single, coordinator)
+    }
+
+    #[test]
+    fn coordinator_answers_byte_identical_to_single_process() {
+        let (shards, single, coordinator) = sharded_fixture(model(), &[(0, 2), (2, 5), (5, 6)]);
+        for path in [
+            "/health",
+            "/query?nodes=1%2C3",
+            "/query?nodes=0%2C2%2C4%2C5",
+            "/similarity?a=1&b=3",
+            "/similarity?a=5&b=0",
+            "/topk?node=2&k=3",
+            "/topk?node=0&k=10",
+            "/topk?node=4&k=1",
+        ] {
+            let (code_a, body_a) = get(single.addr(), path);
+            let (code_b, body_b) = get(coordinator.addr(), path);
+            assert_eq!(code_a, code_b, "{path}");
+            assert_eq!(body_a, body_b, "{path}");
+        }
+        // Role separation: shards serve /shard/*, the coordinator the
+        // public routes, and neither answers the other's.
+        let (code, _) = get(shards[0].addr(), "/topk?node=1");
+        assert_eq!(code, 400);
+        let (code, _) = get(coordinator.addr(), "/shard/range");
+        assert_eq!(code, 400);
+        let (code, body) = get(shards[1].addr(), "/shard/range");
+        assert_eq!(code, 200);
+        assert_eq!(body, "{\"lo\":2,\"hi\":5,\"n\":6}");
+        let (_, metrics) = get(coordinator.addr(), "/metrics");
+        assert!(metrics.contains("\"coordinator\":{\"scatter_requests\":"), "{metrics}");
+        assert!(metrics.contains("\"shard_latency_us\":["), "{metrics}");
+        coordinator.shutdown();
+        single.shutdown();
+        for s in shards {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn coordinator_unwinds_a_reordered_model_and_degenerates_to_one_shard() {
+        use csrplus_graph::partition::Reordering;
+        // A reordered model: the gather must scatter shard rows back to
+        // original ids.  A *plain* server doubles as the single shard
+        // (its /shard/range is 0..n), so 1-shard answers are the very
+        // bytes the single-process server produces.
+        let m = model().with_permutation(vec![5, 3, 0, 1, 4, 2], Reordering::Rcm).unwrap();
+        let single = Server::start(m.clone(), 0, ServeConfig::default()).unwrap();
+        let config =
+            ServeConfig { shards: vec![single.addr().to_string()], ..ServeConfig::default() };
+        let coordinator = Server::start(m.clone(), 0, config).unwrap();
+        for path in ["/query?nodes=1%2C3", "/topk?node=2&k=4", "/similarity?a=0&b=5"] {
+            let (_, body_a) = get(single.addr(), path);
+            let (_, body_b) = get(coordinator.addr(), path);
+            assert_eq!(body_a, body_b, "{path}");
+        }
+        coordinator.shutdown();
+
+        // And across a genuine split of the permuted model.
+        let (shards, single2, coordinator) = sharded_fixture(m, &[(0, 3), (3, 6)]);
+        for path in ["/query?nodes=0%2C5", "/topk?node=1&k=5", "/similarity?a=2&b=4"] {
+            let (_, body_a) = get(single2.addr(), path);
+            let (_, body_b) = get(coordinator.addr(), path);
+            assert_eq!(body_a, body_b, "{path}");
+        }
+        coordinator.shutdown();
+        single.shutdown();
+        single2.shutdown();
+        for s in shards {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn coordinator_rejects_a_bad_partition() {
+        let m = model();
+        let shard = Server::start(
+            m.clone(),
+            0,
+            ServeConfig { shard_rows: Some((0, 4)), ..ServeConfig::default() },
+        )
+        .unwrap();
+        // 0..4 alone does not tile 0..6.
+        let config =
+            ServeConfig { shards: vec![shard.addr().to_string()], ..ServeConfig::default() };
+        let err = Server::start(m, 0, config).err().expect("partition hole must be rejected");
+        assert!(err.to_string().contains("tile") || err.to_string().contains("stop"), "{err}");
+        shard.shutdown();
     }
 
     #[test]

@@ -56,6 +56,7 @@ fn concurrent_http_requests_coalesce_into_one_evaluation() {
         cache_shards: 1,
         timeout: Duration::from_secs(30),
         max_requests: None,
+        ..ServeConfig::default()
     };
     let handle = Server::start(m, 0, config).unwrap();
     let addr = handle.addr();
