@@ -1,0 +1,197 @@
+//! Open-loop serving benchmark: baseline vs adaptive policies, written
+//! to `BENCH_serve_load.json` at the repository root.
+//!
+//! Method (the loadgen crate's open-loop discipline):
+//!
+//! 1. **Capacity probe** — hammer a baseline server far past saturation
+//!    for a few seconds; the achieved goodput is the capacity estimate
+//!    `C`.  Probing rather than computing keeps the bench honest on any
+//!    box (client and server share cores here).
+//! 2. **Three offered loads** — 0.5×C (under), 1×C (near), 2×C
+//!    (over), each a seeded Poisson schedule.  The same seed generates
+//!    byte-identical request streams for both server configurations, so
+//!    every comparison is A/B on identical traffic.
+//! 3. **Two configurations per load** — the default server, and the
+//!    adaptive one (TinyLFU cache admission + load-scaled linger +
+//!    pressure-degraded rank).  Latency is measured from the scheduled
+//!    arrival time, so queue build-up is charged to the server.
+//!
+//! The workload is top-k heavy (the paper's search primitive): top-k
+//! answers render only `k` entries, so evaluation dominates and the
+//! rank-degradation policy has real work to shed.  90 % of requests opt
+//! into degradation (`degraded=allow`); the baseline accepts the
+//! parameter but answers exactly, which *is* the ablation.
+//!
+//! Run with `cargo bench -p csrplus-bench --bench serve_load`.
+
+use csrplus_core::{CsrPlusConfig, CsrPlusModel};
+use csrplus_graph::generators::erdos_renyi;
+use csrplus_graph::TransitionMatrix;
+use csrplus_loadgen::{run_phase, ArrivalProcess, Mix, PhaseReport, Plan, Workload};
+use csrplus_serve::{ServeConfig, Server};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+// Sized so that evaluation dominates and the policy gap is wide: at
+// n = 60k, rank 64, a top-k query's O(n·r) scan is the cost centre
+// (top-k renders only k entries) and rank degradation (64 → 4) sheds
+// most of it, so near capacity the baseline saturates while the
+// adaptive server stays clear of its own (higher) capacity — a margin
+// that survives the probe's run-to-run noise on a shared-core box.  On
+// a small cache-resident model the adaptive path *loses* — degraded
+// answers bypass the cache by design, and a rank-4 evaluation cannot
+// beat a cache hit — so this bench also documents when the policy pays.
+const N: usize = 60_000;
+const EDGES: usize = 360_000;
+const RANK: usize = 64;
+const DEGRADE_RANK: usize = 4;
+const SEED: u64 = 42;
+// The probe needs to saturate the server without drowning the box in
+// client-side backlog (client and server share the cores here): a few
+// hundred queued requests is deep saturation for this model size, and
+// a larger probe only adds scheduler thrash that *underestimates*
+// capacity.
+const PROBE_RPS: f64 = 100.0;
+const PROBE_S: f64 = 4.0;
+const PHASE_S: f64 = 12.0;
+const CONNECTIONS: usize = 32;
+const TIMEOUT: Duration = Duration::from_secs(5);
+// "near" sits at the probed capacity itself: the baseline reliably
+// saturates there (0.9× can land under the knee when the probe reads a
+// few rps low), while the adaptive server — whose degraded capacity is
+// well above the baseline's — still has headroom.  That asymmetry is
+// the policy's value, and putting the load point on it keeps the
+// measured gap out of the probe's noise band.
+const LOAD_POINTS: [(&str, f64); 3] = [("under", 0.5), ("near", 1.0), ("over", 2.0)];
+
+fn workload() -> Workload {
+    Workload {
+        mix: Mix { single: 0.05, multi: 0.05, topk: 0.9 },
+        degraded_fraction: 0.9,
+        // Mild skew: with s = 0.9 the 1024-column cache would absorb
+        // ~2/3 of a 60k-node universe's query mass and the baseline
+        // would answer mostly from cache — hits are cheaper than any
+        // evaluation, degraded included.  At s = 0.6 most queries miss,
+        // the baseline pays the full O(n·r) scan, and the degradation
+        // policy is measured against real work.
+        zipf_s: 0.6,
+        ..Workload::new(N, SEED)
+    }
+}
+
+fn baseline_config() -> ServeConfig {
+    ServeConfig::default()
+}
+
+fn adaptive_config() -> ServeConfig {
+    ServeConfig {
+        cache_admission: true,
+        adaptive_linger: true,
+        degrade_rank: Some(DEGRADE_RANK),
+        // Degrade as soon as any backlog exists: near capacity the queue
+        // hovers at shallow depths, and a deeper watermark would leave
+        // most opted-in requests answered at full rank (idle servers
+        // still serve full rank — an empty queue never degrades).
+        degrade_watermark: 1,
+        ..ServeConfig::default()
+    }
+}
+
+/// Starts a fresh server (cold cache, zeroed metrics), replays `plan`
+/// against it, and tears it down.
+fn run(model: &CsrPlusModel, config: ServeConfig, plan: &Plan, label: &str) -> PhaseReport {
+    let handle = Server::start(model.clone(), 0, config).expect("server start");
+    let report = run_phase(&handle.addr().to_string(), plan, label, CONNECTIONS, TIMEOUT);
+    handle.shutdown();
+    report
+}
+
+fn main() {
+    let graph = erdos_renyi(N, EDGES, 7).expect("generator");
+    let t = TransitionMatrix::from_graph(&graph);
+    let t0 = Instant::now();
+    let model = CsrPlusModel::precompute(&t, &CsrPlusConfig::with_rank(RANK)).expect("precompute");
+    let precompute_s = t0.elapsed().as_secs_f64();
+
+    let workload = workload();
+
+    // Phase 1: capacity probe against the baseline server.
+    let probe_plan =
+        Plan::generate(&workload, ArrivalProcess::Poisson { rate: PROBE_RPS }, PROBE_S);
+    let probe = run(&model, baseline_config(), &probe_plan, "probe");
+    let capacity = probe.goodput_rps().max(1.0);
+    eprintln!(
+        "serve_load: capacity ≈ {capacity:.0} rps (probe shed rate {:.2})",
+        probe.shed_rate()
+    );
+
+    // Phases 2-4: under / near / over capacity, baseline vs adaptive on
+    // identical seeded traffic.
+    let mut phases: Vec<(String, f64, PhaseReport, PhaseReport)> = Vec::new();
+    for (name, factor) in LOAD_POINTS {
+        let rate = capacity * factor;
+        let plan = Plan::generate(&workload, ArrivalProcess::Poisson { rate }, PHASE_S);
+        let baseline = run(&model, baseline_config(), &plan, &format!("{name}-baseline"));
+        let adaptive = run(&model, adaptive_config(), &plan, &format!("{name}-adaptive"));
+        eprintln!(
+            "serve_load: {name} ({rate:.0} rps): p99 {} → {} µs, goodput {:.0} → {:.0} rps, \
+             degraded {}/{}",
+            baseline.quantile_us(0.99),
+            adaptive.quantile_us(0.99),
+            baseline.goodput_rps(),
+            adaptive.goodput_rps(),
+            adaptive.degraded,
+            adaptive.ok,
+        );
+        phases.push((name.to_string(), factor, baseline, adaptive));
+    }
+
+    // Acceptance summary: tail improvement at the near-capacity point,
+    // and whether the adaptive server's goodput holds up at 2×C.
+    let near = phases.iter().find(|(n, ..)| n == "near").expect("near phase");
+    let over = phases.iter().find(|(n, ..)| n == "over").expect("over phase");
+    let p99_improvement =
+        near.2.quantile_us(0.99) as f64 / (near.3.quantile_us(0.99) as f64).max(1.0);
+    let overload_goodput_ratio = over.3.goodput_rps() / near.3.goodput_rps().max(1.0);
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"n\": {N},");
+    let _ = writeln!(json, "  \"edges\": {EDGES},");
+    let _ = writeln!(json, "  \"rank\": {RANK},");
+    let _ = writeln!(json, "  \"degrade_rank\": {DEGRADE_RANK},");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"zipf_s\": {},", workload.zipf_s);
+    let _ = writeln!(
+        json,
+        "  \"mix\": {{\"single\": {}, \"multi\": {}, \"topk\": {}}},",
+        workload.mix.single, workload.mix.multi, workload.mix.topk
+    );
+    let _ = writeln!(json, "  \"degraded_fraction\": {},", workload.degraded_fraction);
+    let _ = writeln!(json, "  \"connections\": {CONNECTIONS},");
+    let _ = writeln!(json, "  \"precompute_s\": {precompute_s:.3},");
+    let _ = writeln!(json, "  \"capacity_rps\": {capacity:.1},");
+    let _ = writeln!(json, "  \"probe\": {},", probe.render_json());
+    let _ = writeln!(json, "  \"phases\": [");
+    for (i, (name, factor, baseline, adaptive)) in phases.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"load\": \"{name}\",");
+        let _ = writeln!(json, "      \"factor\": {factor},");
+        let _ = writeln!(json, "      \"offered_rps\": {:.1},", capacity * factor);
+        let _ = writeln!(json, "      \"baseline\": {},", baseline.render_json());
+        let _ = writeln!(json, "      \"adaptive\": {}", adaptive.render_json());
+        let _ = writeln!(json, "    }}{}", if i + 1 < phases.len() { "," } else { "" });
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"acceptance\": {{");
+    let _ = writeln!(json, "    \"near_p99_improvement\": {p99_improvement:.2},");
+    let _ = writeln!(json, "    \"overload_goodput_ratio\": {overload_goodput_ratio:.2}");
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve_load.json");
+    std::fs::write(&out, &json).expect("BENCH_serve_load.json is writable");
+    eprintln!(
+        "serve_load: near-capacity p99 improvement {p99_improvement:.2}×, \
+         overload goodput ratio {overload_goodput_ratio:.2} → BENCH_serve_load.json"
+    );
+}

@@ -18,9 +18,12 @@ usage:
   csrplus join       <model.csrp> --threshold T [--limit N]
   csrplus serve      <model.csrp> [--port P] [--workers N] [--batch B] [--linger-us U]
                      [--cache COLS] [--timeout-ms MS] [--max-requests N] [--legacy]
+                     [--cache-admission] [--adaptive-linger]
+                     [--degrade-rank R [--degrade-watermark D]]
                      [--shards host:port,host:port [--shard-timeout-ms MS] [--hedge-ms MS]]
   csrplus shard      <model.csrp> --rows LO:HI [--port P] [--workers N] [--batch B]
                      [--linger-us U] [--cache COLS] [--timeout-ms MS] [--max-requests N]
+                     [--cache-admission] [--adaptive-linger]
   csrplus pack       <model.csrp> --out <packed.csrp>
   csrplus inspect    <model.csrp> [--verify]
 
@@ -119,6 +122,15 @@ pub enum Command {
         shard_timeout_ms: u64,
         /// Coordinator: straggler hedge delay in milliseconds (0 = off).
         hedge_ms: u64,
+        /// TinyLFU admission control in front of the column cache.
+        cache_admission: bool,
+        /// Load-aware batch linger (scales with queue pressure).
+        adaptive_linger: bool,
+        /// Pressure-degraded rank policy for opted-in requests.
+        degrade_rank: Option<usize>,
+        /// Queue-depth watermark for degradation (default: half the
+        /// admission queue).
+        degrade_watermark: Option<usize>,
     },
     /// Serve one contiguous internal row range of a model (shard mode).
     Shard {
@@ -141,6 +153,10 @@ pub enum Command {
         timeout_ms: u64,
         /// Serve this many connections then exit.
         max_requests: Option<usize>,
+        /// TinyLFU admission control in front of the column cache.
+        cache_admission: bool,
+        /// Load-aware batch linger (scales with queue pressure).
+        adaptive_linger: bool,
     },
     /// Rewrite a model file in the current (v2, mmap-able) format.
     Pack {
@@ -433,6 +449,27 @@ fn parse_serve(rest: &[&String]) -> Result<Command, String> {
             Some(v) => parse_num(v, "hedge-ms")?,
             None => 50,
         },
+        cache_admission: has_flag(rest, "--cache-admission"),
+        adaptive_linger: has_flag(rest, "--adaptive-linger"),
+        degrade_rank: match flag_value(rest, "--degrade-rank") {
+            Some(v) => {
+                let r: usize = parse_num(v, "degrade-rank")?;
+                if r == 0 {
+                    return Err("--degrade-rank must be at least 1".to_string());
+                }
+                Some(r)
+            }
+            None => None,
+        },
+        degrade_watermark: match flag_value(rest, "--degrade-watermark") {
+            Some(v) => {
+                if !has_flag(rest, "--degrade-rank") {
+                    return Err("--degrade-watermark requires --degrade-rank".to_string());
+                }
+                Some(parse_num(v, "degrade-watermark")?)
+            }
+            None => None,
+        },
     })
 }
 
@@ -468,6 +505,8 @@ fn parse_shard(rest: &[&String]) -> Result<Command, String> {
             Some(v) => Some(parse_num(v, "max-requests")?),
             None => None,
         },
+        cache_admission: has_flag(rest, "--cache-admission"),
+        adaptive_linger: has_flag(rest, "--adaptive-linger"),
     })
 }
 
@@ -784,6 +823,66 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(parse(&argv("serve m.csrp --shards ,")).unwrap_err().contains("empty shard"));
+    }
+
+    #[test]
+    fn serve_parses_adaptive_policy_flags() {
+        // All three policies default off: today's exact-serving behaviour.
+        let cmd = parse(&argv("serve m.csrp")).unwrap();
+        match cmd {
+            Command::Serve {
+                cache_admission,
+                adaptive_linger,
+                degrade_rank,
+                degrade_watermark,
+                ..
+            } => {
+                assert!(!cache_admission);
+                assert!(!adaptive_linger);
+                assert_eq!(degrade_rank, None);
+                assert_eq!(degrade_watermark, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&argv(
+            "serve m.csrp --cache-admission --adaptive-linger \
+             --degrade-rank 16 --degrade-watermark 8",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Serve {
+                cache_admission,
+                adaptive_linger,
+                degrade_rank,
+                degrade_watermark,
+                ..
+            } => {
+                assert!(cache_admission);
+                assert!(adaptive_linger);
+                assert_eq!(degrade_rank, Some(16));
+                assert_eq!(degrade_watermark, Some(8));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("serve m.csrp --degrade-rank 0")).unwrap_err().contains("at least 1"));
+        assert!(parse(&argv("serve m.csrp --degrade-watermark 4"))
+            .unwrap_err()
+            .contains("requires --degrade-rank"));
+        assert!(parse(&argv("serve m.csrp --degrade-rank lots"))
+            .unwrap_err()
+            .contains("invalid degrade-rank"));
+    }
+
+    #[test]
+    fn shard_parses_adaptive_policy_flags() {
+        let cmd = parse(&argv("shard m.csrp --rows 0:4")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Shard { cache_admission: false, adaptive_linger: false, .. }
+        ));
+        let cmd =
+            parse(&argv("shard m.csrp --rows 0:4 --cache-admission --adaptive-linger")).unwrap();
+        assert!(matches!(cmd, Command::Shard { cache_admission: true, adaptive_linger: true, .. }));
     }
 
     #[test]

@@ -151,9 +151,16 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
             shards,
             shard_timeout_ms,
             hedge_ms,
+            cache_admission,
+            adaptive_linger,
+            degrade_rank,
+            degrade_watermark,
         } => {
             if legacy && !shards.is_empty() {
                 return Err("--legacy and --shards are mutually exclusive".into());
+            }
+            if legacy && (cache_admission || adaptive_linger || degrade_rank.is_some()) {
+                return Err("adaptive policies need the pooled server (drop --legacy)".into());
             }
             let t0 = Instant::now();
             let m = persist::load_model(&model)?;
@@ -179,6 +186,28 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
             config.shards = shards.clone();
             config.shard_timeout = std::time::Duration::from_millis(shard_timeout_ms);
             config.hedge = std::time::Duration::from_millis(hedge_ms);
+            config.cache_admission = cache_admission;
+            config.adaptive_linger = adaptive_linger;
+            config.degrade_rank = degrade_rank;
+            // Default watermark: half the admission queue — degradation
+            // engages while there is still headroom to absorb the spike.
+            config.degrade_watermark = degrade_watermark.unwrap_or(config.queue_depth / 2);
+            let policies = [
+                cache_admission.then_some("tinylfu-admission"),
+                adaptive_linger.then_some("adaptive-linger"),
+                degrade_rank.map(|_| "degrade-rank"),
+            ]
+            .into_iter()
+            .flatten()
+            .collect::<Vec<_>>();
+            if !policies.is_empty() {
+                eprintln!(
+                    "adaptive policies: {} (degrade rank {:?}, watermark {})",
+                    policies.join(" "),
+                    degrade_rank,
+                    config.degrade_watermark
+                );
+            }
             if shards.is_empty() {
                 eprintln!(
                     "serving {} nodes at rank {} ({} loaded in {:.1?}; {} workers, batch ≤ {}, \
@@ -225,6 +254,8 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
             cache,
             timeout_ms,
             max_requests,
+            cache_admission,
+            adaptive_linger,
         } => {
             let t0 = Instant::now();
             let m = persist::load_model(&model)?;
@@ -244,6 +275,8 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
             config.timeout = std::time::Duration::from_millis(timeout_ms);
             config.max_requests = max_requests;
             config.shard_rows = Some(rows);
+            config.cache_admission = cache_admission;
+            config.adaptive_linger = adaptive_linger;
             eprintln!(
                 "shard serving internal rows {lo}..{hi} of {} nodes at rank {} ({} loaded in \
                  {:.1?}; {} workers; routes: /health /shard/range /shard/columns /shard/topk \

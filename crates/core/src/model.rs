@@ -455,15 +455,37 @@ impl CsrPlusModel {
         queries: &[usize],
         out: &mut DenseMatrix,
     ) -> Result<(), CoSimRankError> {
+        self.multi_source_rank_into(queries, self.rank(), out)
+    }
+
+    /// [`CsrPlusModel::multi_source_into`] truncated to the leading
+    /// `rank` factor columns: `[S]_{*,Q} ≈ [Iₙ]_{*,Q} +
+    /// c·[Z]_{*,..t}·[U]_{Q,..t}ᵀ` with `t = rank.clamp(1, r)`.
+    ///
+    /// Dropping trailing coordinates drops the smallest-σ directions of
+    /// the subspace — the same tolerance the random-projection CoSimRank
+    /// line exploits — so a pressured server can serve a cheaper
+    /// truncated answer instead of shedding.  At `rank ≥ r` this routes
+    /// through exactly the full-rank views and is **bitwise identical**
+    /// to [`CsrPlusModel::multi_source_into`].
+    ///
+    /// # Errors
+    /// [`CoSimRankError::QueryOutOfBounds`] on an invalid node id.
+    pub fn multi_source_rank_into(
+        &self,
+        queries: &[usize],
+        rank: usize,
+        out: &mut DenseMatrix,
+    ) -> Result<(), CoSimRankError> {
         let internal = self.internal_queries(queries)?;
         match &self.perm {
-            None => self.multi_source_internal_into(&internal, 0, self.n, out),
+            None => self.multi_source_internal_into(&internal, 0, self.n, rank, out),
             Some(p) => {
                 // Evaluate in internal row order, then scatter each row
                 // to its original id — a pure reordering of bitwise
                 // untouched values.
                 let mut block = DenseMatrix::zeros(0, 0);
-                self.multi_source_internal_into(&internal, 0, self.n, &mut block)?;
+                self.multi_source_internal_into(&internal, 0, self.n, rank, &mut block)?;
                 let w = queries.len();
                 out.resize_for_overwrite(self.n, w);
                 let dst = out.as_mut_slice();
@@ -497,17 +519,21 @@ impl CsrPlusModel {
 
     /// The shared evaluation core: rows `lo..hi` (internal order) of
     /// `[S]_{*,Q} = [Iₙ]_{*,Q} + c·Z·[U]_{Q,*}ᵀ` for already-translated
-    /// internal query rows, written to a `(hi-lo) × |Q|` block.
+    /// internal query rows, written to a `(hi-lo) × |Q|` block, using
+    /// only the leading `rank.clamp(1, r)` factor columns.
     ///
     /// Every output element is an independent row·row dot product in the
     /// dispatched kernel, so a range evaluation is bitwise identical to
     /// the same rows of the full evaluation — the property that lets a
     /// shard coordinator reassemble exactly the single-process answer.
+    /// Truncation is a column sub-block of the very same views (`t = r`
+    /// is the identity block), so the full-rank path is untouched.
     fn multi_source_internal_into(
         &self,
         internal: &[usize],
         lo: usize,
         hi: usize,
+        rank: usize,
         out: &mut DenseMatrix,
     ) -> Result<(), CoSimRankError> {
         debug_assert!(lo <= hi && hi <= self.n);
@@ -520,16 +546,18 @@ impl CsrPlusModel {
         // kernel (and bits) as the owned transpose-b product.  f32-stored
         // factors take the mixed kernel (f64 accumulation).
         let r = self.rank();
+        let t = rank.clamp(1, r.max(1)).min(r);
+        let q = internal.len();
         match (self.z.factor_view(), uq.factor_view()) {
             (FactorView::F64(z), FactorView::F64(u)) => csrplus_linalg::matmul_into(
-                z.block(lo, hi, 0, r),
-                u.t(),
+                z.block(lo, hi, 0, t),
+                u.block(0, q, 0, t).t(),
                 out.view_mut(),
                 csrplus_par::threads(),
             )?,
             (FactorView::F32(z), FactorView::F32(u)) => csrplus_linalg::matmul_into_mixed(
-                z.block(lo, hi, 0, r),
-                u.t(),
+                z.block(lo, hi, 0, t),
+                u.block(0, q, 0, t).t(),
                 out.view_mut(),
                 csrplus_par::threads(),
             )?,
@@ -569,7 +597,7 @@ impl CsrPlusModel {
             });
         }
         let internal = self.internal_queries(queries)?;
-        self.multi_source_internal_into(&internal, lo, hi, out)
+        self.multi_source_internal_into(&internal, lo, hi, self.rank(), out)
     }
 
     /// Multi-source query evaluated in bounded-memory chunks: the query
@@ -666,9 +694,26 @@ impl CsrPlusModel {
         queries: &[usize],
         scratch: &mut DenseMatrix,
     ) -> Result<Vec<Vec<f64>>, CoSimRankError> {
+        self.query_columns_rank_into(queries, self.rank(), scratch)
+    }
+
+    /// [`CsrPlusModel::query_columns_into`] truncated to the leading
+    /// `rank` factor columns (see
+    /// [`CsrPlusModel::multi_source_rank_into`]) — the serving layer's
+    /// pressure-degradation entry point.  At `rank ≥ r` the answers are
+    /// bitwise identical to the full-rank path.
+    ///
+    /// # Errors
+    /// [`CoSimRankError::QueryOutOfBounds`] on an invalid node id.
+    pub fn query_columns_rank_into(
+        &self,
+        queries: &[usize],
+        rank: usize,
+        scratch: &mut DenseMatrix,
+    ) -> Result<Vec<Vec<f64>>, CoSimRankError> {
         match &self.perm {
             None => {
-                self.multi_source_into(queries, scratch)?;
+                self.multi_source_rank_into(queries, rank, scratch)?;
                 if let [_] = queries {
                     // |Q| = 1: the n×1 result block already is the column.
                     return Ok(vec![scratch.as_slice().to_vec()]);
@@ -680,7 +725,7 @@ impl CsrPlusModel {
                 // to its original id in one pass (no row-scatter
                 // intermediate).
                 let internal = self.internal_queries(queries)?;
-                self.multi_source_internal_into(&internal, 0, self.n, scratch)?;
+                self.multi_source_internal_into(&internal, 0, self.n, rank, scratch)?;
                 Self::gather_columns(scratch, self.n, queries.len(), Some(&p.order))
             }
         }
@@ -698,7 +743,33 @@ impl CsrPlusModel {
         hi: usize,
         scratch: &mut DenseMatrix,
     ) -> Result<Vec<Vec<f64>>, CoSimRankError> {
-        self.multi_source_range_into(queries, lo, hi, scratch)?;
+        self.query_columns_range_rank_into(queries, lo, hi, self.rank(), scratch)
+    }
+
+    /// [`CsrPlusModel::query_columns_range_into`] truncated to the
+    /// leading `rank` factor columns — what a shard server evaluates
+    /// when the coordinator forwards a degraded-rank request.  At
+    /// `rank ≥ r` the partial columns are bitwise identical to the
+    /// full-rank ones.
+    ///
+    /// # Errors
+    /// [`CoSimRankError::QueryOutOfBounds`] on an invalid node id,
+    /// [`CoSimRankError::InvalidConfig`] on an invalid range.
+    pub fn query_columns_range_rank_into(
+        &self,
+        queries: &[usize],
+        lo: usize,
+        hi: usize,
+        rank: usize,
+        scratch: &mut DenseMatrix,
+    ) -> Result<Vec<Vec<f64>>, CoSimRankError> {
+        if lo > hi || hi > self.n {
+            return Err(CoSimRankError::InvalidConfig {
+                message: format!("row range {lo}..{hi} invalid for n = {}", self.n),
+            });
+        }
+        let internal = self.internal_queries(queries)?;
+        self.multi_source_internal_into(&internal, lo, hi, rank, scratch)?;
         if let [_] = queries {
             return Ok(vec![scratch.as_slice().to_vec()]);
         }
@@ -1080,6 +1151,68 @@ mod tests {
         // |Q| = 1 fast path and the empty batch.
         assert_eq!(m.query_columns(&[3]).unwrap()[0], m.single_source(3).unwrap());
         assert!(m.query_columns(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rank_truncated_queries_match_the_prefix_dot_product() {
+        // Ground truth for a rank-t truncated query, straight from the
+        // factors: S_t[i,q] = [i=q] + c·Σ_{j<t} Z[i,j]·U[q,j] — the same
+        // sum the kernel computes over the leading-t column prefix.
+        let m = fig1_model(3);
+        let c = m.config().damping;
+        let queries = [1usize, 3, 4];
+        for t in 1..=3usize {
+            let mut scratch = DenseMatrix::zeros(0, 0);
+            let cols = m.query_columns_rank_into(&queries, t, &mut scratch).unwrap();
+            for (&q, col) in queries.iter().zip(&cols) {
+                for i in 0..m.n() {
+                    let dot: f64 = (0..t).map(|j| m.z().get(i, j) * m.u().get(q, j)).sum();
+                    let want = if i == q { 1.0 } else { 0.0 } + c * dot;
+                    assert!(
+                        (col[i] - want).abs() < 1e-12,
+                        "rank {t}, node {q}, row {i}: {} vs {want}",
+                        col[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_rank_truncation_is_bitwise_identity() {
+        let m = fig1_model(3);
+        let queries = [0usize, 2, 5];
+        let mut scratch = DenseMatrix::zeros(0, 0);
+        // rank = r and any rank above it route through the same views.
+        for rank in [3usize, 10, usize::MAX] {
+            let cols = m.query_columns_rank_into(&queries, rank, &mut scratch).unwrap();
+            let reference = m.query_columns(&queries).unwrap();
+            assert_eq!(cols, reference, "rank {rank} must be the identity truncation");
+        }
+        // Range variant too (the shard path).
+        let a = m.query_columns_range_rank_into(&queries, 1, 5, 3, &mut scratch).unwrap();
+        let b = m.query_columns_range_into(&queries, 1, 5, &mut scratch).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn truncated_range_concatenates_into_the_truncated_column() {
+        // Shard slices of a degraded evaluation must reassemble into the
+        // single-process degraded answer, just like the full-rank ones.
+        let m = fig1_model(3);
+        let queries = [2usize, 4];
+        let mut scratch = DenseMatrix::zeros(0, 0);
+        let whole = m.query_columns_rank_into(&queries, 2, &mut scratch).unwrap();
+        let lo_part = m.query_columns_range_rank_into(&queries, 0, 3, 2, &mut scratch).unwrap();
+        let hi_part = m.query_columns_range_rank_into(&queries, 3, 6, 2, &mut scratch).unwrap();
+        for (j, col) in whole.iter().enumerate() {
+            let stitched: Vec<f64> = lo_part[j].iter().chain(hi_part[j].iter()).copied().collect();
+            assert_eq!(col, &stitched, "query {j}");
+        }
+        // The diagonal +1 lands on the truncated diagonal as well.
+        let mut diag = DenseMatrix::zeros(0, 0);
+        m.multi_source_rank_into(&[2], 1, &mut diag).unwrap();
+        assert!(diag.get(2, 0) > 1.0, "self-similarity keeps its identity term");
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Open-loop arrival schedules: seeded Poisson and bursty processes.
+//!
+//! The whole schedule is generated **before** the run starts.  That is
+//! what makes the loop open: arrival times are a property of the offered
+//! load, never of how fast the server answered the previous request.
+//! It also makes runs replayable — one seed, one schedule.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// How request arrival times are drawn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at a constant offered rate (requests/second):
+    /// exponential inter-arrival gaps, the standard open-loop model.
+    Poisson {
+        /// Offered load in requests per second.
+        rate: f64,
+    },
+    /// Piecewise-Poisson bursts: each `period_s` window spends `duty`
+    /// of its time at `peak` requests/second and the rest at `base` —
+    /// the on/off shape that stresses queue drains and adaptive linger.
+    Burst {
+        /// Off-phase offered load (requests/second).
+        base: f64,
+        /// On-phase offered load (requests/second).
+        peak: f64,
+        /// Length of one base+peak cycle, in seconds.
+        period_s: f64,
+        /// Fraction of each period spent at `peak`, in `[0, 1]`.
+        duty: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The instantaneous offered rate at time `t` seconds into the run.
+    pub fn rate_at(&self, t: f64) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate } => rate,
+            ArrivalProcess::Burst { base, peak, period_s, duty } => {
+                let phase = (t / period_s.max(1e-9)).fract();
+                if phase < duty.clamp(0.0, 1.0) {
+                    peak
+                } else {
+                    base
+                }
+            }
+        }
+    }
+
+    /// The long-run average offered rate (requests/second).
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate } => rate,
+            ArrivalProcess::Burst { base, peak, duty, .. } => {
+                let duty = duty.clamp(0.0, 1.0);
+                peak * duty + base * (1.0 - duty)
+            }
+        }
+    }
+
+    /// Generates every arrival offset (seconds from run start) within
+    /// `duration_s`, deterministically per `seed`.  Gaps are exponential
+    /// at the instantaneous rate, so burst phases compress arrivals.
+    pub fn schedule(&self, duration_s: f64, seed: u64) -> Vec<f64> {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xA221_7A15_0000_0002);
+        let mut t = 0.0;
+        let mut out = Vec::new();
+        loop {
+            let rate = self.rate_at(t).max(1e-9);
+            // Inverse-CDF exponential draw; 1-u keeps ln's argument
+            // nonzero for u = 0.
+            let u: f64 = rng.gen();
+            t += -(1.0 - u).ln() / rate;
+            if t >= duration_s {
+                return out;
+            }
+            out.push(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_schedule_hits_the_offered_rate() {
+        let p = ArrivalProcess::Poisson { rate: 1000.0 };
+        let arrivals = p.schedule(10.0, 7);
+        // 10k expected; Poisson sd is ±100, allow 5σ.
+        assert!((9_500..=10_500).contains(&arrivals.len()), "{}", arrivals.len());
+        assert!(arrivals.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+        assert!(arrivals.last().copied().unwrap_or(0.0) < 10.0);
+    }
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        let p = ArrivalProcess::Poisson { rate: 500.0 };
+        assert_eq!(p.schedule(2.0, 3), p.schedule(2.0, 3));
+        assert_ne!(p.schedule(2.0, 3), p.schedule(2.0, 4));
+    }
+
+    #[test]
+    fn burst_phases_compress_arrivals() {
+        let b = ArrivalProcess::Burst { base: 100.0, peak: 2000.0, period_s: 1.0, duty: 0.25 };
+        assert_eq!(b.rate_at(0.1), 2000.0);
+        assert_eq!(b.rate_at(0.9), 100.0);
+        assert_eq!(b.rate_at(1.1), 2000.0, "periodic");
+        assert!((b.mean_rate() - 575.0).abs() < 1e-9);
+        let arrivals = b.schedule(8.0, 5);
+        let on = arrivals.iter().filter(|&&t| (t % 1.0) < 0.25).count();
+        let off = arrivals.len() - on;
+        assert!(on > 3 * off, "bursts carry most of the traffic: {on} vs {off}");
+    }
+}

@@ -1,0 +1,140 @@
+//! `csrplus-loadgen` — open-loop load generator CLI.
+//!
+//! Drives a running `csrplus serve` (or shard coordinator) endpoint with
+//! seeded Poisson or bursty traffic and prints one phase report as JSON.
+//!
+//! ```text
+//! csrplus-loadgen --addr 127.0.0.1:7878 --rate 500 --duration-s 10 --seed 42
+//! ```
+
+#![forbid(unsafe_code)]
+
+use csrplus_loadgen::{run_phase, ArrivalProcess, Mix, Plan, Workload};
+use std::time::Duration;
+
+const USAGE: &str = "usage: csrplus-loadgen --addr HOST:PORT [options]
+
+options:
+  --addr HOST:PORT            server to drive (required)
+  --rate RPS                  offered load, requests/second [500]
+  --duration-s S              phase length in seconds [10]
+  --seed N                    master seed: schedule + queries [42]
+  --nodes N                   query-node universe 0..N [1000]
+  --zipf S                    popularity exponent (0 = uniform) [0.9]
+  --mix S,M,K                 single,multi,topk fractions [0.6,0.2,0.2]
+  --multi-width W             nodes per multi-source query [4]
+  --topk-k K                  k for top-k queries [10]
+  --degraded-fraction F       fraction sending degraded=allow [0]
+  --burst BASE,PEAK,PER,DUTY  bursty arrivals instead of Poisson:
+                              base/peak rps, period seconds, duty 0..1
+  --connections C             concurrent client workers [32]
+  --timeout-ms MS             per-request timeout [5000]
+  --label L                   phase label in the report [\"phase\"]
+  --out FILE                  also write the JSON report to FILE";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> T {
+    value.parse().unwrap_or_else(|_| fail(&format!("invalid value for {flag}: {value:?}")))
+}
+
+fn split_floats(value: &str, flag: &str, want: usize) -> Vec<f64> {
+    let parts: Vec<f64> = value.split(',').map(|p| parse(p.trim(), flag)).collect();
+    if parts.len() != want {
+        fail(&format!("{flag} wants {want} comma-separated numbers, got {value:?}"));
+    }
+    parts
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+
+    let mut addr: Option<String> = None;
+    let mut rate = 500.0;
+    let mut duration_s = 10.0;
+    let mut seed = 42u64;
+    let mut nodes = 1000usize;
+    let mut zipf_s = 0.9;
+    let mut mix = Mix::default();
+    let mut multi_width = 4usize;
+    let mut topk_k = 10usize;
+    let mut degraded_fraction = 0.0;
+    let mut burst: Option<(f64, f64, f64, f64)> = None;
+    let mut connections = 32usize;
+    let mut timeout_ms = 5000u64;
+    let mut label = "phase".to_string();
+    let mut out: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value =
+            || it.next().unwrap_or_else(|| fail(&format!("{flag} needs a value"))).as_str();
+        match flag.as_str() {
+            "--addr" => addr = Some(value().to_string()),
+            "--rate" => rate = parse(value(), flag),
+            "--duration-s" => duration_s = parse(value(), flag),
+            "--seed" => seed = parse(value(), flag),
+            "--nodes" => nodes = parse(value(), flag),
+            "--zipf" => zipf_s = parse(value(), flag),
+            "--mix" => {
+                let parts = split_floats(value(), flag, 3);
+                mix = Mix { single: parts[0], multi: parts[1], topk: parts[2] };
+            }
+            "--multi-width" => multi_width = parse(value(), flag),
+            "--topk-k" => topk_k = parse(value(), flag),
+            "--degraded-fraction" => degraded_fraction = parse(value(), flag),
+            "--burst" => {
+                let parts = split_floats(value(), flag, 4);
+                burst = Some((parts[0], parts[1], parts[2], parts[3]));
+            }
+            "--connections" => connections = parse(value(), flag),
+            "--timeout-ms" => timeout_ms = parse(value(), flag),
+            "--label" => label = value().to_string(),
+            "--out" => out = Some(value().to_string()),
+            other => fail(&format!("unknown flag {other:?}")),
+        }
+    }
+    let addr = addr.unwrap_or_else(|| fail("--addr is required"));
+    if duration_s <= 0.0 || rate <= 0.0 {
+        fail("--rate and --duration-s must be positive");
+    }
+
+    let arrivals = match burst {
+        Some((base, peak, period_s, duty)) => ArrivalProcess::Burst { base, peak, period_s, duty },
+        None => ArrivalProcess::Poisson { rate },
+    };
+    let workload = Workload {
+        zipf_s,
+        mix,
+        multi_width,
+        topk_k,
+        degraded_fraction,
+        ..Workload::new(nodes, seed)
+    };
+    let plan = Plan::generate(&workload, arrivals, duration_s);
+    eprintln!(
+        "loadgen: {} requests over {duration_s}s at {:.0} rps offered → {addr}",
+        plan.requests.len(),
+        plan.offered_rps
+    );
+
+    let report = run_phase(&addr, &plan, &label, connections, Duration::from_millis(timeout_ms));
+    let json = report.render_json();
+    println!("{json}");
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+            fail(&format!("writing {path}: {e}"));
+        }
+    }
+    if report.errors > 0 {
+        eprintln!("loadgen: {} transport errors", report.errors);
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,42 @@
+//! # csrplus-loadgen
+//!
+//! An **open-loop** load generator for the CSR+ serving stack.
+//!
+//! Closed-loop clients (fire, wait, fire again) hide overload: when the
+//! server slows down the client slows down with it, and the measured
+//! "latency" converges to whatever the client is willing to tolerate.
+//! This crate instead drives the server the way production traffic does:
+//!
+//! * **arrivals** are drawn from a seeded Poisson (or bursty
+//!   piecewise-Poisson) process at a configured *offered* rate,
+//!   independent of how the server is coping ([`arrivals`]);
+//! * **query popularity** is Zipfian with a seeded rank→node shuffle, so
+//!   a cache sees realistic skew but the hot set is not just the lowest
+//!   node ids ([`zipf`]);
+//! * the **request mix** blends single-source, multi-source, and top-k
+//!   queries, with a configurable fraction opting into pressure
+//!   degradation ([`workload`]);
+//! * **latency is measured from the scheduled arrival time**, not from
+//!   when a client thread got around to sending — the standard defence
+//!   against coordinated omission ([`client`]);
+//! * results aggregate into exact-percentile phase reports rendered as
+//!   JSON ([`report`]).
+//!
+//! Everything is deterministic per seed: the same seed generates the
+//! same schedule and the same request sequence, so A/B comparisons
+//! (baseline vs adaptive policies) replay identical traffic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod client;
+pub mod report;
+pub mod workload;
+pub mod zipf;
+
+pub use arrivals::ArrivalProcess;
+pub use client::{run_phase, scrape_cache_counters, CacheCounters};
+pub use report::PhaseReport;
+pub use workload::{Mix, Plan, Workload};
+pub use zipf::Zipf;

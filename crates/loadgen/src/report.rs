@@ -1,0 +1,137 @@
+//! Phase reports: exact latency percentiles, goodput, shed rate, and
+//! hand-rolled JSON rendering (the workspace takes no serde dependency).
+
+/// Everything measured over one traffic phase.
+#[derive(Debug, Clone)]
+pub struct PhaseReport {
+    /// Label for this phase (e.g. `"0.5x"`, `"2x-adaptive"`).
+    pub label: String,
+    /// The offered load the schedule was generated for (requests/s).
+    pub offered_rps: f64,
+    /// Scheduled phase length in seconds.
+    pub duration_s: f64,
+    /// Wall-clock seconds the phase actually took.  An open-loop run
+    /// that cannot keep up overruns its schedule; goodput is honest
+    /// only over this, never over `duration_s`.
+    pub elapsed_s: f64,
+    /// Requests actually sent (the whole plan, open-loop).
+    pub sent: u64,
+    /// `200` responses.
+    pub ok: u64,
+    /// `503` responses (shed by the admission queue).
+    pub shed: u64,
+    /// Transport failures and any other status.
+    pub errors: u64,
+    /// Responses that reported a degraded (`served_rank`) answer.
+    pub degraded: u64,
+    /// Per-success latency in microseconds, measured from the scheduled
+    /// arrival time (coordinated-omission safe).  Unsorted.
+    pub latencies_us: Vec<u64>,
+    /// Cache hit rate over the phase from the server's own counters
+    /// (`hits / (hits + misses)` deltas), if `/metrics` was scraped.
+    pub cache_hit_rate: Option<f64>,
+}
+
+impl PhaseReport {
+    /// The exact `q`-quantile (`0 < q ≤ 1`) of the success latencies,
+    /// in microseconds; `0` when no request succeeded.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Successful answers per second of wall-clock phase time.
+    pub fn goodput_rps(&self) -> f64 {
+        self.ok as f64 / self.elapsed_s.max(1e-9)
+    }
+
+    /// Fraction of sent requests shed with `503`.
+    pub fn shed_rate(&self) -> f64 {
+        self.shed as f64 / (self.sent as f64).max(1.0)
+    }
+
+    /// This phase as one JSON object.
+    pub fn render_json(&self) -> String {
+        let hit_rate = match self.cache_hit_rate {
+            Some(r) => format!("{r:.4}"),
+            None => "null".to_string(),
+        };
+        format!(
+            concat!(
+                "{{\"label\":\"{}\",\"offered_rps\":{:.1},\"duration_s\":{:.2},\"elapsed_s\":{:.2},",
+                "\"sent\":{},\"ok\":{},\"shed\":{},\"errors\":{},\"degraded\":{},",
+                "\"goodput_rps\":{:.1},\"shed_rate\":{:.4},\"cache_hit_rate\":{},",
+                "\"latency_us\":{{\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"max\":{}}}}}"
+            ),
+            self.label,
+            self.offered_rps,
+            self.duration_s,
+            self.elapsed_s,
+            self.sent,
+            self.ok,
+            self.shed,
+            self.errors,
+            self.degraded,
+            self.goodput_rps(),
+            self.shed_rate(),
+            hit_rate,
+            self.quantile_us(0.50),
+            self.quantile_us(0.90),
+            self.quantile_us(0.99),
+            self.quantile_us(0.999),
+            self.latencies_us.iter().copied().max().unwrap_or(0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(latencies: Vec<u64>) -> PhaseReport {
+        PhaseReport {
+            label: "test".to_string(),
+            offered_rps: 100.0,
+            duration_s: 2.0,
+            elapsed_s: 2.0,
+            sent: latencies.len() as u64 + 3,
+            ok: latencies.len() as u64,
+            shed: 2,
+            errors: 1,
+            degraded: 0,
+            latencies_us: latencies,
+            cache_hit_rate: Some(0.25),
+        }
+    }
+
+    #[test]
+    fn quantiles_are_exact_order_statistics() {
+        let r = report((1..=100).collect());
+        assert_eq!(r.quantile_us(0.50), 50);
+        assert_eq!(r.quantile_us(0.99), 99);
+        assert_eq!(r.quantile_us(0.999), 100);
+        assert_eq!(r.quantile_us(1.0), 100);
+        assert_eq!(report(vec![]).quantile_us(0.5), 0);
+        assert_eq!(report(vec![7]).quantile_us(0.999), 7);
+    }
+
+    #[test]
+    fn rates_and_json_shape() {
+        let r = report(vec![10, 20, 30, 40]);
+        assert!((r.goodput_rps() - 2.0).abs() < 1e-9);
+        assert!((r.shed_rate() - 2.0 / 7.0).abs() < 1e-9);
+        let json = r.render_json();
+        assert!(json.starts_with("{\"label\":\"test\","), "{json}");
+        assert!(json.contains("\"shed\":2,"), "{json}");
+        assert!(json.contains("\"cache_hit_rate\":0.2500"), "{json}");
+        assert!(json.contains("\"p50\":20,"), "{json}");
+        assert!(json.ends_with("\"max\":40}}"), "{json}");
+        let none = PhaseReport { cache_hit_rate: None, ..r };
+        assert!(none.render_json().contains("\"cache_hit_rate\":null,"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Request-mix planning: which path does each scheduled arrival hit.
+//!
+//! A [`Plan`] zips one arrival schedule ([`crate::arrivals`]) with one
+//! request sequence (Zipfian node draws through a mix of routes) into
+//! the fully materialised list of timestamped HTTP targets the
+//! [`crate::client`] replays.  Everything is drawn up front from the
+//! seed, so the same plan drives baseline and adaptive runs.
+
+use crate::arrivals::ArrivalProcess;
+use crate::zipf::Zipf;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Fractions of each query kind in the traffic (normalised over their
+/// sum; they need not add to exactly 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mix {
+    /// Single-source column queries (`/query?nodes=X`).
+    pub single: f64,
+    /// Multi-source queries (`/query?nodes=a,b,c`).
+    pub multi: f64,
+    /// Top-k queries (`/topk?node=X&k=K`).
+    pub topk: f64,
+}
+
+impl Default for Mix {
+    fn default() -> Self {
+        Mix { single: 0.6, multi: 0.2, topk: 0.2 }
+    }
+}
+
+/// The full description of one traffic phase.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Node universe: query nodes are drawn from `0..n`.
+    pub n: usize,
+    /// Zipf popularity exponent (0 = uniform).
+    pub zipf_s: f64,
+    /// Master seed: schedule, node draws, and mix draws all derive from
+    /// it, so one seed pins the entire phase.
+    pub seed: u64,
+    /// Request-kind fractions.
+    pub mix: Mix,
+    /// Query nodes per multi-source request.
+    pub multi_width: usize,
+    /// `k` for top-k requests.
+    pub topk_k: usize,
+    /// Fraction of requests opting into pressure degradation by
+    /// appending `degraded=allow`.
+    pub degraded_fraction: f64,
+}
+
+impl Workload {
+    /// A small sane default over `n` nodes.
+    pub fn new(n: usize, seed: u64) -> Self {
+        Workload {
+            n,
+            zipf_s: 0.9,
+            seed,
+            mix: Mix::default(),
+            multi_width: 4,
+            topk_k: 10,
+            degraded_fraction: 0.0,
+        }
+    }
+}
+
+/// One scheduled request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Seconds from phase start at which this request is *offered*.
+    pub at_s: f64,
+    /// The HTTP request target (path + query string).
+    pub path: String,
+}
+
+/// A fully materialised phase: every arrival paired with its target.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Requests in arrival order.
+    pub requests: Vec<Request>,
+    /// The offered rate this plan was built for (requests/second).
+    pub offered_rps: f64,
+    /// Phase length in seconds.
+    pub duration_s: f64,
+}
+
+impl Plan {
+    /// Builds the plan for `workload` under `arrivals` for `duration_s`
+    /// seconds.  Deterministic per `workload.seed`.
+    pub fn generate(workload: &Workload, arrivals: ArrivalProcess, duration_s: f64) -> Plan {
+        let schedule = arrivals.schedule(duration_s, workload.seed);
+        let zipf = Zipf::new(workload.n, workload.zipf_s, workload.seed);
+        let mut rng = SmallRng::seed_from_u64(workload.seed ^ 0x717A_6D1C_0000_0003);
+        let total = (workload.mix.single + workload.mix.multi + workload.mix.topk).max(1e-9);
+        let p_single = workload.mix.single / total;
+        let p_multi = workload.mix.multi / total;
+        let requests = schedule
+            .into_iter()
+            .map(|at_s| {
+                let kind: f64 = rng.gen();
+                let mut path = if kind < p_single {
+                    format!("/query?nodes={}", zipf.sample(&mut rng))
+                } else if kind < p_single + p_multi {
+                    let width = workload.multi_width.max(1);
+                    let nodes: Vec<String> =
+                        (0..width).map(|_| zipf.sample(&mut rng).to_string()).collect();
+                    format!("/query?nodes={}", nodes.join("%2C"))
+                } else {
+                    format!("/topk?node={}&k={}", zipf.sample(&mut rng), workload.topk_k)
+                };
+                if workload.degraded_fraction > 0.0 && rng.gen::<f64>() < workload.degraded_fraction
+                {
+                    path.push_str("&degraded=allow");
+                }
+                Request { at_s, path }
+            })
+            .collect();
+        Plan { requests, offered_rps: arrivals.mean_rate(), duration_s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_and_respect_the_mix() {
+        let w = Workload { degraded_fraction: 0.5, ..Workload::new(100, 42) };
+        let arrivals = ArrivalProcess::Poisson { rate: 2000.0 };
+        let a = Plan::generate(&w, arrivals, 5.0);
+        let b = Plan::generate(&w, arrivals, 5.0);
+        assert_eq!(a.requests, b.requests, "same seed, same plan");
+        let n = a.requests.len() as f64;
+        let singles = a
+            .requests
+            .iter()
+            .filter(|r| r.path.starts_with("/query") && !r.path.contains("%2C"))
+            .count() as f64;
+        let multis = a.requests.iter().filter(|r| r.path.contains("%2C")).count() as f64;
+        let topks = a.requests.iter().filter(|r| r.path.starts_with("/topk")).count() as f64;
+        assert!((singles / n - 0.6).abs() < 0.05, "{}", singles / n);
+        assert!((multis / n - 0.2).abs() < 0.05, "{}", multis / n);
+        assert!((topks / n - 0.2).abs() < 0.05, "{}", topks / n);
+        let degraded = a.requests.iter().filter(|r| r.path.ends_with("&degraded=allow")).count();
+        assert!((degraded as f64 / n - 0.5).abs() < 0.05);
+        assert!(a.requests.windows(2).all(|w| w[0].at_s < w[1].at_s));
+    }
+
+    #[test]
+    fn multi_requests_have_the_configured_width() {
+        let w = Workload {
+            mix: Mix { single: 0.0, multi: 1.0, topk: 0.0 },
+            multi_width: 3,
+            ..Workload::new(50, 9)
+        };
+        let plan = Plan::generate(&w, ArrivalProcess::Poisson { rate: 500.0 }, 1.0);
+        assert!(!plan.requests.is_empty());
+        for r in &plan.requests {
+            assert_eq!(r.path.matches("%2C").count(), 2, "{}", r.path);
+        }
+    }
+}

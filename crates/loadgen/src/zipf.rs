@@ -1,0 +1,114 @@
+//! Zipfian query-node popularity with a seeded rank→node shuffle.
+//!
+//! Real query traffic is skewed: a few nodes absorb most lookups.  A
+//! Zipf(s) law over popularity ranks models that — rank `r` is queried
+//! with probability proportional to `1/rᔆ` — and is the standard cache
+//! workload in the serving literature.  The popularity *rank* must not
+//! be the node *id*, though (caches keyed by id would look artificially
+//! clustered), so ranks map to nodes through a Fisher–Yates shuffle
+//! drawn from the same seed.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A sampler over `0..n` node ids with Zipf-distributed popularity.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probability by popularity rank (normalised, ascending).
+    cdf: Vec<f64>,
+    /// Popularity rank → node id (seeded shuffle of `0..n`).
+    nodes: Vec<usize>,
+}
+
+impl Zipf {
+    /// A sampler over `n` nodes with exponent `s` (`s = 0` is uniform;
+    /// `s ≈ 1` is the classic heavy skew).  Deterministic per `seed`.
+    pub fn new(n: usize, s: f64, seed: u64) -> Self {
+        let n = n.max(1);
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        let mut nodes: Vec<usize> = (0..n).collect();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5A1F_0000_0000_0001);
+        nodes.shuffle(&mut rng);
+        Zipf { cdf, nodes }
+    }
+
+    /// Draws one node id.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        let rank = self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1);
+        self.nodes[rank]
+    }
+
+    /// The node universe size.
+    pub fn n(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node id at popularity rank `r` (0 = hottest) — test hook.
+    pub fn node_at_rank(&self, r: usize) -> usize {
+        self.nodes[r]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skewed_sampling_prefers_low_ranks() {
+        let z = Zipf::new(100, 1.0, 7);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let hottest = z.node_at_rank(0);
+        let coldest = z.node_at_rank(99);
+        assert!(
+            counts[hottest] > 10 * counts[coldest].max(1),
+            "rank 0 ({}) vs rank 99 ({})",
+            counts[hottest],
+            counts[coldest]
+        );
+        // Every draw lands in the universe, and the shuffle is a bijection.
+        let mut seen: Vec<usize> = (0..100).map(|r| z.node_at_rank(r)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_exponent_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0, 3);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((4000..6000).contains(&c), "uniform-ish bucket, got {c}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Zipf::new(50, 0.9, 11);
+        let b = Zipf::new(50, 0.9, 11);
+        let c = Zipf::new(50, 0.9, 12);
+        let mut ra = SmallRng::seed_from_u64(1);
+        let mut rb = SmallRng::seed_from_u64(1);
+        let draws_a: Vec<usize> = (0..100).map(|_| a.sample(&mut ra)).collect();
+        let draws_b: Vec<usize> = (0..100).map(|_| b.sample(&mut rb)).collect();
+        assert_eq!(draws_a, draws_b);
+        let ranks = |z: &Zipf| (0..50).map(|r| z.node_at_rank(r)).collect::<Vec<_>>();
+        assert_ne!(ranks(&a), ranks(&c), "different seed, different shuffle");
+    }
+}

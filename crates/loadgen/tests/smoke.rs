@@ -1,0 +1,120 @@
+//! End-to-end smoke: drive a real in-process server with a seeded
+//! low-load open-loop phase.  This is the test CI runs as the loadgen
+//! gate — fixed seed, a couple of seconds, zero transport errors, and a
+//! report that parses as JSON.
+
+use csrplus_core::{CsrPlusConfig, CsrPlusModel};
+use csrplus_graph::generators::erdos_renyi;
+use csrplus_graph::TransitionMatrix;
+use csrplus_loadgen::{run_phase, ArrivalProcess, Plan, Workload};
+use csrplus_serve::server::{ServeConfig, Server};
+use std::time::Duration;
+
+fn model(n: usize) -> CsrPlusModel {
+    let graph = erdos_renyi(n, n * 6, 7).expect("generator");
+    let t = TransitionMatrix::from_graph(&graph);
+    CsrPlusModel::precompute(&t, &CsrPlusConfig::with_rank(8)).expect("precompute")
+}
+
+/// Minimal JSON well-formedness check (objects, arrays, strings,
+/// numbers, literals) — enough to pin that the report is machine-true.
+fn json_value(s: &str) -> Option<&str> {
+    let s = s.trim_start();
+    match s.as_bytes().first()? {
+        b'{' => json_seq(&s[1..], b'}', true),
+        b'[' => json_seq(&s[1..], b']', false),
+        b'"' => json_string(s),
+        b't' => s.strip_prefix("true"),
+        b'f' => s.strip_prefix("false"),
+        b'n' => s.strip_prefix("null"),
+        _ => {
+            let end =
+                s.find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c))).unwrap_or(s.len());
+            (end > 0).then(|| &s[end..])
+        }
+    }
+}
+
+fn json_string(s: &str) -> Option<&str> {
+    let mut rest = s.strip_prefix('"')?;
+    while let Some(at) = rest.find('"') {
+        if !rest[..at].ends_with('\\') {
+            return Some(&rest[at + 1..]);
+        }
+        rest = &rest[at + 1..];
+    }
+    None
+}
+
+fn json_seq(mut s: &str, close: u8, keyed: bool) -> Option<&str> {
+    if s.trim_start().as_bytes().first() == Some(&close) {
+        return Some(&s.trim_start()[1..]);
+    }
+    loop {
+        if keyed {
+            s = json_string(s.trim_start())?;
+            s = s.trim_start().strip_prefix(':')?;
+        }
+        s = json_value(s)?;
+        let rest = s.trim_start();
+        match rest.as_bytes().first()? {
+            b',' => s = &rest[1..],
+            b if *b == close => return Some(&rest[1..]),
+            _ => return None,
+        }
+    }
+}
+
+fn assert_valid_json(s: &str) {
+    let rest = json_value(s).unwrap_or_else(|| panic!("unparseable JSON: {s}"));
+    assert!(rest.trim().is_empty(), "trailing garbage after JSON: {rest:?}");
+}
+
+#[test]
+fn low_load_phase_completes_with_zero_errors_and_valid_json() {
+    let n = 200;
+    let handle = Server::start(model(n), 0, ServeConfig::default()).expect("server");
+    let addr = handle.addr().to_string();
+
+    let workload = Workload::new(n, 42);
+    let plan = Plan::generate(&workload, ArrivalProcess::Poisson { rate: 300.0 }, 2.0);
+    assert!(!plan.requests.is_empty());
+    let report = run_phase(&addr, &plan, "smoke", 8, Duration::from_secs(5));
+
+    assert_eq!(report.errors, 0, "transport must be clean at low load");
+    assert_eq!(report.sent, plan.requests.len() as u64);
+    assert_eq!(report.ok + report.shed, report.sent, "every request classified");
+    assert_eq!(report.degraded, 0, "no degradation requested or configured");
+    assert!(report.ok > 0, "the server answered");
+    assert!(report.cache_hit_rate.is_some(), "metrics scrape found the per-shard cache counters");
+    assert!(report.quantile_us(0.999) >= report.quantile_us(0.5));
+    assert_valid_json(&report.render_json());
+    handle.shutdown();
+}
+
+#[test]
+fn degraded_traffic_round_trips_through_a_policy_server() {
+    let n = 100;
+    let config = ServeConfig {
+        cache_admission: true,
+        adaptive_linger: true,
+        degrade_rank: Some(2),
+        degrade_watermark: 0,
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(model(n), 0, config).expect("server");
+    let addr = handle.addr().to_string();
+
+    let workload = Workload { degraded_fraction: 1.0, ..Workload::new(n, 9) };
+    let plan = Plan::generate(&workload, ArrivalProcess::Poisson { rate: 200.0 }, 1.0);
+    let report = run_phase(&addr, &plan, "degraded", 4, Duration::from_secs(5));
+
+    assert_eq!(report.errors, 0);
+    assert!(report.ok > 0);
+    assert_eq!(
+        report.degraded, report.ok,
+        "every opted-in answer carries served_rank under a watermark of 0"
+    );
+    assert_valid_json(&report.render_json());
+    handle.shutdown();
+}

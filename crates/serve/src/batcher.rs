@@ -17,6 +17,7 @@
 //! scatters `Arc` columns back to every waiter.
 
 use crate::cache::{Column, ColumnCache};
+use crate::gauge::LoadGauge;
 use crate::metrics::Metrics;
 use csrplus_core::CsrPlusModel;
 use std::sync::atomic::Ordering;
@@ -47,6 +48,9 @@ impl std::fmt::Display for ColumnError {
 
 struct Waiter {
     node: usize,
+    /// `Some(t)`: evaluate at truncated rank `t` (pressure-degraded
+    /// request); `None`: the full-rank path.
+    rank: Option<usize>,
     reply: mpsc::Sender<Result<Column, ColumnError>>,
 }
 
@@ -70,6 +74,35 @@ struct Shared {
     /// columns have `hi - lo` entries (what a shard server publishes)
     /// instead of `n`.
     rows: Option<(usize, usize)>,
+    /// Queue-depth gauge for the adaptive linger (None in fixed mode).
+    gauge: Option<Arc<LoadGauge>>,
+    /// Load-aware linger: stretch toward `linger` as the queue fills,
+    /// collapse to zero when it is empty.
+    adaptive: bool,
+}
+
+/// The load-aware linger window: an idle server answers immediately
+/// (zero linger — batching has nobody to wait for), and as queue depth
+/// rises toward capacity the window stretches linearly up to
+/// `linger_max`, amortising more work per evaluation exactly when
+/// amortisation pays.
+pub fn adaptive_linger(linger_max: Duration, depth: usize, capacity: usize) -> Duration {
+    if depth == 0 {
+        return Duration::ZERO;
+    }
+    let fraction = (depth as f64 / capacity.max(1) as f64).clamp(0.0, 1.0);
+    linger_max.mul_f64(fraction)
+}
+
+impl Shared {
+    /// The linger for the window opening now: fixed, or load-aware when
+    /// the adaptive policy is on and a gauge is wired.
+    fn effective_linger(&self) -> Duration {
+        match (&self.gauge, self.adaptive) {
+            (Some(gauge), true) => adaptive_linger(self.linger, gauge.depth(), gauge.capacity()),
+            _ => self.linger,
+        }
+    }
 }
 
 /// The batcher: owns the background evaluation thread.
@@ -103,6 +136,24 @@ impl Batcher {
         linger: Duration,
         rows: Option<(usize, usize)>,
     ) -> Self {
+        Self::with_policies(model, cache, metrics, max_batch, linger, rows, None, false)
+    }
+
+    /// [`Batcher::for_rows`] with the adaptive serving policies: when
+    /// `adaptive` is set (and a `gauge` is supplied) the linger window is
+    /// [`adaptive_linger`] of the current queue depth instead of the
+    /// fixed `linger`.
+    #[allow(clippy::too_many_arguments)] // internal assembly seam, called once
+    pub fn with_policies(
+        model: Arc<CsrPlusModel>,
+        cache: Arc<ColumnCache>,
+        metrics: Arc<Metrics>,
+        max_batch: usize,
+        linger: Duration,
+        rows: Option<(usize, usize)>,
+        gauge: Option<Arc<LoadGauge>>,
+        adaptive: bool,
+    ) -> Self {
         let shared = Arc::new(Shared {
             state: Mutex::new(State { pending: Vec::new(), deadline: None, shutdown: false }),
             wake: Condvar::new(),
@@ -112,6 +163,8 @@ impl Batcher {
             max_batch: max_batch.max(1),
             linger,
             rows,
+            gauge,
+            adaptive,
         });
         let worker = {
             let shared = Arc::clone(&shared);
@@ -126,8 +179,27 @@ impl Batcher {
     /// The similarity column `[S]_{*,node}`, from cache or a (possibly
     /// coalesced) model evaluation.  Blocks up to `timeout`.
     pub fn column(&self, node: usize, timeout: Duration) -> Result<Column, ColumnError> {
-        if let Some(col) = self.shared.cache.get(node) {
-            return Ok(col);
+        self.column_rank(node, None, timeout)
+    }
+
+    /// [`Batcher::column`] at an optional truncated rank.  `Some(t)`
+    /// evaluates only the leading `t` factor columns — the
+    /// pressure-degraded path — and deliberately bypasses the cache in
+    /// both directions: a truncated column must never be served to (or
+    /// pollute) full-rank requests.  A rank at or above the model's is
+    /// normalised back to the full-rank path, so over-asking degrades
+    /// nothing.
+    pub fn column_rank(
+        &self,
+        node: usize,
+        rank: Option<usize>,
+        timeout: Duration,
+    ) -> Result<Column, ColumnError> {
+        let rank = rank.filter(|&t| t < self.shared.model.rank());
+        if rank.is_none() {
+            if let Some(col) = self.shared.cache.get(node) {
+                return Ok(col);
+            }
         }
         // Validate before enqueueing: one bad node must not poison a
         // whole coalesced batch.  Same error text as the direct path.
@@ -143,9 +215,9 @@ impl Batcher {
                 return Err(ColumnError::ShuttingDown);
             }
             if state.pending.is_empty() {
-                state.deadline = Some(Instant::now() + self.shared.linger);
+                state.deadline = Some(Instant::now() + self.shared.effective_linger());
             }
-            state.pending.push(Waiter { node, reply });
+            state.pending.push(Waiter { node, rank, reply });
         }
         self.shared.wake.notify_one();
         match receiver.recv_timeout(timeout) {
@@ -200,7 +272,7 @@ fn batcher_loop(shared: &Shared) {
             let batch: Vec<Waiter> = state.pending.drain(..take).collect();
             // Anything left over starts a fresh linger window now.
             state.deadline =
-                if state.pending.is_empty() { None } else { Some(now + shared.linger) };
+                if state.pending.is_empty() { None } else { Some(now + shared.effective_linger()) };
             drop(state);
             evaluate(shared, batch, &mut scratch);
             state = shared.state.lock().expect("batcher state poisoned");
@@ -211,10 +283,33 @@ fn batcher_loop(shared: &Shared) {
     }
 }
 
+/// Splits the batch into per-rank groups (full-rank waiters and each
+/// distinct truncated rank) and runs one deduplicated multi-source
+/// evaluation per group.  Almost every batch is a single full-rank
+/// group, which takes exactly the pre-policy path.
+fn evaluate(shared: &Shared, batch: Vec<Waiter>, scratch: &mut csrplus_core::DenseMatrix) {
+    let mut groups: Vec<(Option<usize>, Vec<Waiter>)> = Vec::new();
+    for waiter in batch {
+        match groups.iter_mut().find(|(rank, _)| *rank == waiter.rank) {
+            Some((_, group)) => group.push(waiter),
+            None => groups.push((waiter.rank, vec![waiter])),
+        }
+    }
+    for (rank, group) in groups {
+        evaluate_group(shared, rank, group, scratch);
+    }
+}
+
 /// Runs one deduplicated multi-source evaluation (through the worker's
 /// reusable `scratch` block) and scatters the columns back to every
-/// waiter in the batch.
-fn evaluate(shared: &Shared, batch: Vec<Waiter>, scratch: &mut csrplus_core::DenseMatrix) {
+/// waiter in the group.  `rank: Some(t)` evaluates the truncated-rank
+/// product and skips the cache (truncated columns are never cached).
+fn evaluate_group(
+    shared: &Shared,
+    rank: Option<usize>,
+    batch: Vec<Waiter>,
+    scratch: &mut csrplus_core::DenseMatrix,
+) {
     let mut nodes: Vec<usize> = Vec::with_capacity(batch.len());
     let mut slot: Vec<usize> = Vec::with_capacity(batch.len());
     for waiter in &batch {
@@ -227,21 +322,30 @@ fn evaluate(shared: &Shared, batch: Vec<Waiter>, scratch: &mut csrplus_core::Den
         }
     }
     shared.metrics.batched_requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
+    let eval_rank = rank.unwrap_or_else(|| shared.model.rank());
     let columns = match shared.rows {
         // A shard evaluates (and caches) only its own row slice; each
         // partial entry is the same dot product the full path computes,
         // so slices concatenate bitwise into the single-process column.
-        Some((lo, hi)) => shared.model.query_columns_range_into(&nodes, lo, hi, scratch),
-        None => shared.model.query_columns_into(&nodes, scratch),
+        Some((lo, hi)) => {
+            shared.model.query_columns_range_rank_into(&nodes, lo, hi, eval_rank, scratch)
+        }
+        None => shared.model.query_columns_rank_into(&nodes, eval_rank, scratch),
     };
     match columns {
         Ok(columns) => {
             shared.metrics.model_evaluations.fetch_add(1, Ordering::Relaxed);
             shared.metrics.batch_sizes.observe(nodes.len() as u64);
+            if let Some(t) = rank {
+                shared.metrics.degraded_requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                shared.metrics.served_rank.observe(t.max(1) as u64);
+            }
             let columns: Vec<Column> =
                 columns.into_iter().map(|c| Column::from(c.into_boxed_slice())).collect();
-            for (&node, column) in nodes.iter().zip(&columns) {
-                shared.cache.insert(node, Arc::clone(column));
+            if rank.is_none() {
+                for (&node, column) in nodes.iter().zip(&columns) {
+                    shared.cache.insert(node, Arc::clone(column));
+                }
             }
             for (waiter, &i) in batch.iter().zip(&slot) {
                 // A send fails only if the requester already timed out.
@@ -367,5 +471,121 @@ mod tests {
         let (b, _metrics, _m) = batcher(4, Duration::from_micros(100), 0);
         b.begin_shutdown();
         assert_eq!(b.column(1, TIMEOUT).unwrap_err(), ColumnError::ShuttingDown);
+    }
+
+    #[test]
+    fn adaptive_linger_scales_with_queue_pressure() {
+        let max = Duration::from_micros(200);
+        assert_eq!(adaptive_linger(max, 0, 16), Duration::ZERO, "idle queue answers immediately");
+        assert_eq!(adaptive_linger(max, 4, 16), Duration::from_micros(50));
+        assert_eq!(adaptive_linger(max, 8, 16), Duration::from_micros(100));
+        assert_eq!(adaptive_linger(max, 16, 16), max);
+        assert_eq!(adaptive_linger(max, 64, 16), max, "overfull clamps at the cap");
+        assert_eq!(adaptive_linger(max, 3, 0), max, "zero capacity treated as 1");
+    }
+
+    #[test]
+    fn concurrent_submit_storm_answers_every_waiter_correctly() {
+        // Hammer the batcher from many threads at once with tiny batches
+        // and a tiny cache so batching, eviction, and dedup all churn
+        // concurrently; every reply must still be the exact column.
+        const THREADS: usize = 16;
+        const REQUESTS: usize = 25;
+        let metrics = Arc::new(Metrics::new());
+        let m = model();
+        let cache = Arc::new(ColumnCache::new(2, 2, Arc::clone(&metrics)));
+        let b = Arc::new(Batcher::new(
+            Arc::clone(&m),
+            cache,
+            Arc::clone(&metrics),
+            3,
+            Duration::from_micros(50),
+        ));
+        let expected: Vec<Vec<f64>> = (0..m.n()).map(|q| m.single_source(q).unwrap()).collect();
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let b = Arc::clone(&b);
+                let expected = expected.clone();
+                std::thread::spawn(move || {
+                    for i in 0..REQUESTS {
+                        let node = (t * 7 + i * 3) % expected.len();
+                        let col = b.column(node, TIMEOUT).unwrap();
+                        assert_eq!(&col[..], &expected[node][..], "node {node} column corrupted");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let answered = metrics.cache_hits.load(Ordering::Relaxed)
+            + metrics.batched_requests.load(Ordering::Relaxed);
+        assert_eq!(answered, (THREADS * REQUESTS) as u64, "every request answered exactly once");
+    }
+
+    #[test]
+    fn degraded_rank_bypasses_the_cache_both_ways() {
+        let (b, metrics, m) = batcher(4, Duration::from_micros(100), 8);
+        // Warm the cache with the full-rank column.
+        let full = b.column(1, TIMEOUT).unwrap();
+        assert_eq!(metrics.model_evaluations.load(Ordering::Relaxed), 1);
+        // A degraded request must not be served the cached full column…
+        let truncated = b.column_rank(1, Some(1), TIMEOUT).unwrap();
+        assert_eq!(metrics.model_evaluations.load(Ordering::Relaxed), 2, "cache read bypassed");
+        assert_ne!(&full[..], &truncated[..], "rank-1 column differs from rank-3");
+        let mut scratch = csrplus_core::DenseMatrix::zeros(0, 0);
+        let expected = m.query_columns_rank_into(&[1], 1, &mut scratch).unwrap();
+        assert_eq!(&truncated[..], &expected[0][..], "truncated column bitwise exact");
+        assert_eq!(metrics.degraded_requests.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.served_rank.count(), 1);
+        // …and must not have displaced or overwritten the cached one.
+        let again = b.column(1, TIMEOUT).unwrap();
+        assert_eq!(
+            metrics.model_evaluations.load(Ordering::Relaxed),
+            2,
+            "full column still cached"
+        );
+        assert_eq!(&again[..], &full[..]);
+    }
+
+    #[test]
+    fn rank_at_or_above_the_models_is_the_full_rank_path() {
+        let (b, metrics, _m) = batcher(4, Duration::from_micros(100), 8);
+        let full = b.column(2, TIMEOUT).unwrap();
+        // Over-asking normalises to None: served from cache, not degraded.
+        let over = b.column_rank(2, Some(3), TIMEOUT).unwrap();
+        let way_over = b.column_rank(2, Some(usize::MAX), TIMEOUT).unwrap();
+        assert_eq!(&over[..], &full[..]);
+        assert_eq!(&way_over[..], &full[..]);
+        assert_eq!(metrics.model_evaluations.load(Ordering::Relaxed), 1, "cache served both");
+        assert_eq!(metrics.degraded_requests.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn mixed_rank_batches_group_by_rank() {
+        // One batch holding full-rank and two distinct truncated ranks:
+        // three groups, three evaluations, every waiter answered right.
+        let (b, metrics, m) = batcher(6, Duration::from_secs(30), 0);
+        let b = Arc::new(b);
+        let requests: Vec<(usize, Option<usize>)> =
+            vec![(0, None), (1, Some(1)), (2, Some(2)), (3, None), (1, Some(2)), (4, Some(1))];
+        let handles: Vec<_> = requests
+            .iter()
+            .map(|&(node, rank)| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    (node, rank, b.column_rank(node, rank, TIMEOUT).unwrap())
+                })
+            })
+            .collect();
+        let mut scratch = csrplus_core::DenseMatrix::zeros(0, 0);
+        for h in handles {
+            let (node, rank, col) = h.join().unwrap();
+            let t = rank.unwrap_or_else(|| m.rank());
+            let expected = m.query_columns_rank_into(&[node], t, &mut scratch).unwrap();
+            assert_eq!(&col[..], &expected[0][..], "node {node} rank {rank:?}");
+        }
+        assert_eq!(metrics.model_evaluations.load(Ordering::Relaxed), 3, "one pass per rank group");
+        assert_eq!(metrics.degraded_requests.load(Ordering::Relaxed), 4);
     }
 }

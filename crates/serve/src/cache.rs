@@ -4,9 +4,18 @@
 //! the stored column with no copy.  Sharding (`node % shards`) keeps
 //! lock contention bounded under the worker pool; each shard is a
 //! classic hash-map-plus-intrusive-list LRU with O(1) get/insert.
+//!
+//! With admission enabled ([`ColumnCache::with_admission`]) each shard
+//! additionally keeps a TinyLFU [`FrequencySketch`]: lookups record the
+//! requested node's popularity, and an insert that would evict only goes
+//! through if the candidate has been asked for more often than the LRU
+//! victim it displaces — one-hit wonders under Zipfian traffic stop
+//! flushing the hot set.
 
 use crate::metrics::Metrics;
+use crate::tinylfu::FrequencySketch;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// One cached column, shared zero-copy with all readers.
@@ -21,7 +30,41 @@ struct Entry {
     next: usize,
 }
 
-/// One LRU shard: slab of entries + map + most/least-recent pointers.
+/// Per-shard cache statistics, readable without the shard lock.
+#[derive(Debug, Default)]
+pub struct ShardStats {
+    /// Lookups answered from this shard.
+    pub hits: AtomicU64,
+    /// Lookups this shard could not answer.
+    pub misses: AtomicU64,
+    /// Entries displaced to make room.
+    pub evictions: AtomicU64,
+    /// Inserts refused by the TinyLFU admission filter (candidate no
+    /// more popular than the entry it would evict).
+    pub admission_rejects: AtomicU64,
+}
+
+impl ShardStats {
+    /// One JSON object: `{"hits":…,"misses":…,"evictions":…,"admission_rejects":…}`.
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"admission_rejects\":{}}}",
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
+            self.admission_rejects.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Outcome of one insert attempt (drives the counters).
+enum Inserted {
+    Stored { evicted: bool },
+    Rejected,
+}
+
+/// One LRU shard: slab of entries + map + most/least-recent pointers,
+/// plus the optional admission sketch.
 struct Shard {
     map: HashMap<usize, usize>,
     entries: Vec<Entry>,
@@ -29,10 +72,11 @@ struct Shard {
     head: usize,
     tail: usize,
     capacity: usize,
+    sketch: Option<FrequencySketch>,
 }
 
 impl Shard {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, admission: bool) -> Self {
         Shard {
             map: HashMap::with_capacity(capacity),
             entries: Vec::with_capacity(capacity),
@@ -40,6 +84,7 @@ impl Shard {
             head: NIL,
             tail: NIL,
             capacity,
+            sketch: (admission && capacity > 0).then(|| FrequencySketch::new(capacity)),
         }
     }
 
@@ -70,25 +115,40 @@ impl Shard {
     }
 
     fn get(&mut self, node: usize) -> Option<Column> {
+        // The sketch counts *requests*, hits and misses alike — a node's
+        // popularity is how often it is asked for, not how often it is
+        // resident.
+        if let Some(sketch) = &mut self.sketch {
+            sketch.record(node);
+        }
         let idx = *self.map.get(&node)?;
         self.unlink(idx);
         self.push_front(idx);
         Some(Arc::clone(&self.entries[idx].column))
     }
 
-    /// Inserts (or refreshes) a column; returns whether an eviction
-    /// happened.
-    fn insert(&mut self, node: usize, column: Column) -> bool {
+    /// Inserts (or refreshes) a column, subject to the admission filter
+    /// when one is configured.
+    fn insert(&mut self, node: usize, column: Column) -> Inserted {
         if let Some(&idx) = self.map.get(&node) {
             self.entries[idx].column = column;
             self.unlink(idx);
             self.push_front(idx);
-            return false;
+            return Inserted::Stored { evicted: false };
         }
         let mut evicted = false;
         if self.map.len() >= self.capacity {
             let lru = self.tail;
             debug_assert_ne!(lru, NIL);
+            // TinyLFU admission: displacing the LRU victim must be paid
+            // for with popularity.  A strict `>` keeps ties out — a
+            // candidate seen exactly as often as the victim brings no
+            // evidence it will be re-read sooner.
+            if let Some(sketch) = &self.sketch {
+                if sketch.estimate(node) <= sketch.estimate(self.entries[lru].node) {
+                    return Inserted::Rejected;
+                }
+            }
             self.unlink(lru);
             self.map.remove(&self.entries[lru].node);
             self.free.push(lru);
@@ -106,7 +166,7 @@ impl Shard {
         };
         self.map.insert(node, idx);
         self.push_front(idx);
-        evicted
+        Inserted::Stored { evicted }
     }
 }
 
@@ -115,31 +175,51 @@ impl Shard {
 /// evaluation counts deterministic in tests.
 pub struct ColumnCache {
     shards: Vec<Mutex<Shard>>,
+    stats: Vec<ShardStats>,
     metrics: Arc<Metrics>,
 }
 
 impl ColumnCache {
     /// A cache holding up to `capacity` columns spread over `shards`
-    /// locks.  Hit/miss/eviction counts are reported through `metrics`.
+    /// locks, with no admission filter.  Hit/miss/eviction counts are
+    /// reported through `metrics`.
     pub fn new(capacity: usize, shards: usize, metrics: Arc<Metrics>) -> Self {
+        Self::with_admission(capacity, shards, metrics, false)
+    }
+
+    /// [`ColumnCache::new`] with an optional TinyLFU admission filter:
+    /// when `admission` is true every shard keeps a frequency sketch and
+    /// refuses evicting inserts whose candidate is no more popular than
+    /// the LRU victim.
+    pub fn with_admission(
+        capacity: usize,
+        shards: usize,
+        metrics: Arc<Metrics>,
+        admission: bool,
+    ) -> Self {
         let shards = shards.max(1);
         let per_shard = capacity / shards;
         // Distribute the remainder so total capacity is exact.
         let extra = capacity % shards;
+        let stats = (0..shards).map(|_| ShardStats::default()).collect();
         let shards = (0..shards)
-            .map(|i| Mutex::new(Shard::new(per_shard + usize::from(i < extra))))
+            .map(|i| Mutex::new(Shard::new(per_shard + usize::from(i < extra), admission)))
             .collect();
-        ColumnCache { shards, metrics }
+        ColumnCache { shards, stats, metrics }
     }
 
-    fn shard(&self, node: usize) -> &Mutex<Shard> {
-        &self.shards[node % self.shards.len()]
+    fn shard(&self, node: usize) -> (&Mutex<Shard>, &ShardStats) {
+        let i = node % self.shards.len();
+        (&self.shards[i], &self.stats[i])
     }
 
-    /// Looks up the column for `node`, counting a hit or miss.
+    /// Looks up the column for `node`, counting a hit or miss (globally
+    /// and on the owning shard) and recording the request's popularity
+    /// when admission is on.
     pub fn get(&self, node: usize) -> Option<Column> {
+        let (shard, stats) = self.shard(node);
         let result = {
-            let mut shard = self.shard(node).lock().expect("cache shard poisoned");
+            let mut shard = shard.lock().expect("cache shard poisoned");
             if shard.capacity == 0 {
                 None
             } else {
@@ -149,28 +229,54 @@ impl ColumnCache {
         match result {
             Some(col) => {
                 self.metrics.cache_hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                stats.hits.fetch_add(1, Ordering::Relaxed);
                 Some(col)
             }
             None => {
                 self.metrics.cache_misses.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                stats.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
-    /// Stores the column for `node`, counting any eviction.
+    /// Stores the column for `node`, counting any eviction or admission
+    /// rejection.
     pub fn insert(&self, node: usize, column: Column) {
-        let evicted = {
-            let mut shard = self.shard(node).lock().expect("cache shard poisoned");
+        let (shard, stats) = self.shard(node);
+        let outcome = {
+            let mut shard = shard.lock().expect("cache shard poisoned");
             if shard.capacity == 0 {
-                false
+                Inserted::Stored { evicted: false }
             } else {
                 shard.insert(node, column)
             }
         };
-        if evicted {
-            self.metrics.cache_evictions.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        match outcome {
+            Inserted::Stored { evicted: true } => {
+                self.metrics.cache_evictions.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                stats.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            Inserted::Stored { evicted: false } => {}
+            Inserted::Rejected => {
+                self.metrics
+                    .cache_admission_rejects
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                stats.admission_rejects.fetch_add(1, Ordering::Relaxed);
+            }
         }
+    }
+
+    /// Per-shard statistics, indexed like the shard list.
+    pub fn shard_stats(&self) -> &[ShardStats] {
+        &self.stats
+    }
+
+    /// The `"cache_shards"` JSON array for `GET /metrics`: one
+    /// [`ShardStats::render_json`] object per shard.
+    pub fn render_stats_json(&self) -> String {
+        let shards: Vec<String> = self.stats.iter().map(ShardStats::render_json).collect();
+        format!("[{}]", shards.join(","))
     }
 }
 

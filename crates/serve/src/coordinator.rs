@@ -249,13 +249,28 @@ impl Coordinator {
     /// cache hits are returned as-is, misses are gathered from every
     /// shard in one scatter and reassembled.
     pub fn columns(&self, nodes: &[usize]) -> Result<Vec<Column>, (u16, String)> {
+        self.columns_rank(nodes, None)
+    }
+
+    /// [`Coordinator::columns`] with an optional rank truncation.
+    /// `Some(t)` forwards `rank=t` to every shard and bypasses the
+    /// column cache in both directions — truncated columns are never
+    /// cached and never served from cache.
+    pub fn columns_rank(
+        &self,
+        nodes: &[usize],
+        rank: Option<usize>,
+    ) -> Result<Vec<Column>, (u16, String)> {
         for &q in nodes {
             if q >= self.model.n() {
                 let e = csrplus_core::CoSimRankError::QueryOutOfBounds { node: q, n: self.n() };
                 return Err((400, e.to_string()));
             }
         }
-        let mut out: Vec<Option<Column>> = nodes.iter().map(|&q| self.cache.get(q)).collect();
+        let mut out: Vec<Option<Column>> = match rank {
+            None => nodes.iter().map(|&q| self.cache.get(q)).collect(),
+            Some(_) => vec![None; nodes.len()],
+        };
         let mut missing: Vec<usize> = Vec::new();
         for (&q, slot) in nodes.iter().zip(&out) {
             if slot.is_none() && !missing.contains(&q) {
@@ -266,7 +281,7 @@ impl Coordinator {
             self.metrics.scatter_requests.fetch_add(1, Ordering::Relaxed);
             self.metrics.scatter_fanout.observe(self.shards.len() as u64);
             let list = missing.iter().map(usize::to_string).collect::<Vec<_>>().join("%2C");
-            let path = format!("/shard/columns?nodes={list}");
+            let path = format!("/shard/columns?nodes={list}{}", rank_suffix(rank));
             let partials = self.scatter_all(&path)?;
             let merge_start = Instant::now();
             let mut full: Vec<Vec<f64>> = missing.iter().map(|_| vec![0.0; self.n()]).collect();
@@ -297,7 +312,9 @@ impl Coordinator {
             }
             for (q, col) in missing.iter().zip(full) {
                 let col: Column = Column::from(col.into_boxed_slice());
-                self.cache.insert(*q, Arc::clone(&col));
+                if rank.is_none() {
+                    self.cache.insert(*q, Arc::clone(&col));
+                }
                 for (slot, &want) in out.iter_mut().zip(nodes) {
                     if want == *q && slot.is_none() {
                         *slot = Some(Arc::clone(&col));
@@ -326,6 +343,17 @@ impl Coordinator {
     /// `[S]_{a,b}` — from a cached column when possible, otherwise from
     /// the single shard owning internal row `a` (no full gather).
     pub fn similarity(&self, a: usize, b: usize) -> Result<f64, (u16, String)> {
+        self.similarity_rank(a, b, None)
+    }
+
+    /// [`Coordinator::similarity`] with an optional rank truncation
+    /// (`Some(t)` bypasses the cache and forwards `rank=t`).
+    pub fn similarity_rank(
+        &self,
+        a: usize,
+        b: usize,
+        rank: Option<usize>,
+    ) -> Result<f64, (u16, String)> {
         let n = self.n();
         for node in [a, b] {
             if node >= n {
@@ -333,8 +361,10 @@ impl Coordinator {
                 return Err((400, e.to_string()));
             }
         }
-        if let Some(col) = self.cache.get(b) {
-            return Ok(col[a]);
+        if rank.is_none() {
+            if let Some(col) = self.cache.get(b) {
+                return Ok(col[a]);
+            }
         }
         let row = self.model.internal_row(a);
         let si = self
@@ -344,7 +374,7 @@ impl Coordinator {
             .expect("shard ranges tile 0..n");
         self.metrics.scatter_requests.fetch_add(1, Ordering::Relaxed);
         self.metrics.scatter_fanout.observe(1);
-        let body = self.fetch(si, &format!("/shard/columns?nodes={b}"))?;
+        let body = self.fetch(si, &format!("/shard/columns?nodes={b}{}", rank_suffix(rank)))?;
         let cols = wire::json_string_array(&body, "cols").map_err(|e| (502, e))?;
         let hex = cols.first().ok_or((502, "shard answered no columns".to_string()))?;
         let part = wire::decode_f64s(hex).map_err(|e| (502, e))?;
@@ -359,13 +389,29 @@ impl Coordinator {
     /// request (bound < kth ⟹ every score it holds < kth, so not even
     /// the id tie-break can displace the current set).
     pub fn top_k(&self, q: usize, k: usize) -> Result<Vec<(usize, f64)>, (u16, String)> {
+        self.top_k_rank(q, k, None)
+    }
+
+    /// [`Coordinator::top_k`] with an optional rank truncation.
+    /// `Some(t)` bypasses the cache, forwards `rank=t` to every shard
+    /// contacted, and disables bound-based shard skipping — the split
+    /// bounds summarise full-rank scores, so under truncation they are
+    /// used only to order shard visits, never to prove one irrelevant.
+    pub fn top_k_rank(
+        &self,
+        q: usize,
+        k: usize,
+        rank: Option<usize>,
+    ) -> Result<Vec<(usize, f64)>, (u16, String)> {
         let n = self.n();
         if q >= n {
             let e = csrplus_core::CoSimRankError::QueryOutOfBounds { node: q, n };
             return Err((400, e.to_string()));
         }
-        if let Some(col) = self.cache.get(q) {
-            return Ok(render::top_k_from_column(&col, q, k));
+        if rank.is_none() {
+            if let Some(col) = self.cache.get(q) {
+                return Ok(render::top_k_from_column(&col, q, k));
+            }
         }
         if k == 0 {
             return Ok(Vec::new());
@@ -394,13 +440,14 @@ impl Coordinator {
         let mut kth = f64::NEG_INFINITY;
         let mut contacted = 0u64;
         for (idx, &(bound, si)) in order.iter().enumerate() {
-            if best.len() == k && bound < kth {
+            if rank.is_none() && best.len() == k && bound < kth {
                 let skipped = (order.len() - idx) as u64;
                 self.metrics.scatter_skipped_shards.fetch_add(skipped, Ordering::Relaxed);
                 break;
             }
             contacted += 1;
-            let body = self.fetch(si, &format!("/shard/topk?node={q}&k={k}"))?;
+            let body =
+                self.fetch(si, &format!("/shard/topk?node={q}&k={k}{}", rank_suffix(rank)))?;
             let merge_start = Instant::now();
             for pair in wire::json_string_array(&body, "results").map_err(|e| (502, e))? {
                 let (id, hex) =
@@ -419,4 +466,9 @@ impl Coordinator {
         self.metrics.scatter_fanout.observe(contacted);
         Ok(best)
     }
+}
+
+/// The `&rank=t` query suffix a truncated gather forwards to shards.
+fn rank_suffix(rank: Option<usize>) -> String {
+    rank.map(|t| format!("&rank={t}")).unwrap_or_default()
 }

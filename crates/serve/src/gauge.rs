@@ -1,0 +1,77 @@
+//! A shared queue-depth gauge: the one number every adaptive serving
+//! policy keys off.
+//!
+//! The admission queue's depth is the server's best instantaneous load
+//! signal — it is exactly the work accepted but not yet started.  The
+//! [`crate::pool::WorkerPool`] updates the gauge on every submit and
+//! dequeue; readers (the batcher's adaptive linger, the degraded-rank
+//! watermark, the `Retry-After` advice on shed) sample it lock-free.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Lock-free queue-depth gauge with a fixed capacity for normalising.
+#[derive(Debug)]
+pub struct LoadGauge {
+    depth: AtomicUsize,
+    capacity: usize,
+}
+
+impl LoadGauge {
+    /// A gauge for a queue admitting up to `capacity` waiting jobs.
+    pub fn new(capacity: usize) -> Self {
+        LoadGauge { depth: AtomicUsize::new(0), capacity: capacity.max(1) }
+    }
+
+    /// Records one job entering the queue.
+    pub fn incr(&self) {
+        self.depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one job leaving the queue.
+    pub fn decr(&self) {
+        // Saturating: a racing read between submit and update must never
+        // wrap the gauge to usize::MAX.
+        let _ = self
+            .depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| Some(d.saturating_sub(1)));
+    }
+
+    /// Jobs currently waiting (admitted, not yet picked up).
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// The queue capacity this gauge normalises against.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Queue pressure in `[0, 1]`: depth over capacity, clamped.
+    pub fn pressure(&self) -> f64 {
+        (self.depth() as f64 / self.capacity as f64).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_depth_and_pressure() {
+        let g = LoadGauge::new(4);
+        assert_eq!(g.depth(), 0);
+        assert_eq!(g.pressure(), 0.0);
+        g.incr();
+        g.incr();
+        assert_eq!(g.depth(), 2);
+        assert!((g.pressure() - 0.5).abs() < 1e-12);
+        g.decr();
+        g.decr();
+        g.decr(); // extra decr saturates at zero
+        assert_eq!(g.depth(), 0);
+        for _ in 0..10 {
+            g.incr();
+        }
+        assert_eq!(g.pressure(), 1.0, "pressure clamps at 1");
+    }
+}

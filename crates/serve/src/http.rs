@@ -130,12 +130,14 @@ pub fn reason(code: u16) -> &'static str {
 
 /// Writes a complete `Connection: close` HTTP/1.1 response.
 pub fn write_response<W: Write>(mut stream: W, code: u16, body: &str) -> std::io::Result<()> {
-    write!(
-        stream,
+    // Prebuilt + one write_all: `write!` would issue a syscall per
+    // format fragment, scattering one response across many segments.
+    let response = format!(
         "HTTP/1.1 {code} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         reason(code),
         body.len()
-    )?;
+    );
+    stream.write_all(response.as_bytes())?;
     stream.flush()
 }
 
@@ -143,6 +145,24 @@ pub fn write_response<W: Write>(mut stream: W, code: u16, body: &str) -> std::io
 pub fn write_error<W: Write>(stream: W, code: u16, msg: &str) -> std::io::Result<()> {
     let body = format!("{{\"error\":{}}}", json_string(msg));
     write_response(stream, code, &body)
+}
+
+/// [`write_error`] with a `Retry-After: <seconds>` header — the shed
+/// path's backpressure advice to well-behaved clients.
+pub fn write_error_retry_after<W: Write>(
+    mut stream: W,
+    code: u16,
+    msg: &str,
+    retry_after_s: u64,
+) -> std::io::Result<()> {
+    let body = format!("{{\"error\":{}}}", json_string(msg));
+    let response = format!(
+        "HTTP/1.1 {code} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nRetry-After: {retry_after_s}\r\nConnection: close\r\n\r\n{body}",
+        reason(code),
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
@@ -230,5 +250,16 @@ mod tests {
         let s = String::from_utf8(buf).unwrap();
         assert!(s.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
         assert!(s.contains("{\"error\":\"queue full\"}"));
+    }
+
+    #[test]
+    fn shed_responses_carry_retry_after() {
+        let mut buf = Vec::new();
+        write_error_retry_after(&mut buf, 503, "admission queue full", 3).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{s}");
+        assert!(s.contains("Retry-After: 3\r\n"), "{s}");
+        assert!(s.contains("Content-Length: 32\r\n"), "{s}");
+        assert!(s.ends_with("{\"error\":\"admission queue full\"}"), "{s}");
     }
 }

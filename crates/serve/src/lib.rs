@@ -43,12 +43,14 @@
 pub mod batcher;
 pub mod cache;
 pub mod coordinator;
+pub mod gauge;
 pub mod http;
 pub mod legacy;
 pub mod metrics;
 pub mod pool;
 pub mod render;
 pub mod server;
+pub mod tinylfu;
 pub mod wire;
 
 pub use coordinator::{Coordinator, ShardSpec};

@@ -115,8 +115,37 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
-    /// Renders as `{"count":N,"sum":S,"buckets":{"le_2^i":c,…}}`, with
-    /// empty buckets omitted for compactness.
+    /// The `q`-quantile (`0 < q ≤ 1`) estimated from the log₂ buckets:
+    /// the bucket holding the target rank is found by cumulative count,
+    /// then the value is interpolated linearly between the bucket's
+    /// bounds — exact to within one octave, which is what power-of-two
+    /// buckets can promise.  Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= target {
+                let lower = if i == 0 { 0u64 } else { 1u64 << (i - 1) };
+                let upper = 1u64 << i;
+                let within = (target - seen) as f64 / c as f64;
+                return lower + ((upper - lower) as f64 * within).round() as u64;
+            }
+            seen += c;
+        }
+        1u64 << (Self::BUCKETS - 1)
+    }
+
+    /// Renders as `{"count":N,"sum":S,"p50":…,"p99":…,"p999":…,
+    /// "buckets":{"le_2^i":c,…}}`, with empty buckets omitted for
+    /// compactness.
     pub fn render_json(&self) -> String {
         let mut buckets: Vec<String> = Vec::new();
         for (i, b) in self.buckets.iter().enumerate() {
@@ -126,9 +155,12 @@ impl Histogram {
             }
         }
         format!(
-            "{{\"count\":{},\"sum\":{},\"buckets\":{{{}}}}}",
+            "{{\"count\":{},\"sum\":{},\"p50\":{},\"p99\":{},\"p999\":{},\"buckets\":{{{}}}}}",
             self.count(),
             self.sum(),
+            self.quantile(0.50),
+            self.quantile(0.99),
+            self.quantile(0.999),
             buckets.join(",")
         )
     }
@@ -167,6 +199,18 @@ pub struct Metrics {
     pub cache_misses: AtomicU64,
     /// Column-cache evictions.
     pub cache_evictions: AtomicU64,
+    /// Inserts the TinyLFU admission filter refused.
+    pub cache_admission_rejects: AtomicU64,
+    /// Connections shed at admission, total (the `shed.total` counter;
+    /// tracks `queue_rejections` but lives with the `Retry-After`
+    /// advice it is reported next to).
+    pub shed_total: AtomicU64,
+    /// The `Retry-After` seconds advised on the most recent shed.
+    pub shed_last_retry_after_s: AtomicU64,
+    /// Requests answered at a truncated rank under pressure.
+    pub degraded_requests: AtomicU64,
+    /// Distribution of the ranks actually served to degraded requests.
+    pub served_rank: Histogram,
     /// Model load → ready-to-serve time in microseconds (0 until
     /// recorded).
     pub cold_start_us: AtomicU64,
@@ -229,7 +273,9 @@ impl Metrics {
                 "\"routes\":{{{}}},",
                 "\"errors\":{{\"client\":{},\"io\":{},\"queue_rejections\":{}}},",
                 "\"batcher\":{{\"model_evaluations\":{},\"batched_requests\":{},\"batch_sizes\":{}}},",
-                "\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{}}},",
+                "\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"admission_rejects\":{}}},",
+                "\"shed\":{{\"total\":{},\"last_retry_after_s\":{}}},",
+                "\"degraded\":{{\"requests\":{},\"served_rank\":{}}},",
                 "\"boot\":{{\"cold_start_us\":{},\"model_mapped\":{},",
                 "\"model_precision\":\"{}\"}}}}"
             ),
@@ -244,6 +290,11 @@ impl Metrics {
             load(&self.cache_hits),
             load(&self.cache_misses),
             load(&self.cache_evictions),
+            load(&self.cache_admission_rejects),
+            load(&self.shed_total),
+            load(&self.shed_last_retry_after_s),
+            load(&self.degraded_requests),
+            self.served_rank.render_json(),
             load(&self.cold_start_us),
             load(&self.model_mapped),
             if load(&self.model_f32) == 1 { "f32" } else { "f64" },
@@ -289,6 +340,57 @@ mod tests {
         assert!(json.contains("\"batch_sizes\":{\"count\":1"), "{json}");
         assert_eq!(m.requests(Route::TopK), 1);
         assert_eq!(m.total_requests(), 2);
+    }
+
+    #[test]
+    fn quantiles_land_in_the_observed_octave() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        // 99 fast observations and 1 slow one: p50 in the fast octave,
+        // p999 in the slow one.
+        for _ in 0..99 {
+            h.observe(100);
+        }
+        h.observe(10_000);
+        let p50 = h.quantile(0.50);
+        assert!((64..=128).contains(&p50), "p50 = {p50} not in 100's octave");
+        let p999 = h.quantile(0.999);
+        assert!((8192..=16384).contains(&p999), "p999 = {p999} not in 10000's octave");
+        // Quantiles are monotone in q.
+        assert!(h.quantile(0.99) >= p50);
+        assert!(p999 >= h.quantile(0.99));
+    }
+
+    #[test]
+    fn quantile_of_uniform_observations_is_exactly_that_value_bucket() {
+        let h = Histogram::new();
+        for _ in 0..10 {
+            h.observe(1000);
+        }
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let v = h.quantile(q);
+            assert!((512..=1024).contains(&v), "q={q}: {v}");
+        }
+        let json = h.render_json();
+        assert!(json.contains("\"p50\":"), "{json}");
+        assert!(json.contains("\"p99\":"), "{json}");
+        assert!(json.contains("\"p999\":"), "{json}");
+    }
+
+    #[test]
+    fn shed_and_degraded_sections_render() {
+        let m = Metrics::new();
+        m.shed_total.fetch_add(5, Ordering::Relaxed);
+        m.shed_last_retry_after_s.store(2, Ordering::Relaxed);
+        m.degraded_requests.fetch_add(3, Ordering::Relaxed);
+        m.served_rank.observe(8);
+        let json = m.render_json();
+        assert!(json.contains("\"shed\":{\"total\":5,\"last_retry_after_s\":2}"), "{json}");
+        assert!(
+            json.contains("\"degraded\":{\"requests\":3,\"served_rank\":{\"count\":1"),
+            "{json}"
+        );
+        assert!(json.contains("\"admission_rejects\":0"), "{json}");
     }
 
     #[test]

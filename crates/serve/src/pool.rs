@@ -6,6 +6,7 @@
 //! unbounded backlog grow.  Shutdown is graceful — workers drain every
 //! job already admitted before exiting.
 
+use crate::gauge::LoadGauge;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -22,6 +23,9 @@ struct Shared {
     queue: Mutex<Queue>,
     ready: Condvar,
     capacity: usize,
+    /// Mirrors the queue depth for lock-free readers (adaptive linger,
+    /// degrade watermark, Retry-After advice).
+    gauge: Option<Arc<LoadGauge>>,
 }
 
 /// The pool: `workers` threads pulling from one bounded queue.
@@ -34,11 +38,18 @@ impl WorkerPool {
     /// Spawns `workers` threads behind a queue admitting at most
     /// `capacity` waiting jobs (jobs being executed don't count).
     pub fn new(workers: usize, capacity: usize) -> Self {
+        Self::with_gauge(workers, capacity, None)
+    }
+
+    /// [`WorkerPool::new`] publishing its queue depth through `gauge` on
+    /// every submit and dequeue.
+    pub fn with_gauge(workers: usize, capacity: usize, gauge: Option<Arc<LoadGauge>>) -> Self {
         let workers = workers.max(1);
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue { jobs: VecDeque::new(), shutdown: false }),
             ready: Condvar::new(),
             capacity: capacity.max(1),
+            gauge,
         });
         let handles = (0..workers)
             .map(|i| {
@@ -61,6 +72,9 @@ impl WorkerPool {
         }
         queue.jobs.push_back(job);
         drop(queue);
+        if let Some(gauge) = &self.shared.gauge {
+            gauge.incr();
+        }
         self.shared.ready.notify_one();
         Ok(())
     }
@@ -107,6 +121,9 @@ fn worker_loop(shared: &Shared) {
                 queue = shared.ready.wait(queue).expect("pool queue poisoned");
             }
         };
+        if let Some(gauge) = &shared.gauge {
+            gauge.decr();
+        }
         job();
     }
 }
@@ -177,6 +194,28 @@ mod tests {
         }
         pool.shutdown();
         assert_eq!(counter.load(Ordering::SeqCst), 8, "shutdown must drain the queue");
+    }
+
+    #[test]
+    fn gauge_mirrors_queue_depth() {
+        let gauge = Arc::new(LoadGauge::new(8));
+        let pool = WorkerPool::with_gauge(1, 8, Some(Arc::clone(&gauge)));
+        // Block the single worker so queued jobs stay queued.
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        pool.try_submit(Box::new(move || {
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        }))
+        .unwrap_or_else(|_| panic!("first job rejected"));
+        started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        for _ in 0..3 {
+            pool.try_submit(Box::new(|| {})).unwrap_or_else(|_| panic!("admission failed"));
+        }
+        assert_eq!(gauge.depth(), 3, "three jobs waiting behind the blocked worker");
+        release_tx.send(()).unwrap();
+        pool.shutdown();
+        assert_eq!(gauge.depth(), 0, "drained queue reads empty");
     }
 
     #[test]

@@ -36,14 +36,45 @@ pub fn query(nodes: &[usize], columns: &[&[f64]]) -> String {
 /// node, sorted by descending score with node id as tie-break — the same
 /// order [`csrplus_core::CsrPlusModel::top_k`] produces, so serving from
 /// a batched/cached column is indistinguishable from the direct path.
+///
+/// Selection is one `O(n)` scan with a bounded sorted buffer, not a
+/// full sort: the node-id tie-break makes the comparator a strict total
+/// order, so the top-`k` set (and its sorted order) is unique and
+/// identical to sorting everything.  Once the buffer is full, almost
+/// every element fails the single "beats the current worst?" compare,
+/// so the scan is branch-predictable and allocation-free — on large
+/// columns this took `/topk` from sort-dominated to scan-dominated.
 pub fn top_k_from_column(column: &[f64], q: usize, k: usize) -> Vec<(usize, f64)> {
-    let mut scored: Vec<(usize, f64)> =
-        column.iter().copied().enumerate().filter(|&(i, _)| i != q).collect();
-    scored.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
-    });
-    scored.truncate(k);
-    scored
+    top_k_from_scored(column.iter().copied().enumerate().filter(|&(i, _)| i != q), k)
+}
+
+/// Top-`k` of an arbitrary `(node, score)` stream under the same order
+/// as [`top_k_from_column`] — the shard route ranks its slice-local
+/// candidates through this, so the coordinator's merge sees identically
+/// ranked partial lists.
+pub fn top_k_from_scored(
+    scored: impl Iterator<Item = (usize, f64)>,
+    k: usize,
+) -> Vec<(usize, f64)> {
+    use std::cmp::Ordering;
+    if k == 0 {
+        return Vec::new();
+    }
+    // `Less` = sorts first = better: descending score, node id tie-break.
+    let cmp = |a: &(usize, f64), b: &(usize, f64)| {
+        b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal).then(a.0.cmp(&b.0))
+    };
+    // `k` is request-controlled: cap the preallocation, let it grow.
+    let mut top: Vec<(usize, f64)> = Vec::with_capacity(k.saturating_add(1).min(4096));
+    for cand in scored {
+        if top.len() == k && cmp(&cand, top.last().expect("k > 0")) != Ordering::Less {
+            continue;
+        }
+        let at = top.partition_point(|e| cmp(e, &cand) == Ordering::Less);
+        top.insert(at, cand);
+        top.truncate(k);
+    }
+    top
 }
 
 #[cfg(test)]

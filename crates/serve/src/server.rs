@@ -10,6 +10,7 @@
 use crate::batcher::{Batcher, ColumnError};
 use crate::cache::{Column, ColumnCache};
 use crate::coordinator::Coordinator;
+use crate::gauge::LoadGauge;
 use crate::http::{self, Target};
 use crate::metrics::{Metrics, Route};
 use crate::pool::WorkerPool;
@@ -52,6 +53,23 @@ pub struct ServeConfig {
     /// Coordinator: delay before hedging a straggling shard request
     /// with a second identical one (zero disables hedging).
     pub hedge: Duration,
+    /// TinyLFU admission control in front of the column cache: an
+    /// evicting insert must beat the LRU victim on estimated frequency
+    /// or it is rejected.  Off ⇒ plain LRU (today's behaviour).
+    pub cache_admission: bool,
+    /// Scale the batch linger with admission-queue pressure: zero when
+    /// the queue is idle, stretching toward `linger` as it fills.  Off
+    /// ⇒ the fixed `linger` always applies.
+    pub adaptive_linger: bool,
+    /// Pressure-degraded rank: requests that opt in (`degraded=allow`
+    /// or `max_rank=T`) are answered from at most this many factor
+    /// columns while the queue is at the watermark.  `None` disables
+    /// the policy (opt-in parameters are accepted but inert).
+    pub degrade_rank: Option<usize>,
+    /// Queue depth at or above which opted-in requests degrade.  The
+    /// default `0` degrades every opted-in request once the policy is
+    /// enabled (deterministic, and what a saturated queue converges to).
+    pub degrade_watermark: usize,
 }
 
 impl Default for ServeConfig {
@@ -75,6 +93,10 @@ impl Default for ServeConfig {
             shards: Vec::new(),
             shard_timeout: Duration::from_secs(2),
             hedge: Duration::from_millis(50),
+            cache_admission: false,
+            adaptive_linger: false,
+            degrade_rank: None,
+            degrade_watermark: 0,
         }
     }
 }
@@ -91,9 +113,14 @@ struct Ctx {
     model: Arc<CsrPlusModel>,
     engine: Engine,
     metrics: Arc<Metrics>,
+    cache: Arc<ColumnCache>,
+    gauge: Arc<LoadGauge>,
     timeout: Duration,
     /// Set in shard mode: the internal row range this server owns.
     shard_rows: Option<(usize, usize)>,
+    /// Pressure-degraded rank policy (see [`ServeConfig::degrade_rank`]).
+    degrade_rank: Option<usize>,
+    degrade_watermark: usize,
 }
 
 /// The pooled, batching server.  [`Server::start`] binds and returns a
@@ -114,10 +141,12 @@ impl Server {
 
         let metrics = Arc::new(Metrics::new());
         let model = Arc::new(model);
-        let cache = Arc::new(ColumnCache::new(
+        let gauge = Arc::new(LoadGauge::new(config.queue_depth));
+        let cache = Arc::new(ColumnCache::with_admission(
             config.cache_capacity,
             config.cache_shards,
             Arc::clone(&metrics),
+            config.cache_admission,
         ));
         if let Some((lo, hi)) = config.shard_rows {
             if lo > hi || hi > model.n() {
@@ -128,13 +157,15 @@ impl Server {
             }
         }
         let engine = if config.shards.is_empty() {
-            Engine::Local(Batcher::for_rows(
+            Engine::Local(Batcher::with_policies(
                 Arc::clone(&model),
-                cache,
+                Arc::clone(&cache),
                 Arc::clone(&metrics),
                 config.max_batch,
                 config.linger,
                 config.shard_rows,
+                Some(Arc::clone(&gauge)),
+                config.adaptive_linger,
             ))
         } else {
             Engine::Sharded(Box::new(
@@ -143,7 +174,7 @@ impl Server {
                     &config.shards,
                     config.shard_timeout,
                     config.hedge,
-                    cache,
+                    Arc::clone(&cache),
                 )
                 .map_err(std::io::Error::other)?,
             ))
@@ -152,10 +183,15 @@ impl Server {
             model,
             engine,
             metrics: Arc::clone(&metrics),
+            cache,
+            gauge: Arc::clone(&gauge),
             timeout: config.timeout,
             shard_rows: config.shard_rows,
+            degrade_rank: config.degrade_rank,
+            degrade_watermark: config.degrade_watermark,
         });
-        let pool = Arc::new(WorkerPool::new(config.workers, config.queue_depth));
+        let pool =
+            Arc::new(WorkerPool::with_gauge(config.workers, config.queue_depth, Some(gauge)));
         let stop = Arc::new(AtomicBool::new(false));
 
         let accept = {
@@ -265,6 +301,10 @@ fn accept_loop(
         if stop.load(Ordering::SeqCst) {
             return; // the wake-up connection itself
         }
+        // Responses are one small write per request; without NODELAY,
+        // Nagle holds the final segment until the peer ACKs (~40 ms
+        // delayed-ACK class on loopback), dwarfing the evaluation.
+        let _ = stream.set_nodelay(true);
         if !ctx.timeout.is_zero() {
             let _ = stream.set_read_timeout(Some(ctx.timeout));
             let _ = stream.set_write_timeout(Some(ctx.timeout));
@@ -275,10 +315,16 @@ fn accept_loop(
             Box::new(move || handle_connection(&ctx, stream))
         };
         if let Err(job) = pool.try_submit(job) {
-            // Shed load: answer 503 right here instead of queueing.
+            // Shed load: answer 503 right here instead of queueing, with
+            // `Retry-After` backpressure advice scaled to queue pressure
+            // (a full queue advises a longer backoff than a closing one).
             ctx.metrics.queue_rejections.fetch_add(1, Ordering::Relaxed);
+            ctx.metrics.shed_total.fetch_add(1, Ordering::Relaxed);
+            let retry_s = 1 + (ctx.gauge.depth() / ctx.gauge.capacity()) as u64;
+            ctx.metrics.shed_last_retry_after_s.store(retry_s, Ordering::Relaxed);
             if let Ok(stream) = shed {
-                let _ = http::write_error(&stream, 503, "admission queue full");
+                let _ =
+                    http::write_error_retry_after(&stream, 503, "admission queue full", retry_s);
             }
             drop(job);
         }
@@ -361,17 +407,70 @@ fn answer(
     };
     // The column wait shares the request budget with socket I/O.  In
     // shard mode this hands back the server's partial (lo..hi) column.
-    let column = |node: usize| -> Result<Column, (u16, String)> {
+    let column = |node: usize, rank: Option<usize>| -> Result<Column, (u16, String)> {
         let Engine::Local(batcher) = &ctx.engine else {
             unreachable!("column() is only called on local engines")
         };
         let remaining = ctx.timeout.saturating_sub(start.elapsed());
-        batcher.column(node, remaining).map_err(|e| match e {
+        batcher.column_rank(node, rank, remaining).map_err(|e| match e {
             ColumnError::Timeout => (408, e.to_string()),
             ColumnError::ShuttingDown => (503, e.to_string()),
             ColumnError::Failed(msg) => (400, msg),
         })
     };
+    // Pressure-degraded rank.  Public routes opt in with
+    // `degraded=allow` (server-chosen rank) and/or `max_rank=T` (client
+    // cap); the policy engages only when enabled server-side and the
+    // admission queue is at the watermark, and a request that actually
+    // degraded says so with a `"served_rank"` field in its body.
+    let opt_in: Option<usize> = match (target.get("degraded"), target.get("max_rank")) {
+        (None, None) => None,
+        (degraded, max_rank) => {
+            if let Some(v) = degraded {
+                if v != "allow" {
+                    return Err((400, format!("invalid degraded: {v:?} (use \"allow\")")));
+                }
+            }
+            Some(match max_rank {
+                Some(v) => parse_usize(v, "max_rank")?.max(1),
+                None => usize::MAX,
+            })
+        }
+    };
+    let degrade: Option<usize> = match (ctx.degrade_rank, opt_in) {
+        (Some(policy), Some(cap)) if ctx.gauge.depth() >= ctx.degrade_watermark => {
+            let t = policy.max(1).min(cap);
+            (t < ctx.model.rank()).then_some(t)
+        }
+        _ => None,
+    };
+    let mark = |body: String| -> String {
+        match degrade {
+            Some(t) => {
+                let mut body = body;
+                body.pop();
+                body.push_str(&format!(",\"served_rank\":{t}}}"));
+                body
+            }
+            None => body,
+        }
+    };
+    // Shard routes receive the coordinator's already-made decision as an
+    // explicit `rank=t` (normalised: full rank or more means no
+    // truncation, so the answer stays cacheable and byte-identical).
+    let shard_rank: Option<usize> = match target.get("rank") {
+        Some(v) => {
+            let t = parse_usize(v, "rank")?.max(1);
+            (t < ctx.model.rank()).then_some(t)
+        }
+        None => None,
+    };
+    if let (Some(t), Engine::Sharded(_)) = (degrade, &ctx.engine) {
+        // Local degraded requests are counted by the batcher; the
+        // coordinator's own batcher never runs, so count here.
+        ctx.metrics.degraded_requests.fetch_add(1, Ordering::Relaxed);
+        ctx.metrics.served_rank.observe(t as u64);
+    }
     // A shard server owns one row slice; its partial columns cannot
     // answer the public query routes, and a coordinator has no slice of
     // its own to publish.
@@ -391,17 +490,19 @@ fn answer(
         Route::Health => Ok(render::health(ctx.model.n(), ctx.model.rank())),
         Route::Metrics => {
             let mut body = ctx.metrics.render_json();
+            body.pop();
+            body.push_str(&format!(",\"cache_shards\":{}", ctx.cache.render_stats_json()));
             if let Engine::Sharded(coord) = &ctx.engine {
-                body.pop();
-                body.push_str(&format!(",\"coordinator\":{}}}", coord.metrics.render_json()));
+                body.push_str(&format!(",\"coordinator\":{}", coord.metrics.render_json()));
             }
+            body.push('}');
             Ok(body)
         }
         Route::Similarity => {
             let a = parse_usize(target.require("a")?, "a")?;
             let b = parse_usize(target.require("b")?, "b")?;
             if let Engine::Sharded(coord) = &ctx.engine {
-                return Ok(render::similarity(a, b, coord.similarity(a, b)?));
+                return Ok(mark(render::similarity(a, b, coord.similarity_rank(a, b, degrade)?)));
             }
             if a >= ctx.model.n() {
                 let e =
@@ -410,8 +511,8 @@ fn answer(
             }
             // `[S]_{a,b}` is row `a` of column `b`: the batched/cached
             // column entry is bitwise equal to `model.similarity(a, b)`.
-            let col = column(b)?;
-            Ok(render::similarity(a, b, col[a]))
+            let col = column(b, degrade)?;
+            Ok(mark(render::similarity(a, b, col[a])))
         }
         Route::TopK => {
             let node = parse_usize(target.require("node")?, "node")?;
@@ -420,28 +521,28 @@ fn answer(
                 None => 10,
             };
             if let Engine::Sharded(coord) = &ctx.engine {
-                return Ok(render::topk(node, &coord.top_k(node, k)?));
+                return Ok(mark(render::topk(node, &coord.top_k_rank(node, k, degrade)?)));
             }
-            let col = column(node)?;
-            Ok(render::topk(node, &render::top_k_from_column(&col, node, k)))
+            let col = column(node, degrade)?;
+            Ok(mark(render::topk(node, &render::top_k_from_column(&col, node, k))))
         }
         Route::Query => {
             let nodes = parse_nodes(target)?;
             if let Engine::Sharded(coord) = &ctx.engine {
-                let columns = coord.columns(&nodes)?;
+                let columns = coord.columns_rank(&nodes, degrade)?;
                 let views: Vec<&[f64]> = columns.iter().map(|c| &c[..]).collect();
-                return Ok(render::query(&nodes, &views));
+                return Ok(mark(render::query(&nodes, &views)));
             }
             let columns: Vec<Column> =
-                nodes.iter().map(|&q| column(q)).collect::<Result<_, _>>()?;
+                nodes.iter().map(|&q| column(q, degrade)).collect::<Result<_, _>>()?;
             let views: Vec<&[f64]> = columns.iter().map(|c| &c[..]).collect();
-            Ok(render::query(&nodes, &views))
+            Ok(mark(render::query(&nodes, &views)))
         }
         Route::ShardRange => Ok(format!("{{\"lo\":{lo},\"hi\":{hi},\"n\":{}}}", ctx.model.n())),
         Route::ShardColumns => {
             let nodes = parse_nodes(target)?;
             let columns: Vec<Column> =
-                nodes.iter().map(|&q| column(q)).collect::<Result<_, _>>()?;
+                nodes.iter().map(|&q| column(q, shard_rank)).collect::<Result<_, _>>()?;
             // Shard batchers hand back internal-row slices already; a
             // plain server's batcher columns are in original-id space
             // and must be re-gathered into internal order (what the
@@ -474,25 +575,23 @@ fn answer(
                 Some(v) => parse_usize(v, "k")?,
                 None => 10,
             };
-            let col = column(node)?;
+            let col = column(node, shard_rank)?;
             // This slice's top-k candidates in original-id space, ranked
             // exactly as `render::top_k_from_column` ranks the full
             // column, so the coordinator's k-way merge reproduces the
             // single-process answer score-bit for score-bit.  As above,
             // a plain server's column is indexed by original id, a shard
             // batcher's by internal row offset.
-            let mut scored: Vec<(usize, f64)> = (lo..hi)
-                .map(|row| {
-                    let id = ctx.model.original_id(row);
-                    let v = if ctx.shard_rows.is_some() { col[row - lo] } else { col[id] };
-                    (id, v)
-                })
-                .filter(|&(id, _)| id != node)
-                .collect();
-            scored.sort_by(|a, b| {
-                b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
-            });
-            scored.truncate(k);
+            let scored = render::top_k_from_scored(
+                (lo..hi)
+                    .map(|row| {
+                        let id = ctx.model.original_id(row);
+                        let v = if ctx.shard_rows.is_some() { col[row - lo] } else { col[id] };
+                        (id, v)
+                    })
+                    .filter(|&(id, _)| id != node),
+                k,
+            );
             let results: Vec<String> = scored
                 .iter()
                 .map(|&(id, s)| format!("\"{id}:{}\"", wire::encode_f64s(&[s])))
@@ -586,6 +685,104 @@ mod tests {
         assert_eq!(sim, expected_sim);
         assert_eq!(query, expected_query);
         handle.shutdown();
+    }
+
+    #[test]
+    fn opt_in_parameters_are_inert_when_policies_are_off() {
+        // The tentpole's safety contract: with every adaptive policy at
+        // its default (off), responses — including ones that *ask* to be
+        // degraded — are byte-identical to the legacy server's.
+        let m = model();
+        let expected_topk = crate::legacy::route(&m, "GET /topk?node=1&k=3 HTTP/1.1").unwrap();
+        let expected_query = crate::legacy::route(&m, "GET /query?nodes=1,3 HTTP/1.1").unwrap();
+        let handle = Server::start(m, 0, ServeConfig::default()).unwrap();
+        let addr = handle.addr();
+        let (code, topk) = get(addr, "/topk?node=1&k=3&degraded=allow&max_rank=1");
+        assert_eq!(code, 200);
+        assert_eq!(topk, expected_topk, "opt-in params must not change a byte");
+        let (_, query) = get(addr, "/query?nodes=1%2C3&max_rank=1");
+        assert_eq!(query, expected_query);
+        let (code, body) = get(addr, "/similarity?a=1&b=3&degraded=deny");
+        assert_eq!(code, 400, "only degraded=allow is meaningful: {body}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn degraded_requests_report_served_rank_and_leave_others_untouched() {
+        let m = model();
+        let expected_query = crate::legacy::route(&m, "GET /query?nodes=1 HTTP/1.1").unwrap();
+        let config =
+            ServeConfig { degrade_rank: Some(1), degrade_watermark: 0, ..ServeConfig::default() };
+        let handle = Server::start(m, 0, config).unwrap();
+        let addr = handle.addr();
+        let (code, degraded) = get(addr, "/query?nodes=1&degraded=allow");
+        assert_eq!(code, 200);
+        assert!(degraded.ends_with(",\"served_rank\":1}"), "{degraded}");
+        assert_ne!(degraded.replace(",\"served_rank\":1", ""), expected_query, "scores truncated");
+        // Non-opted requests on the same server still get exact answers.
+        let (_, plain) = get(addr, "/query?nodes=1");
+        assert_eq!(plain, expected_query);
+        // max_rank above the policy rank does not un-degrade (min wins);
+        // the marker reports the rank actually served.
+        let (_, capped) = get(addr, "/topk?node=2&k=2&max_rank=2");
+        assert!(capped.ends_with(",\"served_rank\":1}"), "{capped}");
+        let (_, metrics_body) = get(addr, "/metrics");
+        assert!(metrics_body.contains("\"degraded\":{\"requests\":2,"), "{metrics_body}");
+        assert!(metrics_body.contains("\"cache_shards\":[{\"hits\":"), "{metrics_body}");
+        handle.shutdown();
+
+        // A policy rank at or above the model's degrades nothing: the
+        // opted-in answer is the exact one, unmarked.
+        let config =
+            ServeConfig { degrade_rank: Some(99), degrade_watermark: 0, ..ServeConfig::default() };
+        let handle = Server::start(model(), 0, config).unwrap();
+        let (_, body) = get(handle.addr(), "/query?nodes=1&degraded=allow");
+        assert_eq!(body, expected_query, "rank ≥ model rank is the full-rank path");
+        assert_eq!(handle.metrics().degraded_requests.load(Ordering::Relaxed), 0);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn degraded_answers_are_byte_identical_across_shard_counts() {
+        // Rank truncation commutes with sharding: a truncated column is
+        // still a concatenation of per-shard truncated slices, so a
+        // coordinator forwarding `rank=t` reproduces the single-process
+        // degraded bytes exactly.
+        let m = model();
+        let policy =
+            ServeConfig { degrade_rank: Some(2), degrade_watermark: 0, ..ServeConfig::default() };
+        let single = Server::start(m.clone(), 0, policy.clone()).unwrap();
+        let shards: Vec<ServerHandle> = [(0, 2), (2, 6)]
+            .iter()
+            .map(|&r| {
+                // Shards need no policy of their own: they honour the
+                // coordinator's explicit `rank=t`.
+                let config = ServeConfig { shard_rows: Some(r), ..ServeConfig::default() };
+                Server::start(m.clone(), 0, config).unwrap()
+            })
+            .collect();
+        let config =
+            ServeConfig { shards: shards.iter().map(|s| s.addr().to_string()).collect(), ..policy };
+        let coordinator = Server::start(m, 0, config).unwrap();
+        for path in [
+            "/query?nodes=1%2C3&degraded=allow",
+            "/topk?node=2&k=3&degraded=allow",
+            "/similarity?a=1&b=3&max_rank=2",
+            "/query?nodes=0%2C5",
+        ] {
+            let (code_a, body_a) = get(single.addr(), path);
+            let (code_b, body_b) = get(coordinator.addr(), path);
+            assert_eq!(code_a, code_b, "{path}");
+            assert_eq!(body_a, body_b, "{path}");
+            if path.contains("degraded") || path.contains("max_rank") {
+                assert!(body_a.contains("\"served_rank\":2"), "{path}: {body_a}");
+            }
+        }
+        coordinator.shutdown();
+        single.shutdown();
+        for s in shards {
+            s.shutdown();
+        }
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! A TinyLFU-style frequency sketch for cache admission.
+//!
+//! Under Zipfian traffic a plain LRU is polluted by one-hit wonders:
+//! every cold miss inserts a column that evicts something hotter and is
+//! never read again.  TinyLFU (Einziger et al.) fixes this with a cheap
+//! approximate frequency filter in front of the LRU — a candidate is
+//! admitted only if it has been *asked for* more often than the entry it
+//! would evict.
+//!
+//! The sketch is a count-min: [`FrequencySketch::DEPTH`] rows of
+//! power-of-two width, each key hashed to one counter per row, and the
+//! estimate is the minimum over rows — an upper bound on the true count
+//! that over-counts only on hash collisions, never under-counts.  To
+//! keep the estimates fresh (a node hot an hour ago must not outrank a
+//! node hot now) every counter is halved once the total number of
+//! recorded accesses reaches a sample window proportional to the cache
+//! capacity, so frequencies decay geometrically with age.
+
+/// Count-min frequency sketch with periodic aging.
+///
+/// Not internally synchronised: the column cache keeps one sketch per
+/// LRU shard, mutated under that shard's lock.
+#[derive(Debug)]
+pub struct FrequencySketch {
+    /// `DEPTH` rows of `width` counters, stored flat.
+    counters: Vec<u32>,
+    /// Row width minus one (width is a power of two).
+    mask: u64,
+    /// Accesses recorded since the last aging pass.
+    additions: u64,
+    /// Aging threshold: when `additions` reaches this, halve everything.
+    sample: u64,
+}
+
+impl FrequencySketch {
+    /// Independent hash rows: more rows tighten the collision bound, at
+    /// proportional memory and per-access cost.  Four is the classic
+    /// count-min compromise.
+    pub const DEPTH: usize = 4;
+
+    /// Counters per row relative to capacity: 8× leaves collision noise
+    /// well below the hot/cold frequency gap admission needs to see.
+    const WIDTH_FACTOR: usize = 8;
+
+    /// Aging window relative to capacity (the TinyLFU "sample size"):
+    /// a counter survives roughly `log₂(window)` halvings, bounding how
+    /// long stale popularity lingers.
+    const SAMPLE_FACTOR: u64 = 16;
+
+    /// A sketch sized for a cache holding `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        let width = (capacity.max(1) * Self::WIDTH_FACTOR).next_power_of_two();
+        FrequencySketch {
+            counters: vec![0; width * Self::DEPTH],
+            mask: width as u64 - 1,
+            additions: 0,
+            sample: (capacity as u64).max(1) * Self::SAMPLE_FACTOR,
+        }
+    }
+
+    /// One counter index per row for `key` — independent mixes of one
+    /// 64-bit avalanche (SplitMix64 finalizer) seeded per row.
+    fn index(&self, key: usize, row: usize) -> usize {
+        const SEEDS: [u64; FrequencySketch::DEPTH] = [
+            0x9E37_79B9_7F4A_7C15,
+            0xBF58_476D_1CE4_E5B9,
+            0x94D0_49BB_1331_11EB,
+            0xD6E8_FEB8_6659_FD93,
+        ];
+        let mut x = key as u64 ^ SEEDS[row];
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        row * (self.mask as usize + 1) + (x & self.mask) as usize
+    }
+
+    /// Records one access to `key`, aging all counters when the sample
+    /// window fills.
+    pub fn record(&mut self, key: usize) {
+        for row in 0..Self::DEPTH {
+            let i = self.index(key, row);
+            self.counters[i] = self.counters[i].saturating_add(1);
+        }
+        self.additions += 1;
+        if self.additions >= self.sample {
+            self.age();
+        }
+    }
+
+    /// The frequency estimate for `key`: an upper bound on the number of
+    /// accesses recorded since roughly the last aging window.
+    pub fn estimate(&self, key: usize) -> u32 {
+        (0..Self::DEPTH).map(|row| self.counters[self.index(key, row)]).min().unwrap_or(0)
+    }
+
+    /// Halves every counter (rounding down) — geometric decay of stale
+    /// popularity.
+    fn age(&mut self) {
+        for c in &mut self.counters {
+            *c >>= 1;
+        }
+        self.additions /= 2;
+    }
+
+    /// Accesses recorded since the last aging pass (test/diagnostic).
+    pub fn additions(&self) -> u64 {
+        self.additions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_upper_bound_true_counts() {
+        let mut s = FrequencySketch::new(64);
+        for i in 0..50usize {
+            for _ in 0..=i % 7 {
+                s.record(i);
+            }
+        }
+        for i in 0..50usize {
+            let true_count = (i % 7 + 1) as u32;
+            assert!(s.estimate(i) >= true_count, "key {i}: {} < {true_count}", s.estimate(i));
+        }
+        assert_eq!(s.estimate(999_999), 0, "an unseen key in a sparse sketch");
+    }
+
+    #[test]
+    fn hot_keys_outrank_one_hit_wonders() {
+        let mut s = FrequencySketch::new(128);
+        for _ in 0..40 {
+            s.record(7);
+        }
+        s.record(13);
+        assert!(s.estimate(7) > s.estimate(13));
+    }
+
+    #[test]
+    fn aging_halves_counters_at_the_sample_window() {
+        let mut s = FrequencySketch::new(1); // sample window = 16
+        for _ in 0..15 {
+            s.record(3);
+        }
+        assert_eq!(s.estimate(3), 15);
+        s.record(3); // 16th access trips the aging pass
+        assert_eq!(s.estimate(3), 8, "16 accesses halve to 8");
+        assert_eq!(s.additions(), 8);
+    }
+}

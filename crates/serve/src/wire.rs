@@ -63,10 +63,13 @@ pub fn get(addr: &str, path: &str, timeout: Duration) -> Result<(u16, String), S
         .ok_or_else(|| format!("shard address {addr:?} resolves to nothing"))?;
     let mut stream = TcpStream::connect_timeout(&sock, timeout)
         .map_err(|e| format!("connect to {addr}: {e}"))?;
+    let _ = stream.set_nodelay(true); // scatter legs are latency-critical
     let _ = stream.set_read_timeout(Some(timeout));
     let _ = stream.set_write_timeout(Some(timeout));
-    write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
-        .map_err(|e| format!("write to {addr}: {e}"))?;
+    // One write_all of a prebuilt request: `write!` issues one syscall
+    // per fragment, and Nagle-free segments would hit the shard split.
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes()).map_err(|e| format!("write to {addr}: {e}"))?;
     let mut response = String::new();
     stream.read_to_string(&mut response).map_err(|e| format!("read from {addr}: {e}"))?;
     let code: u16 = response

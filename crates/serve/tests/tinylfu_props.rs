@@ -1,0 +1,74 @@
+//! Property tests for the TinyLFU frequency sketch: for arbitrary
+//! access sequences and capacities, the sketch's estimates are pinned
+//! between an exactly-mirrored reference counter map (count-min never
+//! under-counts, and halving is monotone, so collisions only push
+//! estimates *up*) and the total additions recorded (each addition
+//! raises any one counter at most once, and aging halves counters and
+//! the addition count together).
+
+use csrplus_serve::tinylfu::FrequencySketch;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// The sketch's aging schedule, mirrored: capacity × SAMPLE_FACTOR.
+fn sample_window(capacity: usize) -> u64 {
+    (capacity as u64).max(1) * 16
+}
+
+proptest! {
+    #[test]
+    fn estimates_sandwich_the_reference_counter_map(
+        capacity in 1usize..64,
+        accesses in proptest::collection::vec(0usize..512, 0..600),
+    ) {
+        let mut sketch = FrequencySketch::new(capacity);
+        // The reference replays the exact semantics minus hash
+        // collisions: per-key counts, halved (rounding down) at the
+        // same sample boundaries the sketch ages at.
+        let mut reference: HashMap<usize, u32> = HashMap::new();
+        let sample = sample_window(capacity);
+        let mut additions = 0u64;
+        for &key in &accesses {
+            sketch.record(key);
+            *reference.entry(key).or_insert(0) += 1;
+            additions += 1;
+            if additions >= sample {
+                for count in reference.values_mut() {
+                    *count >>= 1;
+                }
+                additions /= 2;
+            }
+        }
+        prop_assert_eq!(sketch.additions(), additions, "aging fired at the same boundaries");
+        for (&key, &count) in &reference {
+            let estimate = sketch.estimate(key);
+            prop_assert!(
+                estimate >= count,
+                "key {} under-counted: estimate {} < true {}",
+                key, estimate, count
+            );
+            prop_assert!(
+                u64::from(estimate) <= additions,
+                "key {} over-counted past the window: estimate {} > additions {}",
+                key, estimate, additions
+            );
+        }
+    }
+
+    #[test]
+    fn unaged_estimates_never_undercount(
+        accesses in proptest::collection::vec(0usize..64, 0..500),
+    ) {
+        // Capacity 64 ⇒ sample window 1024 > any sequence here, so no
+        // aging fires and the classic count-min bound applies directly.
+        let mut sketch = FrequencySketch::new(64);
+        let mut reference: HashMap<usize, u32> = HashMap::new();
+        for &key in &accesses {
+            sketch.record(key);
+            *reference.entry(key).or_insert(0) += 1;
+        }
+        for (&key, &count) in &reference {
+            prop_assert!(sketch.estimate(key) >= count);
+        }
+    }
+}
