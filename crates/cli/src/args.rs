@@ -17,9 +17,12 @@ usage:
   csrplus exact      <graph.txt> --nodes 1,3 [--damping C] [--epsilon E]
   csrplus join       <model.csrp> --threshold T [--limit N]
   csrplus serve      <model.csrp> [--port P] [--workers N] [--batch B] [--linger-us U]
-                     [--cache COLS] [--timeout-ms MS] [--max-requests N] [--legacy]
+                     [--cache COLS] [--cache-ttl-ms MS] [--timeout-ms MS]
+                     [--max-requests N] [--legacy]
                      [--cache-admission] [--adaptive-linger]
                      [--degrade-rank R [--degrade-watermark D]]
+                     [--ingest <graph.txt> [--ingest-refresh N]
+                      [--ingest-checkpoint <ckpt.csrp>]]
                      [--shards host:port,host:port [--shard-timeout-ms MS] [--hedge-ms MS]]
   csrplus shard      <model.csrp> --rows LO:HI [--port P] [--workers N] [--batch B]
                      [--linger-us U] [--cache COLS] [--timeout-ms MS] [--max-requests N]
@@ -131,6 +134,16 @@ pub enum Command {
         /// Queue-depth watermark for degradation (default: half the
         /// admission queue).
         degrade_watermark: Option<usize>,
+        /// Column-cache entry TTL in milliseconds (absent = no expiry).
+        cache_ttl_ms: Option<u64>,
+        /// Live ingestion: build the serving model from this graph and
+        /// accept `POST /edges` edit batches.
+        ingest: Option<PathBuf>,
+        /// Rebuild (full re-precompute) after this many applied edits
+        /// (0 = never rebuild, incremental updates only).
+        ingest_refresh: usize,
+        /// Checkpoint every published epoch to this artifact path.
+        ingest_checkpoint: Option<PathBuf>,
     },
     /// Serve one contiguous internal row range of a model (shard mode).
     Shard {
@@ -470,6 +483,43 @@ fn parse_serve(rest: &[&String]) -> Result<Command, String> {
             }
             None => None,
         },
+        cache_ttl_ms: match flag_value(rest, "--cache-ttl-ms") {
+            Some(v) => {
+                let ms: u64 = parse_num(v, "cache-ttl-ms")?;
+                if ms == 0 {
+                    return Err("--cache-ttl-ms must be at least 1".to_string());
+                }
+                Some(ms)
+            }
+            None => None,
+        },
+        ingest: match flag_value(rest, "--ingest") {
+            Some(v) => {
+                if has_flag(rest, "--legacy") {
+                    return Err("--ingest needs the pooled server (drop --legacy)".to_string());
+                }
+                if has_flag(rest, "--shards") {
+                    return Err(
+                        "--ingest updates a local model; a coordinator has none (drop --shards)"
+                            .to_string(),
+                    );
+                }
+                Some(PathBuf::from(v))
+            }
+            None => {
+                for flag in ["--ingest-refresh", "--ingest-checkpoint"] {
+                    if has_flag(rest, flag) {
+                        return Err(format!("{flag} requires --ingest"));
+                    }
+                }
+                None
+            }
+        },
+        ingest_refresh: match flag_value(rest, "--ingest-refresh") {
+            Some(v) => parse_num(v, "ingest-refresh")?,
+            None => 0,
+        },
+        ingest_checkpoint: flag_value(rest, "--ingest-checkpoint").map(PathBuf::from),
     })
 }
 
@@ -871,6 +921,48 @@ mod tests {
         assert!(parse(&argv("serve m.csrp --degrade-rank lots"))
             .unwrap_err()
             .contains("invalid degrade-rank"));
+    }
+
+    #[test]
+    fn serve_parses_ingestion_flags() {
+        // Ingestion defaults off: today's immutable-model serving.
+        let cmd = parse(&argv("serve m.csrp")).unwrap();
+        match cmd {
+            Command::Serve { cache_ttl_ms, ingest, ingest_refresh, ingest_checkpoint, .. } => {
+                assert_eq!(cache_ttl_ms, None);
+                assert_eq!(ingest, None);
+                assert_eq!(ingest_refresh, 0);
+                assert_eq!(ingest_checkpoint, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&argv(
+            "serve m.csrp --cache-ttl-ms 500 --ingest g.txt \
+             --ingest-refresh 64 --ingest-checkpoint ckpt.csrp",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Serve { cache_ttl_ms, ingest, ingest_refresh, ingest_checkpoint, .. } => {
+                assert_eq!(cache_ttl_ms, Some(500));
+                assert_eq!(ingest, Some(PathBuf::from("g.txt")));
+                assert_eq!(ingest_refresh, 64);
+                assert_eq!(ingest_checkpoint, Some(PathBuf::from("ckpt.csrp")));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("serve m.csrp --cache-ttl-ms 0")).unwrap_err().contains("at least 1"));
+        assert!(parse(&argv("serve m.csrp --ingest g.txt --legacy"))
+            .unwrap_err()
+            .contains("drop --legacy"));
+        assert!(parse(&argv("serve m.csrp --ingest g.txt --shards 127.0.0.1:8101"))
+            .unwrap_err()
+            .contains("drop --shards"));
+        assert!(parse(&argv("serve m.csrp --ingest-refresh 8"))
+            .unwrap_err()
+            .contains("requires --ingest"));
+        assert!(parse(&argv("serve m.csrp --ingest-checkpoint ckpt.csrp"))
+            .unwrap_err()
+            .contains("requires --ingest"));
     }
 
     #[test]

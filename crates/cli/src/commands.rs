@@ -155,6 +155,10 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
             adaptive_linger,
             degrade_rank,
             degrade_watermark,
+            cache_ttl_ms,
+            ingest,
+            ingest_refresh,
+            ingest_checkpoint,
         } => {
             if legacy && !shards.is_empty() {
                 return Err("--legacy and --shards are mutually exclusive".into());
@@ -192,6 +196,7 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
             // Default watermark: half the admission queue — degradation
             // engages while there is still headroom to absorb the spike.
             config.degrade_watermark = degrade_watermark.unwrap_or(config.queue_depth / 2);
+            config.cache_ttl = cache_ttl_ms.map(std::time::Duration::from_millis);
             let policies = [
                 cache_admission.then_some("tinylfu-admission"),
                 adaptive_linger.then_some("adaptive-linger"),
@@ -207,6 +212,45 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
                     degrade_rank,
                     config.degrade_watermark
                 );
+            }
+            if let Some(graph_path) = ingest {
+                // The artifact donates the precompute configuration (rank,
+                // damping, epsilon, backend); the graph donates the structure.
+                // The dynamic engine rebuilds the factors from the graph so
+                // the boot snapshot (epoch 0) reflects the graph exactly.
+                let loaded = read_snap_file(&graph_path)?;
+                let dyn_config = csrplus_core::dynamic::DynamicConfig {
+                    base: *m.config(),
+                    // The serving-layer refresh budget governs rebuilds; the
+                    // engine's own interval is pushed out of the way.
+                    refresh_interval: usize::MAX,
+                };
+                let t1 = Instant::now();
+                let dynamic =
+                    csrplus_core::dynamic::DynamicCsrPlus::new(&loaded.graph, dyn_config)?;
+                let boot_time = t1.elapsed();
+                eprintln!(
+                    "live ingestion: {} nodes at rank {} precomputed from {} in {:.1?} \
+                     (refresh budget {}; routes add POST /edges)",
+                    dynamic.n(),
+                    dynamic.model().rank(),
+                    graph_path.display(),
+                    boot_time,
+                    if ingest_refresh == 0 {
+                        "off".to_string()
+                    } else {
+                        ingest_refresh.to_string()
+                    },
+                );
+                let icfg = csrplus_serve::IngestConfig {
+                    refresh_budget: ingest_refresh,
+                    checkpoint: ingest_checkpoint,
+                };
+                let f32_storage = dynamic.model().precision() == csrplus_core::Precision::F32;
+                let handle = csrplus_serve::Server::start_ingesting(dynamic, port, config, icfg)?;
+                handle.metrics().record_boot(load_time + boot_time, false, f32_storage);
+                handle.join();
+                return Ok(());
             }
             if shards.is_empty() {
                 eprintln!(

@@ -22,6 +22,8 @@ options:
   --nodes N                   query-node universe 0..N [1000]
   --zipf S                    popularity exponent (0 = uniform) [0.9]
   --mix S,M,K                 single,multi,topk fractions [0.6,0.2,0.2]
+  --updates F                 fraction POSTing edge ops to /edges [0]
+                              (needs a server booted with --ingest)
   --multi-width W             nodes per multi-source query [4]
   --topk-k K                  k for top-k queries [10]
   --degraded-fraction F       fraction sending degraded=allow [0]
@@ -85,8 +87,9 @@ fn main() {
             "--zipf" => zipf_s = parse(value(), flag),
             "--mix" => {
                 let parts = split_floats(value(), flag, 3);
-                mix = Mix { single: parts[0], multi: parts[1], topk: parts[2] };
+                mix = Mix { single: parts[0], multi: parts[1], topk: parts[2], ..mix };
             }
+            "--updates" => mix.update = parse(value(), flag),
             "--multi-width" => multi_width = parse(value(), flag),
             "--topk-k" => topk_k = parse(value(), flag),
             "--degraded-fraction" => degraded_fraction = parse(value(), flag),
@@ -132,6 +135,13 @@ fn main() {
         if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
             fail(&format!("writing {path}: {e}"));
         }
+    }
+    if report.updates > 0 {
+        eprintln!(
+            "loadgen: {} edge updates acknowledged ({:.1}/s)",
+            report.updates,
+            report.updates_per_s()
+        );
     }
     if report.errors > 0 {
         eprintln!("loadgen: {} transport errors", report.errors);

@@ -88,6 +88,38 @@ fn get(addr: &str, path: &str, timeout: Duration) -> std::io::Result<(u16, Strin
     Ok((status, body))
 }
 
+/// One blocking HTTP/1.1 POST over a fresh connection; same socket
+/// discipline as [`get`], plus a `Content-Length` body.
+fn post(
+    addr: &str,
+    path: &str,
+    payload: &str,
+    timeout: Duration,
+) -> std::io::Result<(u16, String)> {
+    let sock: SocketAddr = addr.parse().map_err(|e| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("{addr}: {e}"))
+    })?;
+    let mut stream = TcpStream::connect_timeout(&sock, timeout)?;
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{payload}",
+        payload.len()
+    );
+    stream.write_all(request.as_bytes())?;
+    let mut body = String::new();
+    stream.read_to_string(&mut body)?;
+    let status = body
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .and_then(|code| code.parse().ok())
+        .unwrap_or(0);
+    Ok((status, body))
+}
+
 /// Per-worker tallies, merged after the phase.
 #[derive(Default)]
 struct WorkerTally {
@@ -95,6 +127,7 @@ struct WorkerTally {
     shed: u64,
     errors: u64,
     degraded: u64,
+    updates: u64,
     latencies_us: Vec<u64>,
 }
 
@@ -130,9 +163,16 @@ pub fn run_phase(
                         if scheduled > now {
                             std::thread::sleep(scheduled - now);
                         }
-                        match get(addr, &request.path, timeout) {
+                        let outcome = match &request.body {
+                            Some(payload) => post(addr, &request.path, payload, timeout),
+                            None => get(addr, &request.path, timeout),
+                        };
+                        match outcome {
                             Ok((200, body)) => {
                                 tally.ok += 1;
+                                if request.body.is_some() {
+                                    tally.updates += 1;
+                                }
                                 if body.contains("\"served_rank\":") {
                                     tally.degraded += 1;
                                 }
@@ -158,6 +198,7 @@ pub fn run_phase(
         merged.shed += tally.shed;
         merged.errors += tally.errors;
         merged.degraded += tally.degraded;
+        merged.updates += tally.updates;
         merged.latencies_us.extend(tally.latencies_us);
     }
     PhaseReport {
@@ -170,6 +211,7 @@ pub fn run_phase(
         shed: merged.shed,
         errors: merged.errors,
         degraded: merged.degraded,
+        updates: merged.updates,
         latencies_us: merged.latencies_us,
         cache_hit_rate: match (before, after) {
             (Some(b), Some(a)) => a.hit_rate_since(b),
@@ -214,6 +256,8 @@ mod tests {
                          \"admission_rejects\":0}]}"
                             .to_string(),
                     )
+                } else if path == "/edges" {
+                    ("200 OK", "{\"applied\":1,\"ignored\":0,\"epoch\":1}".to_string())
                 } else if path.contains("degraded=allow") {
                     ("200 OK", "{\"node\":1,\"served_rank\":2}".to_string())
                 } else if path.contains("shed") {
@@ -250,19 +294,25 @@ mod tests {
     fn run_phase_classifies_and_measures_from_schedule() {
         let (addr, handle) = fake_server();
         let requests = vec![
-            Request { at_s: 0.0, path: "/query?nodes=1".to_string() },
-            Request { at_s: 0.01, path: "/query?nodes=2&degraded=allow".to_string() },
-            Request { at_s: 0.02, path: "/shed".to_string() },
-            Request { at_s: 0.03, path: "/query?nodes=3".to_string() },
+            Request { at_s: 0.0, path: "/query?nodes=1".to_string(), body: None },
+            Request { at_s: 0.01, path: "/query?nodes=2&degraded=allow".to_string(), body: None },
+            Request { at_s: 0.02, path: "/shed".to_string(), body: None },
+            Request { at_s: 0.03, path: "/query?nodes=3".to_string(), body: None },
+            Request {
+                at_s: 0.04,
+                path: "/edges".to_string(),
+                body: Some("{\"op\":\"insert\",\"x\":1,\"y\":4}".to_string()),
+            },
         ];
-        let plan = Plan { requests, offered_rps: 100.0, duration_s: 0.04 };
+        let plan = Plan { requests, offered_rps: 100.0, duration_s: 0.05 };
         let report = run_phase(&addr, &plan, "fake", 2, Duration::from_secs(2));
-        assert_eq!(report.sent, 4, "{report:?}");
-        assert_eq!(report.ok, 3, "{report:?}");
+        assert_eq!(report.sent, 5, "{report:?}");
+        assert_eq!(report.ok, 4, "{report:?}");
         assert_eq!(report.shed, 1, "{report:?}");
         assert_eq!(report.errors, 0, "{report:?}");
         assert_eq!(report.degraded, 1, "{report:?}");
-        assert_eq!(report.latencies_us.len(), 3, "{report:?}");
+        assert_eq!(report.updates, 1, "{report:?}");
+        assert_eq!(report.latencies_us.len(), 4, "{report:?}");
         assert_eq!(report.cache_hit_rate, None, "fake counters do not move");
         let _ = get(&addr, "/stop", Duration::from_secs(1));
         handle.join().expect("server thread");
@@ -271,7 +321,7 @@ mod tests {
     #[test]
     fn unreachable_servers_count_as_errors_not_panics() {
         let plan = Plan {
-            requests: vec![Request { at_s: 0.0, path: "/query?nodes=1".to_string() }],
+            requests: vec![Request { at_s: 0.0, path: "/query?nodes=1".to_string(), body: None }],
             offered_rps: 1.0,
             duration_s: 0.01,
         };

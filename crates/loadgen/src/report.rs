@@ -24,6 +24,8 @@ pub struct PhaseReport {
     pub errors: u64,
     /// Responses that reported a degraded (`served_rank`) answer.
     pub degraded: u64,
+    /// Successful edge-update requests (`POST /edges` answered `200`).
+    pub updates: u64,
     /// Per-success latency in microseconds, measured from the scheduled
     /// arrival time (coordinated-omission safe).  Unsorted.
     pub latencies_us: Vec<u64>,
@@ -55,6 +57,11 @@ impl PhaseReport {
         self.shed as f64 / (self.sent as f64).max(1.0)
     }
 
+    /// Applied edge updates per second of wall-clock phase time.
+    pub fn updates_per_s(&self) -> f64 {
+        self.updates as f64 / self.elapsed_s.max(1e-9)
+    }
+
     /// This phase as one JSON object.
     pub fn render_json(&self) -> String {
         let hit_rate = match self.cache_hit_rate {
@@ -65,6 +72,7 @@ impl PhaseReport {
             concat!(
                 "{{\"label\":\"{}\",\"offered_rps\":{:.1},\"duration_s\":{:.2},\"elapsed_s\":{:.2},",
                 "\"sent\":{},\"ok\":{},\"shed\":{},\"errors\":{},\"degraded\":{},",
+                "\"updates\":{},\"updates_per_s\":{:.1},",
                 "\"goodput_rps\":{:.1},\"shed_rate\":{:.4},\"cache_hit_rate\":{},",
                 "\"latency_us\":{{\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"max\":{}}}}}"
             ),
@@ -77,6 +85,8 @@ impl PhaseReport {
             self.shed,
             self.errors,
             self.degraded,
+            self.updates,
+            self.updates_per_s(),
             self.goodput_rps(),
             self.shed_rate(),
             hit_rate,
@@ -104,6 +114,7 @@ mod tests {
             shed: 2,
             errors: 1,
             degraded: 0,
+            updates: 4,
             latencies_us: latencies,
             cache_hit_rate: Some(0.25),
         }
@@ -128,6 +139,7 @@ mod tests {
         let json = r.render_json();
         assert!(json.starts_with("{\"label\":\"test\","), "{json}");
         assert!(json.contains("\"shed\":2,"), "{json}");
+        assert!(json.contains("\"updates\":4,\"updates_per_s\":2.0,"), "{json}");
         assert!(json.contains("\"cache_hit_rate\":0.2500"), "{json}");
         assert!(json.contains("\"p50\":20,"), "{json}");
         assert!(json.ends_with("\"max\":40}}"), "{json}");

@@ -21,11 +21,15 @@ pub struct Mix {
     pub multi: f64,
     /// Top-k queries (`/topk?node=X&k=K`).
     pub topk: f64,
+    /// Edge updates (`POST /edges` with one JSON-lines op).  Only
+    /// meaningful against a server booted with live ingestion; the
+    /// default of `0` keeps plans byte-identical to query-only traffic.
+    pub update: f64,
 }
 
 impl Default for Mix {
     fn default() -> Self {
-        Mix { single: 0.6, multi: 0.2, topk: 0.2 }
+        Mix { single: 0.6, multi: 0.2, topk: 0.2, update: 0.0 }
     }
 }
 
@@ -72,6 +76,8 @@ pub struct Request {
     pub at_s: f64,
     /// The HTTP request target (path + query string).
     pub path: String,
+    /// POST body for update requests; `None` means a plain GET.
+    pub body: Option<String>,
 }
 
 /// A fully materialised phase: every arrival paired with its target.
@@ -92,13 +98,26 @@ impl Plan {
         let schedule = arrivals.schedule(duration_s, workload.seed);
         let zipf = Zipf::new(workload.n, workload.zipf_s, workload.seed);
         let mut rng = SmallRng::seed_from_u64(workload.seed ^ 0x717A_6D1C_0000_0003);
-        let total = (workload.mix.single + workload.mix.multi + workload.mix.topk).max(1e-9);
-        let p_single = workload.mix.single / total;
-        let p_multi = workload.mix.multi / total;
+        let mix = workload.mix;
+        let total = (mix.single + mix.multi + mix.topk + mix.update).max(1e-9);
+        let p_single = mix.single / total;
+        let p_multi = mix.multi / total;
+        let p_topk = mix.topk / total;
         let requests = schedule
             .into_iter()
             .map(|at_s| {
+                // One `kind` draw routes each arrival.  The update branch
+                // lives in the residual mass, so a zero update fraction
+                // consumes exactly the draws of a query-only plan and the
+                // generated traffic stays byte-identical.
                 let kind: f64 = rng.gen();
+                if mix.update > 0.0 && kind >= p_single + p_multi + p_topk {
+                    let op = if rng.gen::<f64>() < 0.8 { "insert" } else { "delete" };
+                    let x = zipf.sample(&mut rng);
+                    let y = zipf.sample(&mut rng);
+                    let body = format!("{{\"op\":\"{op}\",\"x\":{x},\"y\":{y}}}");
+                    return Request { at_s, path: "/edges".to_string(), body: Some(body) };
+                }
                 let mut path = if kind < p_single {
                     format!("/query?nodes={}", zipf.sample(&mut rng))
                 } else if kind < p_single + p_multi {
@@ -113,7 +132,7 @@ impl Plan {
                 {
                     path.push_str("&degraded=allow");
                 }
-                Request { at_s, path }
+                Request { at_s, path, body: None }
             })
             .collect();
         Plan { requests, offered_rps: arrivals.mean_rate(), duration_s }
@@ -150,7 +169,7 @@ mod tests {
     #[test]
     fn multi_requests_have_the_configured_width() {
         let w = Workload {
-            mix: Mix { single: 0.0, multi: 1.0, topk: 0.0 },
+            mix: Mix { single: 0.0, multi: 1.0, topk: 0.0, update: 0.0 },
             multi_width: 3,
             ..Workload::new(50, 9)
         };
@@ -158,6 +177,39 @@ mod tests {
         assert!(!plan.requests.is_empty());
         for r in &plan.requests {
             assert_eq!(r.path.matches("%2C").count(), 2, "{}", r.path);
+            assert_eq!(r.body, None);
         }
+    }
+
+    #[test]
+    fn update_traffic_posts_seeded_edge_ops() {
+        let w = Workload { mix: Mix { update: 0.3, ..Mix::default() }, ..Workload::new(100, 42) };
+        let arrivals = ArrivalProcess::Poisson { rate: 2000.0 };
+        let a = Plan::generate(&w, arrivals, 5.0);
+        let b = Plan::generate(&w, arrivals, 5.0);
+        assert_eq!(a.requests, b.requests, "edge stream is seeded");
+        let updates: Vec<_> = a.requests.iter().filter(|r| r.path == "/edges").collect();
+        let frac = updates.len() as f64 / a.requests.len() as f64;
+        assert!((frac - 0.3 / 1.3).abs() < 0.05, "{frac}");
+        for r in &updates {
+            let body = r.body.as_deref().expect("updates carry a body");
+            assert!(
+                body.starts_with("{\"op\":\"insert\"") || body.starts_with("{\"op\":\"delete\""),
+                "{body}"
+            );
+            assert!(body.contains("\"x\":") && body.ends_with('}'), "{body}");
+        }
+        // Query requests never carry bodies, and update traffic never
+        // leaks into the query paths.
+        for r in a.requests.iter().filter(|r| r.path != "/edges") {
+            assert_eq!(r.body, None, "{}", r.path);
+        }
+    }
+
+    #[test]
+    fn zero_update_fraction_emits_no_posts() {
+        let w = Workload::new(100, 7);
+        let plan = Plan::generate(&w, ArrivalProcess::Poisson { rate: 1000.0 }, 2.0);
+        assert!(plan.requests.iter().all(|r| r.body.is_none() && r.path != "/edges"));
     }
 }

@@ -15,10 +15,17 @@
 //! lingered for the configured window, deduplicates the node set, runs
 //! one [`CsrPlusModel::query_columns`] call, feeds the cache, and
 //! scatters `Arc` columns back to every waiter.
+//!
+//! The batcher holds a [`SnapshotHandle`], not a model: every waiter
+//! carries the [`Snapshot`] its request loaded, batches are grouped by
+//! `(epoch, rank)`, and each group is evaluated against its own
+//! snapshot's model — so even requests coalesced across an epoch swap
+//! are each answered by exactly the model version they loaded.
 
 use crate::cache::{Column, ColumnCache};
 use crate::gauge::LoadGauge;
 use crate::metrics::Metrics;
+use crate::snapshot::{Snapshot, SnapshotHandle};
 use csrplus_core::CsrPlusModel;
 use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc, Condvar, Mutex};
@@ -51,6 +58,9 @@ struct Waiter {
     /// `Some(t)`: evaluate at truncated rank `t` (pressure-degraded
     /// request); `None`: the full-rank path.
     rank: Option<usize>,
+    /// The snapshot the request loaded — the model this waiter must be
+    /// answered against, whatever gets published meanwhile.
+    snapshot: Arc<Snapshot>,
     reply: mpsc::Sender<Result<Column, ColumnError>>,
 }
 
@@ -65,7 +75,7 @@ struct State {
 struct Shared {
     state: Mutex<State>,
     wake: Condvar,
-    model: Arc<CsrPlusModel>,
+    handle: Arc<SnapshotHandle>,
     cache: Arc<ColumnCache>,
     metrics: Arc<Metrics>,
     max_batch: usize,
@@ -116,27 +126,27 @@ impl Batcher {
     /// evaluation; `linger` is how long the first request of a batch
     /// waits for company before the batch fires anyway.
     pub fn new(
-        model: Arc<CsrPlusModel>,
+        handle: Arc<SnapshotHandle>,
         cache: Arc<ColumnCache>,
         metrics: Arc<Metrics>,
         max_batch: usize,
         linger: Duration,
     ) -> Self {
-        Self::for_rows(model, cache, metrics, max_batch, linger, None)
+        Self::for_rows(handle, cache, metrics, max_batch, linger, None)
     }
 
     /// [`Batcher::new`] restricted to internal rows `lo..hi` — the
     /// per-shard engine of the scatter-gather server.  `None` serves the
     /// full `0..n` range and is exactly [`Batcher::new`].
     pub fn for_rows(
-        model: Arc<CsrPlusModel>,
+        handle: Arc<SnapshotHandle>,
         cache: Arc<ColumnCache>,
         metrics: Arc<Metrics>,
         max_batch: usize,
         linger: Duration,
         rows: Option<(usize, usize)>,
     ) -> Self {
-        Self::with_policies(model, cache, metrics, max_batch, linger, rows, None, false)
+        Self::with_policies(handle, cache, metrics, max_batch, linger, rows, None, false)
     }
 
     /// [`Batcher::for_rows`] with the adaptive serving policies: when
@@ -145,7 +155,7 @@ impl Batcher {
     /// fixed `linger`.
     #[allow(clippy::too_many_arguments)] // internal assembly seam, called once
     pub fn with_policies(
-        model: Arc<CsrPlusModel>,
+        handle: Arc<SnapshotHandle>,
         cache: Arc<ColumnCache>,
         metrics: Arc<Metrics>,
         max_batch: usize,
@@ -157,7 +167,7 @@ impl Batcher {
         let shared = Arc::new(Shared {
             state: Mutex::new(State { pending: Vec::new(), deadline: None, shutdown: false }),
             wake: Condvar::new(),
-            model,
+            handle,
             cache,
             metrics,
             max_batch: max_batch.max(1),
@@ -195,17 +205,31 @@ impl Batcher {
         rank: Option<usize>,
         timeout: Duration,
     ) -> Result<Column, ColumnError> {
-        let rank = rank.filter(|&t| t < self.shared.model.rank());
+        self.column_rank_at(self.shared.handle.load(), node, rank, timeout)
+    }
+
+    /// [`Batcher::column_rank`] against an explicit, already-loaded
+    /// snapshot — the request-scoped entry point: the server loads the
+    /// handle once per request and passes the same snapshot here and to
+    /// the renderer, so the whole response belongs to one epoch.
+    pub fn column_rank_at(
+        &self,
+        snapshot: Arc<Snapshot>,
+        node: usize,
+        rank: Option<usize>,
+        timeout: Duration,
+    ) -> Result<Column, ColumnError> {
+        let model = snapshot.model();
+        let rank = rank.filter(|&t| t < model.rank());
         if rank.is_none() {
-            if let Some(col) = self.shared.cache.get(node) {
+            if let Some(col) = self.shared.cache.get(node, snapshot.epoch()) {
                 return Ok(col);
             }
         }
         // Validate before enqueueing: one bad node must not poison a
         // whole coalesced batch.  Same error text as the direct path.
-        if node >= self.shared.model.n() {
-            let e =
-                csrplus_core::CoSimRankError::QueryOutOfBounds { node, n: self.shared.model.n() };
+        if node >= model.n() {
+            let e = csrplus_core::CoSimRankError::QueryOutOfBounds { node, n: model.n() };
             return Err(ColumnError::Failed(e.to_string()));
         }
         let (reply, receiver) = mpsc::channel();
@@ -217,7 +241,7 @@ impl Batcher {
             if state.pending.is_empty() {
                 state.deadline = Some(Instant::now() + self.shared.effective_linger());
             }
-            state.pending.push(Waiter { node, rank, reply });
+            state.pending.push(Waiter { node, rank, snapshot, reply });
         }
         self.shared.wake.notify_one();
         match receiver.recv_timeout(timeout) {
@@ -283,19 +307,25 @@ fn batcher_loop(shared: &Shared) {
     }
 }
 
-/// Splits the batch into per-rank groups (full-rank waiters and each
-/// distinct truncated rank) and runs one deduplicated multi-source
-/// evaluation per group.  Almost every batch is a single full-rank
-/// group, which takes exactly the pre-policy path.
+/// Splits the batch into `(epoch, rank)` groups — full-rank waiters and
+/// each distinct truncated rank, per snapshot epoch — and runs one
+/// deduplicated multi-source evaluation per group against that group's
+/// own snapshot.  Almost every batch is a single full-rank group on the
+/// current epoch, which takes exactly the pre-policy path; requests
+/// coalesced across an epoch swap split into one group per model
+/// version, so nobody is answered by a model they did not load.
 fn evaluate(shared: &Shared, batch: Vec<Waiter>, scratch: &mut csrplus_core::DenseMatrix) {
-    let mut groups: Vec<(Option<usize>, Vec<Waiter>)> = Vec::new();
+    /// One `(epoch, truncated-rank)` evaluation group key.
+    type GroupKey = (u64, Option<usize>);
+    let mut groups: Vec<(GroupKey, Vec<Waiter>)> = Vec::new();
     for waiter in batch {
-        match groups.iter_mut().find(|(rank, _)| *rank == waiter.rank) {
+        let key = (waiter.snapshot.epoch(), waiter.rank);
+        match groups.iter_mut().find(|(k, _)| *k == key) {
             Some((_, group)) => group.push(waiter),
-            None => groups.push((waiter.rank, vec![waiter])),
+            None => groups.push((key, vec![waiter])),
         }
     }
-    for (rank, group) in groups {
+    for ((_, rank), group) in groups {
         evaluate_group(shared, rank, group, scratch);
     }
 }
@@ -304,12 +334,16 @@ fn evaluate(shared: &Shared, batch: Vec<Waiter>, scratch: &mut csrplus_core::Den
 /// reusable `scratch` block) and scatters the columns back to every
 /// waiter in the group.  `rank: Some(t)` evaluates the truncated-rank
 /// product and skips the cache (truncated columns are never cached).
+/// All waiters share one snapshot (the grouping key includes the
+/// epoch), so the first waiter's model is the group's model.
 fn evaluate_group(
     shared: &Shared,
     rank: Option<usize>,
     batch: Vec<Waiter>,
     scratch: &mut csrplus_core::DenseMatrix,
 ) {
+    let snapshot = Arc::clone(&batch[0].snapshot);
+    let model: &CsrPlusModel = snapshot.model();
     let mut nodes: Vec<usize> = Vec::with_capacity(batch.len());
     let mut slot: Vec<usize> = Vec::with_capacity(batch.len());
     for waiter in &batch {
@@ -322,15 +356,13 @@ fn evaluate_group(
         }
     }
     shared.metrics.batched_requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
-    let eval_rank = rank.unwrap_or_else(|| shared.model.rank());
+    let eval_rank = rank.unwrap_or_else(|| model.rank());
     let columns = match shared.rows {
         // A shard evaluates (and caches) only its own row slice; each
         // partial entry is the same dot product the full path computes,
         // so slices concatenate bitwise into the single-process column.
-        Some((lo, hi)) => {
-            shared.model.query_columns_range_rank_into(&nodes, lo, hi, eval_rank, scratch)
-        }
-        None => shared.model.query_columns_rank_into(&nodes, eval_rank, scratch),
+        Some((lo, hi)) => model.query_columns_range_rank_into(&nodes, lo, hi, eval_rank, scratch),
+        None => model.query_columns_rank_into(&nodes, eval_rank, scratch),
     };
     match columns {
         Ok(columns) => {
@@ -344,7 +376,7 @@ fn evaluate_group(
                 columns.into_iter().map(|c| Column::from(c.into_boxed_slice())).collect();
             if rank.is_none() {
                 for (&node, column) in nodes.iter().zip(&columns) {
-                    shared.cache.insert(node, Arc::clone(column));
+                    shared.cache.insert(node, snapshot.epoch(), Arc::clone(column));
                 }
             }
             for (waiter, &i) in batch.iter().zip(&slot) {
@@ -379,8 +411,9 @@ mod tests {
     ) -> (Batcher, Arc<Metrics>, Arc<CsrPlusModel>) {
         let metrics = Arc::new(Metrics::new());
         let m = model();
+        let handle = Arc::new(SnapshotHandle::new(Arc::clone(&m)));
         let cache = Arc::new(ColumnCache::new(cache_capacity, 2, Arc::clone(&metrics)));
-        (Batcher::new(Arc::clone(&m), cache, Arc::clone(&metrics), max_batch, linger), metrics, m)
+        (Batcher::new(handle, cache, Arc::clone(&metrics), max_batch, linger), metrics, m)
     }
 
     const TIMEOUT: Duration = Duration::from_secs(10);
@@ -493,9 +526,10 @@ mod tests {
         const REQUESTS: usize = 25;
         let metrics = Arc::new(Metrics::new());
         let m = model();
+        let handle = Arc::new(SnapshotHandle::new(Arc::clone(&m)));
         let cache = Arc::new(ColumnCache::new(2, 2, Arc::clone(&metrics)));
         let b = Arc::new(Batcher::new(
-            Arc::clone(&m),
+            handle,
             cache,
             Arc::clone(&metrics),
             3,
@@ -559,6 +593,48 @@ mod tests {
         assert_eq!(&way_over[..], &full[..]);
         assert_eq!(metrics.model_evaluations.load(Ordering::Relaxed), 1, "cache served both");
         assert_eq!(metrics.degraded_requests.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn waiters_coalesced_across_an_epoch_swap_split_into_per_epoch_groups() {
+        // Two waiters holding different snapshots land in one linger
+        // window; the batcher must answer each against its own model —
+        // two groups, two evaluations — even though the node is shared.
+        let metrics = Arc::new(Metrics::new());
+        let m = model();
+        let handle = Arc::new(SnapshotHandle::new(Arc::clone(&m)));
+        let old = handle.load();
+        handle.publish(Arc::clone(&m));
+        let new = handle.load();
+        assert_ne!(old.epoch(), new.epoch());
+        let cache = Arc::new(ColumnCache::new(8, 2, Arc::clone(&metrics)));
+        let b = Arc::new(Batcher::new(
+            Arc::clone(&handle),
+            cache,
+            Arc::clone(&metrics),
+            2,
+            Duration::from_secs(30),
+        ));
+        let handles: Vec<_> = [old, new]
+            .into_iter()
+            .map(|snap| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || b.column_rank_at(snap, 1, None, TIMEOUT).unwrap())
+            })
+            .collect();
+        let cols: Vec<Column> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(metrics.model_evaluations.load(Ordering::Relaxed), 2, "one pass per epoch");
+        let expected = m.single_source(1).unwrap();
+        for col in cols {
+            assert_eq!(&col[..], &expected[..]);
+        }
+        // Both epochs' columns were cached under their own tags: an
+        // epoch-1 read hits without touching the epoch-0 entry.
+        assert!(b.shared.cache.get(1, new_epoch(&handle)).is_some());
+    }
+
+    fn new_epoch(handle: &SnapshotHandle) -> u64 {
+        handle.epoch()
     }
 
     #[test]

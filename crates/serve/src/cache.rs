@@ -1,9 +1,21 @@
-//! A sharded LRU cache of similarity columns, keyed by node id.
+//! A sharded LRU cache of similarity columns, keyed by node id and
+//! tagged with the model epoch that produced them.
 //!
 //! Columns are `Arc<[f64]>`, so a hit hands the caller a shared view of
 //! the stored column with no copy.  Sharding (`node % shards`) keeps
 //! lock contention bounded under the worker pool; each shard is a
 //! classic hash-map-plus-intrusive-list LRU with O(1) get/insert.
+//!
+//! **Epoch tagging** makes the cache safe under live model updates: a
+//! lookup supplies the epoch its request's snapshot was loaded at, and
+//! an entry cached under a different epoch is a miss — the stale entry
+//! is dropped on the spot, so old epochs drain lazily as their nodes
+//! are re-requested.  There is no global flush on publish and readers
+//! never block; with ingestion disabled every request is epoch 0 and
+//! the tag is inert.
+//!
+//! An optional **TTL** (off by default) bounds staleness the same way:
+//! entries older than the TTL are misses and are dropped on lookup.
 //!
 //! With admission enabled ([`ColumnCache::with_admission`]) each shard
 //! additionally keeps a TinyLFU [`FrequencySketch`]: lookups record the
@@ -17,6 +29,7 @@ use crate::tinylfu::FrequencySketch;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// One cached column, shared zero-copy with all readers.
 pub type Column = Arc<[f64]>;
@@ -25,6 +38,10 @@ const NIL: usize = usize::MAX;
 
 struct Entry {
     node: usize,
+    /// Epoch of the snapshot this column was evaluated against.
+    epoch: u64,
+    /// When the column was stored (drives the optional TTL).
+    stored_at: Instant,
     column: Column,
     prev: usize,
     next: usize,
@@ -114,7 +131,14 @@ impl Shard {
         }
     }
 
-    fn get(&mut self, node: usize) -> Option<Column> {
+    /// Drops the entry at `idx` back to the free list.
+    fn remove(&mut self, idx: usize) {
+        self.unlink(idx);
+        self.map.remove(&self.entries[idx].node);
+        self.free.push(idx);
+    }
+
+    fn get(&mut self, node: usize, epoch: u64, ttl: Option<Duration>) -> Option<Column> {
         // The sketch counts *requests*, hits and misses alike — a node's
         // popularity is how often it is asked for, not how often it is
         // resident.
@@ -122,6 +146,16 @@ impl Shard {
             sketch.record(node);
         }
         let idx = *self.map.get(&node)?;
+        // A column cached under another epoch answers for a model this
+        // request is not seeing: drop it and miss.  Likewise an entry
+        // past its TTL.  Dropping here (rather than on publish) is the
+        // lazy drain — no flush, no reader blocking.
+        if self.entries[idx].epoch != epoch
+            || ttl.is_some_and(|ttl| self.entries[idx].stored_at.elapsed() >= ttl)
+        {
+            self.remove(idx);
+            return None;
+        }
         self.unlink(idx);
         self.push_front(idx);
         Some(Arc::clone(&self.entries[idx].column))
@@ -129,9 +163,11 @@ impl Shard {
 
     /// Inserts (or refreshes) a column, subject to the admission filter
     /// when one is configured.
-    fn insert(&mut self, node: usize, column: Column) -> Inserted {
+    fn insert(&mut self, node: usize, epoch: u64, column: Column) -> Inserted {
         if let Some(&idx) = self.map.get(&node) {
             self.entries[idx].column = column;
+            self.entries[idx].epoch = epoch;
+            self.entries[idx].stored_at = Instant::now();
             self.unlink(idx);
             self.push_front(idx);
             return Inserted::Stored { evicted: false };
@@ -149,18 +185,17 @@ impl Shard {
                     return Inserted::Rejected;
                 }
             }
-            self.unlink(lru);
-            self.map.remove(&self.entries[lru].node);
-            self.free.push(lru);
+            self.remove(lru);
             evicted = true;
         }
+        let entry = Entry { node, epoch, stored_at: Instant::now(), column, prev: NIL, next: NIL };
         let idx = match self.free.pop() {
             Some(idx) => {
-                self.entries[idx] = Entry { node, column, prev: NIL, next: NIL };
+                self.entries[idx] = entry;
                 idx
             }
             None => {
-                self.entries.push(Entry { node, column, prev: NIL, next: NIL });
+                self.entries.push(entry);
                 self.entries.len() - 1
             }
         };
@@ -177,6 +212,7 @@ pub struct ColumnCache {
     shards: Vec<Mutex<Shard>>,
     stats: Vec<ShardStats>,
     metrics: Arc<Metrics>,
+    ttl: Option<Duration>,
 }
 
 impl ColumnCache {
@@ -184,7 +220,7 @@ impl ColumnCache {
     /// locks, with no admission filter.  Hit/miss/eviction counts are
     /// reported through `metrics`.
     pub fn new(capacity: usize, shards: usize, metrics: Arc<Metrics>) -> Self {
-        Self::with_admission(capacity, shards, metrics, false)
+        Self::with_policies(capacity, shards, metrics, false, None)
     }
 
     /// [`ColumnCache::new`] with an optional TinyLFU admission filter:
@@ -197,6 +233,18 @@ impl ColumnCache {
         metrics: Arc<Metrics>,
         admission: bool,
     ) -> Self {
+        Self::with_policies(capacity, shards, metrics, admission, None)
+    }
+
+    /// Full policy constructor: admission filter plus an optional TTL
+    /// (entries older than `ttl` are misses and drain on lookup).
+    pub fn with_policies(
+        capacity: usize,
+        shards: usize,
+        metrics: Arc<Metrics>,
+        admission: bool,
+        ttl: Option<Duration>,
+    ) -> Self {
         let shards = shards.max(1);
         let per_shard = capacity / shards;
         // Distribute the remainder so total capacity is exact.
@@ -205,7 +253,7 @@ impl ColumnCache {
         let shards = (0..shards)
             .map(|i| Mutex::new(Shard::new(per_shard + usize::from(i < extra), admission)))
             .collect();
-        ColumnCache { shards, stats, metrics }
+        ColumnCache { shards, stats, metrics, ttl }
     }
 
     fn shard(&self, node: usize) -> (&Mutex<Shard>, &ShardStats) {
@@ -213,17 +261,18 @@ impl ColumnCache {
         (&self.shards[i], &self.stats[i])
     }
 
-    /// Looks up the column for `node`, counting a hit or miss (globally
-    /// and on the owning shard) and recording the request's popularity
-    /// when admission is on.
-    pub fn get(&self, node: usize) -> Option<Column> {
+    /// Looks up the column for `node` as seen at `epoch`, counting a hit
+    /// or miss (globally and on the owning shard) and recording the
+    /// request's popularity when admission is on.  Entries tagged with
+    /// another epoch — or past the TTL — are misses and are dropped.
+    pub fn get(&self, node: usize, epoch: u64) -> Option<Column> {
         let (shard, stats) = self.shard(node);
         let result = {
             let mut shard = shard.lock().expect("cache shard poisoned");
             if shard.capacity == 0 {
                 None
             } else {
-                shard.get(node)
+                shard.get(node, epoch, self.ttl)
             }
         };
         match result {
@@ -240,16 +289,16 @@ impl ColumnCache {
         }
     }
 
-    /// Stores the column for `node`, counting any eviction or admission
-    /// rejection.
-    pub fn insert(&self, node: usize, column: Column) {
+    /// Stores the column for `node` evaluated at `epoch`, counting any
+    /// eviction or admission rejection.
+    pub fn insert(&self, node: usize, epoch: u64, column: Column) {
         let (shard, stats) = self.shard(node);
         let outcome = {
             let mut shard = shard.lock().expect("cache shard poisoned");
             if shard.capacity == 0 {
                 Inserted::Stored { evicted: false }
             } else {
-                shard.insert(node, column)
+                shard.insert(node, epoch, column)
             }
         };
         match outcome {
@@ -301,18 +350,18 @@ mod tests {
     fn hit_miss_and_eviction_counters() {
         let metrics = Arc::new(Metrics::new());
         let cache = ColumnCache::new(2, 1, Arc::clone(&metrics));
-        assert!(cache.get(1).is_none());
-        cache.insert(1, col(1.0));
-        cache.insert(2, col(2.0));
-        assert_eq!(cache.get(1).unwrap()[0], 1.0);
+        assert!(cache.get(1, 0).is_none());
+        cache.insert(1, 0, col(1.0));
+        cache.insert(2, 0, col(2.0));
+        assert_eq!(cache.get(1, 0).unwrap()[0], 1.0);
         assert_eq!(counts(&metrics), (1, 1, 0));
         // Capacity 2: inserting a third evicts the LRU (node 2, since 1
         // was touched more recently).
-        cache.insert(3, col(3.0));
+        cache.insert(3, 0, col(3.0));
         assert_eq!(counts(&metrics).2, 1);
-        assert!(cache.get(2).is_none(), "node 2 was the LRU");
-        assert!(cache.get(1).is_some());
-        assert!(cache.get(3).is_some());
+        assert!(cache.get(2, 0).is_none(), "node 2 was the LRU");
+        assert!(cache.get(1, 0).is_some());
+        assert!(cache.get(3, 0).is_some());
     }
 
     #[test]
@@ -320,13 +369,13 @@ mod tests {
         let metrics = Arc::new(Metrics::new());
         let cache = ColumnCache::new(3, 1, Arc::clone(&metrics));
         for n in 0..3 {
-            cache.insert(n, col(n as f64));
+            cache.insert(n, 0, col(n as f64));
         }
-        cache.get(0); // order (MRU→LRU): 0, 2, 1
-        cache.insert(3, col(3.0)); // evicts 1
-        assert!(cache.get(1).is_none());
+        cache.get(0, 0); // order (MRU→LRU): 0, 2, 1
+        cache.insert(3, 0, col(3.0)); // evicts 1
+        assert!(cache.get(1, 0).is_none());
         for n in [0usize, 2, 3] {
-            assert!(cache.get(n).is_some(), "node {n} should survive");
+            assert!(cache.get(n, 0).is_some(), "node {n} should survive");
         }
     }
 
@@ -334,9 +383,9 @@ mod tests {
     fn reinsert_refreshes_value_without_eviction() {
         let metrics = Arc::new(Metrics::new());
         let cache = ColumnCache::new(2, 1, Arc::clone(&metrics));
-        cache.insert(1, col(1.0));
-        cache.insert(1, col(10.0));
-        assert_eq!(cache.get(1).unwrap()[0], 10.0);
+        cache.insert(1, 0, col(1.0));
+        cache.insert(1, 0, col(10.0));
+        assert_eq!(cache.get(1, 0).unwrap()[0], 10.0);
         assert_eq!(counts(&metrics).2, 0);
     }
 
@@ -345,9 +394,9 @@ mod tests {
         let metrics = Arc::new(Metrics::new());
         let cache = ColumnCache::new(8, 3, Arc::clone(&metrics));
         for n in 0..8 {
-            cache.insert(n, col(n as f64));
+            cache.insert(n, 0, col(n as f64));
         }
-        let live = (0..8).filter(|&n| cache.get(n).is_some()).count();
+        let live = (0..8).filter(|&n| cache.get(n, 0).is_some()).count();
         assert_eq!(live, 8, "8 columns fit an 8-column cache across shards");
     }
 
@@ -355,8 +404,47 @@ mod tests {
     fn zero_capacity_disables_caching() {
         let metrics = Arc::new(Metrics::new());
         let cache = ColumnCache::new(0, 4, Arc::clone(&metrics));
-        cache.insert(1, col(1.0));
-        assert!(cache.get(1).is_none());
+        cache.insert(1, 0, col(1.0));
+        assert!(cache.get(1, 0).is_none());
         assert_eq!(counts(&metrics), (0, 1, 0));
+    }
+
+    #[test]
+    fn stale_epoch_entries_are_misses_and_drain_lazily() {
+        let metrics = Arc::new(Metrics::new());
+        let cache = ColumnCache::new(4, 1, Arc::clone(&metrics));
+        cache.insert(1, 0, col(1.0));
+        cache.insert(2, 0, col(2.0));
+        // A reader still on epoch 0 hits; a reader on epoch 1 misses and
+        // drops the stale entry.
+        assert!(cache.get(1, 0).is_some());
+        assert!(cache.get(1, 1).is_none(), "epoch-0 column must not answer an epoch-1 request");
+        // The stale entry is gone for everyone now — even the old epoch.
+        assert!(cache.get(1, 0).is_none());
+        // Untouched stale entries survive until requested: no flush.
+        assert!(cache.get(2, 0).is_some());
+        // Re-inserting under the new epoch serves the new epoch.
+        cache.insert(1, 1, col(11.0));
+        assert_eq!(cache.get(1, 1).unwrap()[0], 11.0);
+        assert_eq!(metrics.cache_evictions.load(Ordering::Relaxed), 0, "drain is not an eviction");
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let metrics = Arc::new(Metrics::new());
+        let cache =
+            ColumnCache::with_policies(4, 1, Arc::clone(&metrics), false, Some(Duration::ZERO));
+        cache.insert(1, 0, col(1.0));
+        // TTL 0: every entry is expired by the time it is read.
+        assert!(cache.get(1, 0).is_none());
+        let cache = ColumnCache::with_policies(
+            4,
+            1,
+            Arc::new(Metrics::new()),
+            false,
+            Some(Duration::from_secs(3600)),
+        );
+        cache.insert(1, 0, col(1.0));
+        assert!(cache.get(1, 0).is_some(), "a one-hour TTL does not expire immediately");
     }
 }

@@ -29,10 +29,10 @@
 use crate::cache::{Column, ColumnCache};
 use crate::metrics::Histogram;
 use crate::render;
+use crate::snapshot::{Snapshot, SnapshotHandle};
 use crate::wire;
-use csrplus_core::CsrPlusModel;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// One shard as the coordinator sees it: an address plus the internal
@@ -111,15 +111,27 @@ impl GatherMetrics {
 
 /// The coordinator engine: shard directory, bound table, column cache,
 /// and gather metrics.
+///
+/// The coordinator is snapshot-scoped like the local engine: every
+/// gather method takes the request's [`Snapshot`] and answers entirely
+/// against it.  The per-shard bound table is derived from a snapshot's
+/// split tables and memoised by epoch, so the epoch-0 steady state costs
+/// one boot-time derivation exactly as before.
 pub struct Coordinator {
-    model: Arc<CsrPlusModel>,
+    handle: Arc<SnapshotHandle>,
     shards: Vec<ShardSpec>,
-    bounds: Vec<ShardBound>,
+    bounds: Mutex<EpochBounds>,
     cache: Arc<ColumnCache>,
     timeout: Duration,
     hedge: Duration,
     /// Scatter-gather metrics (also rendered under `/metrics`).
     pub metrics: GatherMetrics,
+}
+
+/// The bound table plus the epoch whose split tables produced it.
+struct EpochBounds {
+    epoch: u64,
+    bounds: Vec<ShardBound>,
 }
 
 /// How long boot-time shard discovery keeps retrying before giving up.
@@ -128,10 +140,11 @@ const DISCOVERY_BACKOFF: Duration = Duration::from_millis(50);
 
 impl Coordinator {
     /// Discovers every shard's row range (retrying while they boot),
-    /// validates that together they tile `0..n` exactly, and precomputes
-    /// the per-shard bound table.
+    /// validates that together they tile `0..n` exactly and that every
+    /// shard reports the same model epoch (shards without an epoch field
+    /// are epoch 0), and precomputes the per-shard bound table.
     pub fn connect(
-        model: Arc<CsrPlusModel>,
+        handle: Arc<SnapshotHandle>,
         shard_addrs: &[String],
         timeout: Duration,
         hedge: Duration,
@@ -140,8 +153,10 @@ impl Coordinator {
         if shard_addrs.is_empty() {
             return Err("coordinator needs at least one shard address".to_string());
         }
-        let n = model.n();
+        let boot = handle.load();
+        let n = boot.model().n();
         let mut shards = Vec::with_capacity(shard_addrs.len());
+        let mut epochs: Vec<(String, u64)> = Vec::with_capacity(shard_addrs.len());
         for addr in shard_addrs {
             let deadline = Instant::now() + DISCOVERY_BUDGET;
             let body = loop {
@@ -165,7 +180,19 @@ impl Coordinator {
                     "shard {addr} serves a model with n = {shard_n}, coordinator has n = {n}"
                 ));
             }
+            // Static shards predate epochs and omit the field: epoch 0.
+            let epoch = wire::json_usize(&body, "epoch").map(|e| e as u64).unwrap_or(0);
+            epochs.push((addr.clone(), epoch));
             shards.push(ShardSpec { addr: addr.clone(), lo, hi });
+        }
+        // A gather that mixes model versions would merge slices of two
+        // different similarity matrices; refuse to boot over it.
+        if let Some(((a0, e0), (a1, e1))) = epochs.split_first().and_then(|(first, rest)| {
+            rest.iter().find(|(_, e)| e != &first.1).map(|bad| (first.clone(), bad.clone()))
+        }) {
+            return Err(format!(
+                "shard epochs disagree: {a0} is at epoch {e0}, {a1} at epoch {e1}"
+            ));
         }
         shards.sort_by_key(|s| s.lo);
         let mut next = 0;
@@ -182,22 +209,10 @@ impl Coordinator {
             return Err(format!("shard ranges stop at {next}, model has {n} rows"));
         }
 
-        let (_, z_split) = model.derived_tables();
-        let bounds = shards
-            .iter()
-            .map(|s| {
-                let mut b =
-                    ShardBound { z0_min: f64::INFINITY, z0_max: f64::NEG_INFINITY, zrest_max: 0.0 };
-                for &(z0, zrest) in &z_split[s.lo..s.hi] {
-                    b.z0_min = b.z0_min.min(z0);
-                    b.z0_max = b.z0_max.max(z0);
-                    b.zrest_max = b.zrest_max.max(zrest);
-                }
-                b
-            })
-            .collect();
+        let bounds =
+            Mutex::new(EpochBounds { epoch: boot.epoch(), bounds: derive_bounds(&boot, &shards) });
         let metrics = GatherMetrics::new(shards.len());
-        Ok(Coordinator { model, shards, bounds, cache, timeout, hedge, metrics })
+        Ok(Coordinator { handle, shards, bounds, cache, timeout, hedge, metrics })
     }
 
     /// The shard directory (sorted by row range).
@@ -205,9 +220,20 @@ impl Coordinator {
         &self.shards
     }
 
-    /// Number of nodes in the model.
+    /// Number of nodes in the current snapshot's model.
     pub fn n(&self) -> usize {
-        self.model.n()
+        self.handle.load().model().n()
+    }
+
+    /// The bound table for `snapshot`, memoised by epoch: recomputed
+    /// only when a request arrives under a newer published model.
+    fn bounds_for(&self, snapshot: &Snapshot) -> Vec<ShardBound> {
+        let mut cached = self.bounds.lock().expect("bounds lock");
+        if cached.epoch != snapshot.epoch() {
+            cached.epoch = snapshot.epoch();
+            cached.bounds = derive_bounds(snapshot, &self.shards);
+        }
+        cached.bounds.clone()
     }
 
     /// One hedged, budgeted GET against shard `si`.  A second identical
@@ -248,8 +274,12 @@ impl Coordinator {
     /// Full similarity columns for `nodes`, in original-id space:
     /// cache hits are returned as-is, misses are gathered from every
     /// shard in one scatter and reassembled.
-    pub fn columns(&self, nodes: &[usize]) -> Result<Vec<Column>, (u16, String)> {
-        self.columns_rank(nodes, None)
+    pub fn columns(
+        &self,
+        snapshot: &Snapshot,
+        nodes: &[usize],
+    ) -> Result<Vec<Column>, (u16, String)> {
+        self.columns_rank(snapshot, nodes, None)
     }
 
     /// [`Coordinator::columns`] with an optional rank truncation.
@@ -258,17 +288,20 @@ impl Coordinator {
     /// cached and never served from cache.
     pub fn columns_rank(
         &self,
+        snapshot: &Snapshot,
         nodes: &[usize],
         rank: Option<usize>,
     ) -> Result<Vec<Column>, (u16, String)> {
+        let model = snapshot.model();
+        let n = model.n();
         for &q in nodes {
-            if q >= self.model.n() {
-                let e = csrplus_core::CoSimRankError::QueryOutOfBounds { node: q, n: self.n() };
+            if q >= n {
+                let e = csrplus_core::CoSimRankError::QueryOutOfBounds { node: q, n };
                 return Err((400, e.to_string()));
             }
         }
         let mut out: Vec<Option<Column>> = match rank {
-            None => nodes.iter().map(|&q| self.cache.get(q)).collect(),
+            None => nodes.iter().map(|&q| self.cache.get(q, snapshot.epoch())).collect(),
             Some(_) => vec![None; nodes.len()],
         };
         let mut missing: Vec<usize> = Vec::new();
@@ -284,7 +317,7 @@ impl Coordinator {
             let path = format!("/shard/columns?nodes={list}{}", rank_suffix(rank));
             let partials = self.scatter_all(&path)?;
             let merge_start = Instant::now();
-            let mut full: Vec<Vec<f64>> = missing.iter().map(|_| vec![0.0; self.n()]).collect();
+            let mut full: Vec<Vec<f64>> = missing.iter().map(|_| vec![0.0; n]).collect();
             for (shard, body) in self.shards.iter().zip(&partials) {
                 let cols = wire::json_string_array(body, "cols").map_err(|e| (502, e))?;
                 if cols.len() != missing.len() {
@@ -306,14 +339,14 @@ impl Coordinator {
                     // Internal row → original node id: the gather is
                     // where the reordering permutation unwinds.
                     for (row, v) in (shard.lo..shard.hi).zip(part) {
-                        dst[self.model.original_id(row)] = v;
+                        dst[model.original_id(row)] = v;
                     }
                 }
             }
             for (q, col) in missing.iter().zip(full) {
                 let col: Column = Column::from(col.into_boxed_slice());
                 if rank.is_none() {
-                    self.cache.insert(*q, Arc::clone(&col));
+                    self.cache.insert(*q, snapshot.epoch(), Arc::clone(&col));
                 }
                 for (slot, &want) in out.iter_mut().zip(nodes) {
                     if want == *q && slot.is_none() {
@@ -342,19 +375,26 @@ impl Coordinator {
 
     /// `[S]_{a,b}` — from a cached column when possible, otherwise from
     /// the single shard owning internal row `a` (no full gather).
-    pub fn similarity(&self, a: usize, b: usize) -> Result<f64, (u16, String)> {
-        self.similarity_rank(a, b, None)
+    pub fn similarity(
+        &self,
+        snapshot: &Snapshot,
+        a: usize,
+        b: usize,
+    ) -> Result<f64, (u16, String)> {
+        self.similarity_rank(snapshot, a, b, None)
     }
 
     /// [`Coordinator::similarity`] with an optional rank truncation
     /// (`Some(t)` bypasses the cache and forwards `rank=t`).
     pub fn similarity_rank(
         &self,
+        snapshot: &Snapshot,
         a: usize,
         b: usize,
         rank: Option<usize>,
     ) -> Result<f64, (u16, String)> {
-        let n = self.n();
+        let model = snapshot.model();
+        let n = model.n();
         for node in [a, b] {
             if node >= n {
                 let e = csrplus_core::CoSimRankError::QueryOutOfBounds { node, n };
@@ -362,11 +402,11 @@ impl Coordinator {
             }
         }
         if rank.is_none() {
-            if let Some(col) = self.cache.get(b) {
+            if let Some(col) = self.cache.get(b, snapshot.epoch()) {
                 return Ok(col[a]);
             }
         }
-        let row = self.model.internal_row(a);
+        let row = model.internal_row(a);
         let si = self
             .shards
             .iter()
@@ -388,8 +428,13 @@ impl Coordinator {
     /// bound is strictly below the k-th best score is skipped without a
     /// request (bound < kth ⟹ every score it holds < kth, so not even
     /// the id tie-break can displace the current set).
-    pub fn top_k(&self, q: usize, k: usize) -> Result<Vec<(usize, f64)>, (u16, String)> {
-        self.top_k_rank(q, k, None)
+    pub fn top_k(
+        &self,
+        snapshot: &Snapshot,
+        q: usize,
+        k: usize,
+    ) -> Result<Vec<(usize, f64)>, (u16, String)> {
+        self.top_k_rank(snapshot, q, k, None)
     }
 
     /// [`Coordinator::top_k`] with an optional rank truncation.
@@ -399,17 +444,19 @@ impl Coordinator {
     /// used only to order shard visits, never to prove one irrelevant.
     pub fn top_k_rank(
         &self,
+        snapshot: &Snapshot,
         q: usize,
         k: usize,
         rank: Option<usize>,
     ) -> Result<Vec<(usize, f64)>, (u16, String)> {
-        let n = self.n();
+        let model = snapshot.model();
+        let n = model.n();
         if q >= n {
             let e = csrplus_core::CoSimRankError::QueryOutOfBounds { node: q, n };
             return Err((400, e.to_string()));
         }
         if rank.is_none() {
-            if let Some(col) = self.cache.get(q) {
+            if let Some(col) = self.cache.get(q, snapshot.epoch()) {
                 return Ok(render::top_k_from_column(&col, q, k));
             }
         }
@@ -417,11 +464,11 @@ impl Coordinator {
             return Ok(Vec::new());
         }
         self.metrics.scatter_requests.fetch_add(1, Ordering::Relaxed);
-        let c = self.model.config().damping;
-        let uq = self.model.u().row_ref(self.model.internal_row(q));
+        let c = model.config().damping;
+        let uq = model.u().row_ref(model.internal_row(q));
         let (u0, urest) = (uq.first(), uq.tail_norm2());
-        let mut order: Vec<(f64, usize)> = self
-            .bounds
+        let bounds = self.bounds_for(snapshot);
+        let mut order: Vec<(f64, usize)> = bounds
             .iter()
             .enumerate()
             .map(|(si, b)| {
@@ -471,4 +518,23 @@ impl Coordinator {
 /// The `&rank=t` query suffix a truncated gather forwards to shards.
 fn rank_suffix(rank: Option<usize>) -> String {
     rank.map(|t| format!("&rank={t}")).unwrap_or_default()
+}
+
+/// Builds the per-shard split-bound table from a snapshot's derived
+/// tables (see [`ShardBound`]).
+fn derive_bounds(snapshot: &Snapshot, shards: &[ShardSpec]) -> Vec<ShardBound> {
+    let (_, z_split) = snapshot.model().derived_tables();
+    shards
+        .iter()
+        .map(|s| {
+            let mut b =
+                ShardBound { z0_min: f64::INFINITY, z0_max: f64::NEG_INFINITY, zrest_max: 0.0 };
+            for &(z0, zrest) in &z_split[s.lo..s.hi] {
+                b.z0_min = b.z0_min.min(z0);
+                b.z0_max = b.z0_max.max(z0);
+                b.zrest_max = b.zrest_max.max(zrest);
+            }
+            b
+        })
+        .collect()
 }

@@ -101,9 +101,32 @@ fn hex_value(b: u8) -> Option<u8> {
 
 /// Reads the request line and drains the headers (GET only, no bodies).
 pub fn read_request<R: Read>(stream: R) -> std::io::Result<String> {
+    Ok(read_request_with_body(stream)?.line)
+}
+
+/// A raw request as read off the wire: the request line plus the body
+/// (empty unless the client sent `Content-Length`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawRequest {
+    /// The request line, e.g. `POST /edges HTTP/1.1\r\n`.
+    pub line: String,
+    /// The request body (bounded by [`MAX_BODY_BYTES`]).
+    pub body: String,
+}
+
+/// Bodies past this size are refused at the read layer (ingestion
+/// batches are expected to be a few thousand small JSON lines, not
+/// bulk uploads).
+pub const MAX_BODY_BYTES: usize = 4 << 20;
+
+/// Reads the request line, the headers (capturing `Content-Length`) and
+/// the body.  GET requests without a body return an empty body — this
+/// is a strict superset of [`read_request`].
+pub fn read_request_with_body<R: Read>(stream: R) -> std::io::Result<RawRequest> {
     let mut reader = BufReader::new(stream);
     let mut request_line = String::new();
     reader.read_line(&mut request_line)?;
+    let mut content_length = 0usize;
     let mut line = String::new();
     loop {
         line.clear();
@@ -111,8 +134,48 @@ pub fn read_request<R: Read>(stream: R) -> std::io::Result<String> {
         if n == 0 || line == "\r\n" || line == "\n" {
             break;
         }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
     }
-    Ok(request_line)
+    if content_length > MAX_BODY_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("request body of {content_length} bytes exceeds {MAX_BODY_BYTES}"),
+        ));
+    }
+    let mut body_bytes = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body_bytes)?;
+    }
+    let body = String::from_utf8(body_bytes).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "request body is not UTF-8")
+    })?;
+    Ok(RawRequest { line: request_line, body })
+}
+
+/// Parses a request line like [`parse_request_line`] but accepts the
+/// listed methods, returning `(method, target)`.  The pooled server
+/// uses this to admit `POST /edges`; the legacy server and all public
+/// query routes stay strictly `GET`.
+pub fn parse_request_line_methods(
+    request_line: &str,
+    methods: &[&str],
+) -> Result<(String, Target), (u16, String)> {
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    if !methods.contains(&method) {
+        return Err((400, format!("unsupported method {method:?}")));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let params = parse_query(query)?;
+    Ok((method.to_string(), Target { path: path.to_string(), params }))
 }
 
 /// The standard reason phrase for the status codes this crate emits.
@@ -250,6 +313,39 @@ mod tests {
         let s = String::from_utf8(buf).unwrap();
         assert!(s.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
         assert!(s.contains("{\"error\":\"queue full\"}"));
+    }
+
+    #[test]
+    fn body_reading_honours_content_length() {
+        let raw =
+            b"POST /edges HTTP/1.1\r\nContent-Length: 11\r\n\r\n{\"op\":\"i\"}\ntrailing junk";
+        let req = read_request_with_body(&raw[..]).unwrap();
+        assert_eq!(req.line, "POST /edges HTTP/1.1\r\n");
+        assert_eq!(req.body, "{\"op\":\"i\"}\n");
+        let raw = b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n";
+        let req = read_request_with_body(&raw[..]).unwrap();
+        assert_eq!(req.line, "GET /health HTTP/1.1\r\n");
+        assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn oversized_bodies_are_refused() {
+        let raw = format!("POST /edges HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert!(read_request_with_body(raw.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn method_aware_parsing_admits_post_for_listed_methods() {
+        let (m, t) = parse_request_line_methods("POST /edges HTTP/1.1", &["GET", "POST"]).unwrap();
+        assert_eq!(m, "POST");
+        assert_eq!(t.path, "/edges");
+        let (m, t) = parse_request_line_methods("GET /health HTTP/1.1", &["GET", "POST"]).unwrap();
+        assert_eq!(m, "GET");
+        assert_eq!(t.path, "/health");
+        assert_eq!(
+            parse_request_line_methods("PUT /edges HTTP/1.1", &["GET", "POST"]).unwrap_err().0,
+            400
+        );
     }
 
     #[test]

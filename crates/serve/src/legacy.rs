@@ -14,6 +14,7 @@
 
 use crate::http::{self, Target};
 use crate::render;
+use crate::snapshot::SnapshotHandle;
 use csrplus_core::CsrPlusModel;
 use std::net::TcpListener;
 use std::sync::Arc;
@@ -42,13 +43,16 @@ pub fn serve_listener(
     listener: TcpListener,
     max_requests: Option<usize>,
 ) -> Result<(), Box<dyn std::error::Error>> {
-    let model = Arc::new(model);
+    // Even the legacy loop owns its model through the snapshot seam: a
+    // per-request `load()` of a handle nobody publishes to is epoch 0
+    // forever, so behaviour is byte-identical to the direct-Arc days.
+    let handle = SnapshotHandle::new(Arc::new(model));
     let mut served = 0usize;
     for stream in listener.incoming() {
         match stream {
             Ok(stream) => {
                 // Blocking handler: each request is microseconds of work.
-                if let Err(e) = handle(&model, stream) {
+                if let Err(e) = handle_connection(&handle, stream) {
                     eprintln!("request error: {e}");
                 }
                 served += 1;
@@ -64,9 +68,10 @@ pub fn serve_listener(
     Ok(())
 }
 
-fn handle(model: &CsrPlusModel, stream: std::net::TcpStream) -> std::io::Result<()> {
+fn handle_connection(handle: &SnapshotHandle, stream: std::net::TcpStream) -> std::io::Result<()> {
     let request_line = http::read_request(stream.try_clone()?)?;
-    match route(model, request_line.trim()) {
+    let snapshot = handle.load();
+    match route(snapshot.model(), request_line.trim()) {
         Ok(body) => http::write_response(&stream, 200, &body),
         Err((code, msg)) => http::write_error(&stream, code, &msg),
     }

@@ -45,14 +45,18 @@ pub mod cache;
 pub mod coordinator;
 pub mod gauge;
 pub mod http;
+pub mod ingest;
 pub mod legacy;
 pub mod metrics;
 pub mod pool;
 pub mod render;
 pub mod server;
+pub mod snapshot;
 pub mod tinylfu;
 pub mod wire;
 
 pub use coordinator::{Coordinator, ShardSpec};
+pub use ingest::{EdgeOp, IngestConfig};
 pub use metrics::Metrics;
 pub use server::{ServeConfig, Server, ServerHandle};
+pub use snapshot::{Snapshot, SnapshotHandle};

@@ -2,7 +2,9 @@
 //! route, and the batch-size distribution — everything `GET /metrics`
 //! reports.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// Routes with dedicated counters/latency series.
@@ -24,11 +26,13 @@ pub enum Route {
     ShardColumns,
     /// `GET /shard/topk` (shard servers only)
     ShardTopK,
+    /// `POST /edges` (ingestion-enabled servers only)
+    Edges,
 }
 
 impl Route {
     /// All instrumented routes, in render order.
-    pub const ALL: [Route; 8] = [
+    pub const ALL: [Route; 9] = [
         Route::Health,
         Route::Metrics,
         Route::Similarity,
@@ -37,6 +41,7 @@ impl Route {
         Route::ShardRange,
         Route::ShardColumns,
         Route::ShardTopK,
+        Route::Edges,
     ];
 
     fn index(self) -> usize {
@@ -49,6 +54,7 @@ impl Route {
             Route::ShardRange => 5,
             Route::ShardColumns => 6,
             Route::ShardTopK => 7,
+            Route::Edges => 8,
         }
     }
 
@@ -62,6 +68,7 @@ impl Route {
             Route::ShardRange => "shard_range",
             Route::ShardColumns => "shard_columns",
             Route::ShardTopK => "shard_topk",
+            Route::Edges => "edges",
         }
     }
 }
@@ -176,9 +183,9 @@ impl Default for Histogram {
 #[derive(Debug, Default)]
 pub struct Metrics {
     /// Requests per route (indexed by [`Route`]).
-    requests: [AtomicU64; 8],
+    requests: [AtomicU64; 9],
     /// Per-route latency, microseconds (indexed by [`Route`]).
-    latency_us: [Histogram; 8],
+    latency_us: [Histogram; 9],
     /// 4xx responses (bad parameters, unknown routes, …).
     pub client_errors: AtomicU64,
     /// I/O failures while reading/answering a request.
@@ -220,6 +227,22 @@ pub struct Metrics {
     /// 1 when the model stores its factors in f32 (mixed-precision
     /// kernels), 0 for full f64 storage.
     pub model_f32: AtomicU64,
+    /// Per-client (peer-address keyed) shed counts — the fairness
+    /// ledger behind escalating `Retry-After` advice.
+    shed_clients: Mutex<HashMap<String, u64>>,
+    /// The currently served model epoch (0 = boot model, ingestion off
+    /// or no edits published yet).
+    pub ingest_epoch: AtomicU64,
+    /// Edge edits applied by the update thread (inserts + deletes that
+    /// actually changed the graph).
+    pub ingest_updates_applied: AtomicU64,
+    /// Model snapshots published by the update thread.
+    pub ingest_epochs_published: AtomicU64,
+    /// Full re-factorisations (`refresh()`) the update thread ran after
+    /// exhausting its incremental-update budget.
+    pub ingest_rebuilds: AtomicU64,
+    /// Epoch checkpoints written through the store's v2 writer.
+    pub ingest_checkpoints: AtomicU64,
 }
 
 impl Metrics {
@@ -242,6 +265,28 @@ impl Metrics {
         self.cold_start_us.store(us, Ordering::Relaxed);
         self.model_mapped.store(mapped as u64, Ordering::Relaxed);
         self.model_f32.store(f32_storage as u64, Ordering::Relaxed);
+    }
+
+    /// Records one shed against `client` (a peer address) and returns
+    /// that client's total shed count, including this one.  The caller
+    /// uses the count to escalate `Retry-After` advice for repeat
+    /// offenders so one hot client cannot starve the rest.
+    pub fn record_shed_for_client(&self, client: &str) -> u64 {
+        let mut clients = self.shed_clients.lock().expect("shed ledger poisoned");
+        let count = clients.entry(client.to_string()).or_insert(0);
+        *count += 1;
+        *count
+    }
+
+    /// The per-client shed ledger as a JSON object with deterministic
+    /// (sorted) key order.
+    pub fn shed_clients_json(&self) -> String {
+        let clients = self.shed_clients.lock().expect("shed ledger poisoned");
+        let mut entries: Vec<(&String, &u64)> = clients.iter().collect();
+        entries.sort();
+        let body: Vec<String> =
+            entries.iter().map(|(k, v)| format!("{}:{v}", crate::http::json_string(k))).collect();
+        format!("{{{}}}", body.join(","))
     }
 
     /// Requests served on `route` so far.
@@ -275,7 +320,10 @@ impl Metrics {
                 "\"batcher\":{{\"model_evaluations\":{},\"batched_requests\":{},\"batch_sizes\":{}}},",
                 "\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"admission_rejects\":{}}},",
                 "\"shed\":{{\"total\":{},\"last_retry_after_s\":{}}},",
+                "\"shed_clients\":{},",
                 "\"degraded\":{{\"requests\":{},\"served_rank\":{}}},",
+                "\"ingest\":{{\"epoch\":{},\"updates_applied\":{},\"epochs_published\":{},",
+                "\"rebuilds\":{},\"checkpoints\":{}}},",
                 "\"boot\":{{\"cold_start_us\":{},\"model_mapped\":{},",
                 "\"model_precision\":\"{}\"}}}}"
             ),
@@ -293,8 +341,14 @@ impl Metrics {
             load(&self.cache_admission_rejects),
             load(&self.shed_total),
             load(&self.shed_last_retry_after_s),
+            self.shed_clients_json(),
             load(&self.degraded_requests),
             self.served_rank.render_json(),
+            load(&self.ingest_epoch),
+            load(&self.ingest_updates_applied),
+            load(&self.ingest_epochs_published),
+            load(&self.ingest_rebuilds),
+            load(&self.ingest_checkpoints),
             load(&self.cold_start_us),
             load(&self.model_mapped),
             if load(&self.model_f32) == 1 { "f32" } else { "f64" },
@@ -391,6 +445,37 @@ mod tests {
             "{json}"
         );
         assert!(json.contains("\"admission_rejects\":0"), "{json}");
+    }
+
+    #[test]
+    fn per_client_shed_ledger_renders_sorted_and_escalates() {
+        let m = Metrics::new();
+        assert!(m.render_json().contains("\"shed_clients\":{}"), "empty ledger renders as {{}}");
+        assert_eq!(m.record_shed_for_client("10.0.0.2"), 1);
+        assert_eq!(m.record_shed_for_client("10.0.0.1"), 1);
+        assert_eq!(m.record_shed_for_client("10.0.0.2"), 2);
+        assert_eq!(m.shed_clients_json(), "{\"10.0.0.1\":1,\"10.0.0.2\":2}");
+        assert!(m.render_json().contains("\"shed_clients\":{\"10.0.0.1\":1,\"10.0.0.2\":2}"));
+    }
+
+    #[test]
+    fn ingest_section_renders() {
+        let m = Metrics::new();
+        assert!(
+            m.render_json().contains(
+                "\"ingest\":{\"epoch\":0,\"updates_applied\":0,\"epochs_published\":0,\
+                 \"rebuilds\":0,\"checkpoints\":0}"
+            ),
+            "{}",
+            m.render_json()
+        );
+        m.ingest_epoch.store(3, Ordering::Relaxed);
+        m.ingest_updates_applied.fetch_add(17, Ordering::Relaxed);
+        m.ingest_epochs_published.fetch_add(3, Ordering::Relaxed);
+        let json = m.render_json();
+        assert!(json.contains("\"ingest\":{\"epoch\":3,\"updates_applied\":17"), "{json}");
+        m.record_request(Route::Edges, Duration::from_micros(10));
+        assert!(m.render_json().contains("\"edges\":{\"requests\":1"), "{}", m.render_json());
     }
 
     #[test]

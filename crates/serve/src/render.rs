@@ -32,6 +32,19 @@ pub fn query(nodes: &[usize], columns: &[&[f64]]) -> String {
     format!("{{\"queries\":[{}],\"columns\":[{}]}}", q.join(","), cols.join(","))
 }
 
+/// Tags a rendered JSON object body with the epoch it was computed at:
+/// `{"a":1}` → `{"a":1,"epoch":3}`.  Ingestion-enabled servers stamp
+/// every query response through this so clients can correlate answers
+/// with published model versions; with ingestion off nothing calls it
+/// and bodies stay byte-identical to the static-model server.
+pub fn with_epoch(body: String, epoch: u64) -> String {
+    let mut body = body;
+    debug_assert!(body.ends_with('}'), "epoch tagging expects a JSON object body");
+    body.pop();
+    body.push_str(&format!(",\"epoch\":{epoch}}}"));
+    body
+}
+
 /// Top-`k` over a precomputed similarity column, excluding the query
 /// node, sorted by descending score with node id as tie-break — the same
 /// order [`csrplus_core::CsrPlusModel::top_k`] produces, so serving from
@@ -92,6 +105,18 @@ mod tests {
         assert_eq!(
             query(&[1, 3], &[&[0.0, 1.0][..], &[0.5, 0.25][..]]),
             "{\"queries\":[1,3],\"columns\":[[0,1],[0.5,0.25]]}"
+        );
+    }
+
+    #[test]
+    fn epoch_tagging_appends_to_the_object() {
+        assert_eq!(
+            with_epoch(health(6, 3), 0),
+            "{\"status\":\"ok\",\"nodes\":6,\"rank\":3,\"epoch\":0}"
+        );
+        assert_eq!(
+            with_epoch(similarity(1, 3, 0.5), 42),
+            "{\"a\":1,\"b\":3,\"similarity\":0.5,\"epoch\":42}"
         );
     }
 

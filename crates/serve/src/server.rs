@@ -6,16 +6,27 @@
 //! Routes are the same as the legacy server (`/health`, `/similarity`,
 //! `/topk`, `/query`) plus `/metrics`; bodies for identical scores are
 //! byte-identical to the legacy ones (shared [`crate::render`]).
+//!
+//! Every request loads one epoch-versioned snapshot from the
+//! [`SnapshotHandle`] up front and answers entirely against it, so a
+//! response can never mix two model versions even while the live
+//! ingestion thread ([`Server::start_ingesting`], `POST /edges`) is
+//! publishing new epochs mid-flight.  With ingestion off the handle
+//! stays at epoch 0 forever and bodies are byte-identical to the
+//! static-model server.
 
 use crate::batcher::{Batcher, ColumnError};
 use crate::cache::{Column, ColumnCache};
 use crate::coordinator::Coordinator;
 use crate::gauge::LoadGauge;
 use crate::http::{self, Target};
+use crate::ingest::{self, IngestConfig, Ingestor};
 use crate::metrics::{Metrics, Route};
 use crate::pool::WorkerPool;
 use crate::render;
+use crate::snapshot::{Snapshot, SnapshotHandle};
 use crate::wire;
+use csrplus_core::dynamic::DynamicCsrPlus;
 use csrplus_core::CsrPlusModel;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -70,6 +81,11 @@ pub struct ServeConfig {
     /// default `0` degrades every opted-in request once the policy is
     /// enabled (deterministic, and what a saturated queue converges to).
     pub degrade_watermark: usize,
+    /// Column-cache entry time-to-live.  `None` (the default) keeps
+    /// entries until eviction — today's behaviour; `Some(ttl)` expires
+    /// them lazily on lookup, which bounds staleness for deployments
+    /// that mutate the model out-of-band.
+    pub cache_ttl: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -97,6 +113,7 @@ impl Default for ServeConfig {
             adaptive_linger: false,
             degrade_rank: None,
             degrade_watermark: 0,
+            cache_ttl: None,
         }
     }
 }
@@ -110,7 +127,9 @@ enum Engine {
 
 /// Everything a worker needs to answer one connection.
 struct Ctx {
-    model: Arc<CsrPlusModel>,
+    /// The epoch-versioned model: workers `load()` it once per request
+    /// and answer entirely against that snapshot.
+    handle: Arc<SnapshotHandle>,
     engine: Engine,
     metrics: Arc<Metrics>,
     cache: Arc<ColumnCache>,
@@ -121,6 +140,9 @@ struct Ctx {
     /// Pressure-degraded rank policy (see [`ServeConfig::degrade_rank`]).
     degrade_rank: Option<usize>,
     degrade_watermark: usize,
+    /// The live update thread behind `POST /edges`; `None` means
+    /// ingestion is off and responses never carry an epoch tag.
+    ingest: Option<Ingestor>,
 }
 
 /// The pooled, batching server.  [`Server::start`] binds and returns a
@@ -136,29 +158,54 @@ impl Server {
         port: u16,
         config: ServeConfig,
     ) -> std::io::Result<ServerHandle> {
+        Self::boot(SnapshotHandle::new(Arc::new(model)), port, config, None)
+    }
+
+    /// [`Server::start`] with live edge ingestion: the server boots from
+    /// `dynamic`'s current model as epoch 0, accepts `POST /edges`, and
+    /// a dedicated update thread publishes each applied batch as a new
+    /// epoch.  Every response then carries an `"epoch"` field naming the
+    /// snapshot it was answered from.
+    pub fn start_ingesting(
+        dynamic: DynamicCsrPlus,
+        port: u16,
+        config: ServeConfig,
+        ingest: IngestConfig,
+    ) -> std::io::Result<ServerHandle> {
+        let handle = SnapshotHandle::new(Arc::new(dynamic.model().clone()));
+        Self::boot(handle, port, config, Some((dynamic, ingest)))
+    }
+
+    fn boot(
+        handle: SnapshotHandle,
+        port: u16,
+        config: ServeConfig,
+        ingest: Option<(DynamicCsrPlus, IngestConfig)>,
+    ) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
 
         let metrics = Arc::new(Metrics::new());
-        let model = Arc::new(model);
+        let handle = Arc::new(handle);
         let gauge = Arc::new(LoadGauge::new(config.queue_depth));
-        let cache = Arc::new(ColumnCache::with_admission(
+        let cache = Arc::new(ColumnCache::with_policies(
             config.cache_capacity,
             config.cache_shards,
             Arc::clone(&metrics),
             config.cache_admission,
+            config.cache_ttl,
         ));
+        let boot_n = handle.load().model().n();
         if let Some((lo, hi)) = config.shard_rows {
-            if lo > hi || hi > model.n() {
+            if lo > hi || hi > boot_n {
                 return Err(std::io::Error::other(format!(
-                    "shard row range {lo}..{hi} invalid for n = {}",
-                    model.n()
+                    "shard row range {lo}..{hi} invalid for n = {boot_n}"
                 )));
             }
         }
         let engine = if config.shards.is_empty() {
             Engine::Local(Batcher::with_policies(
-                Arc::clone(&model),
+                Arc::clone(&handle),
                 Arc::clone(&cache),
                 Arc::clone(&metrics),
                 config.max_batch,
@@ -170,7 +217,7 @@ impl Server {
         } else {
             Engine::Sharded(Box::new(
                 Coordinator::connect(
-                    Arc::clone(&model),
+                    Arc::clone(&handle),
                     &config.shards,
                     config.shard_timeout,
                     config.hedge,
@@ -179,8 +226,11 @@ impl Server {
                 .map_err(std::io::Error::other)?,
             ))
         };
+        let ingest = ingest.map(|(dynamic, icfg)| {
+            Ingestor::start(dynamic, Arc::clone(&handle), Arc::clone(&metrics), icfg)
+        });
         let ctx = Arc::new(Ctx {
-            model,
+            handle,
             engine,
             metrics: Arc::clone(&metrics),
             cache,
@@ -189,6 +239,7 @@ impl Server {
             shard_rows: config.shard_rows,
             degrade_rank: config.degrade_rank,
             degrade_watermark: config.degrade_watermark,
+            ingest,
         });
         let pool =
             Arc::new(WorkerPool::with_gauge(config.workers, config.queue_depth, Some(gauge)));
@@ -310,6 +361,7 @@ fn accept_loop(
             let _ = stream.set_write_timeout(Some(ctx.timeout));
         }
         let shed = stream.try_clone();
+        let peer = stream.peer_addr();
         let job = {
             let ctx = Arc::clone(ctx);
             Box::new(move || handle_connection(&ctx, stream))
@@ -320,7 +372,15 @@ fn accept_loop(
             // (a full queue advises a longer backoff than a closing one).
             ctx.metrics.queue_rejections.fetch_add(1, Ordering::Relaxed);
             ctx.metrics.shed_total.fetch_add(1, Ordering::Relaxed);
-            let retry_s = 1 + (ctx.gauge.depth() / ctx.gauge.capacity()) as u64;
+            // Fairness: a client that keeps getting shed is advised to
+            // back off progressively harder than a first-time arrival —
+            // every 4 sheds from the same peer adds a second.  The first
+            // few sheds advise exactly what they always did.
+            let client = peer.map(|a| a.ip().to_string()).unwrap_or_else(|_| "unknown".into());
+            let client_sheds = ctx.metrics.record_shed_for_client(&client);
+            let retry_s = 1
+                + (ctx.gauge.depth() / ctx.gauge.capacity()) as u64
+                + client_sheds.saturating_sub(1) / 4;
             ctx.metrics.shed_last_retry_after_s.store(retry_s, Ordering::Relaxed);
             if let Ok(stream) = shed {
                 let _ =
@@ -340,14 +400,14 @@ fn accept_loop(
 
 fn handle_connection(ctx: &Ctx, stream: TcpStream) {
     let start = Instant::now();
-    let request_line = match stream.try_clone().and_then(http::read_request) {
-        Ok(line) => line,
+    let raw = match stream.try_clone().and_then(http::read_request_with_body) {
+        Ok(raw) => raw,
         Err(_) => {
             ctx.metrics.io_errors.fetch_add(1, Ordering::Relaxed);
             return;
         }
     };
-    let (route, result) = dispatch(ctx, request_line.trim(), start);
+    let (route, result) = dispatch(ctx, raw.line.trim(), &raw.body, start);
     let outcome = match &result {
         Ok(body) => http::write_response(&stream, 200, body),
         Err((code, msg)) => {
@@ -368,9 +428,10 @@ fn handle_connection(ctx: &Ctx, stream: TcpStream) {
 fn dispatch(
     ctx: &Ctx,
     request_line: &str,
+    body: &str,
     start: Instant,
 ) -> (Option<Route>, Result<String, (u16, String)>) {
-    let target = match http::parse_request_line(request_line) {
+    let (method, target) = match http::parse_request_line_methods(request_line, &["GET", "POST"]) {
         Ok(t) => t,
         Err(e) => return (None, Err(e)),
     };
@@ -383,17 +444,43 @@ fn dispatch(
         "/shard/range" => Route::ShardRange,
         "/shard/columns" => Route::ShardColumns,
         "/shard/topk" => Route::ShardTopK,
+        "/edges" => Route::Edges,
         other => return (None, Err((404, format!("no route {other:?}")))),
     };
-    (Some(route), answer(ctx, route, &target, start))
+    // `/edges` mutates and is POST-only; everything else is GET-only.
+    let edges = matches!(route, Route::Edges);
+    if edges != (method == "POST") {
+        let err = (400, format!("method {method} not allowed for {}", target.path));
+        return (Some(route), Err(err));
+    }
+    // ONE snapshot per request: every read below — bounds checks, rank
+    // caps, column evaluation, rendering — sees the same model version
+    // even if the ingest thread publishes mid-request.
+    let snapshot = ctx.handle.load();
+    let result = answer(ctx, &snapshot, route, &target, body, start);
+    // With ingestion live, stamp the snapshot's epoch into every success
+    // body except `/metrics` (which reports it in its ingest section)
+    // and `/edges` (whose body already names the epoch it published).
+    // With ingestion off nothing is stamped and bodies stay byte-
+    // identical to the static-model server.
+    let result = match result {
+        Ok(body) if ctx.ingest.is_some() && !matches!(route, Route::Metrics | Route::Edges) => {
+            Ok(render::with_epoch(body, snapshot.epoch()))
+        }
+        other => other,
+    };
+    (Some(route), result)
 }
 
 fn answer(
     ctx: &Ctx,
+    snapshot: &Arc<Snapshot>,
     route: Route,
     target: &Target,
+    body: &str,
     start: Instant,
 ) -> Result<String, (u16, String)> {
+    let model = snapshot.model();
     let parse_usize = |v: &str, key: &str| -> Result<usize, (u16, String)> {
         v.parse().map_err(|_| (400, format!("invalid {key}: {v:?}")))
     };
@@ -407,12 +494,14 @@ fn answer(
     };
     // The column wait shares the request budget with socket I/O.  In
     // shard mode this hands back the server's partial (lo..hi) column.
+    // Evaluation is pinned to *this request's* snapshot, not whatever
+    // the handle points at by the time the batch runs.
     let column = |node: usize, rank: Option<usize>| -> Result<Column, (u16, String)> {
         let Engine::Local(batcher) = &ctx.engine else {
             unreachable!("column() is only called on local engines")
         };
         let remaining = ctx.timeout.saturating_sub(start.elapsed());
-        batcher.column_rank(node, rank, remaining).map_err(|e| match e {
+        batcher.column_rank_at(Arc::clone(snapshot), node, rank, remaining).map_err(|e| match e {
             ColumnError::Timeout => (408, e.to_string()),
             ColumnError::ShuttingDown => (503, e.to_string()),
             ColumnError::Failed(msg) => (400, msg),
@@ -440,7 +529,7 @@ fn answer(
     let degrade: Option<usize> = match (ctx.degrade_rank, opt_in) {
         (Some(policy), Some(cap)) if ctx.gauge.depth() >= ctx.degrade_watermark => {
             let t = policy.max(1).min(cap);
-            (t < ctx.model.rank()).then_some(t)
+            (t < model.rank()).then_some(t)
         }
         _ => None,
     };
@@ -461,7 +550,7 @@ fn answer(
     let shard_rank: Option<usize> = match target.get("rank") {
         Some(v) => {
             let t = parse_usize(v, "rank")?.max(1);
-            (t < ctx.model.rank()).then_some(t)
+            (t < model.rank()).then_some(t)
         }
         None => None,
     };
@@ -484,10 +573,31 @@ fn answer(
     }
     // A plain local server doubles as the 1-shard degenerate case: its
     // "slice" is all of 0..n.
-    let (lo, hi) = ctx.shard_rows.unwrap_or((0, ctx.model.n()));
+    let (lo, hi) = ctx.shard_rows.unwrap_or((0, model.n()));
 
     match route {
-        Route::Health => Ok(render::health(ctx.model.n(), ctx.model.rank())),
+        Route::Health => Ok(render::health(model.n(), model.rank())),
+        Route::Edges => {
+            let Some(ingestor) = &ctx.ingest else {
+                return Err((400, "live ingestion is disabled on this server".to_string()));
+            };
+            let ops = ingest::parse_ops(body).map_err(|e| (400, e))?;
+            if ops.is_empty() {
+                return Err((400, "empty edge batch".to_string()));
+            }
+            let remaining = ctx.timeout.saturating_sub(start.elapsed());
+            let out = ingestor.submit(ops, remaining).map_err(|e| {
+                if e.contains("timed out") {
+                    (408, e)
+                } else {
+                    (400, e)
+                }
+            })?;
+            Ok(format!(
+                "{{\"applied\":{},\"ignored\":{},\"epoch\":{}}}",
+                out.applied, out.ignored, out.epoch
+            ))
+        }
         Route::Metrics => {
             let mut body = ctx.metrics.render_json();
             body.pop();
@@ -502,11 +612,11 @@ fn answer(
             let a = parse_usize(target.require("a")?, "a")?;
             let b = parse_usize(target.require("b")?, "b")?;
             if let Engine::Sharded(coord) = &ctx.engine {
-                return Ok(mark(render::similarity(a, b, coord.similarity_rank(a, b, degrade)?)));
+                let s = coord.similarity_rank(snapshot, a, b, degrade)?;
+                return Ok(mark(render::similarity(a, b, s)));
             }
-            if a >= ctx.model.n() {
-                let e =
-                    csrplus_core::CoSimRankError::QueryOutOfBounds { node: a, n: ctx.model.n() };
+            if a >= model.n() {
+                let e = csrplus_core::CoSimRankError::QueryOutOfBounds { node: a, n: model.n() };
                 return Err((400, e.to_string()));
             }
             // `[S]_{a,b}` is row `a` of column `b`: the batched/cached
@@ -521,7 +631,8 @@ fn answer(
                 None => 10,
             };
             if let Engine::Sharded(coord) = &ctx.engine {
-                return Ok(mark(render::topk(node, &coord.top_k_rank(node, k, degrade)?)));
+                let top = coord.top_k_rank(snapshot, node, k, degrade)?;
+                return Ok(mark(render::topk(node, &top)));
             }
             let col = column(node, degrade)?;
             Ok(mark(render::topk(node, &render::top_k_from_column(&col, node, k))))
@@ -529,7 +640,7 @@ fn answer(
         Route::Query => {
             let nodes = parse_nodes(target)?;
             if let Engine::Sharded(coord) = &ctx.engine {
-                let columns = coord.columns_rank(&nodes, degrade)?;
+                let columns = coord.columns_rank(snapshot, &nodes, degrade)?;
                 let views: Vec<&[f64]> = columns.iter().map(|c| &c[..]).collect();
                 return Ok(mark(render::query(&nodes, &views)));
             }
@@ -538,7 +649,7 @@ fn answer(
             let views: Vec<&[f64]> = columns.iter().map(|c| &c[..]).collect();
             Ok(mark(render::query(&nodes, &views)))
         }
-        Route::ShardRange => Ok(format!("{{\"lo\":{lo},\"hi\":{hi},\"n\":{}}}", ctx.model.n())),
+        Route::ShardRange => Ok(format!("{{\"lo\":{lo},\"hi\":{hi},\"n\":{}}}", model.n())),
         Route::ShardColumns => {
             let nodes = parse_nodes(target)?;
             let columns: Vec<Column> =
@@ -555,7 +666,7 @@ fn answer(
                     } else {
                         let mut hex = String::with_capacity(c.len() * 16);
                         for row in lo..hi {
-                            wire::encode_f64_into(c[ctx.model.original_id(row)], &mut hex);
+                            wire::encode_f64_into(c[model.original_id(row)], &mut hex);
                         }
                         hex
                     };
@@ -585,7 +696,7 @@ fn answer(
             let scored = render::top_k_from_scored(
                 (lo..hi)
                     .map(|row| {
-                        let id = ctx.model.original_id(row);
+                        let id = model.original_id(row);
                         let v = if ctx.shard_rows.is_some() { col[row - lo] } else { col[id] };
                         (id, v)
                     })
@@ -908,6 +1019,83 @@ mod tests {
         let err = Server::start(m, 0, config).err().expect("partition hole must be rejected");
         assert!(err.to_string().contains("tile") || err.to_string().contains("stop"), "{err}");
         shard.shutdown();
+    }
+
+    fn dynamic() -> DynamicCsrPlus {
+        let cfg = csrplus_core::dynamic::DynamicConfig {
+            base: CsrPlusConfig::with_rank(6),
+            // The ingest thread governs rebuild cadence; don't let the
+            // dynamic model auto-refresh underneath it.
+            refresh_interval: usize::MAX,
+        };
+        DynamicCsrPlus::new(&figure1_graph(), cfg).unwrap()
+    }
+
+    const POST_WAIT: Duration = Duration::from_secs(30);
+
+    #[test]
+    fn live_ingestion_publishes_epochs_and_tags_responses() {
+        let handle =
+            Server::start_ingesting(dynamic(), 0, ServeConfig::default(), IngestConfig::default())
+                .unwrap();
+        let addr = handle.addr().to_string();
+
+        // Boot is epoch 0 and every response says so.
+        let (code, body) = get(handle.addr(), "/health");
+        assert_eq!(code, 200);
+        assert!(body.ends_with(",\"epoch\":0}"), "{body}");
+        let (_, before) = get(handle.addr(), "/similarity?a=4&b=1");
+        assert!(before.ends_with(",\"epoch\":0}"), "{before}");
+
+        // figure1 has no 1→4 edge: inserting it publishes epoch 1.
+        let (code, body) =
+            wire::post(&addr, "/edges", "{\"op\":\"insert\",\"x\":1,\"y\":4}\n", POST_WAIT)
+                .unwrap();
+        assert_eq!(code, 200, "{body}");
+        assert_eq!(body, "{\"applied\":1,\"ignored\":0,\"epoch\":1}");
+
+        // Queries now answer from the new snapshot — different scores,
+        // and the stale epoch-0 cache entry cannot leak in.
+        let (_, after) = get(handle.addr(), "/similarity?a=4&b=1");
+        assert!(after.ends_with(",\"epoch\":1}"), "{after}");
+        assert_ne!(before, after, "the inserted edge must change the answer");
+
+        let (_, metrics) = get(handle.addr(), "/metrics");
+        assert!(metrics.contains("\"ingest\":{\"epoch\":1,\"updates_applied\":1,"), "{metrics}");
+
+        // Method discipline: /edges is POST-only, query routes GET-only.
+        let (code, _) = get(handle.addr(), "/edges");
+        assert_eq!(code, 400);
+        let (code, _) = wire::post(&addr, "/health", "", POST_WAIT).unwrap();
+        assert_eq!(code, 400);
+        // Parse errors name the offending op.
+        let (code, body) =
+            wire::post(&addr, "/edges", "{\"op\":\"upsert\",\"x\":0,\"y\":1}", POST_WAIT).unwrap();
+        assert_eq!(code, 400);
+        assert!(body.contains("upsert"), "{body}");
+        // Out-of-bounds batches are rejected whole: still epoch 1.
+        let (code, _) =
+            wire::post(&addr, "/edges", "{\"op\":\"insert\",\"x\":0,\"y\":99}", POST_WAIT).unwrap();
+        assert_eq!(code, 400);
+        let (_, body) = get(handle.addr(), "/health");
+        assert!(body.ends_with(",\"epoch\":1}"), "{body}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn ingestion_off_servers_reject_edges_and_never_tag_epochs() {
+        let handle = Server::start(model(), 0, ServeConfig::default()).unwrap();
+        let addr = handle.addr().to_string();
+        let (code, body) =
+            wire::post(&addr, "/edges", "{\"op\":\"insert\",\"x\":1,\"y\":4}", POST_WAIT).unwrap();
+        assert_eq!(code, 400);
+        assert!(body.contains("disabled"), "{body}");
+        // The byte-identity contract: no epoch tag anywhere.
+        for path in ["/health", "/similarity?a=1&b=3", "/shard/range"] {
+            let (_, body) = get(handle.addr(), path);
+            assert!(!body.contains("epoch"), "{path}: {body}");
+        }
+        handle.shutdown();
     }
 
     #[test]

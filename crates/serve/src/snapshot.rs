@@ -1,0 +1,164 @@
+//! Epoch-versioned model snapshots — the seam between serving and live
+//! graph updates.
+//!
+//! Every serving layer used to capture an immutable `Arc<CsrPlusModel>`
+//! at boot, freezing the graph for the process lifetime.  This module
+//! replaces that direct ownership with a [`SnapshotHandle`]: an
+//! atomically swappable pointer to the *current* [`Snapshot`] (an
+//! `{epoch, model}` pair).  Each request loads the handle **once** and
+//! threads the loaded snapshot through batching, evaluation, caching
+//! and rendering, so a single response is always internally consistent
+//! with exactly one epoch even while the update thread publishes new
+//! models concurrently.
+//!
+//! Readers never block on publishers: [`SnapshotHandle::load`] is a
+//! brief read-lock clone of an `Arc` (the serve crate forbids `unsafe`,
+//! so this is the std-only equivalent of an atomic pointer swap), and
+//! old epochs drain lazily as the last in-flight requests holding their
+//! `Arc<Snapshot>` complete — no global cache flush, no stop-the-world.
+
+use csrplus_core::CsrPlusModel;
+use std::sync::{Arc, RwLock};
+
+/// One immutable published model version.
+#[derive(Debug)]
+pub struct Snapshot {
+    epoch: u64,
+    model: Arc<CsrPlusModel>,
+}
+
+impl Snapshot {
+    /// Wraps `model` as the snapshot for `epoch`.
+    pub fn new(epoch: u64, model: Arc<CsrPlusModel>) -> Self {
+        Snapshot { epoch, model }
+    }
+
+    /// The epoch this model was published under (0 = boot model).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The model itself.
+    pub fn model(&self) -> &CsrPlusModel {
+        &self.model
+    }
+
+    /// The model as a shared handle (for layers that re-`Arc` it).
+    pub fn model_arc(&self) -> &Arc<CsrPlusModel> {
+        &self.model
+    }
+}
+
+/// Atomically swappable pointer to the current [`Snapshot`].
+///
+/// `load()` is cheap and wait-free in practice (an uncontended
+/// read-lock around an `Arc` clone); `publish()` bumps the epoch and
+/// swaps the pointer.  With ingestion disabled nothing ever publishes,
+/// the handle stays at epoch 0, and serving is byte-identical to the
+/// pre-snapshot architecture.
+#[derive(Debug)]
+pub struct SnapshotHandle {
+    current: RwLock<Arc<Snapshot>>,
+}
+
+impl SnapshotHandle {
+    /// Creates a handle at epoch 0 over the boot model.
+    pub fn new(model: Arc<CsrPlusModel>) -> Self {
+        SnapshotHandle { current: RwLock::new(Arc::new(Snapshot::new(0, model))) }
+    }
+
+    /// Creates a handle at an explicit starting epoch (e.g. resuming
+    /// from a checkpointed artifact that recorded its epoch).
+    pub fn with_epoch(epoch: u64, model: Arc<CsrPlusModel>) -> Self {
+        SnapshotHandle { current: RwLock::new(Arc::new(Snapshot::new(epoch, model))) }
+    }
+
+    /// Loads the current snapshot.  Callers hold the returned `Arc`
+    /// for the duration of one request so every step sees the same
+    /// epoch.
+    pub fn load(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.current.read().expect("snapshot handle is never poisoned"))
+    }
+
+    /// Publishes `model` as the next epoch and returns that epoch.
+    pub fn publish(&self, model: Arc<CsrPlusModel>) -> u64 {
+        let mut slot = self.current.write().expect("snapshot handle is never poisoned");
+        let epoch = slot.epoch() + 1;
+        *slot = Arc::new(Snapshot::new(epoch, model));
+        epoch
+    }
+
+    /// The current epoch without retaining the snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.current.read().expect("snapshot handle is never poisoned").epoch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csrplus_core::CsrPlusConfig;
+    use csrplus_graph::generators::figure1_graph;
+    use csrplus_graph::TransitionMatrix;
+
+    fn model() -> Arc<CsrPlusModel> {
+        let t = TransitionMatrix::from_graph(&figure1_graph());
+        let cfg = CsrPlusConfig { rank: 6, ..Default::default() };
+        Arc::new(CsrPlusModel::precompute(&t, &cfg).unwrap())
+    }
+
+    #[test]
+    fn boot_handle_is_epoch_zero() {
+        let handle = SnapshotHandle::new(model());
+        assert_eq!(handle.epoch(), 0);
+        assert_eq!(handle.load().epoch(), 0);
+    }
+
+    #[test]
+    fn publish_bumps_epoch_and_swaps_model() {
+        let handle = SnapshotHandle::new(model());
+        let old = handle.load();
+        assert_eq!(handle.publish(model()), 1);
+        assert_eq!(handle.publish(model()), 2);
+        let new = handle.load();
+        assert_eq!(new.epoch(), 2);
+        // The old snapshot is still alive and still epoch 0: in-flight
+        // requests holding it are unaffected by the swap.
+        assert_eq!(old.epoch(), 0);
+    }
+
+    #[test]
+    fn with_epoch_resumes_at_the_given_epoch() {
+        let handle = SnapshotHandle::with_epoch(7, model());
+        assert_eq!(handle.epoch(), 7);
+        assert_eq!(handle.publish(model()), 8);
+    }
+
+    #[test]
+    fn concurrent_loads_see_monotone_epochs() {
+        let handle = Arc::new(SnapshotHandle::new(model()));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let h = Arc::clone(&handle);
+                let s = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut last = 0u64;
+                    while !s.load(std::sync::atomic::Ordering::Relaxed) {
+                        let e = h.load().epoch();
+                        assert!(e >= last, "epoch went backwards: {last} -> {e}");
+                        last = e;
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..32 {
+            handle.publish(model());
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(handle.epoch(), 32);
+    }
+}

@@ -81,6 +81,41 @@ pub fn get(addr: &str, path: &str, timeout: Duration) -> Result<(u16, String), S
     Ok((code, body))
 }
 
+/// One blocking `POST` with a body — how clients (and the load
+/// generator) feed `POST /edges`.  Same socket discipline as [`get`];
+/// returns `(status, body)`.
+pub fn post(
+    addr: &str,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> Result<(u16, String), String> {
+    let sock = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve address {addr:?}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("address {addr:?} resolves to nothing"))?;
+    let mut stream = TcpStream::connect_timeout(&sock, timeout)
+        .map_err(|e| format!("connect to {addr}: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).map_err(|e| format!("write to {addr}: {e}"))?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).map_err(|e| format!("read from {addr}: {e}"))?;
+    let code: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| format!("malformed response from {addr}"))?;
+    let body = response.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+    Ok((code, body))
+}
+
 /// Pulls the integer value of `"key":<digits>` out of a flat JSON body
 /// (the coordinator's parsing needs exactly this much JSON and no more).
 pub fn json_usize(body: &str, key: &str) -> Result<usize, String> {

@@ -3,7 +3,8 @@
 //! ```text
 //! offset 0    ┌──────────────────────────────────────────────┐
 //!             │ header (64 B): "CSRP" · version=2 u32 ·      │
-//!             │ 56 reserved zero bytes                       │
+//!             │ epoch u64 · epoch·FNV_PRIME u64 (check) ·    │
+//!             │ 40 reserved zero bytes                       │
 //! offset 64   ├──────────────────────────────────────────────┤
 //!             │ section payloads, little-endian, each        │
 //!             │ starting on a 64-byte boundary (zero-padded  │
@@ -60,6 +61,14 @@ pub const ENTRY_LEN: usize = 48;
 pub const NAME_LEN: usize = 16;
 
 pub(crate) const FNV_BASIS: u64 = 0xcbf29ce484222325;
+
+/// The header's epoch check word: the epoch times the (odd, hence
+/// invertible) FNV prime.  Any single-region corruption of the epoch or
+/// the check breaks the relation; epoch 0 maps to 0, keeping pre-epoch
+/// all-zero headers valid.
+fn epoch_check(epoch: u64) -> u64 {
+    epoch.wrapping_mul(0x100000001b3)
+}
 
 pub(crate) fn fnv1a_update(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
@@ -177,11 +186,25 @@ pub struct ArtifactWriter<W: Write> {
 }
 
 impl<W: Write> ArtifactWriter<W> {
-    /// Starts an artifact: writes the fixed header.
-    pub fn new(mut w: W) -> std::io::Result<Self> {
+    /// Starts an artifact: writes the fixed header at epoch 0.  Epoch 0
+    /// leaves the header bytes exactly as older writers did, so default
+    /// artifacts stay byte-identical.
+    pub fn new(w: W) -> std::io::Result<Self> {
+        Self::with_epoch(w, 0)
+    }
+
+    /// [`ArtifactWriter::new`] stamping a model `epoch` into the header
+    /// (bytes 8..16, little-endian) — how live-update checkpoints record
+    /// which published snapshot an artifact holds.  Bytes 16..24 hold a
+    /// check word (`epoch × FNV prime`, a bijection with 0 ↦ 0) so a
+    /// corrupted epoch is detected like every other region: zero-epoch
+    /// headers — including every pre-epoch artifact — stay all-zero.
+    pub fn with_epoch(mut w: W, epoch: u64) -> std::io::Result<Self> {
         let mut header = [0u8; HEADER_LEN];
         header[..4].copy_from_slice(&MAGIC);
         header[4..8].copy_from_slice(&VERSION.to_le_bytes());
+        header[8..16].copy_from_slice(&epoch.to_le_bytes());
+        header[16..24].copy_from_slice(&epoch_check(epoch).to_le_bytes());
         w.write_all(&header)?;
         Ok(ArtifactWriter { w, pos: HEADER_LEN as u64, sections: Vec::new(), cur: None })
     }
@@ -384,6 +407,7 @@ impl<W: Write> ArtifactWriter<W> {
 pub struct Artifact {
     region: Arc<Region>,
     sections: Vec<SectionDesc>,
+    epoch: u64,
 }
 
 impl Artifact {
@@ -427,7 +451,15 @@ impl Artifact {
                 bytes.len()
             )));
         }
-        if bytes[8..HEADER_LEN].iter().any(|&b| b != 0) {
+        // Bytes 8..16 carry the model epoch, 16..24 its check word —
+        // pre-epoch writers left both zero, which validates as epoch 0;
+        // 24..64 stay reserved-zero.
+        let epoch = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        let check = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+        if check != epoch_check(epoch) {
+            return Err(StoreError::Malformed("epoch check word mismatch".into()));
+        }
+        if bytes[24..HEADER_LEN].iter().any(|&b| b != 0) {
             return Err(StoreError::Malformed("reserved header bytes are not zero".into()));
         }
         let foot = &bytes[bytes.len() - FOOTER_LEN..];
@@ -515,11 +547,17 @@ impl Artifact {
                 "table at {table_offset} but sections end at {expected_offset}"
             )));
         }
-        let artifact = Artifact { region, sections };
+        let artifact = Artifact { region, sections, epoch };
         if eager {
             artifact.verify()?;
         }
         Ok(artifact)
+    }
+
+    /// The model epoch stamped in the header (0 for ordinary artifacts
+    /// and anything written before epochs existed).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// True when backed by a memory mapping rather than an owned buffer.
@@ -690,6 +728,29 @@ mod tests {
         assert_eq!(m.row(1), &[0.0, 4.0, 5.0]);
         assert_eq!(m.view().get(0, 1), 2.5);
         a.verify().unwrap();
+    }
+
+    #[test]
+    fn epoch_round_trips_and_defaults_to_zero() {
+        // Default writer stamps epoch 0 — header bytes 8..16 stay zero, so
+        // pre-epoch readers and artifacts are mutually compatible.
+        let bytes = sample();
+        assert_eq!(&bytes[8..16], &[0u8; 8]);
+        assert_eq!(Artifact::from_bytes(&bytes).unwrap().epoch(), 0);
+
+        let mut w = ArtifactWriter::with_epoch(Vec::new(), 0x0102_0304_0506_0708).unwrap();
+        w.section_u64s("meta", &[1]).unwrap();
+        let bytes = w.finish().unwrap();
+        let a = Artifact::from_bytes(&bytes).unwrap();
+        assert_eq!(a.epoch(), 0x0102_0304_0506_0708);
+
+        // The check word ties the epoch down: corrupting either half of
+        // the pair is a typed error, not a silently different epoch.
+        for pos in [9, 18] {
+            let mut b = bytes.clone();
+            b[pos] ^= 0x10;
+            assert!(matches!(Artifact::from_bytes(&b), Err(StoreError::Malformed(_))), "{pos}");
+        }
     }
 
     #[test]
